@@ -1,0 +1,56 @@
+/// \file bench_common.h
+/// \brief Shared helpers for the benchmark/reproduction harness.
+#pragma once
+
+#include <string>
+
+#include "core/cooling_system.h"
+#include "floorplan/alpha21364.h"
+#include "floorplan/random_chip.h"
+#include "power/workload.h"
+
+namespace tfc::bench {
+
+/// Worst-case tile power map for a floorplan via the full paper pipeline
+/// (synthetic benchmark suite + 20 % margin).
+inline linalg::Vector worst_case_map(const floorplan::Floorplan& plan,
+                                     std::size_t benchmarks = 8) {
+  power::WorkloadSynthesizer synth(plan);
+  return power::worst_case_profile(plan, synth.synthesize_suite(benchmarks))
+      .tile_powers();
+}
+
+/// The eleven Table-I chips: Alpha + HC01..HC10.
+struct BenchChip {
+  std::string name;
+  linalg::Vector tile_powers;
+};
+
+inline std::vector<BenchChip> table1_chips() {
+  std::vector<BenchChip> chips;
+  chips.push_back({"Alpha", worst_case_map(floorplan::alpha21364())});
+  for (std::size_t i = 1; i <= 10; ++i) {
+    chips.push_back({floorplan::hypothetical_chip_name(i),
+                     worst_case_map(floorplan::hypothetical_chip(i))});
+  }
+  return chips;
+}
+
+/// Run the design with the paper's fallback policy: start at 85 °C and relax
+/// by 1 °C until GreedyDeploy succeeds (paper: HC06 → 89 °C, HC09 → 88 °C).
+inline core::DesignResult design_with_fallback(const BenchChip& chip,
+                                               double start_limit = 85.0,
+                                               double max_limit = 110.0) {
+  core::DesignRequest req;
+  req.chip_name = chip.name;
+  req.tile_powers = chip.tile_powers;
+  req.theta_limit_celsius = start_limit;
+  auto res = core::design_cooling_system(req);
+  while (!res.success && req.theta_limit_celsius < max_limit) {
+    req.theta_limit_celsius += 1.0;
+    res = core::design_cooling_system(req);
+  }
+  return res;
+}
+
+}  // namespace tfc::bench

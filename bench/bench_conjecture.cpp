@@ -1,0 +1,62 @@
+/// \file bench_conjecture.cpp
+/// \brief Reproduce the **Conjecture 1 validation** (Section V.C.2): "we
+/// have randomly generated millions of positive definite Stieltjes matrices
+/// and verified this property in all cases."
+///
+/// Budget-scaled rerun: thousands of matrices across two families
+/// (strictly-dominant and grounded-Laplacian) and sizes 2..32, each checked
+/// on all (k, l) pairs (or a pair budget for the largest sizes), plus the
+/// actual thermal matrices arising from the benchmark chips.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/conjecture.h"
+#include "tec/runaway.h"
+
+int main() {
+  using namespace tfc;
+
+  std::printf("=== Conjecture 1: DIAG(h_k) H DIAG(h_l) positive definite ===\n\n");
+
+  // Random-matrix campaign.
+  core::ConjectureCampaignOptions opts;
+  opts.sizes = {2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32};
+  opts.matrices_per_size = 60;
+  opts.pair_budget = 256;  // full coverage up to n = 16, sampled beyond
+  auto rep = core::run_conjecture_campaign(opts);
+  std::printf("random campaign: %zu matrices (2 families x %zu sizes x %zu), >= %zu "
+              "(k,l) pairs checked\n",
+              rep.matrices_checked, opts.sizes.size(), opts.matrices_per_size,
+              rep.pairs_checked_at_least);
+  std::printf("violations: %zu\n\n", rep.violations);
+
+  // The matrices this library actually produces: G − i·D of each chip's
+  // greedy deployment, reduced by the Schur complement onto the TEC block
+  // (a PD Stieltjes-like pencil slice), checked at several currents.
+  std::printf("thermal-system matrices (Schur-reduced G - iD per chip):\n");
+  std::size_t sys_checked = 0, sys_violations = 0;
+  for (const auto& chip : bench::table1_chips()) {
+    auto res = bench::design_with_fallback(chip);
+    if (res.deployment.empty()) continue;
+    auto sys = tec::ElectroThermalSystem::assemble(thermal::PackageGeometry{},
+                                                   res.deployment, chip.tile_powers,
+                                                   tec::TecDeviceParams::chowdhury_superlattice());
+    auto red = tec::schur_reduction(sys);
+    const double lm = *tec::runaway_limit(sys);
+    for (double f : {0.0, 0.5, 0.9}) {
+      linalg::DenseMatrix m = red.s0;
+      m -= linalg::DenseMatrix::diagonal(red.d_diag) * (f * lm);
+      auto check = linalg::check_conjecture1(m, /*pair_budget=*/144);
+      ++sys_checked;
+      if (!check.holds) ++sys_violations;
+    }
+  }
+  std::printf("  %zu reduced matrices checked, %zu violations\n\n", sys_checked,
+              sys_violations);
+
+  const bool ok = rep.violations == 0 && sys_violations == 0;
+  std::printf("result: %s (paper: verified in all cases)\n",
+              ok ? "conjecture holds on every instance" : "VIOLATION FOUND");
+  return ok ? 0 : 1;
+}

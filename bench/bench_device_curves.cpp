@@ -1,0 +1,66 @@
+/// \file bench_device_curves.cpp
+/// \brief Device-physics curves behind Section III.A (Eq. 1-3): cold/hot
+/// side heat flux, input power, and COP of one thin-film TEC as functions of
+/// supply current and temperature difference — including the COP → 0
+/// crossing that marks the single-device pumping limit (the paper links it
+/// to thermal runaway via [17]).
+
+#include <cmath>
+#include <cstdio>
+
+#include "tec/device.h"
+
+int main() {
+  using namespace tfc;
+
+  auto dev = tec::TecDeviceParams::chowdhury_superlattice();
+  std::printf("=== Thin-film TEC device curves (Eq. 1-3) ===\n");
+  std::printf("alpha = %.2e V/K, r = %.1f mOhm, kappa = %.3f W/K, g_h = g_c = %.2f W/K\n\n",
+              dev.seebeck, dev.resistance * 1e3, dev.internal_conductance,
+              dev.g_hot_contact);
+
+  const double tc = 358.15;  // 85 degC cold plate
+  std::printf("q_c [W] vs current and plate difference (theta_c = 85 degC):\n");
+  std::printf("%8s", "i [A]");
+  for (double dt : {0.0, 2.0, 5.0, 10.0}) std::printf("  dT=%4.0fK", dt);
+  std::printf("\n");
+  for (double i : {0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 20.0, 30.0, 42.0, 60.0}) {
+    std::printf("%8.1f", i);
+    for (double dt : {0.0, 2.0, 5.0, 10.0}) {
+      std::printf("%9.3f", dev.cold_side_heat(i, tc, tc + dt));
+    }
+    std::printf("\n");
+  }
+
+  const double i_star = dev.max_pumping_current(tc);
+  std::printf("\nmax-pumping current alpha*theta_c/r = %.1f A; q_c(i*) = %.3f W "
+              "(~%.0f W/cm2 over the 0.25 mm2 footprint)\n",
+              i_star, dev.cold_side_heat(i_star, tc, tc),
+              dev.cold_side_heat(i_star, tc, tc) / 0.25e-6 * 1e-4);
+
+  std::printf("\nCOP vs current (dT = 3 K):\n%8s %10s\n", "i [A]", "COP");
+  double prev_cop = 1e9;
+  double cop_zero_crossing = -1.0;
+  for (double i = 1.0; i <= 90.0; i += 1.0) {
+    const double c = dev.cop(i, tc, tc + 3.0);
+    if (prev_cop > 0.0 && c <= 0.0 && cop_zero_crossing < 0.0) cop_zero_crossing = i;
+    prev_cop = c;
+    if (std::fmod(i, 8.0) < 0.5 || i == 1.0) std::printf("%8.1f %10.3f\n", i, c);
+  }
+  std::printf("\nCOP crosses zero near i = %.0f A — the device-level analogue of the "
+              "system runaway limit (Section V.C.1).\n",
+              cop_zero_crossing);
+
+  // Shape checks.
+  const bool pumping_rises_then_falls =
+      dev.cold_side_heat(i_star, tc, tc) > dev.cold_side_heat(0.5 * i_star, tc, tc) &&
+      dev.cold_side_heat(i_star, tc, tc) > dev.cold_side_heat(1.5 * i_star, tc, tc);
+  const bool energy_balance_ok =
+      std::abs(dev.input_power(6.0, 3.0) -
+               (dev.hot_side_heat(6.0, tc, tc + 3.0) - dev.cold_side_heat(6.0, tc, tc + 3.0))) <
+      1e-12;
+  std::printf("\nchecks: q_c peaks at i* (%s), p_TEC == q_h - q_c (%s)\n",
+              pumping_rises_then_falls ? "yes" : "NO", energy_balance_ok ? "yes" : "NO");
+  return (pumping_rises_then_falls && energy_balance_ok && cop_zero_crossing > 0.0) ? 0
+                                                                                    : 1;
+}

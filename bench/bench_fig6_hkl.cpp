@@ -1,0 +1,72 @@
+/// \file bench_fig6_hkl.cpp
+/// \brief Reproduce **Figure 6** — h_kl(i) as a function of the supply
+/// current.
+///
+/// The figure's claims (Lemma 3, Theorems 2-3): each entry of
+/// H(i) = (G − i·D)⁻¹ is a nonnegative convex function of i on [0, λ_m)
+/// that diverges to +∞ as i → λ_m. We print h_kl(i) series for three
+/// representative (k, l) pairs on the Alpha deployment and verify the three
+/// properties numerically on a dense sweep.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/response.h"
+#include "tec/runaway.h"
+
+int main() {
+  using namespace tfc;
+
+  const auto powers = bench::worst_case_map(floorplan::alpha21364());
+  auto res = bench::design_with_fallback({"Alpha", powers});
+  auto system = tec::ElectroThermalSystem::assemble(thermal::PackageGeometry{},
+                                                    res.deployment, powers,
+                                                    tec::TecDeviceParams::chowdhury_superlattice());
+  const double lm = *tec::runaway_limit(system);
+  std::printf("=== Figure 6: h_kl(i) on [0, lambda_m), lambda_m = %.2f A ===\n\n", lm);
+
+  // Representative pairs: hottest silicon tile vs (itself, a TEC hot node,
+  // a far L2 tile).
+  const std::size_t k_hot = system.model().silicon_node({4, 4});
+  const std::size_t l_self = k_hot;
+  const std::size_t l_tec = system.model().tec_hot_node(system.model().tec_tiles().front());
+  const std::size_t l_far = system.model().silicon_node({11, 11});
+
+  std::printf("%12s %16s %16s %16s\n", "i/lambda_m", "h(hot,hot)", "h(hot,tecH)",
+              "h(hot,L2far)");
+  const double fracs[] = {0.0,  0.1,  0.2,  0.3,  0.4,   0.5,   0.6,    0.7,
+                          0.8,  0.9,  0.95, 0.99, 0.999, 0.9999};
+  std::vector<double> self_series;
+  for (double f : fracs) {
+    auto eval = core::ResponseEvaluator::at(system, f * lm);
+    auto col_self = eval->h_column(l_self);
+    auto col_tec = eval->h_column(l_tec);
+    auto col_far = eval->h_column(l_far);
+    std::printf("%12.4f %16.6g %16.6g %16.6g\n", f, col_self[k_hot], col_tec[k_hot],
+                col_far[k_hot]);
+    self_series.push_back(col_self[k_hot]);
+  }
+
+  // Property checks on a uniform grid (shape assertions of the figure).
+  const int n = 24;
+  std::vector<double> h(n + 1);
+  bool nonneg = true;
+  for (int s = 0; s <= n; ++s) {
+    auto eval = core::ResponseEvaluator::at(system, 0.98 * lm * double(s) / double(n));
+    auto col = eval->h_column(l_tec);
+    h[std::size_t(s)] = col[k_hot];
+    for (std::size_t q = 0; q < col.size(); ++q) nonneg = nonneg && col[q] >= -1e-12;
+  }
+  bool convex = true;
+  for (int s = 1; s < n; ++s) {
+    convex = convex &&
+             (h[std::size_t(s - 1)] + h[std::size_t(s + 1)] - 2.0 * h[std::size_t(s)] >=
+              -1e-9);
+  }
+  const double blowup = self_series.back() / self_series.front();
+
+  std::printf("\nchecks: nonnegative over the sweep: %s | convex (2nd differences >= 0): "
+              "%s | divergence h(0.9999 lm)/h(0) = %.1fx\n",
+              nonneg ? "yes" : "NO", convex ? "yes" : "NO", blowup);
+  return (nonneg && convex && blowup > 50.0) ? 0 : 1;
+}

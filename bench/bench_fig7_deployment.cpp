@@ -1,0 +1,55 @@
+/// \file bench_fig7_deployment.cpp
+/// \brief Reproduce **Figure 7** — the Alpha-21364-like floorplan (a) and
+/// the greedy TEC deployment over its 12×12 tiling (b).
+///
+/// Claim under reproduction: "only the functional units with high power
+/// density (such as IntReg and IntExec) are needed to be covered" — the
+/// deployment concentrates on the integer cluster and leaves L2/caches bare.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace tfc;
+
+  auto chip = floorplan::alpha21364();
+  const auto powers = bench::worst_case_map(chip);
+  auto res = bench::design_with_fallback({"Alpha", powers});
+
+  std::printf("=== Figure 7(a): floorplan (unit initial per tile) ===\n\n");
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      const auto u = chip.unit_at({r, c});
+      std::printf(" %c", u ? chip.units()[*u].name[0] : '?');
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Figure 7(b): greedy TEC deployment (# = TEC) ===\n\n%s\n",
+              core::deployment_map(res.deployment).c_str());
+  std::printf("deployed %zu devices at limit %.0f degC\n", res.tec_count,
+              res.theta_limit_celsius);
+
+  // Shape checks: covered tiles belong to the hot cluster only.
+  const auto& hot_names = floorplan::alpha21364_hot_units();
+  std::size_t on_hot = 0, on_cold = 0;
+  for (Tile t : res.deployment.tiles()) {
+    const auto u = chip.unit_at(t);
+    const std::string& name = chip.units()[*u].name;
+    const bool is_hot = std::find(hot_names.begin(), hot_names.end(), name) !=
+                        hot_names.end();
+    (is_hot ? on_hot : on_cold) += 1;
+    std::printf("  TEC at (%2zu,%2zu) over %s\n", t.row, t.col, name.c_str());
+  }
+  std::printf("\n%zu devices on hot-cluster units, %zu elsewhere; L2 covered: %s\n",
+              on_hot, on_cold,
+              [&] {
+                for (Tile t : res.deployment.tiles()) {
+                  if (chip.units()[*chip.unit_at(t)].name == "L2") return "YES";
+                }
+                return "no";
+              }());
+  return (res.success && on_hot >= on_cold) ? 0 : 1;
+}

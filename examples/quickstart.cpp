@@ -1,0 +1,44 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end use of the library.
+///
+/// Configure the on-chip TEC cooling system for the Alpha-21364-like
+/// benchmark chip: choose which tiles get thin-film TEC devices and what
+/// shared supply current to drive them with, so the worst-case peak
+/// temperature stays below 85 °C.
+///
+///   $ ./quickstart
+
+#include <cstdio>
+
+#include "core/cooling_system.h"
+#include "floorplan/alpha21364.h"
+#include "power/workload.h"
+
+int main() {
+  using namespace tfc;
+
+  // 1. A chip: floorplan with per-unit worst-case powers.
+  floorplan::Floorplan chip = floorplan::alpha21364();
+
+  // 2. Its worst-case power map: synthetic benchmark traces, reduced with
+  //    the paper's +20 % margin (stand-in for SPEC2000 on M5+Wattch).
+  power::WorkloadSynthesizer synth(chip);
+  power::PowerProfile profile = power::worst_case_profile(chip, synth.synthesize_suite(8));
+
+  // 3. Solve the cooling-system configuration problem (Problem 1).
+  core::DesignRequest request;
+  request.chip_name = "Alpha21364";
+  request.tile_powers = profile.tile_powers();
+  request.theta_limit_celsius = 85.0;
+  core::DesignResult result = core::design_cooling_system(request);
+
+  // 4. Report.
+  std::printf("%s\n%s\n\n", core::table_header().c_str(),
+              core::format_table_row(result).c_str());
+  std::printf("TEC deployment ('#' = device, '.' = bare tile):\n%s\n",
+              core::deployment_map(result.deployment).c_str());
+  std::printf("Cooling swing: %.1f degC at I = %.2f A (runaway limit %.1f A)\n",
+              result.peak_no_tec_celsius - result.peak_greedy_celsius, result.current,
+              result.lambda_m ? *result.lambda_m : 0.0);
+  return result.success ? 0 : 1;
+}

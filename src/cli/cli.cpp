@@ -1,0 +1,338 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/cooling_system.h"
+#include "core/sensitivity.h"
+#include "floorplan/alpha21364.h"
+#include "floorplan/hotspot_import.h"
+#include "floorplan/random_chip.h"
+#include "io/design_json.h"
+#include "power/power_profile.h"
+#include "power/workload.h"
+#include "tec/runaway.h"
+#include "thermal/validation.h"
+
+namespace tfc::cli {
+
+namespace {
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> options;  // --key value (or "" for flags)
+};
+
+const char* kFlagOptions[] = {"--map", "--help", "--no-full-cover", "--certify"};
+
+bool is_flag(const std::string& key) {
+  for (const char* f : kFlagOptions) {
+    if (key == f) return true;
+  }
+  return false;
+}
+
+std::optional<ParsedArgs> parse(const std::vector<std::string>& args, std::ostream& err) {
+  ParsedArgs p;
+  if (args.empty()) {
+    err << "error: missing command\n";
+    return std::nullopt;
+  }
+  p.command = args[0];
+  for (std::size_t k = 1; k < args.size(); ++k) {
+    const std::string& a = args[k];
+    if (a.rfind("--", 0) != 0) {
+      err << "error: unexpected argument '" << a << "'\n";
+      return std::nullopt;
+    }
+    if (is_flag(a)) {
+      p.options[a] = "";
+      continue;
+    }
+    if (k + 1 >= args.size()) {
+      err << "error: option '" << a << "' requires a value\n";
+      return std::nullopt;
+    }
+    p.options[a] = args[++k];
+  }
+  return p;
+}
+
+double parse_double(const ParsedArgs& p, const std::string& key, double fallback) {
+  auto it = p.options.find(key);
+  if (it == p.options.end()) return fallback;
+  return std::stod(it->second);
+}
+
+std::size_t parse_size(const ParsedArgs& p, const std::string& key, std::size_t fallback) {
+  auto it = p.options.find(key);
+  if (it == p.options.end()) return fallback;
+  return std::stoul(it->second);
+}
+
+/// Resolve --chip / --flp+--ptrace into a name + tile power map.
+struct ChipInput {
+  std::string name;
+  linalg::Vector tile_powers;
+  thermal::PackageGeometry geometry;
+};
+
+std::optional<ChipInput> load_chip(const ParsedArgs& p, std::ostream& err) {
+  ChipInput input;
+  const auto chip_it = p.options.find("--chip");
+  const auto flp_it = p.options.find("--flp");
+
+  if (chip_it != p.options.end() && flp_it != p.options.end()) {
+    err << "error: --chip and --flp are mutually exclusive\n";
+    return std::nullopt;
+  }
+
+  if (flp_it != p.options.end()) {
+    const auto ptrace_it = p.options.find("--ptrace");
+    if (ptrace_it == p.options.end()) {
+      err << "error: --flp requires --ptrace\n";
+      return std::nullopt;
+    }
+    std::ifstream flp(flp_it->second);
+    if (!flp) {
+      err << "error: cannot open floorplan '" << flp_it->second << "'\n";
+      return std::nullopt;
+    }
+    std::ifstream ptrace(ptrace_it->second);
+    if (!ptrace) {
+      err << "error: cannot open power trace '" << ptrace_it->second << "'\n";
+      return std::nullopt;
+    }
+    input.geometry.tile_rows = parse_size(p, "--rows", 12);
+    input.geometry.tile_cols = parse_size(p, "--cols", 12);
+    input.geometry.die_width = parse_double(p, "--die-mm", 6.0) * 1e-3;
+    input.geometry.die_height = input.geometry.die_width;
+    try {
+      auto plan = floorplan::rasterize_flp(floorplan::read_flp(flp),
+                                           input.geometry.die_width,
+                                           input.geometry.die_height,
+                                           input.geometry.tile_rows,
+                                           input.geometry.tile_cols);
+      floorplan::apply_unit_powers(plan, floorplan::read_ptrace_worst_case(ptrace));
+      input.tile_powers = power::PowerProfile::from_floorplan(plan).tile_powers();
+    } catch (const std::exception& e) {
+      err << "error: import failed: " << e.what() << "\n";
+      return std::nullopt;
+    }
+    input.name = flp_it->second;
+    return input;
+  }
+
+  const std::string chip = chip_it == p.options.end() ? "alpha" : chip_it->second;
+  floorplan::Floorplan plan = [&] {
+    if (chip == "alpha") return floorplan::alpha21364();
+    if (chip.rfind("hc", 0) == 0) {
+      return floorplan::hypothetical_chip(std::stoul(chip.substr(2)));
+    }
+    throw std::invalid_argument("unknown chip '" + chip + "' (use alpha or hc<N>)");
+  }();
+  input.name = chip;
+  power::WorkloadSynthesizer synth(plan);
+  input.tile_powers =
+      power::worst_case_profile(plan, synth.synthesize_suite(8)).tile_powers();
+  return input;
+}
+
+core::DesignResult design_with_fallback(const ChipInput& chip, double limit,
+                                        bool full_cover, bool certify) {
+  core::DesignRequest req;
+  req.chip_name = chip.name;
+  req.geometry = chip.geometry;
+  req.tile_powers = chip.tile_powers;
+  req.theta_limit_celsius = limit;
+  req.run_full_cover = full_cover;
+  req.run_convexity_certificate = certify;
+  auto res = core::design_cooling_system(req);
+  while (!res.success && req.theta_limit_celsius < limit + 25.0) {
+    req.theta_limit_celsius += 1.0;
+    res = core::design_cooling_system(req);
+  }
+  return res;
+}
+
+int cmd_design(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  const double limit = parse_double(p, "--limit", 85.0);
+  const bool full_cover = p.options.find("--no-full-cover") == p.options.end();
+  const bool certify = p.options.find("--certify") != p.options.end();
+
+  auto res = design_with_fallback(*chip, limit, full_cover, certify);
+  out << core::table_header() << "\n" << core::format_table_row(res) << "\n";
+  if (p.options.count("--map") != 0) {
+    out << "\n" << core::deployment_map(res.deployment);
+  }
+  if (res.convexity) {
+    out << "convexity certificate: " << (res.convexity->certified ? "CERTIFIED" : "NOT certified")
+        << " (lambda_m " << res.convexity->lambda_m << " A)\n";
+  }
+  const auto json_it = p.options.find("--json");
+  if (json_it != p.options.end()) {
+    std::ofstream jf(json_it->second);
+    if (!jf) {
+      err << "error: cannot write '" << json_it->second << "'\n";
+      return 2;
+    }
+    jf << io::design_result_to_json(res) << "\n";
+    out << "wrote " << json_it->second << "\n";
+  }
+  return res.success ? 0 : 1;
+}
+
+int cmd_table1(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const double limit = parse_double(p, "--limit", 85.0);
+  out << core::table_header() << "\n";
+  bool all_ok = true;
+  for (std::size_t idx = 0; idx <= 10; ++idx) {
+    ParsedArgs one = p;
+    one.options["--chip"] = idx == 0 ? "alpha" : ("hc" + std::to_string(idx));
+    auto chip = load_chip(one, err);
+    if (!chip) return 2;
+    auto res = design_with_fallback(*chip, limit, true, false);
+    out << core::format_table_row(res) << "\n";
+    all_ok = all_ok && res.success;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_runaway(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false);
+  if (res.deployment.empty()) {
+    err << "error: no TECs deployed; nothing to analyze\n";
+    return 1;
+  }
+  auto system = tec::ElectroThermalSystem::assemble(
+      chip->geometry, res.deployment, chip->tile_powers,
+      tec::TecDeviceParams::chowdhury_superlattice());
+  const double lm = *tec::runaway_limit(system);
+  out << "deployment: " << res.tec_count << " TECs; lambda_m = " << lm << " A\n";
+  out << "i[A], peak[degC]\n";
+  for (double f : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 0.99}) {
+    auto op = system.solve(f * lm);
+    out << f * lm << ", " << thermal::to_celsius(op->peak_tile_temperature) << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false);
+  if (res.deployment.empty()) {
+    err << "error: no TECs deployed; nothing to sweep\n";
+    return 1;
+  }
+  auto system = tec::ElectroThermalSystem::assemble(
+      chip->geometry, res.deployment, chip->tile_powers,
+      tec::TecDeviceParams::chowdhury_superlattice());
+  const double lm = *tec::runaway_limit(system);
+  const std::size_t points = parse_size(p, "--points", 25);
+  const double hi = parse_double(p, "--max-fraction", 0.95) * lm;
+  out << "current_a,peak_degc,ptec_w\n";
+  for (std::size_t s = 0; s <= points; ++s) {
+    const double i = hi * double(s) / double(points);
+    auto op = system.solve(i);
+    if (!op) break;
+    out << i << "," << thermal::to_celsius(op->peak_tile_temperature) << ","
+        << op->tec_input_power << "\n";
+  }
+  return 0;
+}
+
+int cmd_sensitivity(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false);
+  if (res.deployment.empty()) {
+    err << "error: no TECs deployed; nothing to analyze\n";
+    return 1;
+  }
+  auto rows = core::device_sensitivities(chip->geometry, chip->tile_powers,
+                                         tec::TecDeviceParams::chowdhury_superlattice(),
+                                         res.deployment);
+  out << "parameter,d_peak_per_rel,d_lambda_per_rel,d_iopt_per_rel\n";
+  for (const auto& r : rows) {
+    out << r.parameter << "," << r.peak_per_unit_relative << ","
+        << r.lambda_per_unit_relative << "," << r.current_per_unit_relative << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  thermal::PackageModelOptions opts;
+  opts.geometry = chip->geometry;
+  auto rep = thermal::validate_against_reference(opts, chip->tile_powers);
+  out << "coarse nodes: " << rep.coarse_nodes << ", reference nodes: " << rep.reference_nodes
+      << "\n";
+  out << "max |diff| = " << rep.max_abs_diff << " degC, mean |diff| = " << rep.mean_abs_diff
+      << " degC\n";
+  return rep.max_abs_diff < 1.5 ? 0 : 1;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: tfcool <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  design    solve the cooling-system configuration problem\n"
+      "  table1    reproduce the paper's Table I (all 11 benchmark chips)\n"
+      "  runaway   report lambda_m and a supply-current sweep\n"
+      "  validate  compact-model vs fine-grid agreement\n"
+      "  sweep     CSV sweep of peak temperature vs supply current\n"
+      "            (--points N, --max-fraction F of lambda_m)\n"
+      "  sensitivity  CSV of device-parameter sensitivities at the design\n"
+      "\n"
+      "chip selection (design/runaway/validate):\n"
+      "  --chip alpha|hc<N>      built-in benchmark chip (default alpha)\n"
+      "  --flp F --ptrace P      import HotSpot floorplan + power trace\n"
+      "  --rows R --cols C       tile grid for imports (default 12x12)\n"
+      "  --die-mm W              die side for imports [mm] (default 6)\n"
+      "\n"
+      "design options:\n"
+      "  --limit C               temperature limit [degC] (default 85)\n"
+      "  --map                   print the deployment tile map\n"
+      "  --json PATH             write the result as JSON\n"
+      "  --certify               run the Theorem-4 convexity certificate\n"
+      "  --no-full-cover         skip the full-cover comparison\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  auto parsed = parse(args, err);
+  if (!parsed) {
+    err << usage();
+    return 2;
+  }
+  if (parsed->command == "--help" || parsed->command == "help" ||
+      parsed->options.count("--help") != 0) {
+    out << usage();
+    return 0;
+  }
+  try {
+    if (parsed->command == "design") return cmd_design(*parsed, out, err);
+    if (parsed->command == "table1") return cmd_table1(*parsed, out, err);
+    if (parsed->command == "runaway") return cmd_runaway(*parsed, out, err);
+    if (parsed->command == "validate") return cmd_validate(*parsed, out, err);
+    if (parsed->command == "sweep") return cmd_sweep(*parsed, out, err);
+    if (parsed->command == "sensitivity") return cmd_sensitivity(*parsed, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  err << "error: unknown command '" << parsed->command << "'\n" << usage();
+  return 2;
+}
+
+}  // namespace tfc::cli

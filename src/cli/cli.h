@@ -1,0 +1,28 @@
+/// \file cli.h
+/// \brief The `tfcool` command-line interface, as a testable library.
+///
+/// Commands:
+///   design   — run Problem 1 on a built-in chip or imported HotSpot files
+///   table1   — reproduce the paper's Table I across all benchmark chips
+///   runaway  — report λ_m and a current sweep for a designed deployment
+///   validate — compact-vs-fine-grid agreement for a chip
+///
+/// `run_cli` never calls exit(); it returns the process exit code and writes
+/// human output to \p out, diagnostics to \p err — so the whole surface is
+/// unit-testable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tfc::cli {
+
+/// Execute with argv-style arguments (excluding the program name).
+/// Returns the process exit code (0 success, 1 failure, 2 usage error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// The usage text (printed on --help and usage errors).
+std::string usage();
+
+}  // namespace tfc::cli

@@ -1,0 +1,108 @@
+/// \file tile.h
+/// \brief Tile-grid primitives shared by the thermal, floorplan, and
+/// optimization layers.
+///
+/// The paper dissects the silicon layer into p×q tiles, each matching one
+/// thin-film TEC footprint; every layer of the stack (power maps, deployment
+/// sets, temperature maps) is indexed by these tiles.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tfc {
+
+/// One tile position in a row-major grid.
+struct Tile {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const Tile&, const Tile&) = default;
+  friend auto operator<=>(const Tile&, const Tile&) = default;
+};
+
+/// Boolean mask over a tile grid — used for TEC deployment sets (the paper's
+/// S_TEC) and over-limit sets (T).
+class TileMask {
+ public:
+  TileMask() = default;
+  TileMask(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), bits_(rows * cols, false) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t grid_size() const { return rows_ * cols_; }
+
+  bool test(Tile t) const { return bits_[index(t)]; }
+  bool test(std::size_t row, std::size_t col) const { return test(Tile{row, col}); }
+
+  void set(Tile t, bool value = true) { bits_[index(t)] = value; }
+  void set(std::size_t row, std::size_t col, bool value = true) {
+    set(Tile{row, col}, value);
+  }
+
+  /// Number of set tiles.
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (bool b : bits_) n += b ? 1 : 0;
+    return n;
+  }
+
+  bool empty() const { return count() == 0; }
+
+  /// Row-major list of set tiles.
+  std::vector<Tile> tiles() const {
+    std::vector<Tile> out;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (bits_[r * cols_ + c]) out.push_back({r, c});
+      }
+    }
+    return out;
+  }
+
+  /// Set-union with another mask of identical shape.
+  TileMask& operator|=(const TileMask& other) {
+    require_same_shape(other);
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      bits_[i] = bits_[i] || other.bits_[i];
+    }
+    return *this;
+  }
+
+  /// True iff every set tile of *this is also set in \p other (⊆).
+  bool subset_of(const TileMask& other) const {
+    require_same_shape(other);
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i] && !other.bits_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Mask with every tile set.
+  static TileMask full(std::size_t rows, std::size_t cols) {
+    TileMask m(rows, cols);
+    for (std::size_t i = 0; i < m.bits_.size(); ++i) m.bits_[i] = true;
+    return m;
+  }
+
+  friend bool operator==(const TileMask&, const TileMask&) = default;
+
+ private:
+  std::size_t index(Tile t) const {
+    if (t.row >= rows_ || t.col >= cols_) throw std::out_of_range("TileMask: tile out of range");
+    return t.row * cols_ + t.col;
+  }
+  void require_same_shape(const TileMask& other) const {
+    if (rows_ != other.rows_ || cols_ != other.cols_) {
+      throw std::invalid_argument("TileMask: shape mismatch");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<bool> bits_;
+};
+
+}  // namespace tfc

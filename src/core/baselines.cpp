@@ -1,0 +1,62 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tfc::core {
+
+namespace {
+
+BaselineResult run_with_deployment(const thermal::PackageGeometry& geometry,
+                                   const linalg::Vector& tile_powers,
+                                   const tec::TecDeviceParams& device,
+                                   TileMask deployment,
+                                   const CurrentOptimizerOptions& options) {
+  auto system =
+      tec::ElectroThermalSystem::assemble(geometry, deployment, tile_powers, device);
+  BaselineResult res;
+  res.deployment = std::move(deployment);
+  res.optimum = optimize_current(system, options);
+  res.min_peak_temperature = res.optimum.peak_tile_temperature;
+  return res;
+}
+
+}  // namespace
+
+BaselineResult full_cover(const thermal::PackageGeometry& geometry,
+                          const linalg::Vector& tile_powers,
+                          const tec::TecDeviceParams& device,
+                          const CurrentOptimizerOptions& options) {
+  return run_with_deployment(geometry, tile_powers, device,
+                             TileMask::full(geometry.tile_rows, geometry.tile_cols),
+                             options);
+}
+
+BaselineResult threshold_cover(const thermal::PackageGeometry& geometry,
+                               const linalg::Vector& tile_powers,
+                               const tec::TecDeviceParams& device, std::size_t k,
+                               const CurrentOptimizerOptions& options) {
+  if (k == 0 || k > geometry.tile_count()) {
+    throw std::invalid_argument("threshold_cover: k must be in [1, tile_count]");
+  }
+  // Rank tiles by passive steady-state temperature.
+  auto passive =
+      tec::ElectroThermalSystem::assemble(geometry, TileMask(), tile_powers, device);
+  auto op = passive.solve(0.0);
+  if (!op) throw std::runtime_error("threshold_cover: passive model not solvable");
+
+  std::vector<std::size_t> order(geometry.tile_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return op->tile_temperatures[a] > op->tile_temperatures[b];
+  });
+
+  TileMask mask(geometry.tile_rows, geometry.tile_cols);
+  for (std::size_t j = 0; j < k; ++j) {
+    mask.set(order[j] / geometry.tile_cols, order[j] % geometry.tile_cols);
+  }
+  return run_with_deployment(geometry, tile_powers, device, std::move(mask), options);
+}
+
+}  // namespace tfc::core

@@ -1,0 +1,37 @@
+/// \file baselines.h
+/// \brief Deployment baselines the paper compares GreedyDeploy against.
+///
+/// "Full cover" (Section VI.A): a TEC on every tile, current set by the same
+/// Problem-2 subroutine. The paper's SwingLoss column is the gap between the
+/// full-cover optimum and the greedy optimum — excessive deployment heats the
+/// package with its own supply power. "Threshold-k" is an additional ablation:
+/// cover the k hottest tiles of the passive solution.
+#pragma once
+
+#include "core/current_optimizer.h"
+#include "tec/device.h"
+#include "thermal/package.h"
+
+namespace tfc::core {
+
+/// Result of a fixed-deployment baseline.
+struct BaselineResult {
+  TileMask deployment;
+  CurrentOptimum optimum;
+  /// min over i of the peak tile temperature [K] (Table I's "minθpeak").
+  double min_peak_temperature = 0.0;
+};
+
+/// TEC on every tile; current optimized (Table I "Full Cover").
+BaselineResult full_cover(const thermal::PackageGeometry& geometry,
+                          const linalg::Vector& tile_powers,
+                          const tec::TecDeviceParams& device,
+                          const CurrentOptimizerOptions& options = {});
+
+/// TEC on the k hottest tiles of the passive steady state; current optimized.
+BaselineResult threshold_cover(const thermal::PackageGeometry& geometry,
+                               const linalg::Vector& tile_powers,
+                               const tec::TecDeviceParams& device, std::size_t k,
+                               const CurrentOptimizerOptions& options = {});
+
+}  // namespace tfc::core

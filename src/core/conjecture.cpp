@@ -1,0 +1,38 @@
+#include "core/conjecture.h"
+
+#include <random>
+
+#include "linalg/random_stieltjes.h"
+
+namespace tfc::core {
+
+ConjectureCampaignReport run_conjecture_campaign(
+    const ConjectureCampaignOptions& options) {
+  ConjectureCampaignReport report;
+  std::mt19937_64 rng(options.seed);
+
+  const auto check = [&](const linalg::DenseMatrix& s) {
+    auto res = linalg::check_conjecture1(s, options.pair_budget);
+    ++report.matrices_checked;
+    const std::size_t n = s.rows();
+    report.pairs_checked_at_least +=
+        options.pair_budget == 0 ? n * n : std::min(options.pair_budget, n * n);
+    if (!res.holds) {
+      ++report.violations;
+      if (report.violations == 1) {
+        report.violating_size = n;
+        report.min_eigenvalue_seen = res.min_eigenvalue;
+      }
+    }
+  };
+
+  for (std::size_t n : options.sizes) {
+    for (std::size_t rep = 0; rep < options.matrices_per_size; ++rep) {
+      check(linalg::random_pd_stieltjes(n, rng));
+      check(linalg::random_grounded_laplacian(n, 1 + n / 6, rng));
+    }
+  }
+  return report;
+}
+
+}  // namespace tfc::core

@@ -1,0 +1,90 @@
+#include "core/convexity.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/response.h"
+#include "tec/runaway.h"
+
+namespace tfc::core {
+
+ConvexityCertificate certify_convexity(const tec::ElectroThermalSystem& system,
+                                       const ConvexityOptions& options) {
+  if (system.device_count() == 0) {
+    throw std::invalid_argument("certify_convexity: system has no TEC devices");
+  }
+  if (options.subintervals == 0 || options.samples_per_interval < 2 ||
+      !(options.lambda_fraction > 0.0 && options.lambda_fraction < 1.0)) {
+    throw std::invalid_argument("certify_convexity: bad options");
+  }
+
+  auto lm = tec::runaway_limit(system);
+  if (!lm) {
+    throw std::runtime_error("certify_convexity: no finite runaway limit");
+  }
+
+  ConvexityCertificate cert;
+  cert.lambda_m = *lm;
+  cert.certified = true;
+  cert.min_functional = std::numeric_limits<double>::infinity();
+
+  const auto& model = system.model();
+  const double r = system.device().resistance;
+  const double hi = options.lambda_fraction * *lm;
+  const double dt = hi / double(options.subintervals);
+
+  // Silicon injection-slab node sets per tile (tile functional = mean of its
+  // subtile nodes).
+  const std::size_t rows = model.geometry().tile_rows;
+  const std::size_t cols = model.geometry().tile_cols;
+  std::vector<std::vector<std::size_t>> tile_nodes(rows * cols);
+  for (std::size_t t = 0; t < rows * cols; ++t) {
+    tile_nodes[t] = model.silicon_tile_nodes({t / cols, t % cols});
+  }
+
+  const auto tile_reduce = [&](const linalg::Vector& node_values, std::size_t t) {
+    double acc = 0.0;
+    for (std::size_t node : tile_nodes[t]) acc += node_values[node];
+    return acc / double(tile_nodes[t].size());
+  };
+
+  for (std::size_t seg = 0; seg < options.subintervals; ++seg) {
+    const double it_lo = double(seg) * dt;
+    const double it_hi = it_lo + dt;
+
+    // η′(i_t): the constant lower bound of η′ on the subinterval.
+    auto eval_lo = ResponseEvaluator::at(system, it_lo);
+    if (!eval_lo) throw std::runtime_error("certify_convexity: factorization failed");
+    ResponseSample lo = eval_lo->sample();
+    cert.solves += 3;
+
+    for (std::size_t s = 0; s < options.samples_per_interval; ++s) {
+      const double i = it_lo + (it_hi - it_lo) * double(s) /
+                                   double(options.samples_per_interval - 1);
+      linalg::Vector eta_i;
+      if (s == 0) {
+        eta_i = lo.eta;
+      } else {
+        // Only η(i) is needed at interior samples: one factorization + solve.
+        auto eval = ResponseEvaluator::at(system, i);
+        if (!eval) throw std::runtime_error("certify_convexity: factorization failed");
+        eta_i = eval->eta();
+        cert.solves += 1;
+      }
+
+      for (std::size_t t = 0; t < rows * cols; ++t) {
+        const double phi =
+            r * tile_reduce(eta_i, t) + r * tile_reduce(lo.eta_prime, t) * i;
+        if (phi < cert.min_functional) {
+          cert.min_functional = phi;
+          cert.worst_tile = t;
+          cert.worst_current = i;
+        }
+        if (phi < 0.0) cert.certified = false;
+      }
+    }
+  }
+  return cert;
+}
+
+}  // namespace tfc::core

@@ -1,0 +1,78 @@
+#include "core/cooling_system.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tfc::core {
+
+DesignResult design_cooling_system(const DesignRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  DesignResult res;
+  res.chip_name = request.chip_name;
+  res.theta_limit_celsius = request.theta_limit_celsius;
+
+  GreedyDeployOptions greedy = request.greedy;
+  greedy.theta_max = thermal::to_kelvin(request.theta_limit_celsius);
+
+  GreedyDeployResult g =
+      greedy_deploy(request.geometry, request.tile_powers, request.device, greedy);
+  res.success = g.success;
+  res.deployment = g.deployment;
+  res.tec_count = g.deployment.count();
+  res.current = g.current;
+  res.tec_power = g.tec_input_power;
+  res.peak_no_tec_celsius = thermal::to_celsius(g.peak_without_tec);
+  res.peak_greedy_celsius = thermal::to_celsius(g.peak_tile_temperature);
+  res.lambda_m = g.lambda_m;
+  res.greedy_iterations = g.iterations.size();
+
+  if (request.run_full_cover) {
+    BaselineResult fc = full_cover(request.geometry, request.tile_powers, request.device,
+                                   request.greedy.current);
+    res.full_cover_min_peak_celsius = thermal::to_celsius(fc.min_peak_temperature);
+    res.full_cover_current = fc.optimum.current;
+    res.full_cover_power = fc.optimum.tec_input_power;
+    res.swing_loss_celsius = res.full_cover_min_peak_celsius - res.peak_greedy_celsius;
+  }
+
+  if (request.run_convexity_certificate && res.tec_count > 0) {
+    auto system = tec::ElectroThermalSystem::assemble(request.geometry, res.deployment,
+                                                      request.tile_powers, request.device);
+    res.convexity = certify_convexity(system);
+  }
+
+  res.runtime_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return res;
+}
+
+std::string deployment_map(const TileMask& deployment) {
+  std::string out;
+  out.reserve((deployment.cols() + 1) * deployment.rows());
+  for (std::size_t r = 0; r < deployment.rows(); ++r) {
+    for (std::size_t c = 0; c < deployment.cols(); ++c) {
+      out += deployment.test(r, c) ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string table_header() {
+  return "chip     θpeak(noTEC)  θlimit  #TECs  Iopt[A]  PTEC[W]  minθpeak(full)  "
+         "SwingLoss  status";
+}
+
+std::string format_table_row(const DesignResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-8s %9.1f %9.0f %6zu %8.2f %8.2f %12.1f %10.1f  %s",
+                r.chip_name.c_str(), r.peak_no_tec_celsius, r.theta_limit_celsius,
+                r.tec_count, r.current, r.tec_power, r.full_cover_min_peak_celsius,
+                r.swing_loss_celsius, r.success ? "ok" : "FAILED");
+  return buf;
+}
+
+}  // namespace tfc::core

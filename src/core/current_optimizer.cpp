@@ -1,0 +1,149 @@
+#include "core/current_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/response.h"
+#include "linalg/minimize.h"
+
+namespace tfc::core {
+
+namespace {
+
+/// Objective: peak silicon tile temperature at current i; +∞ past λ_m.
+double objective(const tec::ElectroThermalSystem& system, double i,
+                 std::size_t& evals, tec::OperatingPoint* op_out = nullptr) {
+  ++evals;
+  auto op = system.solve(i);
+  if (!op) return std::numeric_limits<double>::infinity();
+  if (op_out != nullptr) *op_out = *op;
+  return op->peak_tile_temperature;
+}
+
+CurrentOptimum scalar_search(const tec::ElectroThermalSystem& system, double hi,
+                             const CurrentOptimizerOptions& options,
+                             linalg::ScalarMethod method) {
+  CurrentOptimum res;
+  linalg::MinimizeOptions mo;
+  mo.method = method;
+  mo.x_tol = options.current_tol;
+  mo.max_evaluations = options.max_iterations;
+  auto r = linalg::minimize_scalar(
+      [&](double i) { return objective(system, i, res.objective_evaluations); }, 0.0,
+      hi, mo);
+  res.current = r.x;
+  res.converged = r.converged;
+  return res;
+}
+
+CurrentOptimum gradient_descent(const tec::ElectroThermalSystem& system, double hi,
+                                const CurrentOptimizerOptions& options) {
+  CurrentOptimum res;
+  double i = 0.0;
+  double f = objective(system, i, res.objective_evaluations);
+  double step = options.initial_step;
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    auto eval = ResponseEvaluator::at(system, i);
+    if (!eval) break;  // should not happen inside [0, hi]
+    // Subgradient of max_k θ_k at the hottest tile.
+    linalg::Vector th = eval->theta();
+    linalg::Vector tile = system.model().tile_temperatures(th);
+    const std::size_t k_star = linalg::argmax(tile);
+    linalg::Vector dth = eval->theta_derivative();
+    // Tile temperature is the mean of its subtile nodes.
+    double grad = 0.0;
+    {
+      const auto nodes = system.model().silicon_tile_nodes(
+          {k_star / system.model().geometry().tile_cols,
+           k_star % system.model().geometry().tile_cols});
+      for (std::size_t node : nodes) grad += dth[node];
+      grad /= double(nodes.size());
+    }
+    if (std::abs(grad) * std::max(1.0, step) < 1e-9) {
+      res.converged = true;
+      break;
+    }
+    // Backtracking line search along -grad, projected onto [0, hi].
+    bool moved = false;
+    double trial_step = step;
+    while (trial_step > 1e-7) {
+      double i_new = std::clamp(i - trial_step * grad, 0.0, hi);
+      if (i_new != i) {
+        const double f_new = objective(system, i_new, res.objective_evaluations);
+        if (f_new < f) {
+          i = i_new;
+          f = f_new;
+          step = trial_step * 1.5;  // allow re-growth
+          moved = true;
+          break;
+        }
+      }
+      trial_step *= options.backtrack_ratio;
+    }
+    if (!moved) {
+      res.converged = true;
+      break;
+    }
+    if (it + 1 == options.max_iterations) res.converged = false;
+  }
+  res.current = i;
+  return res;
+}
+
+}  // namespace
+
+CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
+                                const CurrentOptimizerOptions& options) {
+  CurrentOptimum res;
+
+  if (system.device_count() == 0) {
+    // No devices: current has no effect; report the passive solution.
+    auto op = system.solve(0.0);
+    if (!op) throw std::runtime_error("optimize_current: passive system not solvable");
+    res.current = 0.0;
+    res.converged = true;
+    res.operating_point = *op;
+    res.peak_tile_temperature = op->peak_tile_temperature;
+    res.tec_input_power = 0.0;
+    res.objective_evaluations = 1;
+    return res;
+  }
+
+  res.lambda_m = tec::runaway_limit(system, options.runaway);
+  // Search interval: up to just below λ_m; without a finite λ_m fall back to
+  // a generous multiple of the single-device optimal pumping current.
+  const double hi = res.lambda_m
+                        ? options.runaway_fraction * *res.lambda_m
+                        : 4.0 * system.device().max_pumping_current(
+                                    system.model().geometry().ambient + 60.0);
+
+  CurrentOptimum inner;
+  switch (options.method) {
+    case CurrentMethod::kGoldenSection:
+      inner = scalar_search(system, hi, options, linalg::ScalarMethod::kGoldenSection);
+      break;
+    case CurrentMethod::kBrent:
+      inner = scalar_search(system, hi, options, linalg::ScalarMethod::kBrent);
+      break;
+    case CurrentMethod::kGradientDescent:
+      inner = gradient_descent(system, hi, options);
+      break;
+  }
+
+  res.current = inner.current;
+  res.converged = inner.converged;
+  res.objective_evaluations = inner.objective_evaluations;
+
+  auto op = system.solve(res.current);
+  if (!op) throw std::runtime_error("optimize_current: optimum not solvable");
+  ++res.objective_evaluations;
+  res.operating_point = *op;
+  res.peak_tile_temperature = op->peak_tile_temperature;
+  res.tec_input_power = op->tec_input_power;
+  return res;
+}
+
+}  // namespace tfc::core

@@ -1,0 +1,59 @@
+/// \file current_optimizer.h
+/// \brief Problem 2 — peak tile temperature minimization over the supply
+/// current (Section V.C):  minimize max_{k∈SIL} θ_k(i)  s.t.  (G−iD)θ = p(i),
+/// 0 ≤ i < λ_m.
+///
+/// Under Conjecture 1 the objective is convex on [0, λ_m) (Theorem 3 + the
+/// Theorem 4 certificate), so both solvers find the global optimum:
+///  - golden-section search (robust, derivative-free, exact for unimodal
+///    objectives), and
+///  - the paper's gradient descent with backtracking, using the analytic
+///    subgradient dθ_{k*}/di at the hottest tile.
+#pragma once
+
+#include <optional>
+
+#include "tec/electro_thermal.h"
+#include "tec/runaway.h"
+
+namespace tfc::core {
+
+/// Optimization method.
+enum class CurrentMethod {
+  kGoldenSection,
+  kBrent,  ///< golden + parabolic interpolation: fewer solves, same optimum
+  kGradientDescent,
+};
+
+struct CurrentOptimizerOptions {
+  CurrentMethod method = CurrentMethod::kGoldenSection;
+  /// Search interval is [0, runaway_fraction · λ_m].
+  double runaway_fraction = 0.999;
+  /// Absolute tolerance on the current [A].
+  double current_tol = 1e-4;
+  std::size_t max_iterations = 200;
+  /// Gradient-descent knobs.
+  double initial_step = 1.0;     ///< [A]
+  double backtrack_ratio = 0.5;
+  /// λ_m computation.
+  tec::RunawayOptions runaway;
+};
+
+/// Result of the current setting subroutine.
+struct CurrentOptimum {
+  double current = 0.0;                 ///< I_opt [A]
+  double peak_tile_temperature = 0.0;   ///< minimized objective [K]
+  double tec_input_power = 0.0;         ///< P_TEC at I_opt [W]
+  std::optional<double> lambda_m;       ///< runaway limit (nullopt: none)
+  std::size_t objective_evaluations = 0;
+  bool converged = false;
+  tec::OperatingPoint operating_point;  ///< full solution at I_opt
+};
+
+/// Solve Problem 2 for a fixed deployment. For a system without TECs the
+/// optimum is trivially i = 0. Throws std::runtime_error if the passive
+/// system (i = 0) cannot be solved.
+CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
+                                const CurrentOptimizerOptions& options = {});
+
+}  // namespace tfc::core

@@ -1,0 +1,50 @@
+/// \file dtm.h
+/// \brief Dynamic thermal management co-study (extension; the paper's
+/// introduction motivates active cooling by its synergy with
+/// "architecture-level thermal management mechanisms").
+///
+/// A steady-state abstraction of DVFS-style throttling: while the peak tile
+/// temperature exceeds the limit, scale down the power of the unit owning
+/// the hottest tile. The retained power-weighted activity is the performance
+/// proxy. Running the same controller with and without a TEC deployment
+/// quantifies how much throttling the active cooling system avoids.
+#pragma once
+
+#include "common/tile.h"
+#include "floorplan/floorplan.h"
+#include "tec/device.h"
+#include "thermal/package.h"
+
+namespace tfc::core {
+
+struct DtmOptions {
+  /// Temperature limit the controller enforces [K].
+  double theta_limit = thermal::to_kelvin(85.0);
+  /// Multiplicative throttle per round on the offending unit.
+  double scale_step = 0.05;
+  /// Floor on any unit's scale (a unit cannot be gated off completely).
+  double min_scale = 0.2;
+  std::size_t max_rounds = 400;
+};
+
+struct DtmResult {
+  /// Final per-unit activity scales in [min_scale, 1].
+  std::vector<double> unit_scales;
+  /// Power-weighted retained activity: Σ scale_u·p_u / Σ p_u ∈ [0, 1].
+  double performance = 0.0;
+  /// Final peak tile temperature [K].
+  double peak = 0.0;
+  std::size_t rounds = 0;
+  /// True iff the limit was met before every unit hit the floor.
+  bool met_limit = false;
+};
+
+/// Run the throttling controller on a chip, optionally with TEC devices on
+/// \p deployment driven at \p current (pass an empty mask and 0 for the
+/// passive baseline).
+DtmResult simulate_dtm(const floorplan::Floorplan& plan,
+                       const thermal::PackageGeometry& geometry,
+                       const tec::TecDeviceParams& device, const TileMask& deployment,
+                       double current, const DtmOptions& options = {});
+
+}  // namespace tfc::core

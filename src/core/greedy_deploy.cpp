@@ -1,0 +1,98 @@
+#include "core/greedy_deploy.h"
+
+#include <stdexcept>
+
+namespace tfc::core {
+
+namespace {
+
+/// Tiles whose temperature exceeds theta_max (the set T of Figure 5).
+TileMask over_limit_tiles(const linalg::Vector& tile_temps, std::size_t rows,
+                          std::size_t cols, double theta_max) {
+  TileMask t(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (tile_temps[r * cols + c] > theta_max) t.set(r, c);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
+                                 const linalg::Vector& tile_powers,
+                                 const tec::TecDeviceParams& device,
+                                 const GreedyDeployOptions& options) {
+  device.validate();
+  if (options.coverage_margin < 0.0) {
+    throw std::invalid_argument("greedy_deploy: negative coverage_margin");
+  }
+  GreedyDeployResult result;
+  result.deployment = TileMask(geometry.tile_rows, geometry.tile_cols);
+
+  // Line 3-4: solve G·θ = p (no TECs) and collect the over-limit set T.
+  auto passive =
+      tec::ElectroThermalSystem::assemble(geometry, TileMask(), tile_powers, device);
+  auto passive_op = passive.solve(0.0);
+  if (!passive_op) throw std::runtime_error("greedy_deploy: passive model not solvable");
+  result.peak_without_tec = passive_op->peak_tile_temperature;
+  result.peak_tile_temperature = passive_op->peak_tile_temperature;
+
+  TileMask over = over_limit_tiles(passive_op->tile_temperatures, geometry.tile_rows,
+                                   geometry.tile_cols, options.theta_max);
+  if (over.empty()) {
+    // Already within limits: the empty deployment is proper.
+    result.success = true;
+    return result;
+  }
+  // Coverage set: with a margin, grow over tiles that are merely *near* the
+  // limit as well (margin = 0 reproduces Figure 5 exactly).
+  TileMask cover = options.coverage_margin > 0.0
+                       ? over_limit_tiles(passive_op->tile_temperatures,
+                                          geometry.tile_rows, geometry.tile_cols,
+                                          options.theta_max - options.coverage_margin)
+                       : over;
+
+  // Lines 6-15: the greedy loop.
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    result.deployment |= cover;  // Line 7: S_TEC ∪= T
+
+    auto system = tec::ElectroThermalSystem::assemble(geometry, result.deployment,
+                                                      tile_powers, device);
+    // Line 8: find i_opt minimizing the peak tile temperature.
+    CurrentOptimum opt = optimize_current(system, options.current);
+
+    result.current = opt.current;
+    result.peak_tile_temperature = opt.peak_tile_temperature;
+    result.tec_input_power = opt.tec_input_power;
+    result.lambda_m = opt.lambda_m;
+
+    // Lines 9-10: re-solve and recollect T.
+    over = over_limit_tiles(opt.operating_point.tile_temperatures, geometry.tile_rows,
+                            geometry.tile_cols, options.theta_max);
+    cover = options.coverage_margin > 0.0
+                ? over_limit_tiles(opt.operating_point.tile_temperatures,
+                                   geometry.tile_rows, geometry.tile_cols,
+                                   options.theta_max - options.coverage_margin)
+                : over;
+
+    result.iterations.push_back({result.deployment.count(), over.count(), opt.current,
+                                 opt.peak_tile_temperature});
+
+    if (over.empty()) {  // Lines 11-12
+      result.success = true;
+      return result;
+    }
+    // Lines 13-14 (with cover == over when margin is 0, i.e. the paper's
+    // exact test): no tile left to add ⇒ no proper deployment exists.
+    if (cover.subset_of(result.deployment)) {
+      result.success = false;
+      return result;
+    }
+  }
+  result.success = false;
+  return result;
+}
+
+}  // namespace tfc::core

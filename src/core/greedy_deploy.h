@@ -1,0 +1,68 @@
+/// \file greedy_deploy.h
+/// \brief Problem 1 — the GreedyDeploy algorithm of Figure 5.
+///
+/// Iteratively covers every tile whose steady-state temperature exceeds the
+/// allowed maximum with a TEC device, re-optimizing the shared supply current
+/// (Problem 2) after each extension. Succeeds when no tile is over the limit;
+/// fails when every over-limit tile is already covered (adding devices can
+/// only inject more heat).
+#pragma once
+
+#include <vector>
+
+#include "common/tile.h"
+#include "core/current_optimizer.h"
+#include "tec/device.h"
+#include "thermal/package.h"
+
+namespace tfc::core {
+
+struct GreedyDeployOptions {
+  /// Maximum allowable silicon tile temperature θ_max [K].
+  double theta_max = thermal::to_kelvin(85.0);
+  /// Safety cap on iterations (the loop also terminates by its own logic).
+  std::size_t max_iterations = 64;
+  /// Extension knob (paper value: 0): also cover tiles within this margin
+  /// *below* the limit on each iteration. A small margin pre-empts the
+  /// next iteration's growth (TEC supply heat pushes near-limit neighbours
+  /// over) at the cost of extra devices — ablated in
+  /// bench_ablate_deployment.
+  double coverage_margin = 0.0;
+  CurrentOptimizerOptions current;
+};
+
+/// One loop iteration, for reporting/analysis.
+struct GreedyIteration {
+  std::size_t tecs_deployed = 0;
+  std::size_t tiles_over_limit = 0;
+  double current = 0.0;
+  double peak_tile_temperature = 0.0;  ///< [K] after current optimization
+};
+
+/// Outcome of GreedyDeploy.
+struct GreedyDeployResult {
+  /// True iff a deployment meeting θ_max was found (Figure 5 return value).
+  bool success = false;
+  /// Final TEC deployment (S_TEC).
+  TileMask deployment;
+  /// Optimal shared supply current for the final deployment [A].
+  double current = 0.0;
+  /// Peak tile temperature of the final configuration [K].
+  double peak_tile_temperature = 0.0;
+  /// Peak tile temperature without any TEC [K] (Table I's first column).
+  double peak_without_tec = 0.0;
+  /// TEC electrical input power at the final operating point [W].
+  double tec_input_power = 0.0;
+  /// Runaway limit of the final deployment [A].
+  std::optional<double> lambda_m;
+  std::vector<GreedyIteration> iterations;
+};
+
+/// Run Figure 5 on the given chip. \p tile_powers is the worst-case per-tile
+/// power map [W], row-major over geometry's tile grid.
+GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
+                                 const linalg::Vector& tile_powers,
+                                 const tec::TecDeviceParams& device,
+                                 const GreedyDeployOptions& options = {});
+
+}  // namespace tfc::core

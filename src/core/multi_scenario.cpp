@@ -1,0 +1,181 @@
+#include "core/multi_scenario.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/sparse_cholesky.h"
+#include "tec/runaway.h"
+
+namespace tfc::core {
+
+namespace {
+
+/// Fixed deployment, multiple scenarios: evaluate per-scenario tile
+/// temperatures at a current by factoring once and solving per RHS.
+class ScenarioEvaluator {
+ public:
+  ScenarioEvaluator(const thermal::PackageGeometry& geometry, const TileMask& deployment,
+                    const std::vector<linalg::Vector>& scenarios,
+                    const tec::TecDeviceParams& device)
+      : scenarios_(&scenarios),
+        system_(tec::ElectroThermalSystem::assemble(geometry, deployment, scenarios[0],
+                                                    device)) {
+    const auto& model = system_.model();
+    const std::size_t rows = geometry.tile_rows;
+    const std::size_t cols = geometry.tile_cols;
+    tile_nodes_.resize(rows * cols);
+    for (std::size_t t = 0; t < rows * cols; ++t) {
+      tile_nodes_[t] = model.silicon_tile_nodes({t / cols, t % cols});
+    }
+    ambient_rhs_ = linalg::Vector(model.node_count());
+    const double ambient = geometry.ambient;
+    for (std::size_t k = 0; k < model.node_count(); ++k) {
+      const double g = model.network().ambient_conductance(k);
+      if (g > 0.0) ambient_rhs_[k] = g * ambient;
+    }
+  }
+
+  const tec::ElectroThermalSystem& system() const { return system_; }
+
+  /// Per-scenario tile temperature vectors at current i; nullopt past λ_m.
+  std::optional<std::vector<linalg::Vector>> tile_temps(double i) const {
+    if (i < 0.0) return std::nullopt;
+    auto factor = linalg::SparseCholeskyFactor::factor(system_.system_matrix(i));
+    if (!factor) return std::nullopt;
+
+    const double joule = 0.5 * system_.device().resistance * i * i;
+    const std::size_t f2 =
+        system_.model().refine() * system_.model().refine();
+    std::vector<linalg::Vector> out;
+    out.reserve(scenarios_->size());
+    for (const auto& powers : *scenarios_) {
+      linalg::Vector rhs = ambient_rhs_;
+      for (std::size_t t = 0; t < tile_nodes_.size(); ++t) {
+        const double share = powers[t] / double(f2);
+        for (std::size_t node : tile_nodes_[t]) rhs[node] += share;
+      }
+      for (std::size_t hot : system_.model().hot_nodes()) rhs[hot] += joule;
+      for (std::size_t cold : system_.model().cold_nodes()) rhs[cold] += joule;
+      out.push_back(system_.model().tile_temperatures(factor->solve(rhs)));
+    }
+    return out;
+  }
+
+  /// Worst peak over scenarios at current i; +inf past λ_m.
+  double worst_peak(double i) const {
+    auto temps = tile_temps(i);
+    if (!temps) return std::numeric_limits<double>::infinity();
+    double peak = 0.0;
+    for (const auto& t : *temps) peak = std::max(peak, linalg::max_entry(t));
+    return peak;
+  }
+
+ private:
+  const std::vector<linalg::Vector>* scenarios_;
+  tec::ElectroThermalSystem system_;
+  std::vector<std::vector<std::size_t>> tile_nodes_;
+  linalg::Vector ambient_rhs_;
+};
+
+TileMask union_over_limit(const std::vector<linalg::Vector>& tile_temps,
+                          std::size_t rows, std::size_t cols, double theta_max) {
+  TileMask mask(rows, cols);
+  for (const auto& temps : tile_temps) {
+    for (std::size_t t = 0; t < rows * cols; ++t) {
+      if (temps[t] > theta_max) mask.set(t / cols, t % cols);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+MultiScenarioResult greedy_deploy_multi(const thermal::PackageGeometry& geometry,
+                                        const std::vector<linalg::Vector>& scenarios,
+                                        const tec::TecDeviceParams& device,
+                                        const GreedyDeployOptions& options) {
+  if (scenarios.empty()) {
+    throw std::invalid_argument("greedy_deploy_multi: no scenarios");
+  }
+  for (const auto& s : scenarios) {
+    if (s.size() != geometry.tile_count()) {
+      throw std::invalid_argument("greedy_deploy_multi: scenario size mismatch");
+    }
+  }
+  device.validate();
+
+  MultiScenarioResult result;
+  result.deployment = TileMask(geometry.tile_rows, geometry.tile_cols);
+
+  // Passive worst case over all scenarios.
+  ScenarioEvaluator passive(geometry, TileMask(), scenarios, device);
+  auto temps0 = passive.tile_temps(0.0);
+  if (!temps0) throw std::runtime_error("greedy_deploy_multi: passive solve failed");
+  result.peak_without_tec = passive.worst_peak(0.0);
+  result.peak_tile_temperature = result.peak_without_tec;
+
+  TileMask over = union_over_limit(*temps0, geometry.tile_rows, geometry.tile_cols,
+                                   options.theta_max);
+  if (over.empty()) {
+    result.success = true;
+    result.scenario_peaks.reserve(scenarios.size());
+    for (const auto& t : *temps0) result.scenario_peaks.push_back(linalg::max_entry(t));
+    return result;
+  }
+
+  constexpr double kInvPhi = 0.6180339887498949;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    result.deployment |= over;
+    ++result.iterations;
+
+    ScenarioEvaluator eval(geometry, result.deployment, scenarios, device);
+    result.lambda_m = tec::runaway_limit(eval.system(), options.current.runaway);
+    const double hi = result.lambda_m
+                          ? options.current.runaway_fraction * *result.lambda_m
+                          : 40.0;
+
+    // Golden-section on the worst-scenario peak (max of convex).
+    double a = 0.0, b = hi;
+    double x1 = b - kInvPhi * (b - a), x2 = a + kInvPhi * (b - a);
+    double f1 = eval.worst_peak(x1), f2 = eval.worst_peak(x2);
+    while (b - a > options.current.current_tol) {
+      if (f1 <= f2) {
+        b = x2;
+        x2 = x1;
+        f2 = f1;
+        x1 = b - kInvPhi * (b - a);
+        f1 = eval.worst_peak(x1);
+      } else {
+        a = x1;
+        x1 = x2;
+        f1 = f2;
+        x2 = a + kInvPhi * (b - a);
+        f2 = eval.worst_peak(x2);
+      }
+    }
+    result.current = 0.5 * (a + b);
+
+    auto temps = eval.tile_temps(result.current);
+    if (!temps) throw std::runtime_error("greedy_deploy_multi: optimum not solvable");
+    result.scenario_peaks.clear();
+    for (const auto& t : *temps) result.scenario_peaks.push_back(linalg::max_entry(t));
+    result.peak_tile_temperature =
+        *std::max_element(result.scenario_peaks.begin(), result.scenario_peaks.end());
+
+    over = union_over_limit(*temps, geometry.tile_rows, geometry.tile_cols,
+                            options.theta_max);
+    if (over.empty()) {
+      result.success = true;
+      return result;
+    }
+    if (over.subset_of(result.deployment)) {
+      result.success = false;
+      return result;
+    }
+  }
+  result.success = false;
+  return result;
+}
+
+}  // namespace tfc::core

@@ -1,0 +1,103 @@
+#include "core/on_demand.h"
+
+#include <stdexcept>
+
+#include "thermal/steady_state.h"
+#include "thermal/transient.h"
+
+namespace tfc::core {
+
+OnDemandResult simulate_on_demand(
+    const tec::ElectroThermalSystem& system,
+    const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
+    const OnDemandOptions& options) {
+  if (system.device_count() == 0) {
+    throw std::invalid_argument("simulate_on_demand: system has no TECs");
+  }
+  if (!(options.theta_off < options.theta_on)) {
+    throw std::invalid_argument("simulate_on_demand: need theta_off < theta_on");
+  }
+  if (!(options.on_current > 0.0) || options.steps == 0 || !(options.dt > 0.0)) {
+    throw std::invalid_argument("simulate_on_demand: bad drive/time options");
+  }
+
+  const auto& model = system.model();
+  const auto& net = model.network();
+  const std::size_t n = model.node_count();
+  const double ambient = model.geometry().ambient;
+  const double i_on = options.on_current;
+
+  // Two fixed-topology integrators: TECs off (G) and on (G − i_on·D).
+  const auto cap = net.capacitance_vector();
+  thermal::TransientSolver off_stepper(system.system_matrix(0.0), cap, options.dt);
+  thermal::TransientSolver on_stepper(system.system_matrix(i_on), cap, options.dt);
+
+  // Precompute the per-tile silicon node lists and static RHS pieces.
+  const std::size_t rows = model.geometry().tile_rows;
+  const std::size_t cols = model.geometry().tile_cols;
+  const std::size_t f2 = model.refine() * model.refine();
+  std::vector<std::vector<std::size_t>> tile_nodes(rows * cols);
+  for (std::size_t t = 0; t < rows * cols; ++t) {
+    tile_nodes[t] = model.silicon_tile_nodes({t / cols, t % cols});
+  }
+  linalg::Vector ambient_rhs(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g = net.ambient_conductance(k);
+    if (g > 0.0) ambient_rhs[k] = g * ambient;
+  }
+  const double joule = 0.5 * system.device().resistance * i_on * i_on;
+
+  const auto rhs_for = [&](const linalg::Vector& tile_powers, bool on) {
+    if (tile_powers.size() != rows * cols) {
+      throw std::invalid_argument("simulate_on_demand: tile power size mismatch");
+    }
+    linalg::Vector rhs = ambient_rhs;
+    for (std::size_t t = 0; t < rows * cols; ++t) {
+      const double share = tile_powers[t] / double(f2);
+      for (std::size_t node : tile_nodes[t]) rhs[node] += share;
+    }
+    if (on) {
+      for (std::size_t hot : model.hot_nodes()) rhs[hot] += joule;
+      for (std::size_t cold : model.cold_nodes()) rhs[cold] += joule;
+    }
+    return rhs;
+  };
+
+  // Initial condition.
+  linalg::Vector theta(n, ambient);
+  if (options.start_from_steady_state) {
+    auto g0 = system.system_matrix(0.0);
+    const linalg::Vector& p0 =
+        options.equilibrate_at ? *options.equilibrate_at : tile_powers_at(0);
+    theta = thermal::solve_steady_state(g0, rhs_for(p0, false));
+  }
+
+  OnDemandResult res;
+  res.peak_timeline = linalg::Vector(options.steps);
+  res.tec_on.assign(options.steps, false);
+  bool on = false;
+  std::size_t on_steps = 0;
+
+  for (std::size_t s = 0; s < options.steps; ++s) {
+    const double peak = model.peak_tile_temperature(theta);
+    const bool was_on = on;
+    if (!on && peak > options.theta_on) on = true;
+    if (on && peak < options.theta_off) on = false;
+    if (on != was_on && s > 0) ++res.switch_count;
+
+    const auto rhs = rhs_for(tile_powers_at(s), on);
+    theta = on ? on_stepper.step(theta, rhs) : off_stepper.step(theta, rhs);
+
+    res.peak_timeline[s] = model.peak_tile_temperature(theta);
+    res.tec_on[s] = on;
+    if (on) {
+      ++on_steps;
+      res.tec_energy += system.tec_input_power(i_on, theta) * options.dt;
+    }
+    res.max_peak = std::max(res.max_peak, res.peak_timeline[s]);
+  }
+  res.duty_cycle = double(on_steps) / double(options.steps);
+  return res;
+}
+
+}  // namespace tfc::core

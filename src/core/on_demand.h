@@ -1,0 +1,64 @@
+/// \file on_demand.h
+/// \brief On-demand transient TEC control (extension).
+///
+/// The paper (and Chowdhury et al.) motivate thin-film TECs by "site-specific
+/// and on-demand cooling": a controller that drives the devices only while a
+/// hot spot actually threatens the limit. This module simulates a hysteresis
+/// (bang-bang) controller over the transient package model under a
+/// time-varying power map: the TEC string switches on at θ_on and off at
+/// θ_off, and the simulation reports the peak-temperature timeline, duty
+/// cycle, and electrical energy — against which always-on operation can be
+/// compared.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "tec/electro_thermal.h"
+
+namespace tfc::core {
+
+struct OnDemandOptions {
+  /// Supply current while the controller is ON [A].
+  double on_current = 5.0;
+  /// Switch ON when the peak tile temperature rises above this [K].
+  double theta_on = thermal::to_kelvin(84.0);
+  /// Switch OFF when it falls below this [K]; must be < theta_on.
+  double theta_off = thermal::to_kelvin(82.0);
+  /// Time step [s].
+  double dt = 1e-3;
+  /// Number of steps.
+  std::size_t steps = 2000;
+  /// Initial state: package equilibrated at the first power map, TECs off.
+  bool start_from_steady_state = true;
+  /// Optional override of the equilibration power map (e.g. the workload's
+  /// *time-average*, so the slow spreader/sink start at their sustained
+  /// operating temperatures while the die follows the bursts).
+  std::optional<linalg::Vector> equilibrate_at;
+};
+
+struct OnDemandResult {
+  /// Peak tile temperature per step [K].
+  linalg::Vector peak_timeline;
+  /// Controller state per step.
+  std::vector<bool> tec_on;
+  /// Fraction of steps with the TEC string active.
+  double duty_cycle = 0.0;
+  /// Electrical energy consumed by the TEC string [J].
+  double tec_energy = 0.0;
+  double max_peak = 0.0;  ///< [K]
+  std::size_t switch_count = 0;
+};
+
+/// Simulate the controller. \p tile_powers_at maps a step index to the tile
+/// power vector [W per tile] for that interval (held constant within the
+/// step). Throws std::invalid_argument on bad options or a system without
+/// TECs.
+OnDemandResult simulate_on_demand(
+    const tec::ElectroThermalSystem& system,
+    const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
+    const OnDemandOptions& options = {});
+
+}  // namespace tfc::core

@@ -1,0 +1,66 @@
+/// \file response.h
+/// \brief Thermal response functions of the coupled system: H(i) columns and
+/// the η/ζ decomposition of Eq. (10).
+///
+/// With H(i) = (G − i·D)⁻¹ and p(i) carrying r·i²/2 on TEC plates, every
+/// silicon tile temperature splits as
+///   θ_k(i) = ½·r·i²·η_k(i) + ζ_k(i),           (Eq. 10)
+///   η_k(i) = Σ_{l ∈ HOT∪CLD} h_kl(i),
+///   ζ_k(i) = Σ_{l ∈ SIL} h_kl(i)·p_l + (ambient term).
+/// η and ζ for *all* nodes cost one factorization plus two solves:
+/// η = H·1_TEC and ζ = H·(p_sil + g_amb·θ_amb). The derivative η′ = H·D·H·1_TEC
+/// (Theorem 3's identity H′ = H·D·H) costs one more solve on the same factor.
+#pragma once
+
+#include <optional>
+
+#include "linalg/sparse_cholesky.h"
+#include "tec/electro_thermal.h"
+
+namespace tfc::core {
+
+/// η, ζ, and η′ evaluated at one current (all-node vectors).
+struct ResponseSample {
+  double current = 0.0;
+  linalg::Vector eta;        ///< η(i) per node
+  linalg::Vector eta_prime;  ///< η′(i) per node
+  linalg::Vector zeta;       ///< ζ(i) per node (includes the ambient term)
+};
+
+/// Factorization of (G − i·D) at a fixed current, exposing the response
+/// queries the optimizer and the convexity certificate need.
+class ResponseEvaluator {
+ public:
+  /// Factors G − i·D. Returns nullopt past the runaway limit (not PD).
+  static std::optional<ResponseEvaluator> at(const tec::ElectroThermalSystem& system,
+                                             double i);
+
+  double current() const { return i_; }
+
+  /// Column l of H(i) (h_·l; H is symmetric so this is also row l).
+  linalg::Vector h_column(std::size_t l) const;
+
+  /// η/ζ/η′ sample at this current.
+  ResponseSample sample() const;
+
+  /// η(i) alone (one solve).
+  linalg::Vector eta() const;
+
+  /// Full θ(i) = H(i)·(p(i) + ambient terms).
+  linalg::Vector theta() const;
+
+  /// dθ/di = H·(D·θ + p′), with p′ carrying r·i on TEC plates — the gradient
+  /// the paper's descent uses.
+  linalg::Vector theta_derivative() const;
+
+ private:
+  ResponseEvaluator(const tec::ElectroThermalSystem& system, double i,
+                    linalg::SparseCholeskyFactor factor)
+      : system_(&system), i_(i), factor_(std::move(factor)) {}
+
+  const tec::ElectroThermalSystem* system_;
+  double i_;
+  linalg::SparseCholeskyFactor factor_;
+};
+
+}  // namespace tfc::core

@@ -1,0 +1,77 @@
+#include "core/sensitivity.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace tfc::core {
+
+namespace {
+
+struct ProbeResult {
+  double peak_celsius = 0.0;
+  double lambda_m = 0.0;
+  double current = 0.0;
+};
+
+ProbeResult probe(const thermal::PackageGeometry& geometry,
+                  const linalg::Vector& tile_powers, const tec::TecDeviceParams& device,
+                  const TileMask& deployment, const CurrentOptimizerOptions& options) {
+  auto system =
+      tec::ElectroThermalSystem::assemble(geometry, deployment, tile_powers, device);
+  auto opt = optimize_current(system, options);
+  ProbeResult r;
+  r.peak_celsius = thermal::to_celsius(opt.peak_tile_temperature);
+  r.lambda_m = opt.lambda_m ? *opt.lambda_m : 0.0;
+  r.current = opt.current;
+  return r;
+}
+
+}  // namespace
+
+std::vector<ParameterSensitivity> device_sensitivities(
+    const thermal::PackageGeometry& geometry, const linalg::Vector& tile_powers,
+    const tec::TecDeviceParams& device, const TileMask& deployment,
+    const SensitivityOptions& options) {
+  if (deployment.grid_size() == 0 || deployment.empty()) {
+    throw std::invalid_argument("device_sensitivities: empty deployment");
+  }
+  if (!(options.relative_step > 0.0) || options.relative_step >= 1.0) {
+    throw std::invalid_argument("device_sensitivities: relative_step must be in (0, 1)");
+  }
+
+  using Accessor = std::function<double&(tec::TecDeviceParams&)>;
+  const std::vector<std::pair<std::string, Accessor>> params = {
+      {"seebeck", [](tec::TecDeviceParams& d) -> double& { return d.seebeck; }},
+      {"resistance", [](tec::TecDeviceParams& d) -> double& { return d.resistance; }},
+      {"internal_conductance",
+       [](tec::TecDeviceParams& d) -> double& { return d.internal_conductance; }},
+      {"g_hot_contact",
+       [](tec::TecDeviceParams& d) -> double& { return d.g_hot_contact; }},
+      {"g_cold_contact",
+       [](tec::TecDeviceParams& d) -> double& { return d.g_cold_contact; }},
+  };
+
+  std::vector<ParameterSensitivity> out;
+  out.reserve(params.size());
+  const double h = options.relative_step;
+  for (const auto& [name, access] : params) {
+    tec::TecDeviceParams up = device;
+    access(up) *= (1.0 + h);
+    tec::TecDeviceParams down = device;
+    access(down) *= (1.0 - h);
+
+    const ProbeResult pu = probe(geometry, tile_powers, up, deployment, options.current);
+    const ProbeResult pd =
+        probe(geometry, tile_powers, down, deployment, options.current);
+
+    ParameterSensitivity s;
+    s.parameter = name;
+    s.peak_per_unit_relative = (pu.peak_celsius - pd.peak_celsius) / (2.0 * h);
+    s.lambda_per_unit_relative = (pu.lambda_m - pd.lambda_m) / (2.0 * h);
+    s.current_per_unit_relative = (pu.current - pd.current) / (2.0 * h);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace tfc::core

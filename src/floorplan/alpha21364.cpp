@@ -1,0 +1,45 @@
+#include "floorplan/alpha21364.h"
+
+namespace tfc::floorplan {
+
+const std::vector<std::string>& alpha21364_hot_units() {
+  static const std::vector<std::string> names = {"IntReg", "IntExec", "IQ",
+                                                 "LSQ",    "FPMul",   "FPAdd"};
+  return names;
+}
+
+Floorplan alpha21364() {
+  // Tile = 0.5 mm × 0.5 mm = 0.0025 cm²; density [W/cm²] = power / (tiles·0.0025).
+  std::vector<FunctionalUnit> units = {
+      // rows 0-1: L1 caches.
+      {"Icache", {{0, 0, 2, 6}}, 2.400},   // 80.0 W/cm²
+      {"Dcache", {{0, 6, 2, 6}}, 2.400},   // 80.0 W/cm²
+      // row 2: front end.
+      {"Bpred", {{2, 0, 1, 6}}, 1.050},    // 70.0 W/cm²
+      {"IntMap", {{2, 6, 1, 3}}, 0.525},   // 70.0 W/cm²
+      {"FPMap", {{2, 9, 1, 3}}, 0.450},    // 60.0 W/cm²
+      // row 3: FP cluster, issue queue, ITB.
+      {"FPQ", {{3, 0, 1, 2}}, 0.300},      // 60.0 W/cm²
+      {"FPReg", {{3, 2, 1, 2}}, 0.400},    // 80.0 W/cm²
+      {"FPMul", {{3, 4, 1, 2}}, 0.350},    // 70.0 W/cm²  (hot)
+      {"FPAdd", {{3, 6, 1, 1}}, 0.320},    // 128.0 W/cm² (hot)
+      {"IQ", {{3, 7, 1, 2}}, 0.500},       // 100.0 W/cm² (hot)
+      {"ITB", {{3, 9, 1, 2}}, 0.350},      // 70.0 W/cm²
+      // rows 4-5: the integer cluster.
+      {"IntReg", {{4, 3, 2, 2}}, 2.824},   // 282.4 W/cm² (hot)
+      {"IntExec", {{4, 5, 2, 2}}, 1.200},  // 120.0 W/cm² (hot)
+      {"LSQ", {{4, 7, 2, 1}}, 0.550},      // 110.0 W/cm² (hot)
+      {"DTB", {{4, 8, 1, 3}}, 0.525},      // 70.0 W/cm²
+      // Miscellaneous glue / IO around the core.
+      {"MiscW", {{4, 0, 2, 3}}, 0.980},    // 65.3 W/cm²
+      {"MiscNE", {{3, 11, 2, 1}}, 0.327},  // 65.4 W/cm²
+      {"MiscSE", {{5, 8, 1, 4}}, 0.653},   // 65.3 W/cm²
+      // rows 6-11: L2 cache.
+      {"L2", {{6, 0, 6, 12}}, 4.500},      // 25.0 W/cm²
+  };
+  Floorplan plan(12, 12, std::move(units));
+  plan.validate();
+  return plan;
+}
+
+}  // namespace tfc::floorplan

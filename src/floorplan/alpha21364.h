@@ -1,0 +1,27 @@
+/// \file alpha21364.h
+/// \brief The Alpha-21364-like benchmark floorplan of Section VI.A.
+///
+/// A 65 nm, 6 mm × 6 mm die divided into the paper's 12 × 12 tile grid,
+/// ev6-style layout: L2 cache across the lower half, caches on top, the hot
+/// integer cluster (IntReg/IntExec/IQ/LSQ) and FP units in the middle rows.
+///
+/// Worst-case unit powers (SPEC2000 on M5 + Wattch with a 20 % margin in the
+/// paper; synthesized here, see power::WorkloadSynthesizer) reproduce the
+/// published statistics exactly:
+///   - total worst-case chip power 20.6 W,
+///   - IntReg power density 282.4 W/cm², L2 25.0 W/cm²,
+///   - the six hot units (IntReg, IntExec, IQ, LSQ, FPMul, FPAdd) consume
+///     ≈28 % of total power on ≈10.4 % of the area.
+#pragma once
+
+#include "floorplan/floorplan.h"
+
+namespace tfc::floorplan {
+
+/// Names of the six high-power-density units (Section VI.A).
+const std::vector<std::string>& alpha21364_hot_units();
+
+/// Build the floorplan (validated).
+Floorplan alpha21364();
+
+}  // namespace tfc::floorplan

@@ -1,0 +1,166 @@
+#include "floorplan/hotspot_import.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfc::floorplan {
+
+std::vector<FlpUnit> read_flp(std::istream& in) {
+  std::vector<FlpUnit> units;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    FlpUnit u;
+    if (!(fields >> u.name)) continue;  // blank line
+    if (!(fields >> u.width >> u.height >> u.left >> u.bottom)) {
+      throw std::runtime_error("read_flp: malformed line " + std::to_string(lineno) +
+                               ": " + line);
+    }
+    if (!(u.width > 0.0) || !(u.height > 0.0) || u.left < 0.0 || u.bottom < 0.0) {
+      throw std::runtime_error("read_flp: non-physical unit '" + u.name + "' at line " +
+                               std::to_string(lineno));
+    }
+    units.push_back(std::move(u));
+  }
+  if (units.empty()) throw std::runtime_error("read_flp: no units found");
+  return units;
+}
+
+Floorplan rasterize_flp(const std::vector<FlpUnit>& units, double die_width,
+                        double die_height, std::size_t tile_rows,
+                        std::size_t tile_cols) {
+  if (!(die_width > 0.0) || !(die_height > 0.0) || tile_rows == 0 || tile_cols == 0) {
+    throw std::invalid_argument("rasterize_flp: bad die/grid dimensions");
+  }
+  const double px = die_width / double(tile_cols);
+  const double py = die_height / double(tile_rows);
+
+  // Tile (r, c) center in .flp coordinates (origin bottom-left, y up; our
+  // row 0 is the top of the die).
+  const auto owner_of = [&](std::size_t r, std::size_t c) -> std::ptrdiff_t {
+    const double x = (double(c) + 0.5) * px;
+    const double y = die_height - (double(r) + 0.5) * py;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto& q = units[u];
+      if (x >= q.left && x < q.left + q.width && y >= q.bottom &&
+          y < q.bottom + q.height) {
+        return std::ptrdiff_t(u);
+      }
+    }
+    return -1;
+  };
+
+  // Collect per-unit tile sets; encode each tile as its own 1x1 rect (simple
+  // and exact for arbitrary unit shapes after snapping).
+  std::vector<FunctionalUnit> out(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) out[u].name = units[u].name;
+  FunctionalUnit whitespace;
+  whitespace.name = "WHITESPACE";
+
+  for (std::size_t r = 0; r < tile_rows; ++r) {
+    for (std::size_t c = 0; c < tile_cols; ++c) {
+      const auto u = owner_of(r, c);
+      TileRect rect{r, c, 1, 1};
+      if (u >= 0) {
+        out[std::size_t(u)].rects.push_back(rect);
+      } else {
+        whitespace.rects.push_back(rect);
+      }
+    }
+  }
+
+  // Units that snapped to zero tiles vanish (too small for the grid).
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const FunctionalUnit& u) { return u.rects.empty(); }),
+            out.end());
+  if (!whitespace.rects.empty()) out.push_back(std::move(whitespace));
+
+  Floorplan plan(tile_rows, tile_cols, std::move(out));
+  plan.validate();
+  return plan;
+}
+
+std::vector<std::pair<std::string, double>> read_ptrace_worst_case(std::istream& in,
+                                                                   double margin) {
+  if (margin < 0.0) throw std::invalid_argument("read_ptrace_worst_case: negative margin");
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_ptrace_worst_case: empty");
+  std::istringstream header(line);
+  std::vector<std::string> names;
+  for (std::string name; header >> name;) names.push_back(name);
+  if (names.empty()) throw std::runtime_error("read_ptrace_worst_case: empty header");
+
+  std::vector<double> peak(names.size(), 0.0);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::vector<double> watts;
+    for (double w; fields >> w;) watts.push_back(w);
+    if (watts.empty()) continue;  // blank line
+    if (watts.size() != names.size()) {
+      throw std::runtime_error("read_ptrace_worst_case: row with " +
+                               std::to_string(watts.size()) + " entries, expected " +
+                               std::to_string(names.size()));
+    }
+    for (std::size_t u = 0; u < names.size(); ++u) {
+      if (watts[u] < 0.0) throw std::runtime_error("read_ptrace_worst_case: negative power");
+      peak[u] = std::max(peak[u], watts[u]);
+    }
+    ++rows;
+  }
+  if (rows == 0) throw std::runtime_error("read_ptrace_worst_case: no data rows");
+
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(names.size());
+  for (std::size_t u = 0; u < names.size(); ++u) {
+    out.emplace_back(names[u], peak[u] * (1.0 + margin));
+  }
+  return out;
+}
+
+void apply_unit_powers(Floorplan& plan,
+                       const std::vector<std::pair<std::string, double>>& unit_powers) {
+  for (const auto& [name, watts] : unit_powers) {
+    bool found = false;
+    for (std::size_t u = 0; u < plan.units().size(); ++u) {
+      if (plan.units()[u].name == name) {
+        plan.set_unit_power(u, watts);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("apply_unit_powers: unknown unit '" + name + "'");
+    }
+  }
+}
+
+void write_flp(std::ostream& out, const Floorplan& plan, double tile_pitch) {
+  if (!(tile_pitch > 0.0)) throw std::invalid_argument("write_flp: tile_pitch must be > 0");
+  out << "# exported by tfcool: name width height left bottom\n";
+  const double die_height = double(plan.tile_rows()) * tile_pitch;
+  for (const auto& unit : plan.units()) {
+    std::size_t part = 0;
+    for (const auto& r : unit.rects) {
+      const std::string name =
+          unit.rects.size() == 1 ? unit.name : unit.name + "_" + std::to_string(part++);
+      const double width = double(r.cols) * tile_pitch;
+      const double height = double(r.rows) * tile_pitch;
+      const double left = double(r.col) * tile_pitch;
+      // Our row 0 is the top; .flp's origin is bottom-left.
+      const double bottom = die_height - double(r.row + r.rows) * tile_pitch;
+      out << name << ' ' << width << ' ' << height << ' ' << left << ' ' << bottom
+          << '\n';
+    }
+  }
+}
+
+}  // namespace tfc::floorplan

@@ -1,0 +1,61 @@
+/// \file hotspot_import.h
+/// \brief Import HotSpot-format chip descriptions (interop extension).
+///
+/// The paper's thermal parameters come from HotSpot 4.1, and HotSpot's file
+/// formats are the de-facto interchange for architecture-level thermal work.
+/// This module reads:
+///  - `.flp` floorplans: lines of "name width height left bottom" in meters
+///    (comments start with '#'), rasterized onto the paper's tile grid by
+///    tile-center ownership;
+///  - `.ptrace` power traces: a header line of unit names followed by rows
+///    of per-interval Watts. The worst-case reduction (max per unit + margin)
+///    mirrors power::worst_case_profile.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "floorplan/floorplan.h"
+
+namespace tfc::floorplan {
+
+/// One unit rectangle as read from a .flp (continuous coordinates, meters).
+struct FlpUnit {
+  std::string name;
+  double width = 0.0;
+  double height = 0.0;
+  double left = 0.0;
+  double bottom = 0.0;
+};
+
+/// Parse a HotSpot .flp stream. Throws std::runtime_error on malformed input.
+std::vector<FlpUnit> read_flp(std::istream& in);
+
+/// Rasterize continuous-coordinate units onto a tile grid: each tile belongs
+/// to the unit containing its center (row 0 = top, matching this library's
+/// convention; .flp's origin is bottom-left). Tiles covered by no unit are
+/// assigned to a zero-power "WHITESPACE" unit. Unit powers start at 0; apply
+/// a power source (e.g. apply_ptrace_worst_case) afterwards.
+/// Throws std::invalid_argument for non-positive die dimensions.
+Floorplan rasterize_flp(const std::vector<FlpUnit>& units, double die_width,
+                        double die_height, std::size_t tile_rows, std::size_t tile_cols);
+
+/// Parse a HotSpot .ptrace stream: header of unit names, then rows of Watts.
+/// Returns per-unit worst-case power (max over rows) scaled by (1 + margin).
+/// Unknown units in the header are an error; floorplan units absent from the
+/// header keep zero power. The result maps unit name → worst-case W.
+std::vector<std::pair<std::string, double>> read_ptrace_worst_case(std::istream& in,
+                                                                   double margin = 0.20);
+
+/// Install worst-case powers (from read_ptrace_worst_case) into a floorplan.
+/// Throws std::invalid_argument if a power entry names no floorplan unit.
+void apply_unit_powers(Floorplan& plan,
+                       const std::vector<std::pair<std::string, double>>& unit_powers);
+
+/// Export a tile-aligned floorplan to HotSpot .flp syntax (one rectangle per
+/// line; multi-rect units emit one line per rectangle with suffixed names).
+/// \p tile_pitch is the tile side [m]. Round-trips with read_flp/
+/// rasterize_flp for rectangle-per-unit plans.
+void write_flp(std::ostream& out, const Floorplan& plan, double tile_pitch);
+
+}  // namespace tfc::floorplan

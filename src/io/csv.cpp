@@ -1,0 +1,53 @@
+#include "io/csv.h"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace tfc::io {
+
+namespace {
+void configure(std::ostream& out) { out << std::setprecision(12); }
+}  // namespace
+
+void write_csv_column(std::ostream& out, const std::string& header,
+                      const linalg::Vector& values) {
+  configure(out);
+  out << header << '\n';
+  for (std::size_t i = 0; i < values.size(); ++i) out << values[i] << '\n';
+}
+
+void write_csv_grid(std::ostream& out, const linalg::Vector& values, std::size_t rows,
+                    std::size_t cols) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("write_csv_grid: size mismatch");
+  }
+  configure(out);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << values[r * cols + c];
+      out << (c + 1 == cols ? '\n' : ',');
+    }
+  }
+}
+
+void write_csv_table(std::ostream& out, const std::vector<std::string>& headers,
+                     const std::vector<linalg::Vector>& columns) {
+  if (headers.size() != columns.size() || columns.empty()) {
+    throw std::invalid_argument("write_csv_table: header/column mismatch");
+  }
+  const std::size_t n = columns.front().size();
+  for (const auto& c : columns) {
+    if (c.size() != n) throw std::invalid_argument("write_csv_table: ragged columns");
+  }
+  configure(out);
+  for (std::size_t h = 0; h < headers.size(); ++h) {
+    out << headers[h] << (h + 1 == headers.size() ? '\n' : ',');
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t h = 0; h < columns.size(); ++h) {
+      out << columns[h][i] << (h + 1 == columns.size() ? '\n' : ',');
+    }
+  }
+}
+
+}  // namespace tfc::io

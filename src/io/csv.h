@@ -1,0 +1,27 @@
+/// \file csv.h
+/// \brief CSV emission for vectors, tile grids, and sweep series — the
+/// interchange format for plotting the reproduced figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace tfc::io {
+
+/// Write a vector as a single CSV column with a header.
+void write_csv_column(std::ostream& out, const std::string& header,
+                      const linalg::Vector& values);
+
+/// Write a row-major grid (e.g. a tile temperature map) as CSV rows.
+void write_csv_grid(std::ostream& out, const linalg::Vector& values, std::size_t rows,
+                    std::size_t cols);
+
+/// Write aligned series (e.g. h_kl(i) sweeps): one column per header; all
+/// columns must have equal length. Throws std::invalid_argument otherwise.
+void write_csv_table(std::ostream& out, const std::vector<std::string>& headers,
+                     const std::vector<linalg::Vector>& columns);
+
+}  // namespace tfc::io

@@ -1,0 +1,68 @@
+#include "io/design_json.h"
+
+#include <sstream>
+
+namespace tfc::io {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string design_result_to_json(const core::DesignResult& r, int indent) {
+  const std::string pad(std::size_t(std::max(indent, 0)), ' ');
+  std::ostringstream out;
+  out.precision(10);
+  out << "{\n";
+  const auto field = [&](const std::string& key, const auto& value, bool comma = true) {
+    out << pad << '"' << key << "\": " << value << (comma ? ",\n" : "\n");
+  };
+  field("chip", '"' + escape(r.chip_name) + '"');
+  field("theta_limit_celsius", r.theta_limit_celsius);
+  field("success", r.success ? "true" : "false");
+  field("peak_no_tec_celsius", r.peak_no_tec_celsius);
+  field("peak_greedy_celsius", r.peak_greedy_celsius);
+  field("tec_count", r.tec_count);
+  field("current_a", r.current);
+  field("tec_power_w", r.tec_power);
+  if (r.lambda_m) {
+    field("lambda_m_a", *r.lambda_m);
+  } else {
+    field("lambda_m_a", "null");
+  }
+  field("greedy_iterations", r.greedy_iterations);
+  field("full_cover_min_peak_celsius", r.full_cover_min_peak_celsius);
+  field("full_cover_current_a", r.full_cover_current);
+  field("full_cover_power_w", r.full_cover_power);
+  field("swing_loss_celsius", r.swing_loss_celsius);
+  if (r.convexity) {
+    field("convexity_certified", r.convexity->certified ? "true" : "false");
+  }
+  field("runtime_ms", r.runtime_ms);
+
+  out << pad << "\"deployment\": [";
+  for (std::size_t row = 0; row < r.deployment.rows(); ++row) {
+    std::string line;
+    for (std::size_t col = 0; col < r.deployment.cols(); ++col) {
+      line += r.deployment.test(row, col) ? '#' : '.';
+    }
+    out << '"' << line << '"' << (row + 1 == r.deployment.rows() ? "" : ", ");
+  }
+  out << "]\n}";
+  return out.str();
+}
+
+}  // namespace tfc::io

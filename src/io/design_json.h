@@ -1,0 +1,16 @@
+/// \file design_json.h
+/// \brief JSON serialization of design results — machine-readable output for
+/// downstream tooling (report generators, regression dashboards).
+#pragma once
+
+#include <string>
+
+#include "core/cooling_system.h"
+
+namespace tfc::io {
+
+/// Serialize a DesignResult to a self-contained JSON object (stable key
+/// order; deployment encoded as row strings of '.'/'#').
+std::string design_result_to_json(const core::DesignResult& result, int indent = 2);
+
+}  // namespace tfc::io

@@ -1,0 +1,66 @@
+#include "io/matrix_market.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tfc::io {
+
+void write_matrix_market(std::ostream& out, const linalg::SparseMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out << std::setprecision(17);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      out << (r + 1) << ' ' << (ci[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+linalg::SparseMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("matrix_market: empty input");
+  std::istringstream banner(line);
+  std::string mm, object, format, field, symmetry;
+  banner >> mm >> object >> format >> field >> symmetry;
+  if (mm != "%%MatrixMarket" || object != "matrix" || format != "coordinate") {
+    throw std::runtime_error("matrix_market: unsupported banner: " + line);
+  }
+  if (field != "real" && field != "integer") {
+    throw std::runtime_error("matrix_market: only real/integer fields supported");
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw std::runtime_error("matrix_market: unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments.
+  do {
+    if (!std::getline(in, line)) throw std::runtime_error("matrix_market: missing sizes");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream sizes(line);
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  if (!(sizes >> rows >> cols >> nnz)) {
+    throw std::runtime_error("matrix_market: malformed size line");
+  }
+
+  linalg::TripletList t(rows, cols);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    std::size_t r = 0, c = 0;
+    double v = 0.0;
+    if (!(in >> r >> c >> v)) throw std::runtime_error("matrix_market: truncated entries");
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      throw std::runtime_error("matrix_market: entry index out of range");
+    }
+    t.add(r - 1, c - 1, v);
+    if (symmetric && r != c) t.add(c - 1, r - 1, v);
+  }
+  return linalg::SparseMatrix::from_triplets(t);
+}
+
+}  // namespace tfc::io

@@ -1,0 +1,23 @@
+/// \file matrix_market.h
+/// \brief Matrix Market (.mtx) coordinate-format I/O for sparse matrices —
+/// lets the assembled thermal systems be inspected in external tools
+/// (MATLAB/Octave/scipy) and test matrices be imported.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "linalg/sparse_matrix.h"
+
+namespace tfc::io {
+
+/// Write \p a in MatrixMarket coordinate real general format (1-based
+/// indices, full storage).
+void write_matrix_market(std::ostream& out, const linalg::SparseMatrix& a);
+
+/// Read a MatrixMarket coordinate real matrix (general or symmetric;
+/// symmetric input is expanded to full storage). Throws std::runtime_error
+/// on malformed input or unsupported qualifiers (complex/pattern).
+linalg::SparseMatrix read_matrix_market(std::istream& in);
+
+}  // namespace tfc::io

@@ -1,0 +1,138 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tfc::linalg {
+
+Preconditioner identity_preconditioner() {
+  return [](const Vector& r) { return r; };
+}
+
+Preconditioner jacobi_preconditioner(const SparseMatrix& a) {
+  Vector d = a.diag();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (!(d[i] > 0.0)) {
+      throw std::invalid_argument("jacobi_preconditioner: nonpositive diagonal entry");
+    }
+    d[i] = 1.0 / d[i];
+  }
+  return [d = std::move(d)](const Vector& r) {
+    Vector z(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = d[i] * r[i];
+    return z;
+  };
+}
+
+Preconditioner ssor_preconditioner(const SparseMatrix& a, double omega) {
+  if (!(omega > 0.0 && omega < 2.0)) {
+    throw std::invalid_argument("ssor_preconditioner: omega must be in (0, 2)");
+  }
+  if (!a.square()) throw std::invalid_argument("ssor_preconditioner: matrix not square");
+  Vector d = a.diag();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (!(d[i] > 0.0)) {
+      throw std::invalid_argument("ssor_preconditioner: nonpositive diagonal entry");
+    }
+  }
+  // Keep a copy of the matrix for the triangular sweeps.
+  return [a, d = std::move(d), omega](const Vector& r) {
+    const std::size_t n = r.size();
+    const auto& rp = a.row_ptr();
+    const auto& ci = a.col_idx();
+    const auto& vals = a.values();
+    // Forward sweep: (D/ω + L) y = r.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = r[i];
+      for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) {
+        if (ci[k] < i) s -= vals[k] * y[ci[k]];
+      }
+      y[i] = s * omega / d[i];
+    }
+    // Scale: z' = (D/ω) y · (2-ω)/ω  →  fold constants into the backward sweep.
+    for (std::size_t i = 0; i < n; ++i) y[i] *= d[i] * (2.0 - omega) / omega;
+    // Backward sweep: (D/ω + Lᵀ) z = y'.
+    Vector z(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+      double s = y[ii];
+      for (std::size_t k = rp[ii]; k < rp[ii + 1]; ++k) {
+        if (ci[k] > ii) s -= vals[k] * z[ci[k]];
+      }
+      z[ii] = s * omega / d[ii];
+    }
+    return z;
+  };
+}
+
+CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
+                            const Preconditioner& precond, const CgOptions& opts,
+                            const Vector& x0) {
+  if (!a.square() || a.rows() != b.size()) {
+    throw std::invalid_argument("conjugate_gradient: dimension mismatch");
+  }
+  const std::size_t n = b.size();
+  CgResult res;
+  res.x = x0.empty() ? Vector(n) : x0;
+  if (res.x.size() != n) {
+    throw std::invalid_argument("conjugate_gradient: bad initial guess size");
+  }
+
+  Vector r = b;
+  {
+    Vector ax = a * res.x;
+    r -= ax;
+  }
+  const double bnorm = norm2(b);
+  const double target = opts.rel_tol * bnorm + opts.abs_tol;
+
+  double rnorm = norm2(r);
+  if (rnorm <= target || bnorm == 0.0) {
+    res.converged = true;
+    res.residual_norm = rnorm;
+    return res;
+  }
+
+  Vector z = precond(r);
+  Vector p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    Vector ap = a * p;
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) {
+      // Not SPD (or breakdown); report non-convergence.
+      res.iterations = it;
+      res.residual_norm = rnorm;
+      res.converged = false;
+      return res;
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, res.x);
+    axpy(-alpha, ap, r);
+    rnorm = norm2(r);
+    res.iterations = it + 1;
+    if (rnorm <= target) {
+      res.converged = true;
+      res.residual_norm = rnorm;
+      return res;
+    }
+    z = precond(r);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  res.residual_norm = rnorm;
+  return res;
+}
+
+Vector cg_solve(const SparseMatrix& a, const Vector& b, const CgOptions& opts) {
+  CgResult r = conjugate_gradient(a, b, jacobi_preconditioner(a), opts);
+  if (!r.converged) {
+    throw std::runtime_error("cg_solve: conjugate gradient failed to converge");
+  }
+  return std::move(r.x);
+}
+
+}  // namespace tfc::linalg

@@ -1,0 +1,79 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tfc::linalg {
+
+std::optional<CholeskyFactor> CholeskyFactor::factor(const DenseMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("CholeskyFactor::factor: matrix not square");
+  const std::size_t n = a.rows();
+  DenseMatrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return std::nullopt;
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s * inv;
+    }
+  }
+  return CholeskyFactor(std::move(l));
+}
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("CholeskyFactor::solve: dimension mismatch");
+  Vector y(n);
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  // Back substitution Lᵀ x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+DenseMatrix CholeskyFactor::solve(const DenseMatrix& b) const {
+  if (b.rows() != dim()) throw std::invalid_argument("CholeskyFactor::solve: shape mismatch");
+  DenseMatrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+Vector CholeskyFactor::inverse_column(std::size_t j) const {
+  if (j >= dim()) throw std::out_of_range("CholeskyFactor::inverse_column");
+  Vector e(dim());
+  e[j] = 1.0;
+  return solve(e);
+}
+
+DenseMatrix CholeskyFactor::inverse() const {
+  return solve(DenseMatrix::identity(dim()));
+}
+
+double CholeskyFactor::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+bool is_positive_definite(const DenseMatrix& a) {
+  return CholeskyFactor::factor(a).has_value();
+}
+
+}  // namespace tfc::linalg

@@ -1,0 +1,55 @@
+/// \file cholesky.h
+/// \brief Dense Cholesky (L·Lᵀ) factorization.
+///
+/// Doubles as the positive-definiteness probe used by the thermal-runaway
+/// binary search (paper, Section V.C.1: "Cholesky decomposition ... is
+/// employed to check whether a matrix is positive definite").
+#pragma once
+
+#include <optional>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector.h"
+
+namespace tfc::linalg {
+
+/// Dense Cholesky factorization A = L·Lᵀ of a symmetric positive definite
+/// matrix. Construction via factor() fails (returns nullopt) when A is not
+/// numerically positive definite, which is exactly the probe Theorem 1's
+/// binary search needs.
+class CholeskyFactor {
+ public:
+  /// Attempt to factor \p a (must be square; only the lower triangle is
+  /// read). Returns nullopt when a non-positive pivot is encountered.
+  static std::optional<CholeskyFactor> factor(const DenseMatrix& a);
+
+  std::size_t dim() const { return l_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-by-column.
+  DenseMatrix solve(const DenseMatrix& b) const;
+
+  /// Column j of A⁻¹ (solve with a unit vector).
+  Vector inverse_column(std::size_t j) const;
+
+  /// Full A⁻¹ (use sparingly; O(n³)).
+  DenseMatrix inverse() const;
+
+  /// log(det A) = 2 Σ log L_ii.
+  double log_det() const;
+
+  /// The lower-triangular factor.
+  const DenseMatrix& l() const { return l_; }
+
+ private:
+  explicit CholeskyFactor(DenseMatrix l) : l_(std::move(l)) {}
+  DenseMatrix l_;
+};
+
+/// Convenience probe: true iff the symmetric matrix \p a is numerically
+/// positive definite (Cholesky succeeds).
+bool is_positive_definite(const DenseMatrix& a);
+
+}  // namespace tfc::linalg

@@ -1,0 +1,149 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tfc::linalg {
+
+DenseMatrix::DenseMatrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("DenseMatrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::diagonal(const Vector& d) {
+  DenseMatrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& DenseMatrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("DenseMatrix::at");
+  return (*this)(r, c);
+}
+
+double DenseMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("DenseMatrix::at");
+  return (*this)(r, c);
+}
+
+Vector DenseMatrix::row(std::size_t r) const {
+  Vector v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector DenseMatrix::col(std::size_t c) const {
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+Vector DenseMatrix::diag() const {
+  if (!square()) throw std::invalid_argument("DenseMatrix::diag: not square");
+  Vector v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, i);
+  return v;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+namespace {
+void require_same_shape(const DenseMatrix& a, const DenseMatrix& b, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+}
+}  // namespace
+
+DenseMatrix& DenseMatrix::operator+=(const DenseMatrix& other) {
+  require_same_shape(*this, other, "DenseMatrix::operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+DenseMatrix& DenseMatrix::operator-=(const DenseMatrix& other) {
+  require_same_shape(*this, other, "DenseMatrix::operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+DenseMatrix& DenseMatrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector DenseMatrix::operator*(const Vector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("DenseMatrix*Vector: shape mismatch");
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::operator*(const DenseMatrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("DenseMatrix*DenseMatrix: shape mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  require_same_shape(*this, other, "DenseMatrix::max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double bilinear(const Vector& x, const DenseMatrix& m, const Vector& y) {
+  if (x.size() != m.rows() || y.size() != m.cols()) {
+    throw std::invalid_argument("bilinear: shape mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double row_acc = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) row_acc += m(r, c) * y[c];
+    acc += x[r] * row_acc;
+  }
+  return acc;
+}
+
+double quadratic(const DenseMatrix& m, const Vector& x) { return bilinear(x, m, x); }
+
+}  // namespace tfc::linalg

@@ -1,0 +1,93 @@
+/// \file dense_matrix.h
+/// \brief Row-major dense real matrix.
+///
+/// Used for the compact thermal system matrices (a few hundred to a few
+/// thousand nodes), for factorizations, and as the reference implementation
+/// the sparse kernels are tested against.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace tfc::linalg {
+
+/// Dense row-major matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Zero matrix of shape rows x cols.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Build from nested initializer lists; all rows must have equal length.
+  DenseMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static DenseMatrix identity(std::size_t n);
+
+  /// Diagonal matrix from vector d (DIAG(d) in the paper's notation,
+  /// Definition 4).
+  static DenseMatrix diagonal(const Vector& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Row r as a Vector copy.
+  Vector row(std::size_t r) const;
+
+  /// Column c as a Vector copy.
+  Vector col(std::size_t c) const;
+
+  /// Main diagonal as a Vector copy (square only).
+  Vector diag() const;
+
+  DenseMatrix transposed() const;
+
+  DenseMatrix& operator+=(const DenseMatrix& other);
+  DenseMatrix& operator-=(const DenseMatrix& other);
+  DenseMatrix& operator*=(double scalar);
+
+  friend DenseMatrix operator+(DenseMatrix a, const DenseMatrix& b) { return a += b; }
+  friend DenseMatrix operator-(DenseMatrix a, const DenseMatrix& b) { return a -= b; }
+  friend DenseMatrix operator*(DenseMatrix a, double s) { return a *= s; }
+  friend DenseMatrix operator*(double s, DenseMatrix a) { return a *= s; }
+
+  /// Matrix-vector product.
+  Vector operator*(const Vector& x) const;
+
+  /// Matrix-matrix product.
+  DenseMatrix operator*(const DenseMatrix& other) const;
+
+  /// Max absolute entry difference; throws on shape mismatch.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// x^T * M * y (quadratic/bilinear form); throws on shape mismatch.
+double bilinear(const Vector& x, const DenseMatrix& m, const Vector& y);
+
+/// x^T * M * x.
+double quadratic(const DenseMatrix& m, const Vector& x);
+
+}  // namespace tfc::linalg

@@ -1,0 +1,167 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+
+namespace tfc::linalg {
+
+std::vector<double> jacobi_eigenvalues(const DenseMatrix& a_in, double tol,
+                                       std::size_t max_sweeps) {
+  if (!a_in.square()) throw std::invalid_argument("jacobi_eigenvalues: matrix not square");
+  DenseMatrix a = a_in;
+  const std::size_t n = a.rows();
+  const double scale = std::max(a.frobenius_norm(), 1e-300);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (std::sqrt(off) <= tol * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tol * scale / (n * n)) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> evals(n);
+  for (std::size_t i = 0; i < n; ++i) evals[i] = a(i, i);
+  std::sort(evals.begin(), evals.end());
+  return evals;
+}
+
+PowerIterationResult power_iteration(const DenseMatrix& a, std::size_t max_iterations,
+                                     double tol) {
+  if (!a.square()) throw std::invalid_argument("power_iteration: matrix not square");
+  const std::size_t n = a.rows();
+  PowerIterationResult res;
+  // Deterministic, generically non-orthogonal start.
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 + 0.5 * std::sin(double(i + 1));
+  double vn = norm2(v);
+  v /= vn;
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    Vector w = a * v;
+    const double new_lambda = dot(v, w);
+    const double wn = norm2(w);
+    if (wn == 0.0) {
+      res.eigenvalue = 0.0;
+      res.eigenvector = v;
+      res.iterations = it;
+      res.converged = true;
+      return res;
+    }
+    w /= wn;
+    res.iterations = it + 1;
+    if (std::abs(new_lambda - lambda) <= tol * std::max(1.0, std::abs(new_lambda))) {
+      res.eigenvalue = new_lambda;
+      res.eigenvector = w;
+      res.converged = true;
+      return res;
+    }
+    lambda = new_lambda;
+    v = std::move(w);
+  }
+  res.eigenvalue = lambda;
+  res.eigenvector = v;
+  return res;
+}
+
+std::optional<double> spd_condition_estimate(const DenseMatrix& a,
+                                             std::size_t max_iterations, double tol) {
+  if (!a.square()) throw std::invalid_argument("spd_condition_estimate: matrix not square");
+  auto chol = CholeskyFactor::factor(a);
+  if (!chol) return std::nullopt;
+
+  const auto lambda_max = power_iteration(a, max_iterations, tol);
+
+  // Inverse power iteration: dominant eigenvalue of A⁻¹ is 1/λ_min.
+  const std::size_t n = a.rows();
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 + 0.3 * std::cos(double(i + 1));
+  v /= norm2(v);
+  double mu = 0.0;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    Vector w = chol->solve(v);
+    const double mu_new = dot(v, w);
+    const double wn = norm2(w);
+    if (wn == 0.0) break;
+    w /= wn;
+    if (std::abs(mu_new - mu) <= tol * std::max(1.0, std::abs(mu_new))) {
+      mu = mu_new;
+      break;
+    }
+    mu = mu_new;
+    v = std::move(w);
+  }
+  if (!(mu > 0.0)) return std::nullopt;
+  return lambda_max.eigenvalue * mu;  // λ_max / λ_min
+}
+
+std::optional<double> pencil_smallest_positive_eigenvalue(
+    const DenseMatrix& g, const DenseMatrix& d, const PencilBisectionOptions& opts) {
+  if (!g.square() || g.rows() != d.rows() || !d.square()) {
+    throw std::invalid_argument("pencil_smallest_positive_eigenvalue: shape mismatch");
+  }
+  if (!is_positive_definite(g)) {
+    throw std::invalid_argument("pencil_smallest_positive_eigenvalue: G not positive definite");
+  }
+
+  const auto pd_at = [&](double lambda) {
+    DenseMatrix m = g;
+    m -= d * lambda;
+    return is_positive_definite(m);
+  };
+
+  // Bracket: grow hi until G - hi*D is not PD.
+  double lo = 0.0;
+  double hi = 1.0;
+  bool bracketed = false;
+  for (int k = 0; k < 80; ++k) {
+    if (!pd_at(hi)) {
+      bracketed = true;
+      break;
+    }
+    lo = hi;
+    hi *= 2.0;
+  }
+  if (!bracketed) return std::nullopt;  // no finite runaway limit detected
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (hi - lo <= opts.rel_tol * hi + opts.abs_tol) break;
+    const double mid = 0.5 * (lo + hi);
+    if (pd_at(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace tfc::linalg

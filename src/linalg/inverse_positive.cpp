@@ -1,0 +1,58 @@
+#include "linalg/inverse_positive.h"
+
+#include <stdexcept>
+
+#include "linalg/eigen.h"
+
+namespace tfc::linalg {
+
+DenseMatrix spd_inverse(const DenseMatrix& a) {
+  auto f = CholeskyFactor::factor(a);
+  if (!f) throw std::invalid_argument("spd_inverse: matrix not positive definite");
+  return f->inverse();
+}
+
+ConjectureCheckResult check_conjecture1(const DenseMatrix& s, std::size_t pair_budget,
+                                        double tol) {
+  ConjectureCheckResult res;
+  const DenseMatrix h = spd_inverse(s);
+  const std::size_t n = h.rows();
+
+  std::size_t checked = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Vector hk = h.row(k);
+    for (std::size_t l = 0; l < n; ++l) {
+      if (pair_budget != 0 && checked >= pair_budget) return res;
+      ++checked;
+      const Vector hl = h.row(l);
+      // M = DIAG(hk) * H * DIAG(hl); symmetric part tested for PD.
+      DenseMatrix sym(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const double m_ij = hk[i] * h(i, j) * hl[j];
+          const double m_ji = hk[j] * h(j, i) * hl[i];
+          sym(i, j) = 0.5 * (m_ij + m_ji);
+        }
+      }
+      if (!is_positive_definite(sym)) {
+        const auto evals = jacobi_eigenvalues(sym);
+        const double min_ev = evals.empty() ? 0.0 : evals.front();
+        // Tolerate tiny numerical negativity.
+        if (min_ev < -tol * std::max(1.0, sym.frobenius_norm())) {
+          res.holds = false;
+          res.k = k;
+          res.l = l;
+          res.min_eigenvalue = min_ev;
+          return res;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+DenseMatrix inverse_derivative(const DenseMatrix& h, const DenseMatrix& d) {
+  return h * d * h;
+}
+
+}  // namespace tfc::linalg

@@ -1,0 +1,49 @@
+/// \file inverse_positive.h
+/// \brief Inverse-positive matrix theory helpers (Varga; paper Lemma 3,
+/// Conjecture 1).
+///
+/// A positive-definite Stieltjes matrix is an M-matrix: its inverse is a
+/// nonnegative symmetric matrix (Lemma 3). Conjecture 1 further claims that
+/// for H = S⁻¹, DIAG(h_k)·H·DIAG(h_l) is positive definite for all row pairs
+/// (k, l) — the hinge of Theorem 3's convexity result. These helpers compute
+/// inverses and evaluate the conjecture on concrete matrices.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "linalg/cholesky.h"
+#include "linalg/dense_matrix.h"
+
+namespace tfc::linalg {
+
+/// Full inverse of an SPD matrix via Cholesky; throws std::invalid_argument
+/// if \p a is not positive definite.
+DenseMatrix spd_inverse(const DenseMatrix& a);
+
+/// Result of checking Conjecture 1 on one matrix.
+struct ConjectureCheckResult {
+  bool holds = true;
+  /// First violating pair (k, l), valid only when !holds.
+  std::size_t k = 0;
+  std::size_t l = 0;
+  /// Smallest eigenvalue of the symmetrized violating product (diagnostic).
+  double min_eigenvalue = 0.0;
+};
+
+/// Evaluate Conjecture 1 on a positive definite Stieltjes matrix \p s:
+/// for H = s⁻¹ and every (k, l), DIAG(h_k)·H·DIAG(h_l) must be positive
+/// definite. Positive definiteness of the (generally nonsymmetric) product M
+/// is evaluated per Definition 2 (xᵀMx > 0 ∀x ≠ 0), i.e. on the symmetric
+/// part (M + Mᵀ)/2.
+///
+/// \p pair_budget optionally limits the number of (k, l) pairs checked
+/// (pairs are enumerated deterministically row-major); 0 means all pairs.
+ConjectureCheckResult check_conjecture1(const DenseMatrix& s, std::size_t pair_budget = 0,
+                                        double tol = 1e-11);
+
+/// d/di of H(i) = (G - iD)⁻¹ is H·D·H (used by Theorem 3's proof and by the
+/// analytic derivative path of the optimizer). This helper evaluates it.
+DenseMatrix inverse_derivative(const DenseMatrix& h, const DenseMatrix& d);
+
+}  // namespace tfc::linalg

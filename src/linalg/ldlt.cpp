@@ -1,0 +1,54 @@
+#include "linalg/ldlt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tfc::linalg {
+
+std::optional<LdltFactor> LdltFactor::factor(const DenseMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("LdltFactor::factor: matrix not square");
+  const std::size_t n = a.rows();
+  DenseMatrix l = DenseMatrix::identity(n);
+  Vector d(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l(j, k) * l(j, k) * d[k];
+    if (dj == 0.0 || !std::isfinite(dj)) return std::nullopt;
+    d[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k) * d[k];
+      l(i, j) = s / dj;
+    }
+  }
+  return LdltFactor(std::move(l), std::move(d));
+}
+
+Vector LdltFactor::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("LdltFactor::solve: dimension mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s;
+  }
+  for (std::size_t i = 0; i < n; ++i) y[i] /= d_[i];
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s;
+  }
+  return x;
+}
+
+std::size_t LdltFactor::negative_pivots() const {
+  std::size_t count = 0;
+  for (double dj : d_) {
+    if (dj < 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace tfc::linalg

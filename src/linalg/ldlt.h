@@ -1,0 +1,47 @@
+/// \file ldlt.h
+/// \brief Dense LDLᵀ factorization for symmetric (possibly indefinite without
+/// pivoting caveats) matrices.
+///
+/// Used where we want a symmetric factorization that also reveals matrix
+/// inertia — the count of negative pivots tells us how far past the runaway
+/// limit λ_m a supply current has pushed the system matrix (Theorem 1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector.h"
+
+namespace tfc::linalg {
+
+/// Unpivoted LDLᵀ of a symmetric matrix. Fails (nullopt) only on an exactly
+/// zero pivot; negative pivots are recorded, not fatal.
+class LdltFactor {
+ public:
+  /// Factor \p a (square, symmetric; lower triangle read).
+  static std::optional<LdltFactor> factor(const DenseMatrix& a);
+
+  std::size_t dim() const { return l_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Number of strictly negative entries of D — by Sylvester's law of
+  /// inertia this equals the number of negative eigenvalues of A (when the
+  /// unpivoted factorization exists).
+  std::size_t negative_pivots() const;
+
+  /// True iff every pivot is strictly positive (A positive definite).
+  bool positive_definite() const { return negative_pivots() == 0; }
+
+  const DenseMatrix& l() const { return l_; }
+  const Vector& d() const { return d_; }
+
+ private:
+  LdltFactor(DenseMatrix l, Vector d) : l_(std::move(l)), d_(std::move(d)) {}
+  DenseMatrix l_;  // unit lower triangular
+  Vector d_;       // diagonal of D
+};
+
+}  // namespace tfc::linalg

@@ -1,0 +1,74 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tfc::linalg {
+
+std::optional<LuFactor> LuFactor::factor(const DenseMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("LuFactor::factor: matrix not square");
+  const std::size_t n = a.rows();
+  DenseMatrix lu = a;
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at/below the diagonal.
+    std::size_t piv = k;
+    double best = std::abs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(piv, c));
+      std::swap(perm[k], perm[piv]);
+      sign = -sign;
+    }
+    const double inv = 1.0 / lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = lu(i, k) * inv;
+      lu(i, k) = lik;
+      if (lik == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu(i, c) -= lik * lu(k, c);
+    }
+  }
+  return LuFactor(std::move(lu), std::move(perm), sign);
+}
+
+Vector LuFactor::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("LuFactor::solve: dimension mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) s -= lu_(i, k) * y[k];
+    y[i] = s;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= lu_(ii, k) * x[k];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuFactor::determinant() const {
+  double det = sign_;
+  for (std::size_t i = 0; i < dim(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double determinant(const DenseMatrix& a) {
+  auto f = LuFactor::factor(a);
+  return f ? f->determinant() : 0.0;
+}
+
+}  // namespace tfc::linalg

@@ -1,0 +1,44 @@
+/// \file lu.h
+/// \brief Dense LU factorization with partial pivoting.
+///
+/// General-purpose fallback solver; also used to solve the (symmetric but
+/// possibly indefinite) systems that appear when probing past the runaway
+/// limit, and to compute determinants for the Cramer's-rule arguments in
+/// Theorem 2's unit tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector.h"
+
+namespace tfc::linalg {
+
+/// P·A = L·U with partial (row) pivoting.
+class LuFactor {
+ public:
+  /// Factor \p a (square). Returns nullopt for (numerically) singular input.
+  static std::optional<LuFactor> factor(const DenseMatrix& a);
+
+  std::size_t dim() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// det(A), including pivot sign.
+  double determinant() const;
+
+ private:
+  LuFactor(DenseMatrix lu, std::vector<std::size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+  DenseMatrix lu_;                 // packed L (unit diag, below) and U (on/above)
+  std::vector<std::size_t> perm_;  // row permutation
+  int sign_;                       // permutation parity
+};
+
+/// Determinant via LU; 0.0 for singular input.
+double determinant(const DenseMatrix& a);
+
+}  // namespace tfc::linalg

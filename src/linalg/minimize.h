@@ -1,0 +1,44 @@
+/// \file minimize.h
+/// \brief One-dimensional minimization of (quasi-)convex objectives on a
+/// bounded interval — the scalar engine behind every current-setting search
+/// (shared supply current, per-device/grouped currents, scenario-aware
+/// currents).
+///
+/// Objectives may return +∞ to mark infeasible points (e.g. past the
+/// thermal-runaway limit); both methods handle that by shrinking toward the
+/// feasible side.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tfc::linalg {
+
+/// Method selection.
+enum class ScalarMethod {
+  kGoldenSection,  ///< robust, ~1.6 evals per digit
+  kBrent,          ///< golden + parabolic interpolation; fewer evals on
+                   ///< smooth objectives, same guarantees
+};
+
+struct MinimizeOptions {
+  ScalarMethod method = ScalarMethod::kBrent;
+  /// Absolute tolerance on the argument.
+  double x_tol = 1e-4;
+  std::size_t max_evaluations = 200;
+};
+
+struct ScalarMinimum {
+  double x = 0.0;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimize f over [lo, hi]. Throws std::invalid_argument for an empty or
+/// inverted interval. The reported minimum is the best *evaluated* point
+/// (never an unevaluated interpolation).
+ScalarMinimum minimize_scalar(const std::function<double(double)>& f, double lo,
+                              double hi, const MinimizeOptions& options = {});
+
+}  // namespace tfc::linalg

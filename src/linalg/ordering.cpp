@@ -1,0 +1,163 @@
+#include "linalg/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tfc::linalg {
+
+std::vector<std::size_t> identity_permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  return p;
+}
+
+std::vector<std::size_t> invert_permutation(const std::vector<std::size_t>& perm) {
+  std::vector<std::size_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
+  return inv;
+}
+
+std::vector<std::size_t> reverse_cuthill_mckee(const SparseMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("reverse_cuthill_mckee: matrix not square");
+  const std::size_t n = a.rows();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+
+  std::vector<std::size_t> degree(n);
+  for (std::size_t i = 0; i < n; ++i) degree[i] = rp[i + 1] - rp[i];
+
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> order;  // Cuthill–McKee order (old indices)
+  order.reserve(n);
+
+  for (;;) {
+    // Pick an unvisited node of minimum degree as the next component seed.
+    std::size_t seed = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!visited[i] && (seed == n || degree[i] < degree[seed])) seed = i;
+    }
+    if (seed == n) break;
+
+    std::queue<std::size_t> q;
+    q.push(seed);
+    visited[seed] = true;
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      order.push_back(u);
+      std::vector<std::size_t> nbrs;
+      for (std::size_t k = rp[u]; k < rp[u + 1]; ++k) {
+        const std::size_t v = ci[k];
+        if (v != u && !visited[v]) {
+          visited[v] = true;
+          nbrs.push_back(v);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](std::size_t x, std::size_t y) { return degree[x] < degree[y]; });
+      for (std::size_t v : nbrs) q.push(v);
+    }
+  }
+
+  // Reverse, then express as new_index = perm[old_index].
+  std::reverse(order.begin(), order.end());
+  std::vector<std::size_t> perm(n);
+  for (std::size_t new_idx = 0; new_idx < n; ++new_idx) perm[order[new_idx]] = new_idx;
+  return perm;
+}
+
+std::vector<std::size_t> minimum_degree(const SparseMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("minimum_degree: matrix not square");
+  const std::size_t n = a.rows();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+
+  // Adjacency as hash sets (self-loops excluded): O(1) fill-edge insertion.
+  std::vector<std::unordered_set<std::size_t>> adj(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] != r) adj[r].insert(ci[k]);
+    }
+  }
+
+  // Degree buckets with lazy invalidation: nodes are re-pushed when their
+  // degree changes; stale entries are skipped at pop time.
+  std::vector<std::vector<std::size_t>> bucket(n + 1);
+  for (std::size_t v = 0; v < n; ++v) bucket[adj[v].size()].push_back(v);
+  std::vector<bool> eliminated(n, false);
+  std::vector<std::size_t> perm(n);
+
+  std::size_t cursor = 0;  // lowest possibly-non-empty bucket
+  for (std::size_t step = 0; step < n; ++step) {
+    // Pop the live node of minimum current degree.
+    std::size_t best = n;
+    while (best == n) {
+      while (cursor <= n && bucket[cursor].empty()) ++cursor;
+      auto& b = bucket[cursor];
+      const std::size_t v = b.back();
+      b.pop_back();
+      if (!eliminated[v] && adj[v].size() == cursor) best = v;
+    }
+    perm[best] = step;
+    eliminated[best] = true;
+
+    // Eliminate: neighbours of best form a clique.
+    std::vector<std::size_t> nbrs(adj[best].begin(), adj[best].end());
+    std::sort(nbrs.begin(), nbrs.end());  // determinism across platforms
+    for (std::size_t x : nbrs) adj[x].erase(best);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        adj[nbrs[i]].insert(nbrs[j]);
+        adj[nbrs[j]].insert(nbrs[i]);
+      }
+    }
+    adj[best].clear();
+    for (std::size_t x : nbrs) {
+      const std::size_t d = adj[x].size();
+      bucket[d].push_back(x);
+      if (d < cursor) cursor = d;
+    }
+  }
+  return perm;
+}
+
+SparseMatrix permute_symmetric(const SparseMatrix& a, const std::vector<std::size_t>& perm) {
+  if (!a.square() || perm.size() != a.rows()) {
+    throw std::invalid_argument("permute_symmetric: dimension mismatch");
+  }
+  TripletList t(a.rows(), a.cols());
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      t.add(perm[r], perm[ci[k]], vals[k]);
+    }
+  }
+  return SparseMatrix::from_triplets(t);
+}
+
+Vector permute(const Vector& v, const std::vector<std::size_t>& perm) {
+  if (perm.size() != v.size()) throw std::invalid_argument("permute: dimension mismatch");
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[perm[i]] = v[i];
+  return out;
+}
+
+std::size_t bandwidth(const SparseMatrix& a) {
+  std::size_t bw = 0;
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::size_t c = ci[k];
+      bw = std::max(bw, r > c ? r - c : c - r);
+    }
+  }
+  return bw;
+}
+
+}  // namespace tfc::linalg

@@ -1,0 +1,160 @@
+#include "linalg/properties.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace tfc::linalg {
+
+bool is_symmetric(const DenseMatrix& a, double tol) {
+  if (!a.square()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool is_stieltjes(const DenseMatrix& a, double tol) {
+  if (!is_symmetric(a, tol)) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j && a(i, j) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool is_stieltjes(const SparseMatrix& a, double tol) {
+  if (!a.is_symmetric(tol)) return false;
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] != r && vals[k] > tol) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// BFS connectivity over an adjacency callback.
+template <typename NeighborFn>
+bool connected(std::size_t n, NeighborFn&& neighbors) {
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::queue<std::size_t> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    neighbors(u, [&](std::size_t v) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        q.push(v);
+      }
+    });
+  }
+  return count == n;
+}
+
+}  // namespace
+
+bool is_irreducible(const DenseMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("is_irreducible: matrix not square");
+  return connected(a.rows(), [&](std::size_t u, auto&& visit) {
+    for (std::size_t v = 0; v < a.cols(); ++v) {
+      if (v != u && (a(u, v) != 0.0 || a(v, u) != 0.0)) visit(v);
+    }
+  });
+}
+
+bool is_irreducible(const SparseMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("is_irreducible: matrix not square");
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  // Assumes structural symmetry (true for all our networks); uses row pattern.
+  return connected(a.rows(), [&](std::size_t u, auto&& visit) {
+    for (std::size_t k = rp[u]; k < rp[u + 1]; ++k) {
+      if (ci[k] != u) visit(ci[k]);
+    }
+  });
+}
+
+bool is_diagonally_dominant(const DenseMatrix& a) {
+  if (!a.square()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (j != i) off += std::abs(a(i, j));
+    }
+    if (std::abs(a(i, i)) + 1e-12 * off < off) return false;
+  }
+  return true;
+}
+
+bool is_diagonally_dominant(const SparseMatrix& a) {
+  if (!a.square()) return false;
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) {
+        diag = std::abs(vals[k]);
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    if (diag + 1e-12 * off < off) return false;
+  }
+  return true;
+}
+
+bool is_irreducibly_diagonally_dominant(const SparseMatrix& a) {
+  if (!is_diagonally_dominant(a) || !is_irreducible(a)) return false;
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) {
+        diag = std::abs(vals[k]);
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    if (diag > off * (1.0 + 1e-12) + 1e-300) return true;  // strict on this row
+  }
+  return false;
+}
+
+bool is_nonnegative(const DenseMatrix& a, double tol) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (a(i, j) < -tol) return false;
+    }
+  }
+  return true;
+}
+
+double min_matrix_entry(const DenseMatrix& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) m = std::min(m, a(i, j));
+  }
+  return m;
+}
+
+}  // namespace tfc::linalg

@@ -1,0 +1,44 @@
+/// \file properties.h
+/// \brief Structural matrix predicates from the paper's matrix-theory toolbox.
+///
+/// The optimality analysis (Section V) rests on G being an *irreducible
+/// positive-definite Stieltjes matrix* (Lemma 1). These predicates let the
+/// library assert that property on every assembled network, and let the tests
+/// exercise the inverse-positive theory (Varga, "Matrix Iterative Analysis").
+#pragma once
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace tfc::linalg {
+
+/// Symmetry within tolerance.
+bool is_symmetric(const DenseMatrix& a, double tol = 0.0);
+
+/// Stieltjes structure (Definition 3): real symmetric with non-positive
+/// off-diagonal entries. (Positive definiteness is checked separately.)
+bool is_stieltjes(const DenseMatrix& a, double tol = 0.0);
+bool is_stieltjes(const SparseMatrix& a, double tol = 0.0);
+
+/// Irreducibility (Definition 1): the adjacency graph of the off-diagonal
+/// pattern is connected (checked by BFS). A 1x1 matrix is irreducible.
+bool is_irreducible(const DenseMatrix& a);
+bool is_irreducible(const SparseMatrix& a);
+
+/// Weak row diagonal dominance: |a_ii| >= Σ_{j≠i} |a_ij| for all i.
+bool is_diagonally_dominant(const DenseMatrix& a);
+bool is_diagonally_dominant(const SparseMatrix& a);
+
+/// Strict dominance on at least one row, weak everywhere (with irreducibility
+/// this implies positive definiteness for Stieltjes matrices).
+bool is_irreducibly_diagonally_dominant(const SparseMatrix& a);
+
+/// Elementwise nonnegativity (Lemma 3's conclusion for inverses of PD
+/// Stieltjes matrices).
+bool is_nonnegative(const DenseMatrix& a, double tol = 0.0);
+
+/// Most negative entry of the matrix (0 if none); diagnostic companion to
+/// is_nonnegative.
+double min_matrix_entry(const DenseMatrix& a);
+
+}  // namespace tfc::linalg

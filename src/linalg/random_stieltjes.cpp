@@ -1,0 +1,96 @@
+#include "linalg/random_stieltjes.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tfc::linalg {
+
+namespace {
+
+/// Fill the symmetric off-diagonal coupling pattern; diagonal left at zero,
+/// off-diagonals set to -g (g > 0) where coupled.
+void fill_couplings(DenseMatrix& a, std::mt19937_64& rng,
+                    const RandomStieltjesOptions& opts) {
+  const std::size_t n = a.rows();
+  std::uniform_real_distribution<double> mag(0.0, opts.max_coupling);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  if (opts.force_irreducible && n > 1) {
+    // Random spanning tree: attach each node to a random earlier node.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t k = 1; k < n; ++k) {
+      std::uniform_int_distribution<std::size_t> pick(0, k - 1);
+      const std::size_t u = order[k];
+      const std::size_t v = order[pick(rng)];
+      double g = mag(rng);
+      if (g == 0.0) g = opts.max_coupling * 0.5;
+      a(u, v) = a(v, u) = -g;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (a(i, j) != 0.0) continue;
+      if (coin(rng) < opts.density) {
+        double g = mag(rng);
+        if (g == 0.0) continue;
+        a(i, j) = a(j, i) = -g;
+      }
+    }
+  }
+}
+
+void set_diag_row_sum_plus(DenseMatrix& a, const Vector& shift) {
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) off += -a(i, j);
+    }
+    a(i, i) = off + shift[i];
+  }
+}
+
+}  // namespace
+
+DenseMatrix random_pd_stieltjes(std::size_t n, std::mt19937_64& rng,
+                                const RandomStieltjesOptions& opts) {
+  if (n == 0) throw std::invalid_argument("random_pd_stieltjes: n must be positive");
+  if (!(opts.min_shift > 0.0) || opts.max_shift < opts.min_shift) {
+    throw std::invalid_argument("random_pd_stieltjes: bad shift range");
+  }
+  DenseMatrix a(n, n);
+  fill_couplings(a, rng, opts);
+  std::uniform_real_distribution<double> shift(opts.min_shift, opts.max_shift);
+  Vector s(n);
+  for (std::size_t i = 0; i < n; ++i) s[i] = shift(rng);
+  set_diag_row_sum_plus(a, s);
+  return a;
+}
+
+DenseMatrix random_grounded_laplacian(std::size_t n, std::size_t grounded_nodes,
+                                      std::mt19937_64& rng,
+                                      const RandomStieltjesOptions& opts) {
+  if (n == 0) throw std::invalid_argument("random_grounded_laplacian: n must be positive");
+  if (grounded_nodes == 0 || grounded_nodes > n) {
+    throw std::invalid_argument("random_grounded_laplacian: need 1..n grounded nodes");
+  }
+  RandomStieltjesOptions o = opts;
+  o.force_irreducible = true;  // required for PD with partial grounding
+  DenseMatrix a(n, n);
+  fill_couplings(a, rng, o);
+
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), rng);
+  std::uniform_real_distribution<double> shift(opts.min_shift, opts.max_shift);
+  Vector s(n);
+  for (std::size_t k = 0; k < grounded_nodes; ++k) s[idx[k]] = shift(rng);
+  set_diag_row_sum_plus(a, s);
+  return a;
+}
+
+}  // namespace tfc::linalg

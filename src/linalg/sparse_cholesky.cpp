@@ -1,0 +1,135 @@
+#include "linalg/sparse_cholesky.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/ordering.h"
+
+namespace tfc::linalg {
+
+std::optional<SparseCholeskyFactor> SparseCholeskyFactor::factor(const SparseMatrix& a,
+                                                                 FillOrdering ordering) {
+  if (!a.square()) throw std::invalid_argument("SparseCholeskyFactor: matrix not square");
+  const std::size_t n = a.rows();
+
+  SparseCholeskyFactor f;
+  f.n_ = n;
+  switch (ordering) {
+    case FillOrdering::kNatural:
+      f.perm_ = identity_permutation(n);
+      break;
+    case FillOrdering::kRcm:
+      f.perm_ = reverse_cuthill_mckee(a);
+      break;
+    case FillOrdering::kMinDegree:
+      f.perm_ = minimum_degree(a);
+      break;
+  }
+  f.inv_perm_ = invert_permutation(f.perm_);
+  const SparseMatrix m = permute_symmetric(a, f.perm_);
+
+  const auto& rp = m.row_ptr();
+  const auto& ci = m.col_idx();
+  const auto& vals = m.values();
+
+  f.cols_.assign(n, {});
+  f.diag_.assign(n, 0.0);
+
+  // Elimination-tree parents, discovered incrementally (Liu's algorithm).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent(n, kNone);
+  std::vector<std::size_t> mark(n, kNone);  // mark[j] == k  ⇔ j visited for row k
+  std::vector<double> x(n, 0.0);            // dense row workspace
+  std::vector<std::size_t> pattern;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Scatter row k of the (permuted) matrix into the workspace and collect
+    // the nonzero pattern of L(k, 0..k-1) via elimination-tree reach.
+    pattern.clear();
+    double d = 0.0;
+    mark[k] = k;
+    for (std::size_t q = rp[k]; q < rp[k + 1]; ++q) {
+      const std::size_t j = ci[q];
+      if (j > k) continue;
+      if (j == k) {
+        d = vals[q];
+        continue;
+      }
+      x[j] = vals[q];
+      // Walk up the elimination tree until we hit a visited node.
+      std::size_t t = j;
+      while (mark[t] != k) {
+        mark[t] = k;
+        pattern.push_back(t);
+        if (parent[t] == kNone) {
+          parent[t] = k;
+          break;
+        }
+        t = parent[t];
+      }
+    }
+    // Up-looking numeric step needs ascending column order.
+    std::sort(pattern.begin(), pattern.end());
+
+    for (std::size_t j : pattern) {
+      const double lkj = x[j] / f.diag_[j];
+      x[j] = 0.0;
+      for (const Entry& e : f.cols_[j]) {
+        // e.row < k always (only processed rows are stored).
+        x[e.row] -= e.value * lkj;
+      }
+      d -= lkj * lkj;
+      f.cols_[j].push_back({k, lkj});
+    }
+    if (!(d > 0.0) || !std::isfinite(d)) return std::nullopt;
+    f.diag_[k] = std::sqrt(d);
+  }
+  return f;
+}
+
+std::size_t SparseCholeskyFactor::factor_nnz() const {
+  std::size_t nnz = n_;
+  for (const auto& c : cols_) nnz += c.size();
+  return nnz;
+}
+
+Vector SparseCholeskyFactor::solve(const Vector& b) const {
+  if (b.size() != n_) throw std::invalid_argument("SparseCholeskyFactor::solve: dimension mismatch");
+  // Permute RHS into factor ordering.
+  Vector pb = permute(b, perm_);
+
+  // Forward: L y = pb (columns scatter).
+  for (std::size_t j = 0; j < n_; ++j) {
+    pb[j] /= diag_[j];
+    const double yj = pb[j];
+    for (const Entry& e : cols_[j]) pb[e.row] -= e.value * yj;
+  }
+  // Backward: Lᵀ x = y (columns gather).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    double s = pb[jj];
+    for (const Entry& e : cols_[jj]) s -= e.value * pb[e.row];
+    pb[jj] = s / diag_[jj];
+  }
+  // Un-permute.
+  return permute(pb, inv_perm_);
+}
+
+Vector SparseCholeskyFactor::inverse_column(std::size_t j) const {
+  if (j >= n_) throw std::out_of_range("SparseCholeskyFactor::inverse_column");
+  Vector e(n_);
+  e[j] = 1.0;
+  return solve(e);
+}
+
+double SparseCholeskyFactor::log_det() const {
+  double acc = 0.0;
+  for (double d : diag_) acc += std::log(d);
+  return 2.0 * acc;
+}
+
+bool is_positive_definite(const SparseMatrix& a) {
+  return SparseCholeskyFactor::factor(a).has_value();
+}
+
+}  // namespace tfc::linalg

@@ -1,0 +1,88 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tfc::linalg {
+
+namespace {
+void require_same_size(const Vector& a, const Vector& b, const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": dimension mismatch");
+  }
+}
+}  // namespace
+
+void Vector::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+Vector& Vector::operator+=(const Vector& other) {
+  require_same_size(*this, other, "Vector::operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  require_same_size(*this, other, "Vector::operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  if (scalar == 0.0) throw std::invalid_argument("Vector::operator/=: divide by zero");
+  return *this *= 1.0 / scalar;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  require_same_size(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double max_entry(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("max_entry: empty vector");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double min_entry(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("min_entry: empty vector");
+  return *std::min_element(v.begin(), v.end());
+}
+
+std::size_t argmax(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("argmax: empty vector");
+  return static_cast<std::size_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+double sum(const Vector& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  require_same_size(a, b, "approx_equal");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace tfc::linalg

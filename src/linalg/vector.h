@@ -1,0 +1,101 @@
+/// \file vector.h
+/// \brief Dense real vector used throughout the thermal/optimization stack.
+///
+/// A deliberately small, owning vector-of-double with the handful of BLAS-1
+/// style operations the library needs. Dimension mismatches are programming
+/// errors and throw std::invalid_argument.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace tfc::linalg {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Zero vector of dimension \p n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// Vector of dimension \p n filled with \p value.
+  Vector(std::size_t n, double value) : data_(n, value) {}
+
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Wrap an existing buffer (copies).
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked access.
+  double& at(std::size_t i) { return data_.at(i); }
+  double at(std::size_t i) const { return data_.at(i); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Set every entry to \p value.
+  void fill(double value);
+
+  /// Resize, zero-filling new entries.
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  friend Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+  friend Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+  friend Vector operator*(Vector lhs, double s) { return lhs *= s; }
+  friend Vector operator*(double s, Vector rhs) { return rhs *= s; }
+  friend Vector operator/(Vector lhs, double s) { return lhs /= s; }
+
+  bool operator==(const Vector& other) const { return data_ == other.data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Inner product <a, b>. Throws on dimension mismatch.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Infinity norm (max absolute entry); 0 for the empty vector.
+double norm_inf(const Vector& v);
+
+/// y += alpha * x. Throws on dimension mismatch.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Largest entry value; throws std::invalid_argument on empty input.
+double max_entry(const Vector& v);
+
+/// Smallest entry value; throws std::invalid_argument on empty input.
+double min_entry(const Vector& v);
+
+/// Index of the largest entry (first on ties); throws on empty input.
+std::size_t argmax(const Vector& v);
+
+/// Sum of all entries.
+double sum(const Vector& v);
+
+/// True when every |a_i - b_i| <= tol. Throws on dimension mismatch.
+bool approx_equal(const Vector& a, const Vector& b, double tol);
+
+}  // namespace tfc::linalg

@@ -1,0 +1,42 @@
+#include "power/power_profile.h"
+
+#include <stdexcept>
+
+namespace tfc::power {
+
+PowerProfile::PowerProfile(std::size_t tile_rows, std::size_t tile_cols,
+                           linalg::Vector watts_per_tile)
+    : rows_(tile_rows), cols_(tile_cols), watts_(std::move(watts_per_tile)) {
+  if (rows_ == 0 || cols_ == 0) {
+    throw std::invalid_argument("PowerProfile: empty grid");
+  }
+  if (watts_.size() != rows_ * cols_) {
+    throw std::invalid_argument("PowerProfile: power vector size mismatch");
+  }
+  for (std::size_t k = 0; k < watts_.size(); ++k) {
+    if (watts_[k] < 0.0) throw std::invalid_argument("PowerProfile: negative tile power");
+  }
+}
+
+PowerProfile PowerProfile::from_floorplan(const floorplan::Floorplan& plan) {
+  return PowerProfile(plan.tile_rows(), plan.tile_cols(), plan.tile_powers());
+}
+
+double PowerProfile::tile_power(Tile t) const {
+  if (t.row >= rows_ || t.col >= cols_) throw std::out_of_range("PowerProfile::tile_power");
+  return watts_[t.row * cols_ + t.col];
+}
+
+double PowerProfile::peak_density_w_per_cm2(double tile_area) const {
+  if (!(tile_area > 0.0)) throw std::invalid_argument("PowerProfile: tile_area must be > 0");
+  return peak_tile_power() / tile_area * 1e-4;  // W/m² → W/cm²
+}
+
+PowerProfile PowerProfile::scaled(double factor) const {
+  if (factor < 0.0) throw std::invalid_argument("PowerProfile::scaled: negative factor");
+  linalg::Vector w = watts_;
+  w *= factor;
+  return PowerProfile(rows_, cols_, std::move(w));
+}
+
+}  // namespace tfc::power

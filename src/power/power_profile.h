@@ -1,0 +1,52 @@
+/// \file power_profile.h
+/// \brief Per-tile worst-case power maps (the optimizer's input) and
+/// density queries.
+#pragma once
+
+#include <cstddef>
+
+#include "common/tile.h"
+#include "floorplan/floorplan.h"
+#include "linalg/vector.h"
+
+namespace tfc::power {
+
+/// A worst-case power map over the silicon tile grid.
+class PowerProfile {
+ public:
+  /// \p watts_per_tile row-major, all entries ≥ 0.
+  PowerProfile(std::size_t tile_rows, std::size_t tile_cols,
+               linalg::Vector watts_per_tile);
+
+  /// Rasterize a floorplan's unit powers onto its grid.
+  static PowerProfile from_floorplan(const floorplan::Floorplan& plan);
+
+  std::size_t tile_rows() const { return rows_; }
+  std::size_t tile_cols() const { return cols_; }
+
+  const linalg::Vector& tile_powers() const { return watts_; }
+  double tile_power(Tile t) const;
+
+  /// Total chip power [W].
+  double total() const { return linalg::sum(watts_); }
+
+  /// Peak tile power [W].
+  double peak_tile_power() const { return linalg::max_entry(watts_); }
+
+  /// Power density of a tile [W/m²] for tile area \p tile_area [m²].
+  double density(Tile t, double tile_area) const { return tile_power(t) / tile_area; }
+
+  /// Peak power density [W/cm²] for the given tile area [m²] — the figure of
+  /// merit the paper quotes (e.g. IntReg at 282.4 W/cm²).
+  double peak_density_w_per_cm2(double tile_area) const;
+
+  /// Scale all powers by a factor ≥ 0 (e.g. design margins).
+  PowerProfile scaled(double factor) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  linalg::Vector watts_;
+};
+
+}  // namespace tfc::power

@@ -1,0 +1,62 @@
+#include "power/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tfc::power {
+
+std::vector<UnitTraceStats> trace_statistics(const ActivityTrace& trace) {
+  if (trace.unit_count() == 0 || trace.length() == 0) {
+    throw std::invalid_argument("trace_statistics: empty trace");
+  }
+  std::vector<UnitTraceStats> out;
+  out.reserve(trace.unit_count());
+  for (const auto& row : trace.utilization) {
+    UnitTraceStats s;
+    std::vector<double> sorted = row;
+    std::sort(sorted.begin(), sorted.end());
+    double acc = 0.0;
+    std::size_t hot = 0;
+    for (double x : row) {
+      acc += x;
+      if (x > 0.9) ++hot;
+    }
+    s.mean = acc / double(row.size());
+    s.peak = sorted.back();
+    const std::size_t rank =
+        std::min(sorted.size() - 1, std::size_t(std::ceil(0.95 * double(sorted.size()))) - 1);
+    s.p95 = sorted[rank];
+    s.hot_duty = double(hot) / double(row.size());
+    out.push_back(s);
+  }
+  return out;
+}
+
+double trace_correlation(const ActivityTrace& trace, std::size_t unit_a,
+                         std::size_t unit_b) {
+  if (unit_a >= trace.unit_count() || unit_b >= trace.unit_count()) {
+    throw std::invalid_argument("trace_correlation: unit index out of range");
+  }
+  if (trace.length() == 0) throw std::invalid_argument("trace_correlation: empty trace");
+  const auto& a = trace.utilization[unit_a];
+  const auto& b = trace.utilization[unit_b];
+  const double n = double(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ma += a[t];
+    mb += b[t];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    cov += (a[t] - ma) * (b[t] - mb);
+    va += (a[t] - ma) * (a[t] - ma);
+    vb += (b[t] - mb) * (b[t] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace tfc::power

@@ -1,0 +1,32 @@
+/// \file trace_stats.h
+/// \brief Summary statistics over activity traces — the workload analysis a
+/// designer runs before committing to a worst-case map (is the worst case a
+/// sustained plateau or a rare burst? which units fire together?).
+#pragma once
+
+#include <vector>
+
+#include "power/workload.h"
+
+namespace tfc::power {
+
+/// Per-unit utilization statistics over one trace.
+struct UnitTraceStats {
+  double mean = 0.0;
+  double peak = 0.0;
+  /// 95th percentile (nearest-rank).
+  double p95 = 0.0;
+  /// Fraction of timesteps with utilization above 0.9 ("hot duty").
+  double hot_duty = 0.0;
+};
+
+/// Compute per-unit statistics. Throws std::invalid_argument for an empty
+/// trace.
+std::vector<UnitTraceStats> trace_statistics(const ActivityTrace& trace);
+
+/// Pearson correlation of two units' utilizations over the trace, in
+/// [-1, 1]; 0 when either unit has zero variance. Throws on bad indices.
+double trace_correlation(const ActivityTrace& trace, std::size_t unit_a,
+                         std::size_t unit_b);
+
+}  // namespace tfc::power

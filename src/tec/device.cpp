@@ -1,0 +1,60 @@
+#include "tec/device.h"
+
+#include <stdexcept>
+
+namespace tfc::tec {
+
+TecDeviceParams TecDeviceParams::chowdhury_superlattice() {
+  TecDeviceParams p;
+  // Calibration notes (see DESIGN.md, substitution table):
+  //  - seebeck: device-level α of a superlattice couple stack sized for a
+  //    0.5 mm footprint; with θ_c ≈ 360 K and i ≈ 6 A the Peltier pumping
+  //    α·i·θ_c ≈ 0.6 W matches the worst-case heat of one hot tile.
+  //  - resistance: r·i² ≈ 0.1 W per device at i ≈ 6 A, so a deployment of
+  //    ~16 devices draws ~1.5–2 W, the paper's P_TEC scale.
+  //  - internal conductance: ~10 µm superlattice film, k⊥ ≈ 1.2 W/mK over
+  //    0.25 mm²: κ = k·A/t ≈ 0.03 W/K.
+  //  - contacts: ~2·10⁻⁶ K·m²/W specific contact resistance over 0.25 mm²
+  //    (metallized bond, both plates).
+  p.seebeck = 3.5e-4;
+  p.resistance = 3.0e-3;
+  p.internal_conductance = 0.03;
+  p.g_hot_contact = 0.13;
+  p.g_cold_contact = 0.13;
+  return p;
+}
+
+double TecDeviceParams::cold_side_heat(double i, double theta_cold,
+                                       double theta_hot) const {
+  return seebeck * i * theta_cold - 0.5 * resistance * i * i -
+         internal_conductance * (theta_hot - theta_cold);
+}
+
+double TecDeviceParams::hot_side_heat(double i, double theta_cold,
+                                      double theta_hot) const {
+  return seebeck * i * theta_hot + 0.5 * resistance * i * i -
+         internal_conductance * (theta_hot - theta_cold);
+}
+
+double TecDeviceParams::input_power(double i, double delta_theta) const {
+  return resistance * i * i + seebeck * i * delta_theta;
+}
+
+double TecDeviceParams::cop(double i, double theta_cold, double theta_hot) const {
+  const double p = input_power(i, theta_hot - theta_cold);
+  if (p <= 0.0) return 0.0;
+  return cold_side_heat(i, theta_cold, theta_hot) / p;
+}
+
+double TecDeviceParams::max_pumping_current(double theta_cold) const {
+  return seebeck * theta_cold / resistance;
+}
+
+void TecDeviceParams::validate() const {
+  if (!(seebeck > 0.0) || !(resistance > 0.0) || !(internal_conductance > 0.0) ||
+      !(g_hot_contact > 0.0) || !(g_cold_contact > 0.0)) {
+    throw std::invalid_argument("TecDeviceParams: all parameters must be positive");
+  }
+}
+
+}  // namespace tfc::tec

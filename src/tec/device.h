@@ -1,0 +1,71 @@
+/// \file device.h
+/// \brief Physical model of a single thin-film thermoelectric cooler
+/// (Section III.A, Eq. 1–3).
+///
+/// A device is a couple of dissimilar semiconductor strips driven by supply
+/// current i. Heat absorbed at the cold side and released at the hot side:
+///
+///   q_c = α·i·θ_c − ½·r·i² − κ·(θ_h − θ_c)      (Eq. 1)
+///   q_h = α·i·θ_h + ½·r·i² − κ·(θ_h − θ_c)      (Eq. 2)
+///   p_TEC = q_h − q_c = r·i² + α·i·Δθ           (Eq. 3)
+///
+/// α is the device Seebeck coefficient (a material constant), r its
+/// electrical resistance, κ its internal thermal conductance. g_h/g_c are the
+/// contact conductances coupling the hot/cold plates to the package —
+/// "thermal conductors which lie between the hot side and the ambient end up
+/// playing an important role in the thermal runaway problem" (Section IV.B).
+#pragma once
+
+#include "thermal/package_model.h"
+
+namespace tfc::tec {
+
+/// Electro-thermal parameters of one thin-film TEC device
+/// (0.5 mm × 0.5 mm lateral footprint).
+struct TecDeviceParams {
+  /// Device Seebeck coefficient α [V/K].
+  double seebeck = 0.0;
+  /// Electrical resistance r [Ω].
+  double resistance = 0.0;
+  /// Internal (cold↔hot) thermal conductance κ [W/K].
+  double internal_conductance = 0.0;
+  /// Contact conductance, hot side ↔ heat spreader [W/K].
+  double g_hot_contact = 0.0;
+  /// Contact conductance, cold side ↔ silicon [W/K].
+  double g_cold_contact = 0.0;
+
+  /// Superlattice Bi₂Te₃/Sb₂Te₃ thin-film device calibrated to the
+  /// observables published by Chowdhury et al. (Nature Nanotech. 2009), the
+  /// paper's device source: optimal supply currents of a few amperes, device
+  /// input power of order 0.1 W at those currents, and on-demand cooling
+  /// swings in the 5–10 °C band when integrated into a CPU package.
+  static TecDeviceParams chowdhury_superlattice();
+
+  /// Heat flux absorbed at the cold side [W] (Eq. 1).
+  double cold_side_heat(double i, double theta_cold, double theta_hot) const;
+
+  /// Heat flux released at the hot side [W] (Eq. 2).
+  double hot_side_heat(double i, double theta_cold, double theta_hot) const;
+
+  /// Electrical input power [W] (Eq. 3).
+  double input_power(double i, double delta_theta) const;
+
+  /// Coefficient of performance q_c / p_TEC; 0 when p_TEC is 0 and q_c <= 0
+  /// would divide by zero. COP hitting zero marks the loss of net pumping —
+  /// the single-device analogue of thermal runaway (Section V.C.1).
+  double cop(double i, double theta_cold, double theta_hot) const;
+
+  /// Current maximizing q_c for a fixed cold-side temperature and Δθ:
+  /// ∂q_c/∂i = α·θ_c − r·i = 0 ⇒ i* = α·θ_c / r.
+  double max_pumping_current(double theta_cold) const;
+
+  /// Thermal-side view consumed by the package-model builder.
+  thermal::TecThermalLink thermal_link() const {
+    return {g_cold_contact, internal_conductance, g_hot_contact};
+  }
+
+  /// Throws std::invalid_argument unless all parameters are positive.
+  void validate() const;
+};
+
+}  // namespace tfc::tec

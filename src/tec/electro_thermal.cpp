@@ -1,0 +1,115 @@
+#include "tec/electro_thermal.h"
+
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+#include "linalg/sparse_cholesky.h"
+
+namespace tfc::tec {
+
+ElectroThermalSystem::ElectroThermalSystem(thermal::PackageModel model,
+                                           TecDeviceParams device, bool allow_no_tec)
+    : model_(std::move(model)), device_(device) {
+  device_.validate();
+  if (!allow_no_tec && model_.tec_tiles().empty()) {
+    throw std::invalid_argument("ElectroThermalSystem: model carries no TEC tiles");
+  }
+  g_ = model_.network().conductance_matrix();
+  d_diag_ = linalg::Vector(model_.node_count());
+  for (std::size_t hot : model_.hot_nodes()) d_diag_[hot] = +device_.seebeck;
+  for (std::size_t cold : model_.cold_nodes()) d_diag_[cold] = -device_.seebeck;
+}
+
+ElectroThermalSystem ElectroThermalSystem::assemble(
+    const thermal::PackageGeometry& geometry, const TileMask& deployment,
+    const linalg::Vector& tile_powers, const TecDeviceParams& device,
+    std::size_t stages) {
+  thermal::PackageModelOptions opts;
+  opts.geometry = geometry;
+  opts.tec_tiles = deployment;
+  opts.tec_link = device.thermal_link();
+  opts.tec_stages = stages;
+  thermal::PackageModel model = thermal::PackageModel::build(opts);
+  model.set_tile_powers(tile_powers);
+  const bool no_tec = deployment.grid_size() == 0 || deployment.empty();
+  return ElectroThermalSystem(std::move(model), device, /*allow_no_tec=*/no_tec);
+}
+
+linalg::SparseMatrix ElectroThermalSystem::matrix_d() const {
+  linalg::TripletList t(d_diag_.size(), d_diag_.size());
+  for (std::size_t i = 0; i < d_diag_.size(); ++i) {
+    if (d_diag_[i] != 0.0) t.add(i, i, d_diag_[i]);
+  }
+  return linalg::SparseMatrix::from_triplets(t);
+}
+
+linalg::SparseMatrix ElectroThermalSystem::system_matrix(double i) const {
+  if (i == 0.0) return g_;
+  return g_.add_scaled(matrix_d(), -i);
+}
+
+linalg::Vector ElectroThermalSystem::power(double i) const {
+  linalg::Vector p = model_.network().power_vector();
+  const double joule = 0.5 * device_.resistance * i * i;
+  for (std::size_t hot : model_.hot_nodes()) p[hot] += joule;
+  for (std::size_t cold : model_.cold_nodes()) p[cold] += joule;
+  return p;
+}
+
+linalg::Vector ElectroThermalSystem::rhs(double i) const {
+  linalg::Vector r = power(i);
+  const auto& net = model_.network();
+  const double ambient = model_.geometry().ambient;
+  for (std::size_t k = 0; k < net.node_count(); ++k) {
+    const double g = net.ambient_conductance(k);
+    if (g > 0.0) r[k] += g * ambient;
+  }
+  return r;
+}
+
+std::optional<OperatingPoint> ElectroThermalSystem::solve(
+    double i, const thermal::SteadyStateOptions& options) const {
+  if (i < 0.0) return std::nullopt;
+
+  OperatingPoint op;
+  op.current = i;
+
+  const auto b = rhs(i);
+  switch (options.backend) {
+    case thermal::SolverBackend::kSparseCholesky:
+    case thermal::SolverBackend::kConjugateGradient: {
+      // CG is unreliable near λ_m; the direct factorization doubles as the
+      // positive-definiteness probe, so use it for both back ends.
+      auto f = linalg::SparseCholeskyFactor::factor(system_matrix(i));
+      if (!f) return std::nullopt;
+      op.theta = f->solve(b);
+      break;
+    }
+    case thermal::SolverBackend::kDenseCholesky: {
+      auto f = linalg::CholeskyFactor::factor(system_matrix(i).to_dense());
+      if (!f) return std::nullopt;
+      op.theta = f->solve(b);
+      break;
+    }
+  }
+
+  op.tile_temperatures = model_.tile_temperatures(op.theta);
+  op.peak_tile_temperature = linalg::max_entry(op.tile_temperatures);
+  op.tec_input_power = tec_input_power(i, op.theta);
+  return op;
+}
+
+double ElectroThermalSystem::tec_input_power(double i, const linalg::Vector& theta) const {
+  if (theta.size() != model_.node_count()) {
+    throw std::invalid_argument("tec_input_power: theta size mismatch");
+  }
+  double acc = 0.0;
+  const auto& hot = model_.hot_nodes();
+  const auto& cold = model_.cold_nodes();
+  for (std::size_t k = 0; k < hot.size(); ++k) {
+    acc += device_.input_power(i, theta[hot[k]] - theta[cold[k]]);
+  }
+  return acc;
+}
+
+}  // namespace tfc::tec

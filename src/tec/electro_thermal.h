@@ -1,0 +1,93 @@
+/// \file electro_thermal.h
+/// \brief The coupled electro-thermal system (G − i·D)·θ = p(i) of
+/// Eq. (4)/(5).
+///
+/// Wraps a thermal::PackageModel whose TEC tiles were stamped with the
+/// device's conductances, and adds the current-dependent parts: the Peltier
+/// coupling matrix D (diagonal, +α on HOT rows, −α on CLD rows) and the
+/// Joule sources r·i²/2 at both plates of every device.
+#pragma once
+
+#include <optional>
+
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+#include "tec/device.h"
+#include "thermal/package_model.h"
+#include "thermal/steady_state.h"
+
+namespace tfc::tec {
+
+/// Steady-state solution at one supply current.
+struct OperatingPoint {
+  double current = 0.0;
+  /// Node temperatures [K].
+  linalg::Vector theta;
+  /// Silicon tile temperatures [K], row-major.
+  linalg::Vector tile_temperatures;
+  /// Peak silicon tile temperature [K].
+  double peak_tile_temperature = 0.0;
+  /// Total electrical input power of all TEC devices [W] (Σ Eq. 3).
+  double tec_input_power = 0.0;
+};
+
+/// Immutable coupled system for a fixed deployment. Supply current remains a
+/// free scalar parameter (single extra pin ⇒ all devices share one current,
+/// Section III.B).
+class ElectroThermalSystem {
+ public:
+  /// \p model must have been built with tec_link == device.thermal_link().
+  /// Keeps a copy of the model. Throws std::invalid_argument if the model
+  /// carries no TEC tiles and \p allow_no_tec is false.
+  ElectroThermalSystem(thermal::PackageModel model, TecDeviceParams device,
+                       bool allow_no_tec = false);
+
+  /// Convenience factory: build the package model for \p geometry with TECs
+  /// on \p deployment (may be empty), install \p tile_powers, and wrap it.
+  /// \p stages > 1 builds cascaded devices (see PackageModelOptions).
+  static ElectroThermalSystem assemble(const thermal::PackageGeometry& geometry,
+                                       const TileMask& deployment,
+                                       const linalg::Vector& tile_powers,
+                                       const TecDeviceParams& device,
+                                       std::size_t stages = 1);
+
+  const thermal::PackageModel& model() const { return model_; }
+  const TecDeviceParams& device() const { return device_; }
+  std::size_t device_count() const { return model_.tec_tiles().size(); }
+  std::size_t node_count() const { return model_.node_count(); }
+
+  /// G of Eq. (5) (current-independent part, Peltier terms excluded).
+  const linalg::SparseMatrix& matrix_g() const { return g_; }
+
+  /// Diagonal of D of Eq. (5): +α on hot nodes, −α on cold nodes, 0 elsewhere.
+  const linalg::Vector& d_diagonal() const { return d_diag_; }
+
+  /// D as a sparse matrix.
+  linalg::SparseMatrix matrix_d() const;
+
+  /// System matrix G − i·D.
+  linalg::SparseMatrix system_matrix(double i) const;
+
+  /// Power vector p(i): tile powers on silicon nodes plus r·i²/2 on every
+  /// hot/cold node (paper's definition of p).
+  linalg::Vector power(double i) const;
+
+  /// Full right-hand side p(i) + g_amb·θ_amb.
+  linalg::Vector rhs(double i) const;
+
+  /// Solve (G − i·D)θ = p(i). Returns nullopt when the matrix is no longer
+  /// positive definite (i ≥ λ_m: thermal runaway) or i < 0.
+  std::optional<OperatingPoint> solve(
+      double i, const thermal::SteadyStateOptions& options = {}) const;
+
+  /// Σ over devices of Eq. (3) evaluated at the solved temperatures.
+  double tec_input_power(double i, const linalg::Vector& theta) const;
+
+ private:
+  thermal::PackageModel model_;
+  TecDeviceParams device_;
+  linalg::SparseMatrix g_;
+  linalg::Vector d_diag_;
+};
+
+}  // namespace tfc::tec

@@ -1,0 +1,106 @@
+#include "tec/runaway.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/sparse_cholesky.h"
+
+namespace tfc::tec {
+
+SchurReduction schur_reduction(const ElectroThermalSystem& system) {
+  const auto& hot = system.model().hot_nodes();
+  const auto& cold = system.model().cold_nodes();
+  if (hot.empty()) {
+    throw std::invalid_argument("schur_reduction: system has no TEC devices");
+  }
+
+  SchurReduction red;
+  red.tec_nodes = hot;
+  red.tec_nodes.insert(red.tec_nodes.end(), cold.begin(), cold.end());
+  const std::size_t m = red.tec_nodes.size();
+  const std::size_t n = system.node_count();
+
+  // Mark TEC rows; build the N (non-TEC) index map.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> to_t(n, kNone), to_n(n, kNone);
+  for (std::size_t k = 0; k < m; ++k) to_t[red.tec_nodes[k]] = k;
+  std::size_t nn = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (to_t[k] == kNone) to_n[k] = nn++;
+  }
+
+  // Extract blocks of G.
+  const auto& g = system.matrix_g();
+  const auto& rp = g.row_ptr();
+  const auto& ci = g.col_idx();
+  const auto& vals = g.values();
+  linalg::TripletList t_nn(nn, nn);
+  linalg::DenseMatrix g_tt(m, m);
+  linalg::DenseMatrix g_nt(nn, m);  // N rows, T columns
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::size_t c = ci[k];
+      const double v = vals[k];
+      if (to_t[r] != kNone && to_t[c] != kNone) {
+        g_tt(to_t[r], to_t[c]) += v;
+      } else if (to_t[r] == kNone && to_t[c] == kNone) {
+        t_nn.add(to_n[r], to_n[c], v);
+      } else if (to_t[r] == kNone) {
+        g_nt(to_n[r], to_t[c]) += v;
+      }
+      // T-row/N-col entries are the transpose of g_nt (G symmetric).
+    }
+  }
+
+  auto f_nn = linalg::SparseCholeskyFactor::factor(linalg::SparseMatrix::from_triplets(t_nn));
+  if (!f_nn) {
+    throw std::runtime_error("schur_reduction: G_NN not positive definite");
+  }
+
+  // S0 = G_TT - G_NTᵀ · G_NN⁻¹ · G_NT, column by column.
+  red.s0 = g_tt;
+  for (std::size_t j = 0; j < m; ++j) {
+    linalg::Vector col(nn);
+    for (std::size_t r = 0; r < nn; ++r) col[r] = g_nt(r, j);
+    linalg::Vector x = f_nn->solve(col);
+    for (std::size_t i2 = 0; i2 < m; ++i2) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < nn; ++r) acc += g_nt(r, i2) * x[r];
+      red.s0(i2, j) -= acc;
+    }
+  }
+
+  red.d_diag = linalg::Vector(m);
+  const auto& d_full = system.d_diagonal();
+  for (std::size_t k = 0; k < m; ++k) red.d_diag[k] = d_full[red.tec_nodes[k]];
+  return red;
+}
+
+std::optional<double> runaway_limit(const ElectroThermalSystem& system,
+                                    const RunawayOptions& options) {
+  if (system.model().hot_nodes().empty()) return std::nullopt;
+
+  linalg::PencilBisectionOptions bis;
+  bis.rel_tol = options.rel_tol;
+
+  switch (options.method) {
+    case RunawayMethod::kSchur: {
+      SchurReduction red = schur_reduction(system);
+      if (!linalg::is_positive_definite(red.s0)) {
+        throw std::runtime_error("runaway_limit: Schur complement not positive definite");
+      }
+      return linalg::pencil_smallest_positive_eigenvalue(
+          red.s0, linalg::DenseMatrix::diagonal(red.d_diag), bis);
+    }
+    case RunawayMethod::kDenseBisect: {
+      const auto g = system.matrix_g().to_dense();
+      const auto d = linalg::DenseMatrix::diagonal(system.d_diagonal());
+      return linalg::pencil_smallest_positive_eigenvalue(g, d, bis);
+    }
+  }
+  throw std::logic_error("runaway_limit: unknown method");
+}
+
+}  // namespace tfc::tec

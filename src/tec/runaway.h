@@ -1,0 +1,55 @@
+/// \file runaway.h
+/// \brief Thermal-runaway limit λ_m of the coupled system (Theorem 1/2).
+///
+/// λ_m = min{θᵀGθ : θᵀDθ = 1} is the supply current at which G − i·D loses
+/// positive definiteness: Peltier pumping is fully offset by ohmic heating
+/// and back-conduction, the coefficient of performance hits zero, and every
+/// entry of (G − i·D)⁻¹ diverges — the chip overheats without bound in the
+/// steady-state model.
+///
+/// Two computations are provided:
+///  - paper-faithful binary search with a Cholesky positive-definiteness
+///    probe on the full matrix (Section V.C.1, O(n³) per probe);
+///  - an exact reduction onto the TEC nodes: G − i·D differs from G only on
+///    hot/cold rows, so PD(G − i·D) ⇔ PD(S₀ − i·D_T) where
+///    S₀ = G_TT − G_TN·G_NN⁻¹·G_NT is the (current-independent!) Schur
+///    complement of G on the TEC block. One sparse factorization plus a tiny
+///    dense pencil replaces every large probe.
+#pragma once
+
+#include <optional>
+
+#include "tec/electro_thermal.h"
+
+namespace tfc::tec {
+
+/// How to compute λ_m.
+enum class RunawayMethod {
+  kSchur,        ///< exact reduction, default
+  kDenseBisect,  ///< paper-faithful full-matrix binary search
+};
+
+struct RunawayOptions {
+  RunawayMethod method = RunawayMethod::kSchur;
+  /// Bisection relative tolerance.
+  double rel_tol = 1e-10;
+};
+
+/// Compute λ_m for the system. Returns nullopt when no finite limit exists
+/// (no TEC deployed, or D has no positive direction). Throws
+/// std::runtime_error if G itself is not positive definite.
+std::optional<double> runaway_limit(const ElectroThermalSystem& system,
+                                    const RunawayOptions& options = {});
+
+/// The current-independent Schur complement S₀ of G on the TEC (hot ∪ cold)
+/// block, plus the matching diagonal of D. Exposed for diagnostics and tests.
+struct SchurReduction {
+  linalg::DenseMatrix s0;       ///< m×m, m = 2·#devices
+  linalg::Vector d_diag;        ///< ±α per reduced row
+  std::vector<std::size_t> tec_nodes;  ///< original node indices, hot then cold
+};
+
+/// Build the reduction. Throws std::invalid_argument when no TECs exist.
+SchurReduction schur_reduction(const ElectroThermalSystem& system);
+
+}  // namespace tfc::tec

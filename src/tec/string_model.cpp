@@ -1,0 +1,38 @@
+#include "tec/string_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfc::tec {
+
+StringElectricalState string_electrical(const ElectroThermalSystem& system, double i,
+                                        const linalg::Vector& theta,
+                                        double lead_resistance) {
+  if (theta.size() != system.node_count()) {
+    throw std::invalid_argument("string_electrical: theta size mismatch");
+  }
+  if (lead_resistance < 0.0) {
+    throw std::invalid_argument("string_electrical: negative lead resistance");
+  }
+
+  StringElectricalState s;
+  s.current = i;
+  const auto& dev = system.device();
+  const auto& hot = system.model().hot_nodes();
+  const auto& cold = system.model().cold_nodes();
+  s.devices = hot.size();
+
+  for (std::size_t j = 0; j < hot.size(); ++j) {
+    const double dtheta = theta[hot[j]] - theta[cold[j]];
+    const double vj = i * dev.resistance + dev.seebeck * dtheta;
+    s.supply_voltage += vj;
+    s.max_device_voltage = std::max(s.max_device_voltage, std::abs(vj));
+    s.device_power += dev.input_power(i, dtheta);
+  }
+  s.supply_voltage += i * lead_resistance;
+  s.lead_power = i * i * lead_resistance;
+  s.supply_power = s.supply_voltage * i;
+  return s;
+}
+
+}  // namespace tfc::tec

@@ -1,0 +1,37 @@
+/// \file string_model.h
+/// \brief Electrical model of the series-wired TEC string (extension).
+///
+/// The paper's single extra pin implies the deployed devices are wired
+/// electrically in series and thermally in parallel (Figure 1(b)), all
+/// carrying the same current. This module computes the electrical quantities
+/// the package designer needs at that pin: the total supply voltage (ohmic
+/// drops plus the back-EMF each device develops from its Seebeck voltage
+/// α·Δθ), the power budget, and the split between useful device input power
+/// and parasitic interconnect loss.
+#pragma once
+
+#include "linalg/vector.h"
+#include "tec/electro_thermal.h"
+
+namespace tfc::tec {
+
+/// Electrical state of the series string at one operating point.
+struct StringElectricalState {
+  double current = 0.0;          ///< [A]
+  double supply_voltage = 0.0;   ///< total V at the pin
+  double supply_power = 0.0;     ///< V·i [W]
+  double device_power = 0.0;     ///< Σ per-device input power (Eq. 3) [W]
+  double lead_power = 0.0;       ///< i²·R_lead [W]
+  double max_device_voltage = 0.0;  ///< worst per-device drop [V]
+  std::size_t devices = 0;
+};
+
+/// Evaluate the string at a solved operating point.
+/// Per device j: V_j = i·r + α·(θ_h,j − θ_c,j); pin voltage
+/// V = Σ_j V_j + i·R_lead. Throws std::invalid_argument on a θ size
+/// mismatch or negative lead resistance.
+StringElectricalState string_electrical(const ElectroThermalSystem& system, double i,
+                                        const linalg::Vector& theta,
+                                        double lead_resistance = 0.0);
+
+}  // namespace tfc::tec

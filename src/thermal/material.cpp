@@ -1,0 +1,13 @@
+#include "thermal/material.h"
+
+namespace tfc::thermal {
+
+Material silicon() { return {"silicon", 100.0, 1.75e6}; }
+
+Material thermal_interface() { return {"TIM", 4.0, 4.0e6}; }
+
+Material copper() { return {"copper", 400.0, 3.55e6}; }
+
+Material aluminum() { return {"aluminum", 240.0, 2.42e6}; }
+
+}  // namespace tfc::thermal

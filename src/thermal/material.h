@@ -1,0 +1,42 @@
+/// \file material.h
+/// \brief Thermal material properties and the presets used by the package
+/// model (HotSpot-4.1-style values).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tfc::thermal {
+
+/// Homogeneous isotropic material.
+struct Material {
+  std::string name;
+  /// Thermal conductivity k [W/(m·K)].
+  double thermal_conductivity = 0.0;
+  /// Volumetric heat capacity ρ·c_p [J/(m³·K)] (used by the transient solver).
+  double volumetric_heat_capacity = 0.0;
+
+  /// Throws std::invalid_argument unless both properties are positive.
+  void validate() const {
+    if (!(thermal_conductivity > 0.0)) {
+      throw std::invalid_argument("Material '" + name + "': conductivity must be > 0");
+    }
+    if (!(volumetric_heat_capacity > 0.0)) {
+      throw std::invalid_argument("Material '" + name + "': heat capacity must be > 0");
+    }
+  }
+};
+
+/// Bulk silicon as modeled by HotSpot (k = 100 W/mK at elevated temperature).
+Material silicon();
+
+/// Thermal interface material (k = 4 W/mK, HotSpot interface default).
+Material thermal_interface();
+
+/// Copper (heat spreader / heat sink base), k = 400 W/mK.
+Material copper();
+
+/// Aluminum (budget heat sinks), k = 240 W/mK.
+Material aluminum();
+
+}  // namespace tfc::thermal

@@ -1,0 +1,40 @@
+#include "thermal/package.h"
+
+#include <stdexcept>
+
+namespace tfc::thermal {
+
+void PackageGeometry::validate() const {
+  const auto positive = [](double v, const char* what) {
+    if (!(v > 0.0)) throw std::invalid_argument(std::string("PackageGeometry: ") + what +
+                                                " must be > 0");
+  };
+  positive(die_width, "die_width");
+  positive(die_height, "die_height");
+  positive(die_thickness, "die_thickness");
+  positive(tim_thickness, "tim_thickness");
+  positive(spreader_thickness, "spreader_thickness");
+  positive(sink_thickness, "sink_thickness");
+  positive(convection_resistance, "convection_resistance");
+  positive(ambient, "ambient (Kelvin)");
+  if (tile_rows == 0 || tile_cols == 0) {
+    throw std::invalid_argument("PackageGeometry: tile grid must be non-empty");
+  }
+  if (spreader_side < die_width || spreader_side < die_height) {
+    throw std::invalid_argument("PackageGeometry: spreader must cover the die");
+  }
+  if (sink_side < spreader_side) {
+    throw std::invalid_argument("PackageGeometry: sink must cover the spreader");
+  }
+  if (model_secondary_path) {
+    positive(c4_resistance, "c4_resistance");
+    positive(substrate_to_board_resistance, "substrate_to_board_resistance");
+    positive(board_convection_resistance, "board_convection_resistance");
+  }
+  die_material.validate();
+  tim_material.validate();
+  spreader_material.validate();
+  sink_material.validate();
+}
+
+}  // namespace tfc::thermal

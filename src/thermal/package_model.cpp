@@ -1,0 +1,516 @@
+#include "thermal/package_model.h"
+
+#include <stdexcept>
+
+namespace tfc::thermal {
+
+namespace {
+
+/// Resistance of half a slab of thickness t and conductivity k over area a.
+double half_slab_resistance(double t, double k, double a) { return (0.5 * t) / (k * a); }
+
+/// Conductance of two resistances in series.
+double series(double r1, double r2) { return 1.0 / (r1 + r2); }
+
+constexpr double kTinyLength = 1e-12;  // [m] threshold for "no overhang"
+
+}  // namespace
+
+void TecThermalLink::validate() const {
+  if (!(g_cold_contact > 0.0) || !(g_internal > 0.0) || !(g_hot_contact > 0.0)) {
+    throw std::invalid_argument("TecThermalLink: all conductances must be > 0");
+  }
+}
+
+std::size_t PackageModel::tile_index(Tile t) const {
+  const auto& g = options_.geometry;
+  if (t.row >= g.tile_rows || t.col >= g.tile_cols) {
+    throw std::out_of_range("PackageModel: tile out of range");
+  }
+  return t.row * g.tile_cols + t.col;
+}
+
+std::size_t PackageModel::silicon_node(Tile t, std::size_t sub_r, std::size_t sub_c) const {
+  const std::size_t f = options_.lateral_refine;
+  if (sub_r >= f || sub_c >= f) throw std::out_of_range("PackageModel: subtile out of range");
+  tile_index(t);  // bounds check
+  const std::size_t cf = options_.geometry.tile_cols * f;
+  const std::size_t rr = t.row * f + sub_r;
+  const std::size_t cc = t.col * f + sub_c;
+  return sil_[injection_slab()][rr * cf + cc];
+}
+
+std::vector<std::size_t> PackageModel::silicon_tile_nodes(Tile t) const {
+  const std::size_t f = options_.lateral_refine;
+  std::vector<std::size_t> out;
+  out.reserve(f * f);
+  for (std::size_t sr = 0; sr < f; ++sr) {
+    for (std::size_t sc = 0; sc < f; ++sc) out.push_back(silicon_node(t, sr, sc));
+  }
+  return out;
+}
+
+std::size_t PackageModel::tec_cold_node(Tile t) const {
+  const std::size_t id = tec_cold_.at(tile_index(t));
+  if (id == kNoNode) throw std::invalid_argument("PackageModel: no TEC at tile");
+  return id;
+}
+
+std::size_t PackageModel::tec_hot_node(Tile t) const {
+  const std::size_t id = tec_hot_.at(tile_index(t));
+  if (id == kNoNode) throw std::invalid_argument("PackageModel: no TEC at tile");
+  return id;
+}
+
+void PackageModel::set_tile_powers(const linalg::Vector& tile_powers) {
+  const auto& g = options_.geometry;
+  if (tile_powers.size() != g.tile_count()) {
+    throw std::invalid_argument("PackageModel::set_tile_powers: size mismatch");
+  }
+  const std::size_t f = options_.lateral_refine;
+  const double share = 1.0 / double(f * f);
+  for (std::size_t r = 0; r < g.tile_rows; ++r) {
+    for (std::size_t c = 0; c < g.tile_cols; ++c) {
+      const double p = tile_powers[r * g.tile_cols + c];
+      if (p < 0.0) {
+        throw std::invalid_argument("PackageModel::set_tile_powers: negative power");
+      }
+      for (std::size_t node : silicon_tile_nodes({r, c})) {
+        network_.set_power(node, p * share);
+      }
+    }
+  }
+}
+
+linalg::Vector PackageModel::tile_temperatures(const linalg::Vector& theta) const {
+  const auto& g = options_.geometry;
+  if (theta.size() != network_.node_count()) {
+    throw std::invalid_argument("PackageModel::tile_temperatures: size mismatch");
+  }
+  const std::size_t f = options_.lateral_refine;
+  linalg::Vector out(g.tile_count());
+  for (std::size_t r = 0; r < g.tile_rows; ++r) {
+    for (std::size_t c = 0; c < g.tile_cols; ++c) {
+      double acc = 0.0;
+      for (std::size_t node : silicon_tile_nodes({r, c})) acc += theta[node];
+      out[r * g.tile_cols + c] = acc / double(f * f);
+    }
+  }
+  return out;
+}
+
+double PackageModel::peak_tile_temperature(const linalg::Vector& theta) const {
+  return linalg::max_entry(tile_temperatures(theta));
+}
+
+PackageModel PackageModel::build(const PackageModelOptions& options) {
+  options.geometry.validate();
+  if (options.lateral_refine == 0 || options.silicon_slabs == 0 || options.tim_slabs == 0 ||
+      options.spreader_slabs == 0) {
+    throw std::invalid_argument("PackageModel: refine/slab counts must be >= 1");
+  }
+  const auto& g = options.geometry;
+  const bool any_tec = options.tec_tiles.grid_size() != 0 && !options.tec_tiles.empty();
+  if (any_tec) {
+    if (options.tec_tiles.rows() != g.tile_rows || options.tec_tiles.cols() != g.tile_cols) {
+      throw std::invalid_argument("PackageModel: tec_tiles mask shape mismatch");
+    }
+    options.tec_link.validate();
+  }
+
+  PackageModel model;
+  model.options_ = options;
+  ConductanceNetwork& net = model.network_;
+
+  const std::size_t f = options.lateral_refine;
+  const std::size_t rf = g.tile_rows * f;
+  const std::size_t cf = g.tile_cols * f;
+  const double px = g.tile_pitch_x() / double(f);
+  const double py = g.tile_pitch_y() / double(f);
+  const double sub_area = px * py;
+
+  const double t_sil = g.die_thickness / double(options.silicon_slabs);
+  const double t_tim = g.tim_thickness / double(options.tim_slabs);
+  const double t_spr = g.spreader_thickness / double(options.spreader_slabs);
+  const double k_sil = g.die_material.thermal_conductivity;
+  const double k_tim = g.tim_material.thermal_conductivity;
+  const double k_spr = g.spreader_material.thermal_conductivity;
+  const double k_snk = g.sink_material.thermal_conductivity;
+  const double c_sil = g.die_material.volumetric_heat_capacity;
+  const double c_tim = g.tim_material.volumetric_heat_capacity;
+  const double c_spr = g.spreader_material.volumetric_heat_capacity;
+  const double c_snk = g.sink_material.volumetric_heat_capacity;
+
+  const auto tec_at = [&](std::size_t rr, std::size_t cc) {
+    if (!any_tec) return false;
+    return options.tec_tiles.test(rr / f, cc / f);
+  };
+
+  // ---- node creation ------------------------------------------------------
+  const auto add_grid = [&](NodeKind kind, std::size_t slabs, double slab_t, double vol_c,
+                            auto&& skip) {
+    std::vector<std::vector<std::size_t>> ids(slabs,
+                                              std::vector<std::size_t>(rf * cf, kNoNode));
+    for (std::size_t s = 0; s < slabs; ++s) {
+      for (std::size_t rr = 0; rr < rf; ++rr) {
+        for (std::size_t cc = 0; cc < cf; ++cc) {
+          if (skip(rr, cc)) continue;
+          NodeInfo info;
+          info.kind = kind;
+          info.row = rr;
+          info.col = cc;
+          info.slab = s;
+          info.area = sub_area;
+          info.capacitance = vol_c * sub_area * slab_t;
+          ids[s][rr * cf + cc] = net.add_node(info);
+        }
+      }
+    }
+    return ids;
+  };
+
+  const auto no_skip = [](std::size_t, std::size_t) { return false; };
+  model.sil_ = add_grid(NodeKind::kSilicon, options.silicon_slabs, t_sil, c_sil, no_skip);
+  model.tim_ = add_grid(NodeKind::kTim, options.tim_slabs, t_tim, c_tim, tec_at);
+  model.spr_ = add_grid(NodeKind::kSpreaderCenter, options.spreader_slabs, t_spr, c_spr,
+                        no_skip);
+  model.snk_ = add_grid(NodeKind::kSinkCenter, 1, g.sink_thickness, c_snk, no_skip)[0];
+
+  // TEC nodes: one (cold, hot) pair per stage per deployed tile. Stage 0's
+  // cold plate faces the silicon; the last stage's hot plate faces the
+  // spreader. The Peltier/Joule stamping layer treats every pair uniformly.
+  if (options.tec_stages == 0) {
+    throw std::invalid_argument("PackageModel: tec_stages must be >= 1");
+  }
+  model.tec_cold_.assign(g.tile_count(), kNoNode);
+  model.tec_hot_.assign(g.tile_count(), kNoNode);
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> stage_chains;
+  if (any_tec) {
+    for (Tile t : options.tec_tiles.tiles()) {
+      NodeInfo cold;
+      cold.kind = NodeKind::kTecCold;
+      cold.row = t.row;
+      cold.col = t.col;
+      cold.area = g.tile_area();
+      cold.capacitance = c_tim * g.tile_area() *
+                         (0.5 * g.tim_thickness / double(options.tec_stages));
+      NodeInfo hot = cold;
+      hot.kind = NodeKind::kTecHot;
+
+      std::vector<std::pair<std::size_t, std::size_t>> chain;
+      chain.reserve(options.tec_stages);
+      for (std::size_t s = 0; s < options.tec_stages; ++s) {
+        NodeInfo c = cold;
+        NodeInfo h = hot;
+        c.slab = h.slab = s;
+        const std::size_t c_id = net.add_node(c);
+        const std::size_t h_id = net.add_node(h);
+        chain.emplace_back(c_id, h_id);
+        model.cold_nodes_.push_back(c_id);
+        model.hot_nodes_.push_back(h_id);
+      }
+      const std::size_t idx = t.row * g.tile_cols + t.col;
+      model.tec_cold_[idx] = chain.front().first;
+      model.tec_hot_[idx] = chain.back().second;
+      model.tec_tile_list_.push_back(t);
+      stage_chains.push_back(std::move(chain));
+    }
+  }
+
+  // Peripheral macro nodes. Edge order: 0=N(row 0), 1=S, 2=W(col 0), 3=E.
+  // Corner order: 0=NW, 1=NE, 2=SW, 3=SE.
+  const double ov_sp_x = 0.5 * (g.spreader_side - g.die_width);
+  const double ov_sp_y = 0.5 * (g.spreader_side - g.die_height);
+  const double ov_sk = 0.5 * (g.sink_side - g.spreader_side);
+  const bool has_sp_periph = ov_sp_x > kTinyLength && ov_sp_y > kTinyLength;
+  const bool has_sk_outer = ov_sk > kTinyLength;
+
+  const double edge_len_ns = g.die_width;   // N/S edges run along x
+  const double edge_len_we = g.die_height;  // W/E edges run along y
+
+  const auto add_macro = [&](NodeKind kind, double area, double thickness, double vol_c) {
+    NodeInfo info;
+    info.kind = kind;
+    info.area = area;
+    info.capacitance = vol_c * area * thickness;
+    return net.add_node(info);
+  };
+
+  std::vector<std::size_t> sp_edge(4, kNoNode), sp_corner(4, kNoNode);
+  std::vector<std::size_t> sk_in_edge(4, kNoNode), sk_in_corner(4, kNoNode);
+  std::vector<std::size_t> sk_out_edge(4, kNoNode), sk_out_corner(4, kNoNode);
+  if (has_sp_periph) {
+    const double ea[4] = {edge_len_ns * ov_sp_y, edge_len_ns * ov_sp_y,
+                          edge_len_we * ov_sp_x, edge_len_we * ov_sp_x};
+    for (int e = 0; e < 4; ++e) {
+      sp_edge[e] = add_macro(NodeKind::kSpreaderEdge, ea[e], g.spreader_thickness, c_spr);
+      sk_in_edge[e] = add_macro(NodeKind::kSinkInnerEdge, ea[e], g.sink_thickness, c_snk);
+    }
+    const double ca = ov_sp_x * ov_sp_y;
+    for (int c = 0; c < 4; ++c) {
+      sp_corner[c] = add_macro(NodeKind::kSpreaderCorner, ca, g.spreader_thickness, c_spr);
+      sk_in_corner[c] =
+          add_macro(NodeKind::kSinkInnerCorner, ca, g.sink_thickness, c_snk);
+    }
+  }
+  if (has_sk_outer) {
+    const double ea = g.spreader_side * ov_sk;
+    const double ca = ov_sk * ov_sk;
+    for (int e = 0; e < 4; ++e) {
+      sk_out_edge[e] = add_macro(NodeKind::kSinkOuterEdge, ea, g.sink_thickness, c_snk);
+    }
+    for (int c = 0; c < 4; ++c) {
+      sk_out_corner[c] =
+          add_macro(NodeKind::kSinkOuterCorner, ca, g.sink_thickness, c_snk);
+    }
+  }
+
+  // ---- lateral conductances within each grid slab --------------------------
+  const auto lateral_grid = [&](const std::vector<std::vector<std::size_t>>& ids,
+                                double slab_t, double k) {
+    const double gx = k * slab_t * py / px;  // between x-neighbours
+    const double gy = k * slab_t * px / py;  // between y-neighbours
+    for (const auto& slab : ids) {
+      for (std::size_t rr = 0; rr < rf; ++rr) {
+        for (std::size_t cc = 0; cc < cf; ++cc) {
+          const std::size_t a = slab[rr * cf + cc];
+          if (a == kNoNode) continue;
+          if (cc + 1 < cf) {
+            const std::size_t b = slab[rr * cf + cc + 1];
+            if (b != kNoNode) net.add_conductance(a, b, gx);
+          }
+          if (rr + 1 < rf) {
+            const std::size_t b = slab[(rr + 1) * cf + cc];
+            if (b != kNoNode) net.add_conductance(a, b, gy);
+          }
+        }
+      }
+    }
+  };
+  lateral_grid(model.sil_, t_sil, k_sil);
+  lateral_grid(model.tim_, t_tim, k_tim);
+  lateral_grid(model.spr_, t_spr, k_spr);
+  lateral_grid({model.snk_}, g.sink_thickness, k_snk);
+
+  // ---- vertical conductances within each layer -----------------------------
+  const auto vertical_within = [&](const std::vector<std::vector<std::size_t>>& ids,
+                                   double slab_t, double k) {
+    const double gv = k * sub_area / slab_t;
+    for (std::size_t s = 0; s + 1 < ids.size(); ++s) {
+      for (std::size_t i = 0; i < rf * cf; ++i) {
+        if (ids[s][i] != kNoNode && ids[s + 1][i] != kNoNode) {
+          net.add_conductance(ids[s][i], ids[s + 1][i], gv);
+        }
+      }
+    }
+  };
+  vertical_within(model.sil_, t_sil, k_sil);
+  vertical_within(model.tim_, t_tim, k_tim);
+  vertical_within(model.spr_, t_spr, k_spr);
+
+  // ---- vertical conductances across layers ---------------------------------
+  // Slab convention: silicon slab S-1 faces the TIM; TIM slab 0 faces
+  // silicon; spreader slab 0 faces the TIM; spreader slab P-1 faces the sink.
+  const auto& sil_top = model.sil_.back();
+  const auto& tim_bot = model.tim_.front();
+  const auto& tim_top = model.tim_.back();
+  const auto& spr_bot = model.spr_.front();
+  const auto& spr_top = model.spr_.back();
+
+  const double r_half_sil = half_slab_resistance(t_sil, k_sil, sub_area);
+  const double r_half_tim = half_slab_resistance(t_tim, k_tim, sub_area);
+  const double r_half_spr = half_slab_resistance(t_spr, k_spr, sub_area);
+  const double r_half_snk = half_slab_resistance(g.sink_thickness, k_snk, sub_area);
+
+  for (std::size_t i = 0; i < rf * cf; ++i) {
+    if (tim_bot[i] != kNoNode) {
+      net.add_conductance(sil_top[i], tim_bot[i], series(r_half_sil, r_half_tim));
+    }
+    if (tim_top[i] != kNoNode) {
+      net.add_conductance(tim_top[i], spr_bot[i], series(r_half_tim, r_half_spr));
+    }
+    net.add_conductance(spr_top[i], model.snk_[i], series(r_half_spr, r_half_snk));
+  }
+
+  // TEC substitution: silicon —g_c— cold —κ— hot —g_h— spreader, with
+  // contact conductances split evenly over the tile's refine² subtiles and
+  // composed in series with the adjacent half-slabs.
+  if (any_tec) {
+    const double fsq = double(f * f);
+    const TecThermalLink& link = options.tec_link;
+    // Inter-stage coupling: the hot plate of stage s bonds to the cold plate
+    // of stage s+1 through both contact layers in series.
+    const double g_interstage =
+        1.0 / (1.0 / link.g_hot_contact + 1.0 / link.g_cold_contact);
+    for (std::size_t k = 0; k < model.tec_tile_list_.size(); ++k) {
+      const Tile t = model.tec_tile_list_[k];
+      const auto& chain = stage_chains[k];
+      for (std::size_t s = 0; s < chain.size(); ++s) {
+        net.add_conductance(chain[s].first, chain[s].second, link.g_internal);
+        if (s + 1 < chain.size()) {
+          net.add_conductance(chain[s].second, chain[s + 1].first, g_interstage);
+        }
+      }
+      const std::size_t cold = chain.front().first;
+      const std::size_t hot = chain.back().second;
+      for (std::size_t sr = 0; sr < f; ++sr) {
+        for (std::size_t sc = 0; sc < f; ++sc) {
+          const std::size_t rr = t.row * f + sr;
+          const std::size_t cc = t.col * f + sc;
+          const std::size_t sil_node = sil_top[rr * cf + cc];
+          const std::size_t spr_node = spr_bot[rr * cf + cc];
+          net.add_conductance(sil_node, cold,
+                              series(r_half_sil, fsq / link.g_cold_contact));
+          net.add_conductance(hot, spr_node,
+                              series(fsq / link.g_hot_contact, r_half_spr));
+        }
+      }
+    }
+  }
+
+  // ---- spreader / sink periphery -------------------------------------------
+  // Boundary rows/cols of a grid slab connect laterally to the adjacent edge
+  // macro node; per-slab conductances add up to the full-thickness path.
+  const auto boundary_to_edges = [&](const std::vector<std::vector<std::size_t>>& ids,
+                                     double slab_t, double k,
+                                     const std::vector<std::size_t>& edges, double ov_y_,
+                                     double ov_x_) {
+    if (edges[0] == kNoNode) return;
+    for (const auto& slab : ids) {
+      for (std::size_t cc = 0; cc < cf; ++cc) {
+        const double gn = series((0.5 * py) / (k * slab_t * px),
+                                 (0.5 * ov_y_) / (k * slab_t * px));
+        net.add_conductance(slab[cc], edges[0], gn);                    // N
+        net.add_conductance(slab[(rf - 1) * cf + cc], edges[1], gn);    // S
+      }
+      for (std::size_t rr = 0; rr < rf; ++rr) {
+        const double gw = series((0.5 * px) / (k * slab_t * py),
+                                 (0.5 * ov_x_) / (k * slab_t * py));
+        net.add_conductance(slab[rr * cf + 0], edges[2], gw);           // W
+        net.add_conductance(slab[rr * cf + (cf - 1)], edges[3], gw);    // E
+      }
+    }
+  };
+
+  // Edge↔corner links over full layer thickness.
+  const auto edge_corner_links = [&](const std::vector<std::size_t>& edges,
+                                     const std::vector<std::size_t>& corners, double k,
+                                     double t, double ov_x_, double ov_y_) {
+    if (edges[0] == kNoNode || corners[0] == kNoNode) return;
+    // N edge ↔ NW/NE corners; S ↔ SW/SE; W ↔ NW/SW; E ↔ NE/SE.
+    const double g_ns = series((0.5 * edge_len_ns) / (k * t * ov_sp_y),
+                               (0.5 * ov_x_) / (k * t * ov_y_));
+    const double g_we = series((0.5 * edge_len_we) / (k * t * ov_sp_x),
+                               (0.5 * ov_y_) / (k * t * ov_x_));
+    net.add_conductance(edges[0], corners[0], g_ns);
+    net.add_conductance(edges[0], corners[1], g_ns);
+    net.add_conductance(edges[1], corners[2], g_ns);
+    net.add_conductance(edges[1], corners[3], g_ns);
+    net.add_conductance(edges[2], corners[0], g_we);
+    net.add_conductance(edges[2], corners[2], g_we);
+    net.add_conductance(edges[3], corners[1], g_we);
+    net.add_conductance(edges[3], corners[3], g_we);
+  };
+
+  if (has_sp_periph) {
+    boundary_to_edges(model.spr_, t_spr, k_spr, sp_edge, ov_sp_y, ov_sp_x);
+    edge_corner_links(sp_edge, sp_corner, k_spr, g.spreader_thickness, ov_sp_x, ov_sp_y);
+    boundary_to_edges({model.snk_}, g.sink_thickness, k_snk, sk_in_edge, ov_sp_y, ov_sp_x);
+    edge_corner_links(sk_in_edge, sk_in_corner, k_snk, g.sink_thickness, ov_sp_x, ov_sp_y);
+
+    // Vertical: spreader periphery sits over the sink inner periphery.
+    const double ea[4] = {edge_len_ns * ov_sp_y, edge_len_ns * ov_sp_y,
+                          edge_len_we * ov_sp_x, edge_len_we * ov_sp_x};
+    for (int e = 0; e < 4; ++e) {
+      net.add_conductance(
+          sp_edge[e], sk_in_edge[e],
+          series(half_slab_resistance(g.spreader_thickness, k_spr, ea[e]),
+                 half_slab_resistance(g.sink_thickness, k_snk, ea[e])));
+    }
+    const double ca = ov_sp_x * ov_sp_y;
+    for (int c = 0; c < 4; ++c) {
+      net.add_conductance(sp_corner[c], sk_in_corner[c],
+                          series(half_slab_resistance(g.spreader_thickness, k_spr, ca),
+                                 half_slab_resistance(g.sink_thickness, k_snk, ca)));
+    }
+  }
+
+  if (has_sk_outer) {
+    const double k = k_snk;
+    const double t = g.sink_thickness;
+    if (has_sp_periph) {
+      // inner edge ↔ outer edge / inner corner ↔ outer corner.
+      for (int e = 0; e < 4; ++e) {
+        const double ov_in = (e < 2) ? ov_sp_y : ov_sp_x;
+        const double g_io =
+            series((0.5 * ov_in) / (k * t * g.spreader_side),
+                   (0.5 * ov_sk) / (k * t * g.spreader_side));
+        net.add_conductance(sk_in_edge[e], sk_out_edge[e], g_io);
+      }
+      const double w_cc = 0.5 * (0.5 * (ov_sp_x + ov_sp_y) + ov_sk);
+      for (int c = 0; c < 4; ++c) {
+        const double g_cc = series(
+            (0.25 * (ov_sp_x + ov_sp_y)) / (k * t * w_cc), (0.5 * ov_sk) / (k * t * w_cc));
+        net.add_conductance(sk_in_corner[c], sk_out_corner[c], g_cc);
+      }
+    } else {
+      // No inner periphery: sink center boundary couples directly outward.
+      boundary_to_edges({model.snk_}, t, k, sk_out_edge, ov_sk, ov_sk);
+    }
+    // outer edge ↔ outer corner.
+    const double g_ec = series((0.5 * g.spreader_side) / (k * t * ov_sk),
+                               (0.5 * ov_sk) / (k * t * ov_sk));
+    for (const auto& [e, c] : {std::pair<int, int>{0, 0}, {0, 1}, {1, 2}, {1, 3},
+                               {2, 0}, {2, 2}, {3, 1}, {3, 3}}) {
+      if (sk_out_corner[c] != kNoNode) {
+        net.add_conductance(sk_out_edge[e], sk_out_corner[c], g_ec);
+      }
+    }
+  }
+
+  // ---- convection to ambient ------------------------------------------------
+  // Total conductance 1/r_convec distributed over sink nodes by area share.
+  const double sink_area = g.sink_side * g.sink_side;
+  const double g_total = 1.0 / g.convection_resistance;
+  const auto convect = [&](std::size_t node) {
+    if (node == kNoNode) return;
+    const double a = net.node(node).area;
+    net.add_ambient_leg(node, g_total * a / sink_area);
+  };
+  for (std::size_t i = 0; i < rf * cf; ++i) convect(model.snk_[i]);
+  for (int e = 0; e < 4; ++e) {
+    convect(sk_in_edge[e]);
+    convect(sk_out_edge[e]);
+  }
+  for (int c = 0; c < 4; ++c) {
+    convect(sk_in_corner[c]);
+    convect(sk_out_corner[c]);
+  }
+
+  // ---- secondary heat path (optional) ---------------------------------------
+  // Die active face → C4/underfill → package substrate → board → ambient.
+  // Lumped (one substrate node, one board node): the path carries a minor
+  // share of the heat, so its lateral structure is immaterial.
+  if (g.model_secondary_path) {
+    NodeInfo sub;
+    sub.kind = NodeKind::kOther;
+    sub.area = g.die_width * g.die_height;
+    sub.capacitance = 1.6e6 * sub.area * 1e-3;  // ~1 mm organic substrate
+    const std::size_t substrate = net.add_node(sub);
+    NodeInfo board = sub;
+    board.capacitance *= 4.0;  // board slab under the package
+    const std::size_t board_node = net.add_node(board);
+
+    const auto& sil_bot = model.sil_.front();  // slab 0: active face
+    const double g_c4_sub = (1.0 / g.c4_resistance) / double(rf * cf);
+    for (std::size_t i = 0; i < rf * cf; ++i) {
+      net.add_conductance(sil_bot[i], substrate, g_c4_sub);
+    }
+    net.add_conductance(substrate, board_node, 1.0 / g.substrate_to_board_resistance);
+    net.add_ambient_leg(board_node, 1.0 / g.board_convection_resistance);
+  }
+
+  return model;
+}
+
+}  // namespace tfc::thermal

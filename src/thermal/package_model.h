@@ -1,0 +1,136 @@
+/// \file package_model.h
+/// \brief Builder for the compact thermal model of the full chip package
+/// (Figure 3 in the paper), with optional TEC tile substitution and optional
+/// grid refinement for validation.
+///
+/// Stack (bottom to top in heat-flow order): silicon die → TIM (or TEC
+/// devices immersed in the TIM, Figure 2) → copper heat spreader → heat sink
+/// → convection to ambient. The die shadow is discretized into the paper's
+/// p×q tile grid; spreader and sink overhangs are lumped into HotSpot-style
+/// peripheral macro nodes (4 edges + 4 corners each).
+///
+/// Where a tile carries a TEC, the TIM node is replaced by a hot-side and a
+/// cold-side node (Section IV.B): silicon —g_c— cold —κ— hot —g_h— spreader.
+/// Peltier terms (±α·i) and Joule heat (r·i²/2) are *not* stamped here; they
+/// belong to the electro-thermal layer (tec::TecStamper), keeping this model
+/// purely a conductance network.
+///
+/// Setting lateral_refine > 1 and/or *_slabs > 1 produces the fine-grid
+/// reference discretization used to validate the compact model (Section VI's
+/// HotSpot-agreement experiment).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/tile.h"
+#include "linalg/vector.h"
+#include "thermal/network.h"
+#include "thermal/package.h"
+
+namespace tfc::thermal {
+
+/// Thermal-side description of one TEC device in the stack.
+/// Device-level conductances [W/K] for a full 0.5 mm × 0.5 mm device.
+struct TecThermalLink {
+  /// Contact conductance between the silicon tile and the cold side (g_c).
+  double g_cold_contact = 0.0;
+  /// Internal conduction κ between cold and hot side.
+  double g_internal = 0.0;
+  /// Contact conductance between the hot side and the spreader (g_h).
+  double g_hot_contact = 0.0;
+
+  void validate() const;
+};
+
+/// Build options.
+struct PackageModelOptions {
+  PackageGeometry geometry;
+  /// Tiles carrying TEC devices (empty mask or default ⇒ none).
+  TileMask tec_tiles;
+  /// Required when tec_tiles is non-empty.
+  TecThermalLink tec_link;
+  /// Stages per device (cascade extension): 1 reproduces the paper's device;
+  /// s > 1 stacks s identical stages electrically in series, coupled by
+  /// inter-stage contacts (series of g_hot and g_cold). Every stage gets its
+  /// own hot/cold node pair, so Peltier/Joule stamping applies per stage.
+  std::size_t tec_stages = 1;
+  /// Lateral refinement factor: each tile becomes refine×refine subtiles.
+  std::size_t lateral_refine = 1;
+  /// Z-discretization per layer (silicon / TIM / spreader).
+  std::size_t silicon_slabs = 1;
+  std::size_t tim_slabs = 1;
+  std::size_t spreader_slabs = 1;
+};
+
+/// Immutable-topology package model. Node powers remain settable (power maps
+/// and Joule terms change between solves; the conductance topology does not).
+class PackageModel {
+ public:
+  /// Assemble the network. Throws std::invalid_argument on bad options.
+  static PackageModel build(const PackageModelOptions& options);
+
+  const PackageGeometry& geometry() const { return options_.geometry; }
+  const PackageModelOptions& options() const { return options_; }
+  ConductanceNetwork& network() { return network_; }
+  const ConductanceNetwork& network() const { return network_; }
+
+  std::size_t node_count() const { return network_.node_count(); }
+  std::size_t refine() const { return options_.lateral_refine; }
+
+  /// Silicon node at tile t, subtile (sub_r, sub_c), slab (defaults to the
+  /// power-injection slab).
+  std::size_t silicon_node(Tile t, std::size_t sub_r = 0, std::size_t sub_c = 0) const;
+
+  /// All silicon nodes of tile t on the injection slab.
+  std::vector<std::size_t> silicon_tile_nodes(Tile t) const;
+
+  bool has_tec(Tile t) const { return !tec_cold_.empty() && tec_cold_at(t) != kNoNode; }
+  /// Cold plate facing the silicon (stage 0's cold node).
+  std::size_t tec_cold_node(Tile t) const;
+  /// Hot plate facing the spreader (last stage's hot node).
+  std::size_t tec_hot_node(Tile t) const;
+
+  /// Row-major list of tiles carrying TECs.
+  const std::vector<Tile>& tec_tiles() const { return tec_tile_list_; }
+  /// All TEC cold-/hot-side node indices (paper's CLD / HOT sets).
+  const std::vector<std::size_t>& cold_nodes() const { return cold_nodes_; }
+  const std::vector<std::size_t>& hot_nodes() const { return hot_nodes_; }
+
+  /// Install a tile power map [W per tile], spread uniformly over the tile's
+  /// injection-slab subtiles. Powers on non-silicon nodes are untouched.
+  /// \p tile_powers is row-major of size tile_rows × tile_cols, entries ≥ 0.
+  void set_tile_powers(const linalg::Vector& tile_powers);
+
+  /// Average silicon temperature per tile (injection slab) from a full node
+  /// temperature vector [K]; row-major tile order.
+  linalg::Vector tile_temperatures(const linalg::Vector& theta) const;
+
+  /// Convenience: max over tile_temperatures.
+  double peak_tile_temperature(const linalg::Vector& theta) const;
+
+ private:
+  PackageModel() = default;
+
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+  std::size_t tile_index(Tile t) const;
+  std::size_t tec_cold_at(Tile t) const { return tec_cold_[tile_index(t)]; }
+  std::size_t injection_slab() const { return options_.silicon_slabs / 2; }
+
+  PackageModelOptions options_;
+  ConductanceNetwork network_;
+
+  // Node index maps; grids are [slab][refined-row-major].
+  std::vector<std::vector<std::size_t>> sil_;
+  std::vector<std::vector<std::size_t>> tim_;  // kNoNode under TEC tiles
+  std::vector<std::vector<std::size_t>> spr_;
+  std::vector<std::size_t> snk_;
+  std::vector<std::size_t> tec_cold_;  // per tile, kNoNode if absent
+  std::vector<std::size_t> tec_hot_;
+  std::vector<Tile> tec_tile_list_;
+  std::vector<std::size_t> cold_nodes_;
+  std::vector<std::size_t> hot_nodes_;
+};
+
+}  // namespace tfc::thermal

@@ -1,0 +1,56 @@
+#include "thermal/transient.h"
+
+#include <stdexcept>
+
+namespace tfc::thermal {
+
+namespace {
+
+linalg::SparseCholeskyFactor make_factor(const linalg::SparseMatrix& g,
+                                         const linalg::Vector& capacitance, double dt) {
+  if (!g.square() || g.rows() != capacitance.size()) {
+    throw std::invalid_argument("TransientSolver: dimension mismatch");
+  }
+  if (!(dt > 0.0)) throw std::invalid_argument("TransientSolver: dt must be > 0");
+  linalg::TripletList t(g.rows(), g.cols());
+  for (std::size_t i = 0; i < capacitance.size(); ++i) {
+    if (!(capacitance[i] > 0.0)) {
+      throw std::invalid_argument("TransientSolver: capacitances must be > 0");
+    }
+    t.add(i, i, capacitance[i] / dt);
+  }
+  auto a = g.add_scaled(linalg::SparseMatrix::from_triplets(t), 1.0);
+  // Minimum-degree ordering: its larger one-off ordering cost is repaid many
+  // times over by the denser-factor-free solves this integrator performs at
+  // every step.
+  auto f = linalg::SparseCholeskyFactor::factor(a, linalg::FillOrdering::kMinDegree);
+  if (!f) throw std::runtime_error("TransientSolver: G + C/dt not positive definite");
+  return std::move(*f);
+}
+
+}  // namespace
+
+TransientSolver::TransientSolver(const linalg::SparseMatrix& g,
+                                 const linalg::Vector& capacitance, double dt)
+    : dt_(dt), c_over_dt_(capacitance), factor_(make_factor(g, capacitance, dt)) {
+  for (std::size_t i = 0; i < c_over_dt_.size(); ++i) c_over_dt_[i] /= dt_;
+}
+
+linalg::Vector TransientSolver::step(const linalg::Vector& theta,
+                                     const linalg::Vector& rhs) const {
+  if (theta.size() != c_over_dt_.size() || rhs.size() != c_over_dt_.size()) {
+    throw std::invalid_argument("TransientSolver::step: dimension mismatch");
+  }
+  linalg::Vector b = rhs;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] += c_over_dt_[i] * theta[i];
+  return factor_.solve(b);
+}
+
+linalg::Vector TransientSolver::run(
+    linalg::Vector theta, std::size_t num_steps,
+    const std::function<linalg::Vector(std::size_t)>& rhs_at) const {
+  for (std::size_t s = 0; s < num_steps; ++s) theta = step(theta, rhs_at(s));
+  return theta;
+}
+
+}  // namespace tfc::thermal

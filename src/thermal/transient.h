@@ -1,0 +1,44 @@
+/// \file transient.h
+/// \brief Transient RC simulation of the package (extension beyond the
+/// paper's steady-state scope).
+///
+/// The paper's compact model deliberately omits thermal capacitance
+/// ("we are focusing on the steady state behavior"). This solver adds the
+/// capacitances back and integrates C·dθ/dt + G·θ = p with backward Euler,
+/// enabling studies of TEC turn-on transients and time-varying power maps.
+#pragma once
+
+#include <functional>
+
+#include "linalg/sparse_cholesky.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+
+namespace tfc::thermal {
+
+/// Backward-Euler integrator over a fixed-topology network.
+class TransientSolver {
+ public:
+  /// \p g assembled conductance matrix; \p capacitance per-node C [J/K]
+  /// (entries must be > 0); \p dt time step [s].
+  TransientSolver(const linalg::SparseMatrix& g, const linalg::Vector& capacitance,
+                  double dt);
+
+  double dt() const { return dt_; }
+
+  /// One step: returns θ(t+dt) given θ(t) and the (constant-over-step)
+  /// right-hand side p + g_amb·θ_amb.
+  linalg::Vector step(const linalg::Vector& theta, const linalg::Vector& rhs) const;
+
+  /// Integrate \p num_steps steps with a possibly time-varying RHS callback
+  /// (called with the step index). Returns the final state.
+  linalg::Vector run(linalg::Vector theta, std::size_t num_steps,
+                     const std::function<linalg::Vector(std::size_t)>& rhs_at) const;
+
+ private:
+  double dt_;
+  linalg::Vector c_over_dt_;
+  linalg::SparseCholeskyFactor factor_;  // of (G + C/dt)
+};
+
+}  // namespace tfc::thermal

@@ -1,0 +1,49 @@
+#include "thermal/validation.h"
+
+#include <cmath>
+
+namespace tfc::thermal {
+
+ValidationReport validate_against_reference(const PackageModelOptions& options,
+                                            const linalg::Vector& tile_powers,
+                                            const ReferenceResolution& resolution,
+                                            const SteadyStateOptions& solver) {
+  PackageModelOptions coarse_opts = options;
+  coarse_opts.lateral_refine = 1;
+  coarse_opts.silicon_slabs = 1;
+  coarse_opts.tim_slabs = 1;
+  coarse_opts.spreader_slabs = 1;
+
+  PackageModelOptions fine_opts = options;
+  fine_opts.lateral_refine = resolution.lateral_refine;
+  fine_opts.silicon_slabs = resolution.silicon_slabs;
+  fine_opts.tim_slabs = resolution.tim_slabs;
+  fine_opts.spreader_slabs = resolution.spreader_slabs;
+
+  PackageModel coarse = PackageModel::build(coarse_opts);
+  PackageModel fine = PackageModel::build(fine_opts);
+  coarse.set_tile_powers(tile_powers);
+  fine.set_tile_powers(tile_powers);
+
+  SteadyStateOptions fine_solver = solver;
+  if (fine.node_count() > 5000) {
+    fine_solver.backend = SolverBackend::kConjugateGradient;
+  }
+
+  ValidationReport report;
+  report.coarse = coarse.tile_temperatures(solve_steady_state(coarse, solver));
+  report.reference = fine.tile_temperatures(solve_steady_state(fine, fine_solver));
+  report.coarse_nodes = coarse.node_count();
+  report.reference_nodes = fine.node_count();
+
+  double acc = 0.0;
+  for (std::size_t i = 0; i < report.coarse.size(); ++i) {
+    const double d = std::abs(report.coarse[i] - report.reference[i]);
+    report.max_abs_diff = std::max(report.max_abs_diff, d);
+    acc += d;
+  }
+  report.mean_abs_diff = acc / double(report.coarse.size());
+  return report;
+}
+
+}  // namespace tfc::thermal

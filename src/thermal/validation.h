@@ -1,0 +1,45 @@
+/// \file validation.h
+/// \brief Compact-vs-reference model comparison (the paper's HotSpot 4.1
+/// validation: "the worst-case difference is less than 1.5 °C").
+///
+/// The reference model is the same package discretized finer (lateral
+/// refinement + z-slabs per layer) — the role HotSpot/FEM plays in the paper.
+#pragma once
+
+#include "linalg/vector.h"
+#include "thermal/package_model.h"
+#include "thermal/steady_state.h"
+
+namespace tfc::thermal {
+
+/// Result of one validation run.
+struct ValidationReport {
+  /// Per-tile temperatures [K] from the compact (coarse) model.
+  linalg::Vector coarse;
+  /// Per-tile temperatures [K] from the refined reference model.
+  linalg::Vector reference;
+  /// max_k |coarse_k - reference_k| [K].
+  double max_abs_diff = 0.0;
+  /// mean_k |coarse_k - reference_k| [K].
+  double mean_abs_diff = 0.0;
+  std::size_t coarse_nodes = 0;
+  std::size_t reference_nodes = 0;
+};
+
+/// Reference discretization parameters.
+struct ReferenceResolution {
+  std::size_t lateral_refine = 4;
+  std::size_t silicon_slabs = 3;
+  std::size_t tim_slabs = 1;
+  std::size_t spreader_slabs = 3;
+};
+
+/// Run the same power map through a coarse model (options as given, with
+/// refine/slabs forced to 1) and a refined reference, and compare tile
+/// temperatures. \p tile_powers is the worst-case power map [W per tile].
+ValidationReport validate_against_reference(const PackageModelOptions& options,
+                                            const linalg::Vector& tile_powers,
+                                            const ReferenceResolution& resolution = {},
+                                            const SteadyStateOptions& solver = {});
+
+}  // namespace tfc::thermal

@@ -1,0 +1,145 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tfc::cli {
+namespace {
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  CliRun r;
+  r.code = run_cli(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  auto r = run({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage: tfcool"), std::string::npos);
+}
+
+TEST(Cli, MissingCommandIsUsageError) {
+  auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("missing command"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandIsUsageError) {
+  auto r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, OptionMissingValueIsUsageError) {
+  auto r = run({"design", "--limit"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("requires a value"), std::string::npos);
+}
+
+TEST(Cli, UnknownChipReported) {
+  auto r = run({"design", "--chip", "pentium"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown chip"), std::string::npos);
+}
+
+TEST(Cli, DesignAlphaSucceeds) {
+  auto r = run({"design", "--chip", "alpha"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("alpha"), std::string::npos);
+  EXPECT_NE(r.out.find("ok"), std::string::npos);
+}
+
+TEST(Cli, DesignMapFlagPrintsGrid) {
+  auto r = run({"design", "--chip", "alpha", "--map", "--no-full-cover"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find('#'), std::string::npos);
+}
+
+TEST(Cli, DesignJsonWritesFile) {
+  const auto path = std::filesystem::temp_directory_path() / "tfcool_cli_test.json";
+  std::filesystem::remove(path);
+  auto r = run({"design", "--chip", "hc1", "--no-full-cover", "--json", path.string()});
+  EXPECT_EQ(r.code, 0);
+  std::ifstream jf(path);
+  ASSERT_TRUE(jf.good());
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  EXPECT_NE(buf.str().find("\"chip\": \"hc1\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, RunawayReportsLambda) {
+  auto r = run({"runaway", "--chip", "alpha"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("lambda_m"), std::string::npos);
+}
+
+TEST(Cli, ValidateWithinPaperBound) {
+  auto r = run({"validate", "--chip", "alpha"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("max |diff|"), std::string::npos);
+}
+
+TEST(Cli, SweepEmitsCsv) {
+  auto r = run({"sweep", "--chip", "alpha", "--points", "5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("current_a,peak_degc,ptec_w"), std::string::npos);
+  // Header + 6 data rows.
+  EXPECT_EQ(std::count(r.out.begin(), r.out.end(), '\n'), 7);
+}
+
+TEST(Cli, SensitivityEmitsCsv) {
+  auto r = run({"sensitivity", "--chip", "alpha"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("parameter,d_peak_per_rel"), std::string::npos);
+  EXPECT_NE(r.out.find("seebeck,"), std::string::npos);
+  EXPECT_NE(r.out.find("g_cold_contact,"), std::string::npos);
+}
+
+TEST(Cli, FlpRequiresPtrace) {
+  auto r = run({"design", "--flp", "/nonexistent.flp"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--ptrace"), std::string::npos);
+}
+
+TEST(Cli, MissingFlpFileReported) {
+  auto r = run({"design", "--flp", "/nonexistent.flp", "--ptrace", "/nonexistent.ptrace"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, ImportedChipDesign) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path();
+  const auto flp = dir / "tfcool_cli_test.flp";
+  const auto ptrace = dir / "tfcool_cli_test.ptrace";
+  {
+    std::ofstream f(flp);
+    f << "CORE 3e-3 3e-3 0 3e-3\nREST 3e-3 3e-3 3e-3 3e-3\nBOT 6e-3 3e-3 0 0\n";
+    std::ofstream t(ptrace);
+    t << "CORE REST BOT\n9.0 3.0 5.0\n8.0 3.5 4.0\n";
+  }
+  auto r = run({"design", "--flp", flp.string(), "--ptrace", ptrace.string(),
+                "--no-full-cover"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ok"), std::string::npos);
+  fs::remove(flp);
+  fs::remove(ptrace);
+}
+
+}  // namespace
+}  // namespace tfc::cli

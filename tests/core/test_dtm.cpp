@@ -1,0 +1,111 @@
+#include "core/dtm.h"
+
+#include <gtest/gtest.h>
+
+namespace tfc::core {
+namespace {
+
+thermal::PackageGeometry small_geom() {
+  thermal::PackageGeometry g;
+  g.tile_rows = g.tile_cols = 6;
+  g.die_width = g.die_height = 3e-3;
+  return g;
+}
+
+floorplan::Floorplan small_chip() {
+  std::vector<floorplan::FunctionalUnit> units = {
+      {"HOT", {{2, 2, 2, 2}}, 2.4},
+      {"BG1", {{0, 0, 2, 6}}, 1.2},
+      {"BG2", {{2, 0, 4, 2}}, 0.8},
+      {"BG3", {{2, 4, 4, 2}}, 0.8},
+      {"BG4", {{4, 2, 2, 2}}, 0.4},
+  };
+  floorplan::Floorplan plan(6, 6, std::move(units));
+  plan.validate();
+  return plan;
+}
+
+tec::TecDeviceParams dev() { return tec::TecDeviceParams::chowdhury_superlattice(); }
+
+TEST(Dtm, NoThrottlingWhenAlreadyCool) {
+  DtmOptions o;
+  o.theta_limit = thermal::to_kelvin(150.0);
+  auto r = simulate_dtm(small_chip(), small_geom(), dev(), TileMask(), 0.0, o);
+  EXPECT_TRUE(r.met_limit);
+  EXPECT_DOUBLE_EQ(r.performance, 1.0);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(Dtm, ThrottlesHotUnitToMeetLimit) {
+  DtmOptions o;
+  o.theta_limit = thermal::to_kelvin(70.0);
+  auto r = simulate_dtm(small_chip(), small_geom(), dev(), TileMask(), 0.0, o);
+  EXPECT_TRUE(r.met_limit);
+  EXPECT_LT(r.performance, 1.0);
+  EXPECT_LE(r.peak, o.theta_limit);
+  // The hot unit (index 0) took the hit; background units untouched.
+  EXPECT_LT(r.unit_scales[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.unit_scales[1], 1.0);
+}
+
+TEST(Dtm, TecDeploymentPreservesPerformance) {
+  // The paper's introduction: active cooling and DTM "operate
+  // synergistically" — TECs on the hot spot reduce required throttling.
+  DtmOptions o;
+  o.theta_limit = thermal::to_kelvin(70.0);
+  auto passive = simulate_dtm(small_chip(), small_geom(), dev(), TileMask(), 0.0, o);
+
+  TileMask deployment(6, 6);
+  for (std::size_t r = 2; r <= 3; ++r) {
+    for (std::size_t c = 2; c <= 3; ++c) deployment.set(r, c);
+  }
+  auto active = simulate_dtm(small_chip(), small_geom(), dev(), deployment, 5.0, o);
+
+  ASSERT_TRUE(passive.met_limit && active.met_limit);
+  EXPECT_GT(active.performance, passive.performance);
+}
+
+TEST(Dtm, ImpossibleLimitStopsAtFloor) {
+  DtmOptions o;
+  o.theta_limit = thermal::to_kelvin(46.0);  // 1 K over ambient: hopeless
+  o.max_rounds = 500;
+  auto r = simulate_dtm(small_chip(), small_geom(), dev(), TileMask(), 0.0, o);
+  EXPECT_FALSE(r.met_limit);
+  // At least the hottest unit hit the floor.
+  double min_scale = 1.0;
+  for (double s : r.unit_scales) min_scale = std::min(min_scale, s);
+  EXPECT_NEAR(min_scale, o.min_scale, 1e-9);
+}
+
+TEST(Dtm, OptionValidation) {
+  DtmOptions o;
+  o.scale_step = 0.0;
+  EXPECT_THROW(simulate_dtm(small_chip(), small_geom(), dev(), TileMask(), 0.0, o),
+               std::invalid_argument);
+  o = {};
+  o.min_scale = 1.0;
+  EXPECT_THROW(simulate_dtm(small_chip(), small_geom(), dev(), TileMask(), 0.0, o),
+               std::invalid_argument);
+  // Grid mismatch.
+  thermal::PackageGeometry wrong = small_geom();
+  wrong.tile_rows = 4;
+  EXPECT_THROW(simulate_dtm(small_chip(), wrong, dev(), TileMask(), 0.0, DtmOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Dtm, PerformanceIsPowerWeighted) {
+  DtmOptions o;
+  o.theta_limit = thermal::to_kelvin(70.0);
+  auto r = simulate_dtm(small_chip(), small_geom(), dev(), TileMask(), 0.0, o);
+  // Recompute the metric by hand.
+  auto chip = small_chip();
+  double retained = 0.0, total = 0.0;
+  for (std::size_t u = 0; u < chip.units().size(); ++u) {
+    retained += r.unit_scales[u] * chip.units()[u].peak_power;
+    total += chip.units()[u].peak_power;
+  }
+  EXPECT_NEAR(r.performance, retained / total, 1e-12);
+}
+
+}  // namespace
+}  // namespace tfc::core

@@ -1,0 +1,83 @@
+#include "core/multipin.h"
+
+#include <gtest/gtest.h>
+
+#include "core/current_optimizer.h"
+
+namespace tfc::core {
+namespace {
+
+thermal::PackageGeometry small_geom() {
+  thermal::PackageGeometry g;
+  g.tile_rows = g.tile_cols = 6;
+  g.die_width = g.die_height = 3e-3;
+  return g;
+}
+
+tec::ElectroThermalSystem deployed_system() {
+  TileMask dep(6, 6);
+  dep.set(2, 2);
+  dep.set(2, 3);
+  dep.set(3, 2);
+  linalg::Vector p(36, 0.10);
+  p[2 * 6 + 2] = 0.65;
+  p[2 * 6 + 3] = 0.65;
+  p[3 * 6 + 2] = 0.55;
+  return tec::ElectroThermalSystem::assemble(small_geom(), dep, p,
+                                             tec::TecDeviceParams::chowdhury_superlattice());
+}
+
+TEST(MultiPin, EqualCurrentsMatchSharedSolve) {
+  auto sys = deployed_system();
+  const double i = 4.0;
+  auto shared = sys.solve(i);
+  auto vec = solve_multi_pin(sys, {i, i, i});
+  ASSERT_TRUE(shared && vec);
+  EXPECT_TRUE(approx_equal(shared->theta, vec->theta, 1e-8));
+  EXPECT_NEAR(shared->tec_input_power, vec->tec_input_power, 1e-9);
+}
+
+TEST(MultiPin, ZeroCurrentsArePassive) {
+  auto sys = deployed_system();
+  auto vec = solve_multi_pin(sys, {0.0, 0.0, 0.0});
+  auto passive = sys.solve(0.0);
+  ASSERT_TRUE(vec && passive);
+  EXPECT_TRUE(approx_equal(vec->theta, passive->theta, 1e-9));
+}
+
+TEST(MultiPin, NegativeCurrentRejected) {
+  auto sys = deployed_system();
+  EXPECT_FALSE(solve_multi_pin(sys, {1.0, -1.0, 1.0}).has_value());
+}
+
+TEST(MultiPin, WrongCountThrows) {
+  auto sys = deployed_system();
+  EXPECT_THROW(solve_multi_pin(sys, {1.0}), std::invalid_argument);
+}
+
+TEST(MultiPin, VectorRunawayDetected) {
+  auto sys = deployed_system();
+  EXPECT_FALSE(solve_multi_pin(sys, {1e4, 1e4, 1e4}).has_value());
+}
+
+TEST(MultiPin, OptimizationImprovesOnSharedOptimum) {
+  // Per-device currents generalize the single shared current, so the
+  // optimized vector drive can only do at least as well (ablation A2).
+  auto sys = deployed_system();
+  auto shared = optimize_current(sys);
+  auto mp = optimize_multi_pin(sys, shared.current);
+  EXPECT_LE(mp.peak_tile_temperature, shared.peak_tile_temperature + 1e-9);
+  EXPECT_EQ(mp.currents.size(), 3u);
+  EXPECT_GE(mp.sweeps, 1u);
+}
+
+TEST(MultiPin, ThrowsWithoutTecs) {
+  auto sys = tec::ElectroThermalSystem::assemble(small_geom(), TileMask(),
+                                                 linalg::Vector(36, 0.1),
+                                                 tec::TecDeviceParams::chowdhury_superlattice());
+  EXPECT_THROW(optimize_multi_pin(sys, 1.0), std::invalid_argument);
+  EXPECT_THROW(optimize_multi_pin(deployed_system(), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tfc::core

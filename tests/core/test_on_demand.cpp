@@ -1,0 +1,129 @@
+#include "core/on_demand.h"
+
+#include <gtest/gtest.h>
+
+namespace tfc::core {
+namespace {
+
+thermal::PackageGeometry small_geom() {
+  thermal::PackageGeometry g;
+  g.tile_rows = g.tile_cols = 4;
+  g.die_width = g.die_height = 2e-3;
+  return g;
+}
+
+tec::ElectroThermalSystem make_system() {
+  TileMask dep(4, 4);
+  dep.set(1, 1);
+  dep.set(1, 2);
+  linalg::Vector p(16, 0.08);
+  p[5] = 0.55;
+  return tec::ElectroThermalSystem::assemble(small_geom(), dep, p,
+                                             tec::TecDeviceParams::chowdhury_superlattice());
+}
+
+linalg::Vector hot_map() {
+  linalg::Vector p(16, 0.08);
+  p[5] = 0.55;
+  return p;
+}
+
+linalg::Vector cool_map() { return linalg::Vector(16, 0.02); }
+
+OnDemandOptions options_around(double steady_peak_k) {
+  OnDemandOptions o;
+  o.on_current = 4.0;
+  o.theta_on = steady_peak_k - 1.0;
+  o.theta_off = steady_peak_k - 3.0;
+  o.dt = 2e-3;
+  o.steps = 800;
+  return o;
+}
+
+TEST(OnDemand, NeverActivatesWhenCool) {
+  auto sys = make_system();
+  OnDemandOptions o;
+  o.theta_on = thermal::to_kelvin(200.0);
+  o.theta_off = thermal::to_kelvin(150.0);
+  o.steps = 100;
+  auto r = simulate_on_demand(sys, [&](std::size_t) { return cool_map(); }, o);
+  EXPECT_DOUBLE_EQ(r.duty_cycle, 0.0);
+  EXPECT_DOUBLE_EQ(r.tec_energy, 0.0);
+  EXPECT_EQ(r.switch_count, 0u);
+}
+
+TEST(OnDemand, HoldsPeakNearThresholdUnderConstantLoad) {
+  auto sys = make_system();
+  const double steady_peak = sys.solve(0.0)->peak_tile_temperature;
+  auto o = options_around(steady_peak);
+  auto r = simulate_on_demand(sys, [&](std::size_t) { return hot_map(); }, o);
+  EXPECT_GT(r.duty_cycle, 0.0);
+  // Controller caps the excursion: bounded near θ_on (die time constants are
+  // milliseconds, so overshoot is small).
+  EXPECT_LT(r.max_peak, o.theta_on + 1.0);
+  // And it genuinely cools below the uncontrolled steady state.
+  EXPECT_LT(r.peak_timeline[r.peak_timeline.size() - 1], steady_peak);
+}
+
+TEST(OnDemand, EnergyBelowAlwaysOn) {
+  auto sys = make_system();
+  const double steady_peak = sys.solve(0.0)->peak_tile_temperature;
+  auto o = options_around(steady_peak);
+  auto on_demand = simulate_on_demand(sys, [&](std::size_t) { return hot_map(); }, o);
+
+  // Always-on upper bound for the same horizon.
+  auto op = sys.solve(o.on_current);
+  ASSERT_TRUE(op.has_value());
+  const double always_on_energy = op->tec_input_power * o.dt * double(o.steps);
+  EXPECT_LT(on_demand.tec_energy, always_on_energy);
+  EXPECT_GT(on_demand.tec_energy, 0.0);
+}
+
+TEST(OnDemand, BurstWorkloadTogglesController) {
+  auto sys = make_system();
+  const double steady_peak = sys.solve(0.0)->peak_tile_temperature;
+  auto o = options_around(steady_peak);
+  o.steps = 1200;
+  // Alternate hot bursts and idle phases.
+  auto r = simulate_on_demand(
+      sys,
+      [&](std::size_t s) { return (s / 300) % 2 == 0 ? hot_map() : cool_map(); }, o);
+  EXPECT_GT(r.switch_count, 1u);
+  EXPECT_GT(r.duty_cycle, 0.0);
+  EXPECT_LT(r.duty_cycle, 1.0);
+}
+
+TEST(OnDemand, Validation) {
+  auto sys = make_system();
+  OnDemandOptions o;
+  o.theta_on = o.theta_off = thermal::to_kelvin(80.0);  // not a hysteresis band
+  EXPECT_THROW(simulate_on_demand(sys, [&](std::size_t) { return hot_map(); }, o),
+               std::invalid_argument);
+  o = {};
+  o.on_current = 0.0;
+  EXPECT_THROW(simulate_on_demand(sys, [&](std::size_t) { return hot_map(); }, o),
+               std::invalid_argument);
+  // No-TEC system rejected.
+  auto bare = tec::ElectroThermalSystem::assemble(small_geom(), TileMask(), hot_map(),
+                                                  tec::TecDeviceParams::chowdhury_superlattice());
+  EXPECT_THROW(simulate_on_demand(bare, [&](std::size_t) { return hot_map(); }, {}),
+               std::invalid_argument);
+  // Wrong-size power map rejected at the first step.
+  EXPECT_THROW(
+      simulate_on_demand(sys, [&](std::size_t) { return linalg::Vector(3); }, {}),
+      std::invalid_argument);
+}
+
+TEST(OnDemand, TimelineShapeConsistent) {
+  auto sys = make_system();
+  const double steady_peak = sys.solve(0.0)->peak_tile_temperature;
+  auto o = options_around(steady_peak);
+  o.steps = 50;
+  auto r = simulate_on_demand(sys, [&](std::size_t) { return hot_map(); }, o);
+  EXPECT_EQ(r.peak_timeline.size(), 50u);
+  EXPECT_EQ(r.tec_on.size(), 50u);
+  EXPECT_DOUBLE_EQ(r.max_peak, linalg::max_entry(r.peak_timeline));
+}
+
+}  // namespace
+}  // namespace tfc::core

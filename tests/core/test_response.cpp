@@ -1,0 +1,140 @@
+#include "core/response.h"
+
+#include <gtest/gtest.h>
+
+#include "tec/runaway.h"
+
+namespace tfc::core {
+namespace {
+
+thermal::PackageGeometry small_geom() {
+  thermal::PackageGeometry g;
+  g.tile_rows = g.tile_cols = 4;
+  g.die_width = g.die_height = 2e-3;
+  return g;
+}
+
+tec::ElectroThermalSystem make_system() {
+  TileMask dep(4, 4);
+  dep.set(1, 1);
+  dep.set(1, 2);
+  linalg::Vector p(16, 0.08);
+  p[5] = 0.5;
+  return tec::ElectroThermalSystem::assemble(small_geom(), dep, p,
+                                             tec::TecDeviceParams::chowdhury_superlattice());
+}
+
+TEST(Response, NegativeCurrentRejected) {
+  auto sys = make_system();
+  EXPECT_FALSE(ResponseEvaluator::at(sys, -0.5).has_value());
+}
+
+TEST(Response, FailsPastRunaway) {
+  auto sys = make_system();
+  auto lm = tec::runaway_limit(sys);
+  ASSERT_TRUE(lm.has_value());
+  EXPECT_TRUE(ResponseEvaluator::at(sys, 0.9 * *lm).has_value());
+  EXPECT_FALSE(ResponseEvaluator::at(sys, 1.1 * *lm).has_value());
+}
+
+TEST(Response, HColumnsMatchInverse) {
+  auto sys = make_system();
+  auto eval = ResponseEvaluator::at(sys, 2.0);
+  ASSERT_TRUE(eval.has_value());
+  const auto m = sys.system_matrix(2.0).to_dense();
+  // M · h_col(l) = e_l.
+  for (std::size_t l : {std::size_t{0}, std::size_t{7}}) {
+    auto col = eval->h_column(l);
+    auto r = m * col;
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      EXPECT_NEAR(r[k], k == l ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Response, HSymmetric) {
+  // h_kl = h_lk: reciprocity of the (symmetric) coupled system.
+  auto sys = make_system();
+  auto eval = ResponseEvaluator::at(sys, 3.0);
+  ASSERT_TRUE(eval.has_value());
+  auto c3 = eval->h_column(3);
+  auto c9 = eval->h_column(9);
+  EXPECT_NEAR(c3[9], c9[3], 1e-12);
+}
+
+TEST(Response, HNonnegativeBelowRunaway) {
+  // Lemma 3 for the coupled matrix: every response entry is ≥ 0.
+  auto sys = make_system();
+  auto lm = tec::runaway_limit(sys);
+  ASSERT_TRUE(lm.has_value());
+  auto eval = ResponseEvaluator::at(sys, 0.8 * *lm);
+  ASSERT_TRUE(eval.has_value());
+  for (std::size_t l = 0; l < sys.node_count(); l += 7) {
+    auto col = eval->h_column(l);
+    for (std::size_t k = 0; k < col.size(); ++k) EXPECT_GE(col[k], -1e-12);
+  }
+}
+
+TEST(Response, Equation10Decomposition) {
+  // θ_k(i) = ½·r·i²·η_k(i) + ζ_k(i) must reproduce the direct solve exactly.
+  auto sys = make_system();
+  for (double i : {0.0, 1.5, 4.0, 8.0}) {
+    auto eval = ResponseEvaluator::at(sys, i);
+    ASSERT_TRUE(eval.has_value());
+    auto s = eval->sample();
+    auto direct = sys.solve(i);
+    ASSERT_TRUE(direct.has_value());
+    const double r = sys.device().resistance;
+    for (std::size_t k = 0; k < sys.node_count(); ++k) {
+      const double reconstructed = 0.5 * r * i * i * s.eta[k] + s.zeta[k];
+      EXPECT_NEAR(reconstructed, direct->theta[k], 1e-7);
+    }
+  }
+}
+
+TEST(Response, EtaPrimeMatchesFiniteDifference) {
+  auto sys = make_system();
+  const double i0 = 2.0, h = 1e-4;
+  auto s0 = ResponseEvaluator::at(sys, i0)->sample();
+  auto sp = ResponseEvaluator::at(sys, i0 + h)->sample();
+  auto sm = ResponseEvaluator::at(sys, i0 - h)->sample();
+  for (std::size_t k = 0; k < sys.node_count(); k += 5) {
+    const double fd = (sp.eta[k] - sm.eta[k]) / (2.0 * h);
+    EXPECT_NEAR(s0.eta_prime[k], fd, 1e-5 * (1.0 + std::abs(fd)));
+  }
+}
+
+TEST(Response, ThetaDerivativeMatchesFiniteDifference) {
+  auto sys = make_system();
+  const double i0 = 3.0, h = 1e-4;
+  auto d = ResponseEvaluator::at(sys, i0)->theta_derivative();
+  auto tp = sys.solve(i0 + h)->theta;
+  auto tm = sys.solve(i0 - h)->theta;
+  for (std::size_t k = 0; k < sys.node_count(); k += 3) {
+    const double fd = (tp[k] - tm[k]) / (2.0 * h);
+    EXPECT_NEAR(d[k], fd, 1e-4 * (1.0 + std::abs(fd)));
+  }
+}
+
+// Figure 6 properties of h_kl(i): nonnegative, increasing toward λ_m, and
+// divergent as i → λ_m.
+TEST(Response, Figure6HklShape) {
+  auto sys = make_system();
+  auto lm = tec::runaway_limit(sys);
+  ASSERT_TRUE(lm.has_value());
+  const std::size_t k = sys.model().silicon_node({1, 1});
+  const std::size_t l = sys.model().tec_hot_node({1, 1});
+  double prev = -1.0;
+  for (double frac : {0.0, 0.3, 0.6, 0.9, 0.99, 0.9999}) {
+    auto eval = ResponseEvaluator::at(sys, frac * *lm);
+    ASSERT_TRUE(eval.has_value());
+    const double hkl = eval->h_column(l)[k];
+    EXPECT_GE(hkl, 0.0);
+    EXPECT_GT(hkl, prev);  // increasing along this sequence
+    prev = hkl;
+  }
+  EXPECT_GT(prev, 1e3);  // diverging at 0.9999·λ_m (Theorem 2)
+}
+
+}  // namespace
+}  // namespace tfc::core

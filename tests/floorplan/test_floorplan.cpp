@@ -1,0 +1,104 @@
+#include "floorplan/floorplan.h"
+
+#include <gtest/gtest.h>
+
+namespace tfc::floorplan {
+namespace {
+
+Floorplan two_unit_plan() {
+  std::vector<FunctionalUnit> units = {
+      {"left", {{0, 0, 2, 1}}, 1.0},
+      {"right", {{0, 1, 2, 1}}, 3.0},
+  };
+  return Floorplan(2, 2, std::move(units));
+}
+
+TEST(TileRect, ContainsAndCount) {
+  TileRect r{1, 2, 2, 3};
+  EXPECT_EQ(r.tile_count(), 6u);
+  EXPECT_TRUE(r.contains({1, 2}));
+  EXPECT_TRUE(r.contains({2, 4}));
+  EXPECT_FALSE(r.contains({0, 2}));
+  EXPECT_FALSE(r.contains({1, 5}));
+  EXPECT_FALSE(r.contains({3, 2}));
+}
+
+TEST(FunctionalUnit, MultiRectUnit) {
+  FunctionalUnit u{"u", {{0, 0, 1, 2}, {1, 0, 1, 1}}, 1.0};
+  EXPECT_EQ(u.tile_count(), 3u);
+  EXPECT_TRUE(u.contains({1, 0}));
+  EXPECT_FALSE(u.contains({1, 1}));
+}
+
+TEST(Floorplan, ValidPlanPasses) {
+  EXPECT_NO_THROW(two_unit_plan().validate());
+}
+
+TEST(Floorplan, OverlapDetected) {
+  std::vector<FunctionalUnit> units = {
+      {"a", {{0, 0, 2, 2}}, 1.0},
+      {"b", {{1, 1, 1, 1}}, 1.0},
+  };
+  Floorplan plan(2, 2, std::move(units));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(Floorplan, UncoveredTileDetected) {
+  std::vector<FunctionalUnit> units = {{"a", {{0, 0, 2, 1}}, 1.0}};
+  Floorplan plan(2, 2, std::move(units));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(Floorplan, OutOfGridRectDetected) {
+  std::vector<FunctionalUnit> units = {{"a", {{0, 0, 2, 3}}, 1.0}};
+  Floorplan plan(2, 2, std::move(units));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(Floorplan, NegativePowerDetected) {
+  std::vector<FunctionalUnit> units = {{"a", {{0, 0, 2, 2}}, -1.0}};
+  Floorplan plan(2, 2, std::move(units));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(Floorplan, EmptyUnitDetected) {
+  std::vector<FunctionalUnit> units = {{"a", {}, 1.0}};
+  Floorplan plan(2, 2, std::move(units));
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(Floorplan, UnitLookups) {
+  auto plan = two_unit_plan();
+  EXPECT_EQ(plan.unit_at({0, 0}), std::size_t{0});
+  EXPECT_EQ(plan.unit_at({1, 1}), std::size_t{1});
+  EXPECT_THROW(plan.unit_at({2, 0}), std::out_of_range);
+  EXPECT_NE(plan.find("left"), nullptr);
+  EXPECT_EQ(plan.find("bogus"), nullptr);
+}
+
+TEST(Floorplan, PowerAndAreaFractions) {
+  auto plan = two_unit_plan();
+  EXPECT_DOUBLE_EQ(plan.total_power(), 4.0);
+  EXPECT_DOUBLE_EQ(plan.power_fraction({"right"}), 0.75);
+  EXPECT_DOUBLE_EQ(plan.area_fraction({"right"}), 0.5);
+  EXPECT_THROW(plan.power_fraction({"bogus"}), std::invalid_argument);
+}
+
+TEST(Floorplan, TilePowersUniformWithinUnit) {
+  auto plan = two_unit_plan();
+  auto p = plan.tile_powers();
+  EXPECT_DOUBLE_EQ(p[0], 0.5);   // left: 1 W over 2 tiles
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 1.5);   // right: 3 W over 2 tiles
+  EXPECT_DOUBLE_EQ(p[3], 1.5);
+  EXPECT_DOUBLE_EQ(linalg::sum(p), plan.total_power());
+}
+
+TEST(Floorplan, UnitPowerDensity) {
+  auto plan = two_unit_plan();
+  // right: 3 W over 2 tiles of 1e-6 m² each → 1.5e6 W/m².
+  EXPECT_DOUBLE_EQ(plan.unit_power_density(1, 1e-6), 1.5e6);
+}
+
+}  // namespace
+}  // namespace tfc::floorplan

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "floorplan/alpha21364.h"
+#include "floorplan/hotspot_import.h"
+
+namespace tfc::floorplan {
+namespace {
+
+TEST(FlpExport, RoundTripsRectangularPlan) {
+  std::vector<FunctionalUnit> units = {
+      {"A", {{0, 0, 2, 2}}, 1.0},
+      {"B", {{0, 2, 2, 2}}, 2.0},
+      {"C", {{2, 0, 2, 4}}, 3.0},
+  };
+  Floorplan plan(4, 4, std::move(units));
+  plan.validate();
+
+  std::stringstream buf;
+  write_flp(buf, plan, 0.5e-3);
+  auto reread = rasterize_flp(read_flp(buf), 2e-3, 2e-3, 4, 4);
+
+  ASSERT_EQ(reread.units().size(), 3u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(reread.units()[*reread.unit_at({r, c})].name,
+                plan.units()[*plan.unit_at({r, c})].name)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(FlpExport, MultiRectUnitsGetSuffixedParts) {
+  std::vector<FunctionalUnit> units = {
+      {"L", {{0, 0, 1, 2}, {1, 0, 1, 1}}, 1.0},
+      {"R", {{1, 1, 1, 1}}, 1.0},
+  };
+  Floorplan plan(2, 2, std::move(units));
+  plan.validate();
+  std::ostringstream out;
+  write_flp(out, plan, 0.5e-3);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("L_0 "), std::string::npos);
+  EXPECT_NE(s.find("L_1 "), std::string::npos);
+  EXPECT_NE(s.find("R "), std::string::npos);
+}
+
+TEST(FlpExport, AlphaFloorplanSurvivesRoundTrip) {
+  auto plan = alpha21364();
+  std::stringstream buf;
+  write_flp(buf, plan, 0.5e-3);
+  auto reread = rasterize_flp(read_flp(buf), 6e-3, 6e-3, 12, 12);
+  // Tile ownership preserved up to multi-rect name suffixes.
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      const std::string orig = plan.units()[*plan.unit_at({r, c})].name;
+      const std::string back = reread.units()[*reread.unit_at({r, c})].name;
+      EXPECT_EQ(back.rfind(orig, 0), 0u) << back << " vs " << orig;
+    }
+  }
+  EXPECT_EQ(reread.find("WHITESPACE"), nullptr);  // full coverage preserved
+}
+
+TEST(FlpExport, BadPitchThrows) {
+  auto plan = alpha21364();
+  std::ostringstream out;
+  EXPECT_THROW(write_flp(out, plan, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tfc::floorplan

@@ -1,0 +1,121 @@
+#include "floorplan/hotspot_import.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tfc::floorplan {
+namespace {
+
+// A 2 mm x 2 mm die split into four 1 mm x 1 mm quadrants.
+constexpr const char* kQuadFlp =
+    "# name width height left bottom\n"
+    "SW 1e-3 1e-3 0.0  0.0\n"
+    "SE 1e-3 1e-3 1e-3 0.0\n"
+    "NW 1e-3 1e-3 0.0  1e-3\n"
+    "NE 1e-3 1e-3 1e-3 1e-3\n";
+
+TEST(Flp, ParsesUnitsAndComments) {
+  std::istringstream in(kQuadFlp);
+  auto units = read_flp(in);
+  ASSERT_EQ(units.size(), 4u);
+  EXPECT_EQ(units[0].name, "SW");
+  EXPECT_DOUBLE_EQ(units[3].left, 1e-3);
+  EXPECT_DOUBLE_EQ(units[3].bottom, 1e-3);
+}
+
+TEST(Flp, RejectsMalformedLines) {
+  std::istringstream bad("U1 1e-3 1e-3 0.0\n");  // missing bottom
+  EXPECT_THROW(read_flp(bad), std::runtime_error);
+  std::istringstream neg("U1 -1e-3 1e-3 0 0\n");
+  EXPECT_THROW(read_flp(neg), std::runtime_error);
+  std::istringstream empty("# only a comment\n");
+  EXPECT_THROW(read_flp(empty), std::runtime_error);
+}
+
+TEST(Flp, RasterizationOwnsTilesByCenter) {
+  std::istringstream in(kQuadFlp);
+  auto plan = rasterize_flp(read_flp(in), 2e-3, 2e-3, 4, 4);
+  EXPECT_EQ(plan.tile_count(), 16u);
+  // .flp origin is bottom-left; our row 0 is the top ⇒ NW owns tile (0,0).
+  EXPECT_EQ(plan.units()[*plan.unit_at({0, 0})].name, "NW");
+  EXPECT_EQ(plan.units()[*plan.unit_at({0, 3})].name, "NE");
+  EXPECT_EQ(plan.units()[*plan.unit_at({3, 0})].name, "SW");
+  EXPECT_EQ(plan.units()[*plan.unit_at({3, 3})].name, "SE");
+  // Each quadrant got a 2x2 block of tiles.
+  for (const auto& u : plan.units()) EXPECT_EQ(u.tile_count(), 4u) << u.name;
+}
+
+TEST(Flp, UncoveredTilesBecomeWhitespace) {
+  std::istringstream in("CORE 1e-3 1e-3 0 0\n");  // covers only the SW quadrant
+  auto plan = rasterize_flp(read_flp(in), 2e-3, 2e-3, 2, 2);
+  ASSERT_NE(plan.find("WHITESPACE"), nullptr);
+  EXPECT_EQ(plan.find("WHITESPACE")->tile_count(), 3u);
+  EXPECT_DOUBLE_EQ(plan.find("WHITESPACE")->peak_power, 0.0);
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(Flp, RasterizeValidatesArguments) {
+  std::istringstream in(kQuadFlp);
+  auto units = read_flp(in);
+  EXPECT_THROW(rasterize_flp(units, 0.0, 2e-3, 2, 2), std::invalid_argument);
+  EXPECT_THROW(rasterize_flp(units, 2e-3, 2e-3, 0, 2), std::invalid_argument);
+}
+
+TEST(Ptrace, WorstCaseReduction) {
+  std::istringstream in(
+      "SW SE NW NE\n"
+      "1.0 0.5 0.2 0.1\n"
+      "0.8 0.9 0.3 0.05\n"
+      "0.2 0.1 0.6 0.2\n");
+  auto powers = read_ptrace_worst_case(in, 0.20);
+  ASSERT_EQ(powers.size(), 4u);
+  EXPECT_DOUBLE_EQ(powers[0].second, 1.0 * 1.2);
+  EXPECT_DOUBLE_EQ(powers[1].second, 0.9 * 1.2);
+  EXPECT_DOUBLE_EQ(powers[2].second, 0.6 * 1.2);
+  EXPECT_DOUBLE_EQ(powers[3].second, 0.2 * 1.2);
+}
+
+TEST(Ptrace, Validation) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_ptrace_worst_case(empty), std::runtime_error);
+  std::istringstream no_rows("A B\n");
+  EXPECT_THROW(read_ptrace_worst_case(no_rows), std::runtime_error);
+  std::istringstream ragged("A B\n1.0\n");
+  EXPECT_THROW(read_ptrace_worst_case(ragged), std::runtime_error);
+  std::istringstream negative("A\n-1.0\n");
+  EXPECT_THROW(read_ptrace_worst_case(negative), std::runtime_error);
+  std::istringstream ok("A\n1.0\n");
+  EXPECT_THROW(read_ptrace_worst_case(ok, -0.5), std::invalid_argument);
+}
+
+TEST(Ptrace, EndToEndImportPipeline) {
+  // .flp + .ptrace → tile power map, exactly the paper's input shape.
+  std::istringstream flp(kQuadFlp);
+  auto plan = rasterize_flp(read_flp(flp), 2e-3, 2e-3, 4, 4);
+  std::istringstream ptrace(
+      "SW SE NW NE\n"
+      "0.4 0.2 1.0 0.1\n"
+      "0.5 0.3 0.8 0.2\n");
+  apply_unit_powers(plan, read_ptrace_worst_case(ptrace));
+  EXPECT_NEAR(plan.total_power(), (0.5 + 0.3 + 1.0 + 0.2) * 1.2, 1e-12);
+  auto tiles = plan.tile_powers();
+  // NW worst case 1.2 W over 4 tiles.
+  EXPECT_NEAR(tiles[0], 1.2 / 4.0, 1e-12);
+}
+
+TEST(Ptrace, UnknownUnitRejected) {
+  std::istringstream flp(kQuadFlp);
+  auto plan = rasterize_flp(read_flp(flp), 2e-3, 2e-3, 4, 4);
+  EXPECT_THROW(apply_unit_powers(plan, {{"BOGUS", 1.0}}), std::invalid_argument);
+}
+
+TEST(Floorplan, SetUnitPowerValidation) {
+  std::istringstream flp(kQuadFlp);
+  auto plan = rasterize_flp(read_flp(flp), 2e-3, 2e-3, 4, 4);
+  EXPECT_THROW(plan.set_unit_power(99, 1.0), std::out_of_range);
+  EXPECT_THROW(plan.set_unit_power(0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tfc::floorplan

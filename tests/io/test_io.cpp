@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "io/csv.h"
+#include "io/design_json.h"
+#include "io/matrix_market.h"
+#include "linalg/random_stieltjes.h"
+
+namespace tfc::io {
+namespace {
+
+TEST(Csv, ColumnFormat) {
+  std::ostringstream out;
+  write_csv_column(out, "peak_c", linalg::Vector{1.5, 2.0});
+  EXPECT_EQ(out.str(), "peak_c\n1.5\n2\n");
+}
+
+TEST(Csv, GridFormat) {
+  std::ostringstream out;
+  write_csv_grid(out, linalg::Vector{1.0, 2.0, 3.0, 4.0}, 2, 2);
+  EXPECT_EQ(out.str(), "1,2\n3,4\n");
+}
+
+TEST(Csv, GridSizeMismatchThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(write_csv_grid(out, linalg::Vector(3), 2, 2), std::invalid_argument);
+}
+
+TEST(Csv, TableFormat) {
+  std::ostringstream out;
+  write_csv_table(out, {"i", "peak"},
+                  {linalg::Vector{0.0, 1.0}, linalg::Vector{90.0, 88.5}});
+  EXPECT_EQ(out.str(), "i,peak\n0,90\n1,88.5\n");
+}
+
+TEST(Csv, TableValidation) {
+  std::ostringstream out;
+  EXPECT_THROW(write_csv_table(out, {"a"}, {}), std::invalid_argument);
+  EXPECT_THROW(write_csv_table(out, {"a", "b"},
+                               {linalg::Vector{1.0}, linalg::Vector{1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(MatrixMarket, RoundTripRandomStieltjes) {
+  std::mt19937_64 rng(77);
+  auto a = linalg::SparseMatrix::from_dense(linalg::random_pd_stieltjes(12, rng));
+  std::stringstream buf;
+  write_matrix_market(buf, a);
+  auto b = read_matrix_market(buf);
+  EXPECT_EQ(b.rows(), a.rows());
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_LT(b.to_dense().max_abs_diff(a.to_dense()), 1e-14);
+}
+
+TEST(MatrixMarket, SymmetricInputExpanded) {
+  std::stringstream in;
+  in << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% a comment line\n"
+     << "2 2 2\n"
+     << "1 1 4.0\n"
+     << "2 1 -1.0\n";
+  auto a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(read_matrix_market(empty), std::runtime_error);
+
+  std::stringstream bad_banner("%%MatrixMarket matrix array real general\n1 1 1\n");
+  EXPECT_THROW(read_matrix_market(bad_banner), std::runtime_error);
+
+  std::stringstream complex_field(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(read_matrix_market(complex_field), std::runtime_error);
+
+  std::stringstream out_of_range(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(out_of_range), std::runtime_error);
+
+  std::stringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(truncated), std::runtime_error);
+}
+
+TEST(DesignJson, ContainsAllKeyFields) {
+  core::DesignResult r;
+  r.chip_name = "unit \"x\"";
+  r.theta_limit_celsius = 85.0;
+  r.success = true;
+  r.tec_count = 3;
+  r.current = 5.5;
+  r.lambda_m = 120.0;
+  r.deployment = TileMask(2, 2);
+  r.deployment.set(0, 1);
+  const std::string json = design_result_to_json(r);
+  EXPECT_NE(json.find("\"chip\": \"unit \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"success\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"tec_count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"lambda_m_a\": 120"), std::string::npos);
+  EXPECT_NE(json.find("\".#\""), std::string::npos);
+}
+
+TEST(DesignJson, NullLambdaWhenAbsent) {
+  core::DesignResult r;
+  r.deployment = TileMask(1, 1);
+  const std::string json = design_result_to_json(r);
+  EXPECT_NE(json.find("\"lambda_m_a\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfc::io

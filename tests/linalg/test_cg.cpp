@@ -1,0 +1,166 @@
+#include "linalg/cg.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+#include "linalg/random_stieltjes.h"
+
+namespace tfc::linalg {
+namespace {
+
+SparseMatrix laplacian_1d(std::size_t n, double ground = 1.0) {
+  TripletList t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = (i == 0 || i + 1 == n) ? ground : 0.0;
+    if (i > 0) {
+      t.add_symmetric(i, i - 1, -1.0);
+      diag += 1.0;
+    }
+    if (i + 1 < n) diag += 1.0;
+    t.add(i, i, diag);
+  }
+  return SparseMatrix::from_triplets(t);
+}
+
+TEST(Cg, SolvesIdentityInstantly) {
+  auto a = SparseMatrix::identity(4);
+  Vector b{1.0, 2.0, 3.0, 4.0};
+  auto r = conjugate_gradient(a, b, identity_preconditioner());
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(approx_equal(r.x, b, 1e-12));
+}
+
+TEST(Cg, SolvesGroundedLaplacian) {
+  auto a = laplacian_1d(50);
+  Vector b(50, 1.0);
+  auto r = conjugate_gradient(a, b, jacobi_preconditioner(a));
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(norm2(a * r.x - b), 1e-10 * norm2(b));
+}
+
+TEST(Cg, MatchesDenseCholesky) {
+  std::mt19937_64 rng(99);
+  DenseMatrix d = random_pd_stieltjes(30, rng);
+  auto a = SparseMatrix::from_dense(d);
+  Vector b(30);
+  for (std::size_t i = 0; i < 30; ++i) b[i] = double(i % 5) - 2.0;
+  Vector x_cg = cg_solve(a, b);
+  Vector x_ch = CholeskyFactor::factor(d)->solve(b);
+  EXPECT_TRUE(approx_equal(x_cg, x_ch, 1e-8));
+}
+
+TEST(Cg, ZeroRhsGivesZero) {
+  auto a = laplacian_1d(10);
+  Vector b(10);
+  auto r = conjugate_gradient(a, b, jacobi_preconditioner(a));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_DOUBLE_EQ(norm2(r.x), 0.0);
+}
+
+TEST(Cg, WarmStartReducesIterations) {
+  auto a = laplacian_1d(100);
+  Vector b(100, 1.0);
+  auto cold = conjugate_gradient(a, b, jacobi_preconditioner(a));
+  ASSERT_TRUE(cold.converged);
+  auto warm = conjugate_gradient(a, b, jacobi_preconditioner(a), {}, cold.x);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 1u);
+}
+
+TEST(Cg, MaxIterationsRespected) {
+  auto a = laplacian_1d(200, 1e-6);  // nearly singular, slow convergence
+  Vector b(200, 1.0);
+  CgOptions opts;
+  opts.max_iterations = 2;
+  opts.rel_tol = 1e-15;
+  auto r = conjugate_gradient(a, b, identity_preconditioner(), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2u);
+}
+
+TEST(Cg, NonSpdDetected) {
+  // Indefinite matrix with an RHS exposing the negative-curvature direction:
+  // CG must bail out, not loop forever.
+  DenseMatrix d{{1.0, 2.0}, {2.0, 1.0}};
+  auto a = SparseMatrix::from_dense(d);
+  Vector b{1.0, -1.0};
+  auto r = conjugate_gradient(a, b, identity_preconditioner());
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Cg, DimensionMismatchThrows) {
+  auto a = SparseMatrix::identity(3);
+  Vector b(2);
+  EXPECT_THROW(conjugate_gradient(a, b, identity_preconditioner()), std::invalid_argument);
+  Vector ok(3), bad_guess(4);
+  EXPECT_THROW(conjugate_gradient(a, ok, identity_preconditioner(), {}, bad_guess),
+               std::invalid_argument);
+}
+
+TEST(Cg, CgSolveThrowsOnFailure) {
+  DenseMatrix d{{1.0, 2.0}, {2.0, 1.0}};
+  auto a = SparseMatrix::from_dense(d);
+  Vector b{1.0, -1.0};
+  EXPECT_THROW(cg_solve(a, b), std::runtime_error);
+}
+
+TEST(Preconditioners, JacobiRequiresPositiveDiagonal) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, -1.0);
+  auto a = SparseMatrix::from_triplets(t);
+  EXPECT_THROW(jacobi_preconditioner(a), std::invalid_argument);
+}
+
+TEST(Preconditioners, SsorOmegaValidated) {
+  auto a = laplacian_1d(5);
+  EXPECT_THROW(ssor_preconditioner(a, 0.0), std::invalid_argument);
+  EXPECT_THROW(ssor_preconditioner(a, 2.0), std::invalid_argument);
+}
+
+TEST(Preconditioners, SsorSpeedsUpOverJacobi) {
+  auto a = laplacian_1d(400, 0.01);
+  Vector b(400, 1.0);
+  auto jac = conjugate_gradient(a, b, jacobi_preconditioner(a));
+  auto ssor = conjugate_gradient(a, b, ssor_preconditioner(a, 1.2));
+  ASSERT_TRUE(jac.converged);
+  ASSERT_TRUE(ssor.converged);
+  EXPECT_LT(ssor.iterations, jac.iterations);
+  EXPECT_TRUE(approx_equal(jac.x, ssor.x, 1e-6 * norm_inf(jac.x) + 1e-8));
+}
+
+// SSOR preconditioner must be symmetric positive definite as an operator:
+// check <u, M⁻¹v> == <M⁻¹u, v> on random vectors.
+TEST(Preconditioners, SsorOperatorIsSymmetric) {
+  auto a = laplacian_1d(30);
+  auto m = ssor_preconditioner(a, 1.0);
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Vector x(30), y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x[i] = u(rng);
+    y[i] = u(rng);
+  }
+  EXPECT_NEAR(dot(x, m(y)), dot(m(x), y), 1e-10);
+}
+
+class CgSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CgSizeSweep, ResidualBelowTolerance) {
+  const std::size_t n = GetParam();
+  auto a = laplacian_1d(n);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = std::sin(0.1 * double(i));
+  auto r = conjugate_gradient(a, b, jacobi_preconditioner(a));
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(norm2(a * r.x - b), 1e-9 * (norm2(b) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgSizeSweep, ::testing::Values(2, 10, 33, 100, 500));
+
+}  // namespace
+}  // namespace tfc::linalg

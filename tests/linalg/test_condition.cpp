@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/eigen.h"
+#include "linalg/random_stieltjes.h"
+
+namespace tfc::linalg {
+namespace {
+
+TEST(ConditionEstimate, ExactForDiagonal) {
+  auto a = DenseMatrix::diagonal(Vector{10.0, 2.0, 0.5});
+  auto k = spd_condition_estimate(a);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_NEAR(*k, 20.0, 1e-6 * 20.0);
+}
+
+TEST(ConditionEstimate, IdentityIsPerfectlyConditioned) {
+  auto k = spd_condition_estimate(DenseMatrix::identity(8));
+  ASSERT_TRUE(k.has_value());
+  EXPECT_NEAR(*k, 1.0, 1e-8);
+}
+
+TEST(ConditionEstimate, NulloptForIndefinite) {
+  DenseMatrix a{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(spd_condition_estimate(a).has_value());
+}
+
+TEST(ConditionEstimate, MatchesJacobiSpectrumOnRandomStieltjes) {
+  std::mt19937_64 rng(9);
+  DenseMatrix a = random_pd_stieltjes(12, rng);
+  auto k = spd_condition_estimate(a);
+  ASSERT_TRUE(k.has_value());
+  auto ev = jacobi_eigenvalues(a);
+  const double exact = ev.back() / ev.front();
+  EXPECT_NEAR(*k, exact, 0.02 * exact);
+}
+
+TEST(ConditionEstimate, BlowsUpApproachingSingularity) {
+  // G − λD nears singularity as λ → λ_m: conditioning must explode, which is
+  // why the optimizer caps its search strictly inside [0, λ_m).
+  auto g = DenseMatrix::diagonal(Vector{2.0, 6.0});
+  g(0, 1) = g(1, 0) = -0.5;
+  auto d = DenseMatrix::diagonal(Vector{1.0, 0.0});
+  auto lm = pencil_smallest_positive_eigenvalue(g, d);
+  ASSERT_TRUE(lm.has_value());
+  DenseMatrix far = g;
+  far -= d * (0.5 * *lm);
+  DenseMatrix near = g;
+  near -= d * (0.9999 * *lm);
+  auto k_far = spd_condition_estimate(far);
+  auto k_near = spd_condition_estimate(near);
+  ASSERT_TRUE(k_far && k_near);
+  EXPECT_GT(*k_near, 100.0 * *k_far);
+}
+
+}  // namespace
+}  // namespace tfc::linalg

@@ -1,0 +1,122 @@
+#include "linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tfc::linalg {
+namespace {
+
+TEST(DenseMatrix, ZeroConstructor) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 0.0);
+  EXPECT_FALSE(m.square());
+}
+
+TEST(DenseMatrix, InitializerList) {
+  DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_TRUE(m.square());
+}
+
+TEST(DenseMatrix, RaggedInitializerThrows) {
+  EXPECT_THROW((DenseMatrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, Identity) {
+  auto id = DenseMatrix::identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  Vector x{1.0, 2.0, 3.0};
+  EXPECT_TRUE(approx_equal(id * x, x, 0.0));
+}
+
+TEST(DenseMatrix, Diagonal) {
+  auto d = DenseMatrix::diagonal(Vector{2.0, -1.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), -1.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(DenseMatrix, RowColDiag) {
+  DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(approx_equal(m.row(1), Vector{3.0, 4.0}, 0.0));
+  EXPECT_TRUE(approx_equal(m.col(0), Vector{1.0, 3.0}, 0.0));
+  EXPECT_TRUE(approx_equal(m.diag(), Vector{1.0, 4.0}, 0.0));
+}
+
+TEST(DenseMatrix, DiagOnRectangularThrows) {
+  DenseMatrix m(2, 3);
+  EXPECT_THROW(m.diag(), std::invalid_argument);
+}
+
+TEST(DenseMatrix, Transpose) {
+  DenseMatrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(DenseMatrix, MatVec) {
+  DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Vector y = m * Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_THROW(m * Vector{1.0}, std::invalid_argument);
+}
+
+TEST(DenseMatrix, MatMat) {
+  DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  DenseMatrix b{{0.0, 1.0}, {1.0, 0.0}};
+  auto c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(DenseMatrix, AddSubScaleDiff) {
+  DenseMatrix a{{1.0, 0.0}, {0.0, 1.0}};
+  DenseMatrix b{{0.0, 2.0}, {2.0, 0.0}};
+  auto c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.max_abs_diff(a), 0.0);
+  auto d = a * 3.0;
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+}
+
+TEST(DenseMatrix, ShapeMismatchThrows) {
+  DenseMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.max_abs_diff(b), std::invalid_argument);
+  EXPECT_THROW(a * b.transposed() * a, std::invalid_argument);
+}
+
+TEST(DenseMatrix, FrobeniusNorm) {
+  DenseMatrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(DenseMatrix, BilinearAndQuadratic) {
+  DenseMatrix m{{2.0, 1.0}, {1.0, 3.0}};
+  Vector x{1.0, 2.0};
+  // xᵀMx = 2 + 1*2 + 2*1 + 3*4 = 18
+  EXPECT_DOUBLE_EQ(quadratic(m, x), 18.0);
+  Vector y{1.0, 0.0};
+  // xᵀMy = x·(first column) = 1*2 + 2*1 = 4
+  EXPECT_DOUBLE_EQ(bilinear(x, m, y), 4.0);
+}
+
+TEST(DenseMatrix, AtBoundsChecked) {
+  DenseMatrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tfc::linalg

@@ -1,0 +1,114 @@
+#include "linalg/inverse_positive.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/properties.h"
+#include "linalg/random_stieltjes.h"
+
+namespace tfc::linalg {
+namespace {
+
+TEST(SpdInverse, IdentityIsSelfInverse) {
+  auto inv = spd_inverse(DenseMatrix::identity(4));
+  EXPECT_LT(inv.max_abs_diff(DenseMatrix::identity(4)), 1e-14);
+}
+
+TEST(SpdInverse, ThrowsOnIndefinite) {
+  DenseMatrix a{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_THROW(spd_inverse(a), std::invalid_argument);
+}
+
+// Lemma 3: the inverse of a PD Stieltjes matrix is nonnegative.
+class Lemma3Sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lemma3Sweep, InverseOfPdStieltjesIsNonnegative) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(333 + n);
+  for (int rep = 0; rep < 8; ++rep) {
+    DenseMatrix s = random_pd_stieltjes(n, rng);
+    DenseMatrix h = spd_inverse(s);
+    EXPECT_TRUE(is_nonnegative(h, 1e-12)) << "n=" << n << " rep=" << rep;
+    EXPECT_TRUE(is_symmetric(h, 1e-9));
+  }
+}
+
+TEST_P(Lemma3Sweep, InverseOfGroundedLaplacianIsStrictlyPositive) {
+  // Irreducible M-matrices have strictly positive inverses (Varga).
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(777 + n);
+  DenseMatrix s = random_grounded_laplacian(n, 1, rng);
+  DenseMatrix h = spd_inverse(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) EXPECT_GT(h(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Lemma3Sweep, ::testing::Values(2, 3, 5, 9, 17, 33));
+
+// Conjecture 1 on random matrices — the paper's own validation experiment,
+// scaled to test-suite budget (the bench re-runs it at much larger volume).
+class Conjecture1Sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Conjecture1Sweep, HoldsOnUniformlyShiftedMatrices) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(1234 + n);
+  for (int rep = 0; rep < 4; ++rep) {
+    DenseMatrix s = random_pd_stieltjes(n, rng);
+    auto res = check_conjecture1(s);
+    EXPECT_TRUE(res.holds) << "violated at (" << res.k << "," << res.l
+                           << "), min eig " << res.min_eigenvalue;
+  }
+}
+
+TEST_P(Conjecture1Sweep, HoldsOnGroundedLaplacians) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(4321 + n);
+  for (int rep = 0; rep < 4; ++rep) {
+    DenseMatrix s = random_grounded_laplacian(n, 1 + n / 8, rng);
+    auto res = check_conjecture1(s);
+    EXPECT_TRUE(res.holds) << "violated at (" << res.k << "," << res.l
+                           << "), min eig " << res.min_eigenvalue;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Conjecture1Sweep, ::testing::Values(2, 3, 4, 6, 8, 12));
+
+TEST(Conjecture1, PairBudgetLimitsWork) {
+  std::mt19937_64 rng(5);
+  DenseMatrix s = random_pd_stieltjes(6, rng);
+  auto res = check_conjecture1(s, /*pair_budget=*/3);
+  EXPECT_TRUE(res.holds);
+}
+
+TEST(Conjecture1, IdentityTriviallyHolds) {
+  // H = I; DIAG(e_k)·I·DIAG(e_l) is PSD but we only hit the tolerance path —
+  // the check must not report a violation.
+  auto res = check_conjecture1(DenseMatrix::identity(3));
+  EXPECT_TRUE(res.holds);
+}
+
+TEST(InverseDerivative, MatchesFiniteDifference) {
+  // d/di (G - iD)^{-1} = H D H.
+  std::mt19937_64 rng(6);
+  DenseMatrix g = random_pd_stieltjes(6, rng);
+  Vector dd(6);
+  dd[0] = 0.3;
+  dd[3] = -0.3;
+  auto d = DenseMatrix::diagonal(dd);
+
+  const double i0 = 0.1, eps = 1e-6;
+  auto h_at = [&](double i) {
+    DenseMatrix m = g;
+    m -= d * i;
+    return spd_inverse(m);
+  };
+  DenseMatrix h = h_at(i0);
+  DenseMatrix analytic = inverse_derivative(h, d);
+  DenseMatrix fd = (h_at(i0 + eps) - h_at(i0 - eps)) * (1.0 / (2.0 * eps));
+  EXPECT_LT(analytic.max_abs_diff(fd), 1e-5 * (1.0 + analytic.frobenius_norm()));
+}
+
+}  // namespace
+}  // namespace tfc::linalg

@@ -1,0 +1,141 @@
+/// Direct numerical verification of the paper's Lemma 2 and the Cramer's-rule
+/// argument inside Theorem 2, on small synthetic (G, D) pencils where dense
+/// determinants are well scaled.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+#include "linalg/random_stieltjes.h"
+
+namespace tfc::linalg {
+namespace {
+
+/// Small PD Stieltjes G with a ±α Peltier-style diagonal D.
+struct Pencil {
+  DenseMatrix g;
+  DenseMatrix d;
+};
+
+Pencil make_pencil(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  RandomStieltjesOptions o;
+  o.max_coupling = 1.0;
+  o.min_shift = 0.2;
+  o.max_shift = 0.8;
+  Pencil p;
+  p.g = random_pd_stieltjes(6, rng, o);
+  Vector dd(6);
+  dd[1] = +0.4;   // a "hot" node
+  dd[4] = -0.4;   // a "cold" node
+  p.d = DenseMatrix::diagonal(dd);
+  return p;
+}
+
+DenseMatrix minor_matrix(const DenseMatrix& a, std::size_t drop_row,
+                         std::size_t drop_col) {
+  DenseMatrix m(a.rows() - 1, a.cols() - 1);
+  for (std::size_t r = 0, mr = 0; r < a.rows(); ++r) {
+    if (r == drop_row) continue;
+    for (std::size_t c = 0, mc = 0; c < a.cols(); ++c) {
+      if (c == drop_col) continue;
+      m(mr, mc++) = a(r, c);
+    }
+    ++mr;
+  }
+  return m;
+}
+
+TEST(Lemma2, AIsSingularAtLambdaM) {
+  auto p = make_pencil(11);
+  auto lm = pencil_smallest_positive_eigenvalue(p.g, p.d);
+  ASSERT_TRUE(lm.has_value());
+  DenseMatrix a = p.g;
+  a -= p.d * *lm;
+  // det(A(λm)) ≈ 0 relative to the product of diagonal magnitudes.
+  double scale = 1.0;
+  for (std::size_t i = 0; i < 6; ++i) scale *= std::abs(a(i, i));
+  EXPECT_LT(std::abs(determinant(a)), 1e-6 * scale);
+}
+
+TEST(Lemma2, MinorsNonsingularAtLambdaM) {
+  auto p = make_pencil(23);
+  auto lm = pencil_smallest_positive_eigenvalue(p.g, p.d);
+  ASSERT_TRUE(lm.has_value());
+  DenseMatrix a = p.g;
+  a -= p.d * *lm;
+  // Lemma 2: every A_kl (one row and one column removed) is nonsingular.
+  for (std::size_t k = 0; k < 6; ++k) {
+    for (std::size_t l = 0; l < 6; ++l) {
+      const DenseMatrix m = minor_matrix(a, k, l);
+      EXPECT_TRUE(LuFactor::factor(m).has_value()) << "singular minor at (" << k << ","
+                                                   << l << ")";
+    }
+  }
+}
+
+TEST(Theorem2, CramersRuleIdentityForH) {
+  // h_kl(i)·det(A(i)) == (−1)^{k+l}·det(minor_{lk}(A(i))) for i < λm.
+  auto p = make_pencil(37);
+  auto lm = pencil_smallest_positive_eigenvalue(p.g, p.d);
+  ASSERT_TRUE(lm.has_value());
+  const double i = 0.6 * *lm;
+  DenseMatrix a = p.g;
+  a -= p.d * i;
+  auto chol = CholeskyFactor::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const DenseMatrix h = chol->inverse();
+  const double det_a = determinant(a);
+  for (std::size_t k = 0; k < 6; ++k) {
+    for (std::size_t l = 0; l < 6; ++l) {
+      const double sign = ((k + l) % 2 == 0) ? 1.0 : -1.0;
+      const double rhs = sign * determinant(minor_matrix(a, l, k));
+      EXPECT_NEAR(h(k, l) * det_a, rhs, 1e-9 * (std::abs(rhs) + 1.0))
+          << "(k,l)=(" << k << "," << l << ")";
+    }
+  }
+}
+
+TEST(Theorem2, EveryHEntryDivergesAtLambdaM) {
+  auto p = make_pencil(51);
+  auto lm = pencil_smallest_positive_eigenvalue(p.g, p.d);
+  ASSERT_TRUE(lm.has_value());
+  const auto h_at = [&](double i) {
+    DenseMatrix a = p.g;
+    a -= p.d * i;
+    return CholeskyFactor::factor(a)->inverse();
+  };
+  const DenseMatrix mid = h_at(0.5 * *lm);
+  const DenseMatrix near = h_at((1.0 - 1e-7) * *lm);
+  for (std::size_t k = 0; k < 6; ++k) {
+    for (std::size_t l = 0; l < 6; ++l) {
+      EXPECT_GT(near(k, l), 1e3 * std::max(mid(k, l), 1e-6))
+          << "no divergence at (" << k << "," << l << ")";
+      EXPECT_GE(near(k, l), 0.0);  // +∞ direction, not −∞ (Lemma 3)
+    }
+  }
+}
+
+TEST(Theorem1, QuadraticFormCharacterization) {
+  // θᵀ(G − iD)θ > 0 for all θ when i < λm; some θ breaks it when i > λm.
+  auto p = make_pencil(67);
+  auto lm = pencil_smallest_positive_eigenvalue(p.g, p.d);
+  ASSERT_TRUE(lm.has_value());
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  DenseMatrix below = p.g;
+  below -= p.d * (0.95 * *lm);
+  for (int rep = 0; rep < 200; ++rep) {
+    Vector x(6);
+    for (std::size_t q = 0; q < 6; ++q) x[q] = u(rng);
+    EXPECT_GT(quadratic(below, x), 0.0);
+  }
+  DenseMatrix above = p.g;
+  above -= p.d * (1.05 * *lm);
+  EXPECT_FALSE(is_positive_definite(above));
+}
+
+}  // namespace
+}  // namespace tfc::linalg

@@ -1,0 +1,94 @@
+#include "linalg/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tfc::linalg {
+namespace {
+
+MinimizeOptions golden_opts() {
+  MinimizeOptions o;
+  o.method = ScalarMethod::kGoldenSection;
+  return o;
+}
+
+MinimizeOptions brent_opts() {
+  MinimizeOptions o;
+  o.method = ScalarMethod::kBrent;
+  return o;
+}
+
+TEST(Minimize, QuadraticBothMethods) {
+  const auto f = [](double x) { return (x - 2.5) * (x - 2.5) + 1.0; };
+  for (const auto& o : {golden_opts(), brent_opts()}) {
+    auto r = minimize_scalar(f, 0.0, 10.0, o);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 2.5, 1e-3);
+    EXPECT_NEAR(r.value, 1.0, 1e-6);
+  }
+}
+
+TEST(Minimize, BrentUsesFewerEvaluationsOnSmoothObjective) {
+  const auto f = [](double x) { return std::cosh(x - 1.7); };
+  MinimizeOptions g = golden_opts(), b = brent_opts();
+  g.x_tol = b.x_tol = 1e-8;
+  auto rg = minimize_scalar(f, -5.0, 5.0, g);
+  auto rb = minimize_scalar(f, -5.0, 5.0, b);
+  EXPECT_TRUE(rg.converged && rb.converged);
+  EXPECT_NEAR(rb.x, 1.7, 1e-6);
+  EXPECT_LT(rb.evaluations, rg.evaluations);
+}
+
+TEST(Minimize, MinimumAtBoundary) {
+  const auto f = [](double x) { return x; };  // decreasing toward lo
+  for (const auto& o : {golden_opts(), brent_opts()}) {
+    auto r = minimize_scalar(f, 1.0, 4.0, o);
+    EXPECT_NEAR(r.x, 1.0, 5e-3);
+  }
+}
+
+TEST(Minimize, HandlesInfinityRegion) {
+  // Infeasible beyond 3.0 (runaway-style): methods must stay on the
+  // feasible side and find the interior optimum at 2.0.
+  const auto f = [](double x) {
+    if (x > 3.0) return std::numeric_limits<double>::infinity();
+    return (x - 2.0) * (x - 2.0);
+  };
+  for (const auto& o : {golden_opts(), brent_opts()}) {
+    auto r = minimize_scalar(f, 0.0, 6.0, o);
+    EXPECT_NEAR(r.x, 2.0, 1e-2) << (o.method == ScalarMethod::kBrent ? "brent" : "golden");
+    EXPECT_LT(r.value, 1e-3);
+  }
+}
+
+TEST(Minimize, RespectsEvaluationBudget) {
+  const auto f = [](double x) { return x * x; };
+  MinimizeOptions o = golden_opts();
+  o.max_evaluations = 5;
+  o.x_tol = 1e-15;
+  auto r = minimize_scalar(f, -1.0, 1.0, o);
+  EXPECT_LE(r.evaluations, 5u);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Minimize, EmptyIntervalThrows) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW(minimize_scalar(f, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(minimize_scalar(f, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Minimize, ReportedValueMatchesEvaluatedPoint) {
+  int calls = 0;
+  const auto f = [&](double x) {
+    ++calls;
+    return std::abs(x - 0.3);
+  };
+  auto r = minimize_scalar(f, 0.0, 1.0, brent_opts());
+  EXPECT_EQ(std::size_t(calls), r.evaluations);
+  EXPECT_NEAR(r.value, std::abs(r.x - 0.3), 1e-15);
+}
+
+}  // namespace
+}  // namespace tfc::linalg

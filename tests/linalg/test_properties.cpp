@@ -1,0 +1,153 @@
+#include "linalg/properties.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/cholesky.h"
+#include "linalg/random_stieltjes.h"
+#include "linalg/sparse_matrix.h"
+
+namespace tfc::linalg {
+namespace {
+
+TEST(Properties, SymmetryDense) {
+  DenseMatrix a{{1.0, 2.0}, {2.0, 3.0}};
+  EXPECT_TRUE(is_symmetric(a));
+  a(0, 1) = 2.5;
+  EXPECT_FALSE(is_symmetric(a));
+  EXPECT_TRUE(is_symmetric(a, 0.6));
+}
+
+TEST(Properties, StieltjesDense) {
+  DenseMatrix a{{2.0, -1.0}, {-1.0, 2.0}};
+  EXPECT_TRUE(is_stieltjes(a));
+  a(0, 1) = a(1, 0) = 0.5;  // positive off-diagonal
+  EXPECT_FALSE(is_stieltjes(a));
+}
+
+TEST(Properties, StieltjesSparse) {
+  TripletList t(2, 2);
+  t.add_symmetric(0, 1, -1.0);
+  t.add(0, 0, 2.0);
+  t.add(1, 1, 2.0);
+  EXPECT_TRUE(is_stieltjes(SparseMatrix::from_triplets(t)));
+  TripletList t2(2, 2);
+  t2.add_symmetric(0, 1, 1.0);
+  t2.add(0, 0, 2.0);
+  t2.add(1, 1, 2.0);
+  EXPECT_FALSE(is_stieltjes(SparseMatrix::from_triplets(t2)));
+}
+
+TEST(Properties, IrreducibilityDense) {
+  // Block-diagonal (direct sum) matrix is reducible (Definition 1).
+  DenseMatrix reducible{{2.0, 0.0}, {0.0, 2.0}};
+  EXPECT_FALSE(is_irreducible(reducible));
+  DenseMatrix irreducible{{2.0, -1.0}, {-1.0, 2.0}};
+  EXPECT_TRUE(is_irreducible(irreducible));
+  DenseMatrix one{{5.0}};
+  EXPECT_TRUE(is_irreducible(one));
+}
+
+TEST(Properties, IrreducibilitySparseChain) {
+  TripletList t(4, 4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) t.add_symmetric(i, i + 1, -1.0);
+  for (std::size_t i = 0; i < 4; ++i) t.add(i, i, 3.0);
+  EXPECT_TRUE(is_irreducible(SparseMatrix::from_triplets(t)));
+
+  TripletList t2(4, 4);
+  t2.add_symmetric(0, 1, -1.0);
+  t2.add_symmetric(2, 3, -1.0);
+  for (std::size_t i = 0; i < 4; ++i) t2.add(i, i, 3.0);
+  EXPECT_FALSE(is_irreducible(SparseMatrix::from_triplets(t2)));
+}
+
+TEST(Properties, DiagonalDominance) {
+  DenseMatrix strong{{3.0, -1.0}, {-1.0, 3.0}};
+  EXPECT_TRUE(is_diagonally_dominant(strong));
+  DenseMatrix weak{{1.0, -1.0}, {-1.0, 1.0}};
+  EXPECT_TRUE(is_diagonally_dominant(weak));
+  DenseMatrix fails{{0.5, -1.0}, {-1.0, 3.0}};
+  EXPECT_FALSE(is_diagonally_dominant(fails));
+}
+
+TEST(Properties, IrreduciblyDiagonallyDominant) {
+  // Grounded chain: weakly dominant everywhere, strict at the grounded end.
+  TripletList t(3, 3);
+  t.add_symmetric(0, 1, -1.0);
+  t.add_symmetric(1, 2, -1.0);
+  t.add(0, 0, 1.5);  // grounded
+  t.add(1, 1, 2.0);
+  t.add(2, 2, 1.0);
+  auto a = SparseMatrix::from_triplets(t);
+  EXPECT_TRUE(is_irreducibly_diagonally_dominant(a));
+  // Such matrices are positive definite.
+  EXPECT_TRUE(is_positive_definite(a.to_dense()));
+
+  // Pure Neumann Laplacian: weakly dominant everywhere, no strict row.
+  TripletList t2(2, 2);
+  t2.add_symmetric(0, 1, -1.0);
+  t2.add(0, 0, 1.0);
+  t2.add(1, 1, 1.0);
+  EXPECT_FALSE(is_irreducibly_diagonally_dominant(SparseMatrix::from_triplets(t2)));
+}
+
+TEST(Properties, Nonnegativity) {
+  DenseMatrix a{{1.0, 0.0}, {0.5, 2.0}};
+  EXPECT_TRUE(is_nonnegative(a));
+  a(1, 0) = -1e-3;
+  EXPECT_FALSE(is_nonnegative(a));
+  EXPECT_TRUE(is_nonnegative(a, 1e-2));
+  EXPECT_DOUBLE_EQ(min_matrix_entry(a), -1e-3);
+}
+
+// Paper Lemma 1 direction: every generated random PD Stieltjes matrix must
+// actually satisfy all three structural claims.
+class StieltjesGeneratorSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StieltjesGeneratorSweep, GeneratorOutputsAreIrreduciblePdStieltjes) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(500 + n);
+  for (int rep = 0; rep < 5; ++rep) {
+    DenseMatrix a = random_pd_stieltjes(n, rng);
+    EXPECT_TRUE(is_stieltjes(a));
+    EXPECT_TRUE(is_irreducible(a));
+    EXPECT_TRUE(is_positive_definite(a));
+    EXPECT_TRUE(is_diagonally_dominant(a));
+  }
+}
+
+TEST_P(StieltjesGeneratorSweep, GroundedLaplacianIsPdStieltjes) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(900 + n);
+  for (int rep = 0; rep < 5; ++rep) {
+    DenseMatrix a = random_grounded_laplacian(n, std::max<std::size_t>(1, n / 4), rng);
+    EXPECT_TRUE(is_stieltjes(a));
+    EXPECT_TRUE(is_irreducible(a));
+    // Grounded + irreducible ⇒ PD even though dominance is mostly weak.
+    EXPECT_TRUE(is_positive_definite(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StieltjesGeneratorSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(RandomStieltjes, InvalidArgsThrow) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(random_pd_stieltjes(0, rng), std::invalid_argument);
+  RandomStieltjesOptions bad;
+  bad.min_shift = -1.0;
+  EXPECT_THROW(random_pd_stieltjes(3, rng, bad), std::invalid_argument);
+  EXPECT_THROW(random_grounded_laplacian(3, 0, rng), std::invalid_argument);
+  EXPECT_THROW(random_grounded_laplacian(3, 4, rng), std::invalid_argument);
+}
+
+TEST(RandomStieltjes, DeterministicForFixedSeed) {
+  std::mt19937_64 rng1(77), rng2(77);
+  DenseMatrix a = random_pd_stieltjes(10, rng1);
+  DenseMatrix b = random_pd_stieltjes(10, rng2);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+}  // namespace
+}  // namespace tfc::linalg

@@ -1,0 +1,151 @@
+#include "linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "linalg/random_stieltjes.h"
+
+namespace tfc::linalg {
+namespace {
+
+TEST(TripletList, OutOfRangeThrows) {
+  TripletList t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(t.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(TripletList, SymmetricAddDiagonalOnce) {
+  TripletList t(2, 2);
+  t.add_symmetric(0, 0, 5.0);  // diagonal: added once
+  t.add_symmetric(0, 1, -1.0);
+  auto m = SparseMatrix::from_triplets(t);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+}
+
+TEST(SparseMatrix, DuplicatesSummed) {
+  TripletList t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(0, 1, 2.5);
+  auto m = SparseMatrix::from_triplets(t);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.5);
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(SparseMatrix, ExactZerosDropped) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, -1.0);
+  t.add(1, 1, 2.0);
+  auto m = SparseMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(SparseMatrix, FromDenseRoundTrip) {
+  DenseMatrix d{{1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}, {2.0, 0.0, 4.0}};
+  auto s = SparseMatrix::from_dense(d);
+  EXPECT_EQ(s.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(s.to_dense().max_abs_diff(d), 0.0);
+}
+
+TEST(SparseMatrix, FromDenseDropTolerance) {
+  DenseMatrix d{{1.0, 1e-14}, {1e-14, 1.0}};
+  auto s = SparseMatrix::from_dense(d, 1e-12);
+  EXPECT_EQ(s.nnz(), 2u);
+}
+
+TEST(SparseMatrix, MatVecMatchesDense) {
+  std::mt19937_64 rng(21);
+  DenseMatrix d = random_pd_stieltjes(15, rng);
+  auto s = SparseMatrix::from_dense(d);
+  Vector x(15);
+  for (std::size_t i = 0; i < 15; ++i) x[i] = double(i) - 7.0;
+  EXPECT_TRUE(approx_equal(s * x, d * x, 1e-12));
+}
+
+TEST(SparseMatrix, MultiplyAddAccumulates) {
+  auto s = SparseMatrix::identity(3);
+  Vector x{1.0, 2.0, 3.0};
+  Vector y{10.0, 10.0, 10.0};
+  s.multiply_add(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 16.0);
+}
+
+TEST(SparseMatrix, MatVecDimensionMismatchThrows) {
+  auto s = SparseMatrix::identity(3);
+  Vector bad(2);
+  EXPECT_THROW(s * bad, std::invalid_argument);
+}
+
+TEST(SparseMatrix, DiagAbsentEntriesZero) {
+  TripletList t(3, 3);
+  t.add(0, 0, 4.0);
+  t.add(1, 2, 1.0);
+  auto m = SparseMatrix::from_triplets(t);
+  Vector d = m.diag();
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(SparseMatrix, Transposed) {
+  TripletList t(2, 3);
+  t.add(0, 2, 5.0);
+  t.add(1, 0, -1.0);
+  auto m = SparseMatrix::from_triplets(t).transposed();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+}
+
+TEST(SparseMatrix, AddScaled) {
+  auto a = SparseMatrix::identity(2);
+  TripletList t(2, 2);
+  t.add(0, 1, 1.0);
+  auto b = SparseMatrix::from_triplets(t);
+  auto c = a.add_scaled(b, -2.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), -2.0);
+}
+
+TEST(SparseMatrix, AddScaledShapeMismatchThrows) {
+  auto a = SparseMatrix::identity(2);
+  auto b = SparseMatrix::identity(3);
+  EXPECT_THROW(a.add_scaled(b, 1.0), std::invalid_argument);
+}
+
+TEST(SparseMatrix, IsSymmetric) {
+  TripletList t(2, 2);
+  t.add_symmetric(0, 1, -3.0);
+  t.add(0, 0, 1.0);
+  auto m = SparseMatrix::from_triplets(t);
+  EXPECT_TRUE(m.is_symmetric());
+  TripletList t2(2, 2);
+  t2.add(0, 1, 1.0);
+  EXPECT_FALSE(SparseMatrix::from_triplets(t2).is_symmetric());
+}
+
+TEST(SparseMatrix, RowPtrStructure) {
+  TripletList t(3, 3);
+  t.add(2, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(2, 2, 1.0);
+  auto m = SparseMatrix::from_triplets(t);
+  ASSERT_EQ(m.row_ptr().size(), 4u);
+  EXPECT_EQ(m.row_ptr()[0], 0u);
+  EXPECT_EQ(m.row_ptr()[1], 1u);  // row 0 has one entry
+  EXPECT_EQ(m.row_ptr()[2], 1u);  // row 1 empty
+  EXPECT_EQ(m.row_ptr()[3], 3u);  // row 2 has two entries
+  // Columns sorted within row 2.
+  EXPECT_EQ(m.col_idx()[1], 0u);
+  EXPECT_EQ(m.col_idx()[2], 2u);
+}
+
+}  // namespace
+}  // namespace tfc::linalg

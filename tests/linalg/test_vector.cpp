@@ -1,0 +1,114 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tfc::linalg {
+namespace {
+
+TEST(Vector, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, SizedConstructorZeroFills) {
+  Vector v(5);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, FillConstructor) {
+  Vector v(3, 2.5);
+  EXPECT_EQ(v[0], 2.5);
+  EXPECT_EQ(v[2], 2.5);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, -2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], -2.0);
+}
+
+TEST(Vector, AtBoundsChecked) {
+  Vector v(2);
+  EXPECT_THROW(v.at(2), std::out_of_range);
+}
+
+TEST(Vector, AddSubScale) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  Vector c = a + b;
+  EXPECT_EQ(c[0], 4.0);
+  EXPECT_EQ(c[1], 1.0);
+  c -= a;
+  EXPECT_EQ(c[0], 3.0);
+  c *= 2.0;
+  EXPECT_EQ(c[0], 6.0);
+  c /= 3.0;
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+}
+
+TEST(Vector, MismatchedAddThrows) {
+  Vector a(2), b(3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  EXPECT_THROW(axpy(1.0, a, b), std::invalid_argument);
+}
+
+TEST(Vector, DivideByZeroThrows) {
+  Vector a{1.0};
+  EXPECT_THROW(a /= 0.0, std::invalid_argument);
+}
+
+TEST(Vector, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+  Vector b{-7.0, 1.0};
+  EXPECT_DOUBLE_EQ(norm_inf(b), 7.0);
+}
+
+TEST(Vector, Axpy) {
+  Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(Vector, MinMaxArgmaxSum) {
+  Vector v{2.0, 9.0, -3.0, 9.0};
+  EXPECT_DOUBLE_EQ(max_entry(v), 9.0);
+  EXPECT_DOUBLE_EQ(min_entry(v), -3.0);
+  EXPECT_EQ(argmax(v), 1u);  // first of the ties
+  EXPECT_DOUBLE_EQ(sum(v), 17.0);
+}
+
+TEST(Vector, MinMaxOnEmptyThrows) {
+  Vector v;
+  EXPECT_THROW(max_entry(v), std::invalid_argument);
+  EXPECT_THROW(min_entry(v), std::invalid_argument);
+  EXPECT_THROW(argmax(v), std::invalid_argument);
+}
+
+TEST(Vector, ApproxEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0 + 1e-9, 2.0 - 1e-9};
+  EXPECT_TRUE(approx_equal(a, b, 1e-8));
+  EXPECT_FALSE(approx_equal(a, b, 1e-10));
+}
+
+TEST(Vector, FillAndResize) {
+  Vector v(2);
+  v.fill(7.0);
+  EXPECT_EQ(v[1], 7.0);
+  v.resize(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 0.0);  // new entries zero-filled
+}
+
+}  // namespace
+}  // namespace tfc::linalg

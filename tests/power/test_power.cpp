@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/alpha21364.h"
+#include "power/power_profile.h"
+#include "power/workload.h"
+
+namespace tfc::power {
+namespace {
+
+TEST(PowerProfile, ConstructionValidates) {
+  EXPECT_THROW(PowerProfile(0, 2, linalg::Vector(0)), std::invalid_argument);
+  EXPECT_THROW(PowerProfile(2, 2, linalg::Vector(3)), std::invalid_argument);
+  linalg::Vector neg(4);
+  neg[1] = -0.1;
+  EXPECT_THROW(PowerProfile(2, 2, neg), std::invalid_argument);
+}
+
+TEST(PowerProfile, Accessors) {
+  linalg::Vector w{1.0, 2.0, 3.0, 4.0};
+  PowerProfile p(2, 2, w);
+  EXPECT_DOUBLE_EQ(p.total(), 10.0);
+  EXPECT_DOUBLE_EQ(p.peak_tile_power(), 4.0);
+  EXPECT_DOUBLE_EQ(p.tile_power({1, 0}), 3.0);
+  EXPECT_THROW(p.tile_power({2, 0}), std::out_of_range);
+}
+
+TEST(PowerProfile, DensityConversions) {
+  linalg::Vector w{0.706, 0.0, 0.0, 0.0};
+  PowerProfile p(2, 2, w);
+  // 0.706 W on 0.25e-6 m² = 2.824e6 W/m² = 282.4 W/cm².
+  EXPECT_NEAR(p.peak_density_w_per_cm2(0.25e-6), 282.4, 1e-9);
+  EXPECT_NEAR(p.density({0, 0}, 0.25e-6), 2.824e6, 1e-6);
+  EXPECT_THROW(p.peak_density_w_per_cm2(0.0), std::invalid_argument);
+}
+
+TEST(PowerProfile, Scaling) {
+  linalg::Vector w{1.0, 2.0, 3.0, 4.0};
+  PowerProfile p(2, 2, w);
+  auto q = p.scaled(1.2);
+  EXPECT_DOUBLE_EQ(q.total(), 12.0);
+  EXPECT_THROW(p.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(PowerProfile, FromFloorplanMatchesRasterization) {
+  auto plan = floorplan::alpha21364();
+  auto p = PowerProfile::from_floorplan(plan);
+  EXPECT_NEAR(p.total(), plan.total_power(), 1e-10);
+  EXPECT_NEAR(p.peak_density_w_per_cm2(0.25e-6), 282.4, 0.1);
+}
+
+TEST(Workload, OptionsValidated) {
+  auto plan = floorplan::alpha21364();
+  WorkloadOptions o;
+  o.timesteps = 0;
+  EXPECT_THROW(WorkloadSynthesizer(plan, o), std::invalid_argument);
+  o = {};
+  o.burst_probability = 1.5;
+  EXPECT_THROW(WorkloadSynthesizer(plan, o), std::invalid_argument);
+}
+
+TEST(Workload, TraceShapeAndRange) {
+  auto plan = floorplan::alpha21364();
+  WorkloadSynthesizer synth(plan);
+  auto tr = synth.synthesize("gzip");
+  EXPECT_EQ(tr.benchmark, "gzip");
+  EXPECT_EQ(tr.unit_count(), plan.units().size());
+  EXPECT_EQ(tr.length(), WorkloadOptions{}.timesteps);
+  for (const auto& row : tr.utilization) {
+    for (double x : row) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(Workload, DeterministicInName) {
+  auto plan = floorplan::alpha21364();
+  WorkloadSynthesizer synth(plan);
+  auto a = synth.synthesize("mcf");
+  auto b = synth.synthesize("mcf");
+  EXPECT_EQ(a.utilization, b.utilization);
+  auto c = synth.synthesize("art");
+  EXPECT_NE(a.utilization, c.utilization);
+}
+
+TEST(Workload, EveryUnitReachesWorstCase) {
+  auto plan = floorplan::alpha21364();
+  WorkloadSynthesizer synth(plan);
+  auto tr = synth.synthesize("equake");
+  for (std::size_t u = 0; u < tr.unit_count(); ++u) {
+    double peak = 0.0;
+    for (double x : tr.utilization[u]) peak = std::max(peak, x);
+    EXPECT_DOUBLE_EQ(peak, 1.0) << "unit " << u;
+  }
+}
+
+TEST(Workload, SuiteNamesAndCount) {
+  auto plan = floorplan::alpha21364();
+  WorkloadSynthesizer synth(plan);
+  auto suite = synth.synthesize_suite(3);
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].benchmark, "bench00");
+  EXPECT_EQ(suite[2].benchmark, "bench02");
+}
+
+TEST(WorstCase, ReproducesDeclaredUnitPowersExactly) {
+  // The full paper pipeline: traces → per-unit worst case → +20 % margin →
+  // tiles. Because traces touch full activity, the reduction returns the
+  // floorplan's declared worst-case powers exactly.
+  auto plan = floorplan::alpha21364();
+  WorkloadSynthesizer synth(plan);
+  auto profile = worst_case_profile(plan, synth.synthesize_suite(5));
+  EXPECT_NEAR(profile.total(), 20.6, 0.05);
+  auto direct = PowerProfile::from_floorplan(plan);
+  EXPECT_TRUE(linalg::approx_equal(profile.tile_powers(), direct.tile_powers(), 1e-9));
+}
+
+TEST(WorstCase, PartialActivityScalesDown) {
+  auto plan = floorplan::alpha21364();
+  ActivityTrace half;
+  half.benchmark = "half";
+  half.utilization.assign(plan.units().size(),
+                          std::vector<double>(10, 0.5));
+  auto profile = worst_case_profile(plan, {half});
+  EXPECT_NEAR(profile.total(), 0.5 * 20.6, 0.05);
+}
+
+TEST(WorstCase, InputValidation) {
+  auto plan = floorplan::alpha21364();
+  EXPECT_THROW(worst_case_profile(plan, {}), std::invalid_argument);
+  ActivityTrace bad;
+  bad.utilization.assign(2, std::vector<double>(5, 0.5));  // wrong unit count
+  EXPECT_THROW(worst_case_profile(plan, {bad}), std::invalid_argument);
+  WorkloadSynthesizer synth(plan);
+  EXPECT_THROW(worst_case_profile(plan, synth.synthesize_suite(1), -0.5),
+               std::invalid_argument);
+}
+
+TEST(WorstCase, MarginScalesLinearly) {
+  auto plan = floorplan::alpha21364();
+  WorkloadSynthesizer synth(plan);
+  auto suite = synth.synthesize_suite(2);
+  auto with = worst_case_profile(plan, suite, 0.20);
+  auto without = worst_case_profile(plan, suite, 0.0);
+  // nominal = peak/1.2; margin 0 gives nominal, margin 0.2 gives peak.
+  EXPECT_NEAR(with.total() / without.total(), 1.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace tfc::power

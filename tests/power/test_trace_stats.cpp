@@ -1,0 +1,69 @@
+#include "power/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/alpha21364.h"
+
+namespace tfc::power {
+namespace {
+
+ActivityTrace manual_trace() {
+  ActivityTrace t;
+  t.benchmark = "manual";
+  t.utilization = {
+      {0.0, 0.5, 1.0, 0.5},   // unit 0
+      {1.0, 0.5, 0.0, 0.5},   // unit 1: anti-correlated with 0
+      {0.3, 0.3, 0.3, 0.3},   // unit 2: constant
+  };
+  return t;
+}
+
+TEST(TraceStats, PerUnitValues) {
+  auto stats = trace_statistics(manual_trace());
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 0.5);
+  EXPECT_DOUBLE_EQ(stats[0].peak, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].hot_duty, 0.25);
+  EXPECT_DOUBLE_EQ(stats[2].mean, 0.3);
+  EXPECT_DOUBLE_EQ(stats[2].peak, 0.3);
+  EXPECT_DOUBLE_EQ(stats[2].hot_duty, 0.0);
+}
+
+TEST(TraceStats, P95NearTop) {
+  ActivityTrace t;
+  t.utilization = {std::vector<double>(100)};
+  for (std::size_t k = 0; k < 100; ++k) t.utilization[0][k] = double(k) / 99.0;
+  auto stats = trace_statistics(t);
+  EXPECT_NEAR(stats[0].p95, 0.95, 0.02);
+}
+
+TEST(TraceStats, EmptyTraceThrows) {
+  ActivityTrace t;
+  EXPECT_THROW(trace_statistics(t), std::invalid_argument);
+}
+
+TEST(TraceStats, CorrelationSigns) {
+  auto t = manual_trace();
+  EXPECT_NEAR(trace_correlation(t, 0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(trace_correlation(t, 0, 1), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(trace_correlation(t, 0, 2), 0.0);  // zero-variance partner
+  EXPECT_THROW(trace_correlation(t, 0, 9), std::invalid_argument);
+}
+
+TEST(TraceStats, SynthesizedTracesHaveSaneStatistics) {
+  auto plan = floorplan::alpha21364();
+  WorkloadSynthesizer synth(plan);
+  auto trace = synth.synthesize("gcc");
+  auto stats = trace_statistics(trace);
+  ASSERT_EQ(stats.size(), plan.units().size());
+  for (const auto& s : stats) {
+    EXPECT_GT(s.mean, 0.05);
+    EXPECT_LT(s.mean, 1.0);
+    EXPECT_DOUBLE_EQ(s.peak, 1.0);  // worst case touched (guaranteed)
+    EXPECT_GE(s.p95, s.mean);
+    EXPECT_LE(s.hot_duty, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tfc::power

@@ -1,0 +1,110 @@
+#include "tec/device.h"
+
+#include <gtest/gtest.h>
+
+namespace tfc::tec {
+namespace {
+
+TecDeviceParams dev() { return TecDeviceParams::chowdhury_superlattice(); }
+
+TEST(TecDevice, PresetValidates) {
+  EXPECT_NO_THROW(dev().validate());
+}
+
+TEST(TecDevice, ValidationRejectsNonPositive) {
+  auto d = dev();
+  d.seebeck = 0.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = dev();
+  d.resistance = -1.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = dev();
+  d.g_hot_contact = 0.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(TecDevice, Equation1ColdSideHeat) {
+  auto d = dev();
+  const double i = 5.0, tc = 350.0, th = 355.0;
+  const double expected = d.seebeck * i * tc - 0.5 * d.resistance * i * i -
+                          d.internal_conductance * (th - tc);
+  EXPECT_DOUBLE_EQ(d.cold_side_heat(i, tc, th), expected);
+}
+
+TEST(TecDevice, Equation2HotSideHeat) {
+  auto d = dev();
+  const double i = 5.0, tc = 350.0, th = 355.0;
+  const double expected = d.seebeck * i * th + 0.5 * d.resistance * i * i -
+                          d.internal_conductance * (th - tc);
+  EXPECT_DOUBLE_EQ(d.hot_side_heat(i, tc, th), expected);
+}
+
+TEST(TecDevice, Equation3InputPowerIsDifference) {
+  // p_TEC = q_h − q_c = r·i² + α·i·Δθ must hold identically (Eq. 3).
+  auto d = dev();
+  for (double i : {0.0, 1.0, 3.5, 8.0}) {
+    for (double dt : {-5.0, 0.0, 5.0, 20.0}) {
+      const double tc = 350.0, th = tc + dt;
+      EXPECT_NEAR(d.input_power(i, dt), d.hot_side_heat(i, tc, th) - d.cold_side_heat(i, tc, th),
+                  1e-12);
+    }
+  }
+}
+
+TEST(TecDevice, ZeroCurrentIsPassive) {
+  auto d = dev();
+  // At i = 0 the device only conducts: q_c = q_h = −κΔθ and p_TEC = 0.
+  EXPECT_DOUBLE_EQ(d.input_power(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cold_side_heat(0.0, 350.0, 360.0), -d.internal_conductance * 10.0);
+  EXPECT_DOUBLE_EQ(d.hot_side_heat(0.0, 350.0, 360.0), -d.internal_conductance * 10.0);
+}
+
+TEST(TecDevice, PumpingPeaksAtAlphaThetaOverR) {
+  auto d = dev();
+  const double tc = 350.0;
+  const double i_star = d.max_pumping_current(tc);
+  EXPECT_NEAR(i_star, d.seebeck * tc / d.resistance, 1e-12);
+  const double q_star = d.cold_side_heat(i_star, tc, tc);
+  EXPECT_GT(q_star, d.cold_side_heat(i_star * 0.8, tc, tc));
+  EXPECT_GT(q_star, d.cold_side_heat(i_star * 1.2, tc, tc));
+}
+
+TEST(TecDevice, CopPositiveInOperatingRangeAndZeroBeyond) {
+  auto d = dev();
+  const double tc = 350.0, th = 352.0;
+  EXPECT_GT(d.cop(4.0, tc, th), 0.0);
+  // Far beyond the useful range Joule heat dominates: q_c < 0 ⇒ COP < 0.
+  const double i_big = 3.0 * d.max_pumping_current(tc);
+  EXPECT_LT(d.cop(i_big, tc, th), 0.0);
+  // Zero current: no input power; COP defined as 0.
+  EXPECT_DOUBLE_EQ(d.cop(0.0, tc, th), 0.0);
+}
+
+TEST(TecDevice, CopDecreasesWithTemperatureDifference) {
+  // Pumping against a larger Δθ is less efficient.
+  auto d = dev();
+  const double i = 5.0, tc = 350.0;
+  EXPECT_GT(d.cop(i, tc, tc + 1.0), d.cop(i, tc, tc + 8.0));
+}
+
+TEST(TecDevice, ThermalLinkMatchesContacts) {
+  auto d = dev();
+  auto link = d.thermal_link();
+  EXPECT_DOUBLE_EQ(link.g_cold_contact, d.g_cold_contact);
+  EXPECT_DOUBLE_EQ(link.g_internal, d.internal_conductance);
+  EXPECT_DOUBLE_EQ(link.g_hot_contact, d.g_hot_contact);
+}
+
+TEST(TecDevice, CalibrationMatchesPublishedScales) {
+  // The calibration targets from DESIGN.md: device power ≈ 0.1 W at ≈ 6 A,
+  // Peltier pumping comparable to one hot tile's worst-case heat (~0.7 W).
+  auto d = dev();
+  EXPECT_NEAR(d.input_power(6.0, 2.0), 0.11, 0.03);
+  EXPECT_NEAR(d.seebeck * 6.0 * 360.0, 0.72, 0.15);
+  // Optimal pumping current well above the operating range (no premature
+  // pumping collapse at Table-I currents).
+  EXPECT_GT(d.max_pumping_current(360.0), 15.0);
+}
+
+}  // namespace
+}  // namespace tfc::tec

@@ -1,0 +1,94 @@
+#include "tec/string_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tfc::tec {
+namespace {
+
+thermal::PackageGeometry small_geom() {
+  thermal::PackageGeometry g;
+  g.tile_rows = g.tile_cols = 4;
+  g.die_width = g.die_height = 2e-3;
+  return g;
+}
+
+ElectroThermalSystem make_system() {
+  TileMask dep(4, 4);
+  dep.set(1, 1);
+  dep.set(1, 2);
+  dep.set(2, 1);
+  linalg::Vector p(16, 0.08);
+  p[5] = 0.5;
+  return ElectroThermalSystem::assemble(small_geom(), dep, p,
+                                        TecDeviceParams::chowdhury_superlattice());
+}
+
+TEST(StringModel, SupplyPowerIdentity) {
+  // V·i == Σ device input power + lead loss, exactly.
+  auto sys = make_system();
+  const double i = 5.0;
+  auto op = sys.solve(i);
+  ASSERT_TRUE(op.has_value());
+  auto s = string_electrical(sys, i, op->theta, /*lead_resistance=*/5e-3);
+  EXPECT_NEAR(s.supply_power, s.device_power + s.lead_power, 1e-10);
+  EXPECT_EQ(s.devices, 3u);
+}
+
+TEST(StringModel, MatchesOperatingPointPower) {
+  auto sys = make_system();
+  const double i = 4.0;
+  auto op = sys.solve(i);
+  ASSERT_TRUE(op.has_value());
+  auto s = string_electrical(sys, i, op->theta);
+  EXPECT_NEAR(s.device_power, op->tec_input_power, 1e-10);
+  EXPECT_DOUBLE_EQ(s.lead_power, 0.0);
+}
+
+TEST(StringModel, ZeroCurrentGivesSeebeckVoltageOnly) {
+  // At i = 0 the string still shows the open-circuit Seebeck EMF of the
+  // passive temperature gradients.
+  auto sys = make_system();
+  auto op = sys.solve(0.0);
+  ASSERT_TRUE(op.has_value());
+  auto s = string_electrical(sys, 0.0, op->theta);
+  EXPECT_DOUBLE_EQ(s.supply_power, 0.0);
+  EXPECT_DOUBLE_EQ(s.device_power, 0.0);
+  // Passive gradient: hot plate cooler than cold plate (heat flows down), so
+  // the EMF is nonzero.
+  EXPECT_NE(s.supply_voltage, 0.0);
+}
+
+TEST(StringModel, VoltageScalesWithDeviceCountAndCurrent) {
+  auto sys = make_system();
+  auto op4 = sys.solve(4.0);
+  auto op8 = sys.solve(8.0);
+  ASSERT_TRUE(op4 && op8);
+  auto s4 = string_electrical(sys, 4.0, op4->theta);
+  auto s8 = string_electrical(sys, 8.0, op8->theta);
+  EXPECT_GT(s8.supply_voltage, s4.supply_voltage);
+  // Ohmic floor: V >= n·i·r − (EMF corrections).
+  EXPECT_GT(s4.supply_voltage, 0.5 * 3.0 * 4.0 * sys.device().resistance);
+  EXPECT_GE(s4.max_device_voltage, s4.supply_voltage / 3.0 - 1e-9);
+}
+
+TEST(StringModel, LeadResistanceAddsLoss) {
+  auto sys = make_system();
+  const double i = 6.0;
+  auto op = sys.solve(i);
+  ASSERT_TRUE(op.has_value());
+  auto without = string_electrical(sys, i, op->theta, 0.0);
+  auto with = string_electrical(sys, i, op->theta, 10e-3);
+  EXPECT_NEAR(with.lead_power, i * i * 10e-3, 1e-12);
+  EXPECT_NEAR(with.supply_voltage - without.supply_voltage, i * 10e-3, 1e-12);
+}
+
+TEST(StringModel, InputValidation) {
+  auto sys = make_system();
+  auto op = sys.solve(1.0);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_THROW(string_electrical(sys, 1.0, linalg::Vector(3)), std::invalid_argument);
+  EXPECT_THROW(string_electrical(sys, 1.0, op->theta, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tfc::tec

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/properties.h"
+#include "thermal/package_model.h"
+#include "thermal/steady_state.h"
+
+namespace tfc::thermal {
+namespace {
+
+PackageModelOptions base_options(bool secondary) {
+  PackageModelOptions o;
+  o.geometry.tile_rows = 4;
+  o.geometry.tile_cols = 4;
+  o.geometry.die_width = 2e-3;
+  o.geometry.die_height = 2e-3;
+  o.geometry.model_secondary_path = secondary;
+  return o;
+}
+
+linalg::Vector powers() {
+  linalg::Vector p(16, 0.15);
+  p[5] = 0.6;
+  return p;
+}
+
+TEST(SecondaryPath, AddsTwoNodes) {
+  auto off = PackageModel::build(base_options(false));
+  auto on = PackageModel::build(base_options(true));
+  EXPECT_EQ(on.node_count(), off.node_count() + 2u);
+}
+
+TEST(SecondaryPath, MatrixStaysIrreduciblePdStieltjes) {
+  auto m = PackageModel::build(base_options(true));
+  auto g = m.network().conductance_matrix();
+  EXPECT_TRUE(linalg::is_stieltjes(g));
+  EXPECT_TRUE(linalg::is_irreducible(g));
+  EXPECT_TRUE(linalg::is_positive_definite(g.to_dense()));
+}
+
+TEST(SecondaryPath, CoolsTheDie) {
+  auto off = PackageModel::build(base_options(false));
+  auto on = PackageModel::build(base_options(true));
+  off.set_tile_powers(powers());
+  on.set_tile_powers(powers());
+  const double peak_off = off.peak_tile_temperature(solve_steady_state(off));
+  const double peak_on = on.peak_tile_temperature(solve_steady_state(on));
+  // A parallel escape path can only lower temperatures; with ~40 K/W total
+  // against the ~1 K/W primary path the effect is small but strictly
+  // positive.
+  EXPECT_LT(peak_on, peak_off);
+  EXPECT_GT(peak_on, peak_off - 5.0);
+}
+
+TEST(SecondaryPath, EnergySplitsAcrossBothPaths) {
+  auto m = PackageModel::build(base_options(true));
+  m.set_tile_powers(powers());
+  auto theta = solve_steady_state(m);
+  const auto& net = m.network();
+  double q_total = 0.0;
+  double q_board = 0.0;
+  for (std::size_t k = 0; k < net.node_count(); ++k) {
+    const double g = net.ambient_conductance(k);
+    if (g <= 0.0) continue;
+    const double q = g * (theta[k] - m.geometry().ambient);
+    q_total += q;
+    if (net.node(k).kind == NodeKind::kOther) q_board += q;
+  }
+  EXPECT_NEAR(q_total, net.total_power(), 1e-9 * q_total);
+  EXPECT_GT(q_board, 0.0);
+  EXPECT_LT(q_board, 0.25 * q_total);  // secondary path is the minor share
+}
+
+TEST(SecondaryPath, ValidationOfResistances) {
+  auto o = base_options(true);
+  o.geometry.c4_resistance = 0.0;
+  EXPECT_THROW(PackageModel::build(o), std::invalid_argument);
+  o = base_options(true);
+  o.geometry.board_convection_resistance = -1.0;
+  EXPECT_THROW(PackageModel::build(o), std::invalid_argument);
+  // Disabled: the same non-physical values are ignored.
+  o = base_options(false);
+  o.geometry.c4_resistance = 0.0;
+  EXPECT_NO_THROW(PackageModel::build(o));
+}
+
+}  // namespace
+}  // namespace tfc::thermal

@@ -1,0 +1,12 @@
+/// \file tfcool_main.cpp
+/// \brief Thin executable wrapper around the testable CLI library.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tfc::cli::run_cli(args, std::cout, std::cerr);
+}
