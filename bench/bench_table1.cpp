@@ -55,8 +55,10 @@ int main() {
   double sum_loss = 0.0, sum_ptec = 0.0, paper_loss = 0.0, paper_ptec = 0.0;
   std::size_t solved = 0, fallbacks = 0;
   const auto chips = bench::table1_chips();
+  bench::MetricsDumper metrics("table1");
   for (std::size_t k = 0; k < chips.size(); ++k) {
     auto res = bench::design_with_fallback(chips[k]);
+    metrics.chip_done(chips[k].name);
     const auto& pr = kPaper[k];
     std::printf("%-6s | %6.1f %6.0f %5zu %6.2f %6.2f %6.1f %5.1f "
                 "| %6.1f %6.0f %5.0f %6.2f %6.2f %6.1f %5.1f\n",
@@ -70,7 +72,12 @@ int main() {
       sum_ptec += res.tec_power;
       paper_loss += pr.loss;
       paper_ptec += pr.ptec;
-      if (res.theta_limit_celsius > 85.0) ++fallbacks;
+      if (res.theta_limit_celsius > 85.0) {
+        ++fallbacks;
+        std::printf("       (relaxed after %zu attempts: %.0f -> %.0f degC)\n",
+                    res.attempts(), res.attempted_limits.front(),
+                    res.attempted_limits.back());
+      }
     }
   }
 

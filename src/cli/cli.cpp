@@ -11,6 +11,8 @@
 #include "floorplan/hotspot_import.h"
 #include "floorplan/random_chip.h"
 #include "io/design_json.h"
+#include "obs/build_info.h"
+#include "obs/obs.h"
 #include "power/power_profile.h"
 #include "power/workload.h"
 #include "tec/runaway.h"
@@ -152,6 +154,8 @@ core::DesignResult design_with_fallback(const ChipInput& chip, double limit,
   auto res = core::design_cooling_system(req);
   while (!res.success && req.theta_limit_celsius < limit + 25.0) {
     req.theta_limit_celsius += 1.0;
+    TFC_LOG_INFO("design_fallback_relax", {"chip", chip.name},
+                 {"theta_limit_c", req.theta_limit_celsius});
     res = core::design_cooling_system(req);
   }
   return res;
@@ -267,6 +271,108 @@ int cmd_sensitivity(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_version(std::ostream& out) {
+  out << "tfcool " << TFC_BUILD_VERSION << " (git " << TFC_BUILD_GIT_DESCRIBE << ")\n"
+      << "compiler: " << TFC_BUILD_COMPILER << "\n"
+      << "build type: " << TFC_BUILD_TYPE << "\n"
+      << "obs compile-time level: " << obs::compile_level_name() << "\n";
+  return 0;
+}
+
+/// Scoped observability configuration for one CLI invocation: applies
+/// --log-level / --log-json / --trace-out, restores the global logger on
+/// destruction (run_cli is re-entrant for tests), and exports trace and
+/// metrics files in finish().
+class ObsScope {
+ public:
+  ObsScope()
+      : saved_level_(obs::Logger::global().level()),
+        saved_sinks_(obs::Logger::global().sinks()) {}
+
+  ~ObsScope() {
+    if (tracing_) obs::TraceCollector::global().disable();
+    obs::Logger::global().set_level(saved_level_);
+    obs::Logger::global().set_sinks(saved_sinks_);
+  }
+
+  /// Returns false (with a message on \p err) on a bad option value.
+  bool configure(const ParsedArgs& p, std::ostream& err) {
+    if (auto it = p.options.find("--log-level"); it != p.options.end()) {
+      obs::Level level;
+      if (!obs::parse_level(it->second, level)) {
+        err << "error: unknown log level '" << it->second
+            << "' (use trace|debug|info|warn|error|off)\n";
+        return false;
+      }
+      obs::Logger::global().set_level(level);
+    }
+    if (auto it = p.options.find("--log-json"); it != p.options.end()) {
+      try {
+        obs::Logger::global().add_sink(std::make_shared<obs::JsonlSink>(it->second));
+      } catch (const std::exception& e) {
+        err << "error: " << e.what() << "\n";
+        return false;
+      }
+    }
+    if (auto it = p.options.find("--trace-out"); it != p.options.end()) {
+      trace_path_ = it->second;
+      tracing_ = true;
+      obs::TraceCollector::global().clear();
+      obs::TraceCollector::global().enable();
+    }
+    if (auto it = p.options.find("--metrics-out"); it != p.options.end()) {
+      metrics_path_ = it->second;
+      // Pre-register the headline solver metrics so the exported document
+      // has a stable schema (zero-valued when a command never hits a path).
+      auto& m = obs::MetricsRegistry::global();
+      m.counter("cg.solves");
+      m.histogram("cg.iterations");
+      m.histogram("cg.final_residual");
+      m.counter("greedy.candidate_evaluations");
+      m.counter("greedy.passes");
+      m.counter("cholesky.sparse.factors");
+    }
+    return true;
+  }
+
+  /// Write --trace-out / --metrics-out files. Returns false on I/O failure.
+  bool finish(std::ostream& out, std::ostream& err) {
+    bool ok = true;
+    if (tracing_) {
+      obs::TraceCollector::global().disable();
+      std::ofstream tf(trace_path_);
+      if (!tf) {
+        err << "error: cannot write '" << trace_path_ << "'\n";
+        ok = false;
+      } else {
+        tf << obs::TraceCollector::global().to_chrome_json() << "\n";
+        out << "wrote " << trace_path_ << " ("
+            << obs::TraceCollector::global().event_count() << " spans)\n";
+      }
+      obs::TraceCollector::global().clear();
+      tracing_ = false;
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream mf(metrics_path_);
+      if (!mf) {
+        err << "error: cannot write '" << metrics_path_ << "'\n";
+        ok = false;
+      } else {
+        mf << obs::MetricsRegistry::global().to_json() << "\n";
+        out << "wrote " << metrics_path_ << "\n";
+      }
+    }
+    return ok;
+  }
+
+ private:
+  obs::Level saved_level_;
+  std::vector<std::shared_ptr<obs::Sink>> saved_sinks_;
+  bool tracing_ = false;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
 int cmd_validate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   auto chip = load_chip(p, err);
   if (!chip) return 2;
@@ -294,6 +400,15 @@ std::string usage() {
       "  sweep     CSV sweep of peak temperature vs supply current\n"
       "            (--points N, --max-fraction F of lambda_m)\n"
       "  sensitivity  CSV of device-parameter sensitivities at the design\n"
+      "  version   print build provenance (git, compiler, build type,\n"
+      "            obs compile-time level)\n"
+      "\n"
+      "observability (any command):\n"
+      "  --log-level L           trace|debug|info|warn|error|off (default warn)\n"
+      "  --log-json PATH         append structured JSONL log records to PATH\n"
+      "  --trace-out PATH        write Chrome trace_event JSON (open in\n"
+      "                          Perfetto / about://tracing)\n"
+      "  --metrics-out PATH      write the metrics-registry snapshot as JSON\n"
       "\n"
       "chip selection (design/runaway/validate):\n"
       "  --chip alpha|hc<N>      built-in benchmark chip (default alpha)\n"
@@ -320,19 +435,29 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     out << usage();
     return 0;
   }
+  if (parsed->command == "version") return cmd_version(out);
+
+  ObsScope obs_scope;
+  if (!obs_scope.configure(*parsed, err)) return 2;
+
+  int code = -1;
   try {
-    if (parsed->command == "design") return cmd_design(*parsed, out, err);
-    if (parsed->command == "table1") return cmd_table1(*parsed, out, err);
-    if (parsed->command == "runaway") return cmd_runaway(*parsed, out, err);
-    if (parsed->command == "validate") return cmd_validate(*parsed, out, err);
-    if (parsed->command == "sweep") return cmd_sweep(*parsed, out, err);
-    if (parsed->command == "sensitivity") return cmd_sensitivity(*parsed, out, err);
+    if (parsed->command == "design") code = cmd_design(*parsed, out, err);
+    else if (parsed->command == "table1") code = cmd_table1(*parsed, out, err);
+    else if (parsed->command == "runaway") code = cmd_runaway(*parsed, out, err);
+    else if (parsed->command == "validate") code = cmd_validate(*parsed, out, err);
+    else if (parsed->command == "sweep") code = cmd_sweep(*parsed, out, err);
+    else if (parsed->command == "sensitivity") code = cmd_sensitivity(*parsed, out, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 2;
   }
-  err << "error: unknown command '" << parsed->command << "'\n" << usage();
-  return 2;
+  if (code < 0) {
+    err << "error: unknown command '" << parsed->command << "'\n" << usage();
+    return 2;
+  }
+  if (!obs_scope.finish(out, err) && code == 0) code = 2;
+  return code;
 }
 
 }  // namespace tfc::cli

@@ -3,14 +3,20 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/obs.h"
+
 namespace tfc::core {
 
 DesignResult design_cooling_system(const DesignRequest& request) {
+  TFC_SPAN("design");
   const auto t0 = std::chrono::steady_clock::now();
 
   DesignResult res;
   res.chip_name = request.chip_name;
   res.theta_limit_celsius = request.theta_limit_celsius;
+  TFC_LOG_INFO("design_start", {"chip", request.chip_name},
+               {"theta_limit_c", request.theta_limit_celsius},
+               {"tiles", request.tile_powers.size()});
 
   GreedyDeployOptions greedy = request.greedy;
   greedy.theta_max = thermal::to_kelvin(request.theta_limit_celsius);
@@ -28,6 +34,7 @@ DesignResult design_cooling_system(const DesignRequest& request) {
   res.greedy_iterations = g.iterations.size();
 
   if (request.run_full_cover) {
+    TFC_SPAN("full_cover");
     BaselineResult fc = full_cover(request.geometry, request.tile_powers, request.device,
                                    request.greedy.current);
     res.full_cover_min_peak_celsius = thermal::to_celsius(fc.min_peak_temperature);
@@ -37,6 +44,7 @@ DesignResult design_cooling_system(const DesignRequest& request) {
   }
 
   if (request.run_convexity_certificate && res.tec_count > 0) {
+    TFC_SPAN("convexity_certificate");
     auto system = tec::ElectroThermalSystem::assemble(request.geometry, res.deployment,
                                                       request.tile_powers, request.device);
     res.convexity = certify_convexity(system);
@@ -45,6 +53,10 @@ DesignResult design_cooling_system(const DesignRequest& request) {
   res.runtime_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+  obs::MetricsRegistry::global().histogram("design.runtime_ms").record(res.runtime_ms);
+  TFC_LOG_INFO("design_done", {"chip", res.chip_name}, {"success", res.success},
+               {"tecs", res.tec_count}, {"current_a", res.current},
+               {"peak_c", res.peak_greedy_celsius}, {"runtime_ms", res.runtime_ms});
   return res;
 }
 

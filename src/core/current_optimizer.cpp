@@ -7,8 +7,22 @@
 
 #include "core/response.h"
 #include "linalg/minimize.h"
+#include "obs/obs.h"
 
 namespace tfc::core {
+
+namespace {
+
+const char* method_name(CurrentMethod method) {
+  switch (method) {
+    case CurrentMethod::kGoldenSection: return "golden_section";
+    case CurrentMethod::kBrent: return "brent";
+    case CurrentMethod::kGradientDescent: return "gradient_descent";
+  }
+  return "?";
+}
+
+}  // namespace
 
 namespace {
 
@@ -97,6 +111,8 @@ CurrentOptimum gradient_descent(const tec::ElectroThermalSystem& system, double 
 
 CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
                                 const CurrentOptimizerOptions& options) {
+  TFC_SPAN("optimize_current");
+  obs::MetricsRegistry::global().counter("current_opt.calls").increment();
   CurrentOptimum res;
 
   if (system.device_count() == 0) {
@@ -143,6 +159,19 @@ CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
   res.operating_point = *op;
   res.peak_tile_temperature = op->peak_tile_temperature;
   res.tec_input_power = op->tec_input_power;
+
+  obs::MetricsRegistry::global()
+      .histogram("current_opt.objective_evaluations")
+      .record(double(res.objective_evaluations));
+  TFC_LOG_DEBUG("current_optimum", {"method", method_name(options.method)},
+                {"current_a", res.current},
+                {"peak_c", thermal::to_celsius(res.peak_tile_temperature)},
+                {"evaluations", res.objective_evaluations}, {"converged", res.converged});
+  if (!res.converged) {
+    TFC_LOG_WARN("current_opt_no_convergence", {"method", method_name(options.method)},
+                 {"evaluations", res.objective_evaluations},
+                 {"max_iterations", options.max_iterations});
+  }
   return res;
 }
 

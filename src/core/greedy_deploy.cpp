@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace tfc::core {
 
 namespace {
@@ -28,6 +30,8 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
   if (options.coverage_margin < 0.0) {
     throw std::invalid_argument("greedy_deploy: negative coverage_margin");
   }
+  TFC_SPAN("greedy_deploy");
+  auto& metrics = obs::MetricsRegistry::global();
   GreedyDeployResult result;
   result.deployment = TileMask(geometry.tile_rows, geometry.tile_cols);
 
@@ -56,12 +60,17 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
 
   // Lines 6-15: the greedy loop.
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    TFC_SPAN("greedy_pass");
+    const std::size_t before = result.deployment.count();
     result.deployment |= cover;  // Line 7: S_TEC ∪= T
+    metrics.counter("greedy.passes").increment();
+    metrics.counter("greedy.accepted_sites").increment(result.deployment.count() - before);
 
     auto system = tec::ElectroThermalSystem::assemble(geometry, result.deployment,
                                                       tile_powers, device);
     // Line 8: find i_opt minimizing the peak tile temperature.
     CurrentOptimum opt = optimize_current(system, options.current);
+    metrics.counter("greedy.candidate_evaluations").increment(opt.objective_evaluations);
 
     result.current = opt.current;
     result.peak_tile_temperature = opt.peak_tile_temperature;
@@ -79,19 +88,29 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
 
     result.iterations.push_back({result.deployment.count(), over.count(), opt.current,
                                  opt.peak_tile_temperature});
+    TFC_LOG_INFO("greedy_pass", {"pass", it + 1}, {"tecs", result.deployment.count()},
+                 {"tiles_over_limit", over.count()}, {"current_a", opt.current},
+                 {"peak_c", thermal::to_celsius(opt.peak_tile_temperature)});
 
     if (over.empty()) {  // Lines 11-12
       result.success = true;
+      TFC_LOG_INFO("greedy_done", {"success", true}, {"passes", it + 1},
+                   {"tecs", result.deployment.count()}, {"current_a", result.current});
       return result;
     }
     // Lines 13-14 (with cover == over when margin is 0, i.e. the paper's
     // exact test): no tile left to add ⇒ no proper deployment exists.
     if (cover.subset_of(result.deployment)) {
       result.success = false;
+      TFC_LOG_INFO("greedy_done", {"success", false}, {"passes", it + 1},
+                   {"tecs", result.deployment.count()},
+                   {"reason", "over-limit tiles already covered"});
       return result;
     }
   }
   result.success = false;
+  TFC_LOG_WARN("greedy_max_iterations", {"max_iterations", options.max_iterations},
+               {"tecs", result.deployment.count()});
   return result;
 }
 

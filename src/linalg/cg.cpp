@@ -1,12 +1,15 @@
 #include "linalg/cg.h"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/obs.h"
 
 namespace tfc::linalg {
 
 Preconditioner identity_preconditioner() {
-  return [](const Vector& r) { return r; };
+  return {[](const Vector& r) { return r; }, "identity"};
 }
 
 Preconditioner jacobi_preconditioner(const SparseMatrix& a) {
@@ -17,11 +20,12 @@ Preconditioner jacobi_preconditioner(const SparseMatrix& a) {
     }
     d[i] = 1.0 / d[i];
   }
-  return [d = std::move(d)](const Vector& r) {
-    Vector z(r.size());
-    for (std::size_t i = 0; i < r.size(); ++i) z[i] = d[i] * r[i];
-    return z;
-  };
+  return {[d = std::move(d)](const Vector& r) {
+            Vector z(r.size());
+            for (std::size_t i = 0; i < r.size(); ++i) z[i] = d[i] * r[i];
+            return z;
+          },
+          "jacobi"};
 }
 
 Preconditioner ssor_preconditioner(const SparseMatrix& a, double omega) {
@@ -36,7 +40,7 @@ Preconditioner ssor_preconditioner(const SparseMatrix& a, double omega) {
     }
   }
   // Keep a copy of the matrix for the triangular sweeps.
-  return [a, d = std::move(d), omega](const Vector& r) {
+  Preconditioner::Fn fn = [a, d = std::move(d), omega](const Vector& r) {
     const std::size_t n = r.size();
     const auto& rp = a.row_ptr();
     const auto& ci = a.col_idx();
@@ -63,11 +67,14 @@ Preconditioner ssor_preconditioner(const SparseMatrix& a, double omega) {
     }
     return z;
   };
+  return {std::move(fn), "ssor"};
 }
 
-CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
-                            const Preconditioner& precond, const CgOptions& opts,
-                            const Vector& x0) {
+namespace {
+
+CgResult conjugate_gradient_impl(const SparseMatrix& a, const Vector& b,
+                                 const Preconditioner& precond, const CgOptions& opts,
+                                 const Vector& x0) {
   if (!a.square() || a.rows() != b.size()) {
     throw std::invalid_argument("conjugate_gradient: dimension mismatch");
   }
@@ -127,12 +134,44 @@ CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
   return res;
 }
 
-Vector cg_solve(const SparseMatrix& a, const Vector& b, const CgOptions& opts) {
+}  // namespace
+
+CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
+                            const Preconditioner& precond, const CgOptions& opts,
+                            const Vector& x0) {
+  TFC_SPAN("cg_solve");
+  const auto t0 = std::chrono::steady_clock::now();
+  CgResult res = conjugate_gradient_impl(a, b, precond, opts, x0);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("cg.solves").increment();
+  metrics.histogram("cg.iterations").record(double(res.iterations));
+  metrics.histogram("cg.final_residual").record(res.residual_norm);
+  metrics.histogram("cg.solve_ms").record(ms);
+  TFC_LOG_TRACE("cg_solve", {"n", b.size()}, {"iterations", res.iterations},
+                {"residual", res.residual_norm}, {"preconditioner", precond.tag()},
+                {"converged", res.converged});
+  if (!res.converged) {
+    metrics.counter("cg.nonconverged").increment();
+    TFC_LOG_WARN("cg_no_convergence",
+                 {"reason", res.iterations >= opts.max_iterations ? "max_iterations"
+                                                                  : "breakdown"},
+                 {"iterations", res.iterations}, {"max_iterations", opts.max_iterations},
+                 {"residual", res.residual_norm}, {"preconditioner", precond.tag()},
+                 {"n", b.size()});
+  }
+  return res;
+}
+
+CgResult cg_solve(const SparseMatrix& a, const Vector& b, const CgOptions& opts) {
   CgResult r = conjugate_gradient(a, b, jacobi_preconditioner(a), opts);
   if (!r.converged) {
     throw std::runtime_error("cg_solve: conjugate gradient failed to converge");
   }
-  return std::move(r.x);
+  return r;
 }
 
 }  // namespace tfc::linalg

@@ -10,14 +10,40 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector.h"
 
 namespace tfc::linalg {
 
-/// Preconditioner interface: given r, return z ≈ M⁻¹ r.
-using Preconditioner = std::function<Vector(const Vector&)>;
+/// Preconditioner interface: given r, return z ≈ M⁻¹ r. Carries a short
+/// tag ("identity", "jacobi", "ssor", "custom") so solver telemetry can
+/// report which preconditioner produced an iteration count.
+class Preconditioner {
+ public:
+  using Fn = std::function<Vector(const Vector&)>;
+
+  Preconditioner() = default;
+  Preconditioner(Fn fn, std::string tag) : fn_(std::move(fn)), tag_(std::move(tag)) {}
+  /// Implicit from any callable (tagged "custom"), so existing call sites
+  /// passing lambdas keep working.
+  template <class F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, Preconditioner> &&
+                                 std::is_invocable_r_v<Vector, F&, const Vector&>,
+                             int> = 0>
+  Preconditioner(F&& f) : fn_(std::forward<F>(f)) {}  // NOLINT(google-explicit-constructor)
+
+  Vector operator()(const Vector& r) const { return fn_(r); }
+  const std::string& tag() const { return tag_; }
+  explicit operator bool() const { return static_cast<bool>(fn_); }
+
+ private:
+  Fn fn_;
+  std::string tag_ = "custom";
+};
 
 /// Identity preconditioner (plain CG).
 Preconditioner identity_preconditioner();
@@ -52,8 +78,10 @@ CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
                             const Preconditioner& precond, const CgOptions& opts = {},
                             const Vector& x0 = {});
 
-/// Convenience: Jacobi-preconditioned solve; throws std::runtime_error if the
-/// iteration fails to converge.
-Vector cg_solve(const SparseMatrix& a, const Vector& b, const CgOptions& opts = {});
+/// Convenience: Jacobi-preconditioned solve. Returns the full CgResult
+/// (solution, iteration count, final residual norm) so callers can report
+/// solver effort; throws std::runtime_error if the iteration fails to
+/// converge (a WARN with the iteration count and residual is logged first).
+CgResult cg_solve(const SparseMatrix& a, const Vector& b, const CgOptions& opts = {});
 
 }  // namespace tfc::linalg

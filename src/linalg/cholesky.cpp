@@ -1,18 +1,37 @@
 #include "linalg/cholesky.h"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace tfc::linalg {
 
 std::optional<CholeskyFactor> CholeskyFactor::factor(const DenseMatrix& a) {
   if (!a.square()) throw std::invalid_argument("CholeskyFactor::factor: matrix not square");
+  const auto t0 = std::chrono::steady_clock::now();
   const std::size_t n = a.rows();
+  // This routine doubles as the positive-definiteness probe of the λ_m
+  // bisection, so it runs thousands of times per design: counters/timing
+  // only, no trace span (a span per probe would swamp the trace buffer).
+  const auto finish = [&t0](bool pd) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.counter("cholesky.dense.factors").increment();
+    if (!pd) metrics.counter("cholesky.dense.not_pd").increment();
+    metrics.histogram("cholesky.dense.factor_ms")
+        .record(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+  };
   DenseMatrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double d = a(j, j);
     for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
-    if (!(d > 0.0) || !std::isfinite(d)) return std::nullopt;
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      finish(false);
+      return std::nullopt;
+    }
     const double ljj = std::sqrt(d);
     l(j, j) = ljj;
     const double inv = 1.0 / ljj;
@@ -22,6 +41,7 @@ std::optional<CholeskyFactor> CholeskyFactor::factor(const DenseMatrix& a) {
       l(i, j) = s * inv;
     }
   }
+  finish(true);
   return CholeskyFactor(std::move(l));
 }
 

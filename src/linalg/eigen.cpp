@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/cholesky.h"
+#include "obs/obs.h"
 
 namespace tfc::linalg {
 
@@ -132,7 +133,10 @@ std::optional<double> pencil_smallest_positive_eigenvalue(
     throw std::invalid_argument("pencil_smallest_positive_eigenvalue: G not positive definite");
   }
 
+  TFC_SPAN("pencil_bisection");
+  std::size_t probes = 0;
   const auto pd_at = [&](double lambda) {
+    ++probes;
     DenseMatrix m = g;
     m -= d * lambda;
     return is_positive_definite(m);
@@ -150,8 +154,15 @@ std::optional<double> pencil_smallest_positive_eigenvalue(
     lo = hi;
     hi *= 2.0;
   }
-  if (!bracketed) return std::nullopt;  // no finite runaway limit detected
 
+  auto& metrics = obs::MetricsRegistry::global();
+  if (!bracketed) {
+    metrics.counter("pencil.pd_probes").increment(probes);
+    metrics.counter("pencil.unbounded").increment();
+    return std::nullopt;  // no finite runaway limit detected
+  }
+
+  std::size_t iterations = 0;
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     if (hi - lo <= opts.rel_tol * hi + opts.abs_tol) break;
     const double mid = 0.5 * (lo + hi);
@@ -160,7 +171,12 @@ std::optional<double> pencil_smallest_positive_eigenvalue(
     } else {
       hi = mid;
     }
+    iterations = it + 1;
   }
+  metrics.counter("pencil.pd_probes").increment(probes);
+  metrics.histogram("pencil.bisection_iterations").record(double(iterations));
+  TFC_LOG_TRACE("pencil_bisection", {"n", g.rows()}, {"iterations", iterations},
+                {"pd_probes", probes}, {"lambda", 0.5 * (lo + hi)});
   return 0.5 * (lo + hi);
 }
 

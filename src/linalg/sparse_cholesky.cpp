@@ -1,16 +1,39 @@
 #include "linalg/sparse_cholesky.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "linalg/ordering.h"
+#include "obs/obs.h"
 
 namespace tfc::linalg {
 
 std::optional<SparseCholeskyFactor> SparseCholeskyFactor::factor(const SparseMatrix& a,
                                                                  FillOrdering ordering) {
   if (!a.square()) throw std::invalid_argument("SparseCholeskyFactor: matrix not square");
+  TFC_SPAN("sparse_factor");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto finish = [&a, &t0](const SparseCholeskyFactor* f) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.counter("cholesky.sparse.factors").increment();
+    metrics.histogram("cholesky.sparse.factor_ms")
+        .record(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+    if (f == nullptr) {
+      metrics.counter("cholesky.sparse.not_pd").increment();
+      return;
+    }
+    const std::size_t nnz = f->factor_nnz();
+    metrics.histogram("cholesky.sparse.factor_nnz").record(double(nnz));
+    // Fill-in relative to the lower triangle of A (diagonal included).
+    const std::size_t a_lower = (a.values().size() + a.rows()) / 2;
+    if (a_lower > 0) {
+      metrics.histogram("cholesky.sparse.fill_ratio").record(double(nnz) / double(a_lower));
+    }
+  };
   const std::size_t n = a.rows();
 
   SparseCholeskyFactor f;
@@ -82,9 +105,13 @@ std::optional<SparseCholeskyFactor> SparseCholeskyFactor::factor(const SparseMat
       d -= lkj * lkj;
       f.cols_[j].push_back({k, lkj});
     }
-    if (!(d > 0.0) || !std::isfinite(d)) return std::nullopt;
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      finish(nullptr);
+      return std::nullopt;
+    }
     f.diag_[k] = std::sqrt(d);
   }
+  finish(&f);
   return f;
 }
 

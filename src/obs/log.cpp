@@ -1,0 +1,180 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace tfc::obs {
+
+namespace {
+
+std::int64_t wall_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Shortest round-trip representation of a double.
+std::string double_to_string(double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+bool parse_level(const std::string& text, Level& out) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return char(std::tolower(c)); });
+  if (t == "trace") out = Level::kTrace;
+  else if (t == "debug") out = Level::kDebug;
+  else if (t == "info") out = Level::kInfo;
+  else if (t == "warn" || t == "warning") out = Level::kWarn;
+  else if (t == "error") out = Level::kError;
+  else if (t == "off" || t == "none") out = Level::kOff;
+  else return false;
+  return true;
+}
+
+std::string field_value_to_string(const Field::Value& value) {
+  switch (value.index()) {
+    case 0: return std::get<std::string>(value);
+    case 1: return double_to_string(std::get<double>(value));
+    case 2: return std::to_string(std::get<std::int64_t>(value));
+    case 3: return std::to_string(std::get<std::uint64_t>(value));
+    case 4: return std::get<bool>(value) ? "true" : "false";
+  }
+  return "";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+void TextSink::write(const LogRecord& record) {
+  std::ostream& out = *out_;
+  out << level_name(record.level) << ' ' << record.event;
+  for (const Field& f : record.fields) {
+    const std::string v = field_value_to_string(f.value);
+    out << ' ' << f.key << '=';
+    if (f.value.index() == 0 &&
+        (v.empty() || v.find_first_of(" \t\n\"=") != std::string::npos)) {
+      out << '"' << json_escape(v) << '"';
+    } else {
+      out << v;
+    }
+  }
+  out << '\n';
+  out.flush();
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!*f) throw std::runtime_error("JsonlSink: cannot open '" + path + "'");
+  out_ = f.get();
+  owned_ = std::move(f);
+}
+
+void JsonlSink::write(const LogRecord& record) {
+  std::ostream& out = *out_;
+  out << "{\"ts_us\":" << record.wall_us << ",\"level\":\"" << level_name(record.level)
+      << "\",\"event\":\"" << json_escape(record.event) << '"';
+  for (const Field& f : record.fields) {
+    out << ",\"" << json_escape(f.key) << "\":";
+    switch (f.value.index()) {
+      case 0: out << '"' << json_escape(std::get<std::string>(f.value)) << '"'; break;
+      case 1: {
+        // JSON has no NaN/Inf literals; quote non-finite values.
+        const double v = std::get<double>(f.value);
+        if (std::isfinite(v)) out << field_value_to_string(f.value);
+        else out << '"' << field_value_to_string(f.value) << '"';
+        break;
+      }
+      case 4: out << (std::get<bool>(f.value) ? "true" : "false"); break;
+      default: out << field_value_to_string(f.value);
+    }
+  }
+  out << "}\n";
+  out.flush();
+}
+
+Logger::Logger() : level_(static_cast<int>(Level::kWarn)) {
+  sinks_.push_back(std::make_shared<TextSink>(std::cerr));
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sinks(std::vector<std::shared_ptr<Sink>> sinks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_ = std::move(sinks);
+}
+
+void Logger::add_sink(std::shared_ptr<Sink> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+std::vector<std::shared_ptr<Sink>> Logger::sinks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sinks_;
+}
+
+void Logger::log(Level level, std::string event, std::initializer_list<Field> fields) {
+  log(level, std::move(event), std::vector<Field>(fields));
+}
+
+void Logger::log(Level level, std::string event, std::vector<Field> fields) {
+  LogRecord record;
+  record.level = level;
+  record.event = std::move(event);
+  record.fields = std::move(fields);
+  record.wall_us = wall_clock_us();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& sink : sinks_) sink->write(record);
+}
+
+}  // namespace tfc::obs

@@ -1,0 +1,183 @@
+/// \file log.h
+/// \brief Leveled structured logging for the tfcool pipeline.
+///
+/// Design goals, in order:
+///  1. Zero cost when disabled. Every `TFC_LOG_*` call sits behind a
+///     compile-time level floor (`TFC_OBS_COMPILE_LEVEL`, levels below it
+///     compile to nothing) and a runtime level check that happens *before*
+///     any field is constructed or formatted.
+///  2. Structured. A log record is an event name plus typed key/value
+///     fields, not a pre-formatted string — sinks decide the rendering
+///     (human text on stderr, JSONL for machines, null for silence).
+///  3. Global but testable. `Logger::global()` is the process logger the
+///     instrumentation macros target; tests can swap sinks and levels and
+///     restore them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tfc::obs {
+
+/// Severity levels, ordered. `kOff` disables everything.
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Level name ("TRACE".."ERROR", "OFF").
+const char* level_name(Level level);
+
+/// Parse "trace|debug|info|warn|error|off" (case-insensitive).
+/// Returns false on an unknown name.
+bool parse_level(const std::string& text, Level& out);
+
+/// One typed key/value field of a log record.
+struct Field {
+  using Value = std::variant<std::string, double, std::int64_t, std::uint64_t, bool>;
+
+  Field(std::string key_in, std::string v) : key(std::move(key_in)), value(std::move(v)) {}
+  Field(std::string key_in, const char* v) : key(std::move(key_in)), value(std::string(v)) {}
+  Field(std::string key_in, double v) : key(std::move(key_in)), value(v) {}
+  Field(std::string key_in, std::int64_t v) : key(std::move(key_in)), value(v) {}
+  Field(std::string key_in, int v) : key(std::move(key_in)), value(std::int64_t(v)) {}
+  Field(std::string key_in, std::uint64_t v) : key(std::move(key_in)), value(v) {}
+  Field(std::string key_in, unsigned v) : key(std::move(key_in)), value(std::uint64_t(v)) {}
+  Field(std::string key_in, bool v) : key(std::move(key_in)), value(v) {}
+
+  std::string key;
+  Value value;
+};
+
+/// A fully-assembled record handed to sinks.
+struct LogRecord {
+  Level level = Level::kInfo;
+  /// Event name: short, stable, snake_case (e.g. "cg_max_iterations").
+  std::string event;
+  std::vector<Field> fields;
+  /// Microseconds since the Unix epoch (wall clock).
+  std::int64_t wall_us = 0;
+};
+
+/// Render a field value as text (no quoting).
+std::string field_value_to_string(const Field::Value& value);
+
+/// JSON-escape a string per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(const std::string& s);
+
+/// Sink interface. Implementations must tolerate concurrent `write` calls
+/// being serialized by the logger (the logger holds its mutex across write).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Human-readable single-line text to an ostream (default: std::cerr).
+/// Format: `LEVEL event key=value key="quoted when spacey" ...`
+class TextSink : public Sink {
+ public:
+  explicit TextSink(std::ostream& out) : out_(&out) {}
+  void write(const LogRecord& record) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// One JSON object per line:
+/// `{"ts_us":...,"level":"WARN","event":"...","k":v,...}`.
+/// Field keys are emitted at the top level; values keep their types
+/// (strings escaped, doubles via max-precision shortest form).
+class JsonlSink : public Sink {
+ public:
+  /// Non-owning: write to an existing stream (tests, stderr piping).
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  /// Owning: append to a file. Throws std::runtime_error when unopenable.
+  explicit JsonlSink(const std::string& path);
+  void write(const LogRecord& record) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+};
+
+/// Swallows everything.
+class NullSink : public Sink {
+ public:
+  void write(const LogRecord&) override {}
+};
+
+/// The process logger. Thread-safe; sinks are invoked under the logger
+/// mutex so they need no locking of their own.
+class Logger {
+ public:
+  /// The process-wide instance targeted by the TFC_LOG macros.
+  /// Starts at Level::kWarn with a single stderr TextSink, so library code
+  /// is quiet by default except for genuine warnings.
+  static Logger& global();
+
+  Logger();
+
+  /// Cheap gate: should a record at \p level be assembled at all?
+  bool enabled(Level level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  Level level() const { return static_cast<Level>(level_.load(std::memory_order_relaxed)); }
+  void set_level(Level level) { level_.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+  /// Replace all sinks (pass {} to silence; used by tests and the CLI).
+  void set_sinks(std::vector<std::shared_ptr<Sink>> sinks);
+  /// Add a sink alongside the existing ones (e.g. a JSONL file).
+  void add_sink(std::shared_ptr<Sink> sink);
+  /// Snapshot of the current sinks (for save/restore around a scoped
+  /// reconfiguration, e.g. one CLI invocation).
+  std::vector<std::shared_ptr<Sink>> sinks() const;
+
+  /// Assemble and dispatch a record. Call through the macros, which gate on
+  /// `enabled()` first.
+  void log(Level level, std::string event, std::initializer_list<Field> fields);
+  void log(Level level, std::string event, std::vector<Field> fields);
+
+ private:
+  std::atomic<int> level_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+};
+
+}  // namespace tfc::obs
+
+/// Compile-time level floor: calls below this level compile to nothing.
+/// 0=TRACE (default: everything present, runtime-gated) .. 5=OFF.
+#ifndef TFC_OBS_COMPILE_LEVEL
+#define TFC_OBS_COMPILE_LEVEL 0
+#endif
+
+/// Core macro. \p lvl must be a ::tfc::obs::Level constant. Fields are only
+/// evaluated when the runtime level check passes.
+#define TFC_LOG(lvl, event, ...)                                          \
+  do {                                                                    \
+    if constexpr (static_cast<int>(lvl) >= TFC_OBS_COMPILE_LEVEL) {       \
+      auto& tfc_obs_logger = ::tfc::obs::Logger::global();                \
+      if (tfc_obs_logger.enabled(lvl)) {                                  \
+        tfc_obs_logger.log((lvl), (event), {__VA_ARGS__});                \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
+
+#define TFC_LOG_TRACE(event, ...) TFC_LOG(::tfc::obs::Level::kTrace, event __VA_OPT__(, ) __VA_ARGS__)
+#define TFC_LOG_DEBUG(event, ...) TFC_LOG(::tfc::obs::Level::kDebug, event __VA_OPT__(, ) __VA_ARGS__)
+#define TFC_LOG_INFO(event, ...) TFC_LOG(::tfc::obs::Level::kInfo, event __VA_OPT__(, ) __VA_ARGS__)
+#define TFC_LOG_WARN(event, ...) TFC_LOG(::tfc::obs::Level::kWarn, event __VA_OPT__(, ) __VA_ARGS__)
+#define TFC_LOG_ERROR(event, ...) TFC_LOG(::tfc::obs::Level::kError, event __VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace tfc::obs {
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {
+  reservoir_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(v);
+  } else {
+    // Vitter's algorithm R with a splitmix64-ish step for the index draw.
+    rng_state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const std::uint64_t slot = z % count_;
+    if (slot < capacity_) reservoir_[slot] = v;
+  }
+}
+
+double Histogram::percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = std::clamp(q, 0.0, 100.0) / 100.0 * double(sorted.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - double(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+HistogramSummary Histogram::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSummary s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.mean = count_ > 0 ? sum_ / double(count_) : 0.0;
+  if (!reservoir_.empty()) {
+    std::vector<double> sorted = reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50 = percentile(sorted, 50.0);
+    s.p95 = percentile(sorted, 95.0);
+    s.p99 = percentile(sorted, 99.0);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  reservoir_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << json_number(g->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    const HistogramSummary s = h->summary();
+    out << '"' << name << "\":{\"count\":" << s.count << ",\"sum\":" << json_number(s.sum)
+        << ",\"min\":" << json_number(s.min) << ",\"max\":" << json_number(s.max)
+        << ",\"mean\":" << json_number(s.mean) << ",\"p50\":" << json_number(s.p50)
+        << ",\"p95\":" << json_number(s.p95) << ",\"p99\":" << json_number(s.p99) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace tfc::obs

@@ -1,0 +1,110 @@
+/// \file metrics.h
+/// \brief Process-wide metrics registry: counters, gauges, histograms.
+///
+/// Counters and gauges are lock-free atomics; histograms keep exact
+/// count/sum/min/max and a bounded reservoir of samples for percentile
+/// summaries, so even million-solve benchmark campaigns (bench_conjecture)
+/// cannot blow up memory. The registry exports a single JSON document
+/// (`--metrics-out`, bench snapshots) and can be reset between
+/// measurement windows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tfc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. the most recent λ_m).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Summary statistics of a histogram at a point in time.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Sample distribution. Exact count/sum/min/max; percentiles from a
+/// bounded reservoir (uniform reservoir sampling once `capacity` samples
+/// have been recorded — exact below that). Thread-safe.
+class Histogram {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Histogram(std::size_t capacity = kDefaultCapacity);
+
+  void record(double v);
+  HistogramSummary summary() const;
+  void reset();
+
+  /// Percentile q in [0, 100] over a sorted sample set, with linear
+  /// interpolation between closest ranks (the NumPy default). Exposed for
+  /// tests.
+  static double percentile(const std::vector<double>& sorted, double q);
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> reservoir_;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  // deterministic
+};
+
+/// The process-wide registry. Metric objects are created on first use and
+/// live for the process lifetime, so references returned here are stable
+/// and cheap to cache at call sites.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One JSON object:
+  /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,...},...}}`.
+  std::string to_json() const;
+
+  /// Zero every metric (objects stay registered; references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tfc::obs

@@ -1,0 +1,19 @@
+/// \file obs.h
+/// \brief Umbrella header for the tfc observability layer: structured
+/// logging (log.h), the metrics registry (metrics.h), and trace spans
+/// (trace.h). See docs/OBSERVABILITY.md for architecture and usage.
+#pragma once
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tfc::obs {
+
+/// The compile-time level floor this build was compiled with, as a name
+/// ("TRACE".."ERROR", "OFF"). Calls below the floor are compiled out.
+inline const char* compile_level_name() {
+  return level_name(static_cast<Level>(TFC_OBS_COMPILE_LEVEL));
+}
+
+}  // namespace tfc::obs

@@ -1,0 +1,92 @@
+/// \file trace.h
+/// \brief RAII trace spans exporting Chrome trace_event JSON.
+///
+/// `TFC_SPAN("cg_solve")` opens a span that closes at scope exit. Spans are
+/// disabled by default: the constructor is a single relaxed atomic load and
+/// nothing is buffered, so instrumented hot paths (`--trace-out` absent)
+/// pay effectively nothing. When enabled, completed spans are buffered
+/// thread-safely and exported as "X" (complete) events, which Perfetto /
+/// `about://tracing` render as nested bars per thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <thread>
+#include <vector>
+
+namespace tfc::obs {
+
+/// Microseconds since a fixed process-local epoch (steady clock).
+std::int64_t trace_now_us();
+
+/// Thread-safe buffer of completed spans.
+class TraceCollector {
+ public:
+  static TraceCollector& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record one completed span on the calling thread.
+  void record(const char* name, std::int64_t begin_us, std::int64_t duration_us);
+
+  /// Number of buffered events (tests, sanity checks).
+  std::size_t event_count() const;
+
+  /// Chrome trace_event JSON object:
+  /// `{"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":1,"tid":N}, ...],
+  ///   "displayTimeUnit":"ms"}`.
+  std::string to_chrome_json() const;
+
+  void clear();
+
+ private:
+  struct Event {
+    const char* name;
+    std::int64_t begin_us;
+    std::int64_t duration_us;
+    int tid;
+  };
+
+  int tid_for_current_thread_locked();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::unordered_map<std::thread::id, int> thread_ids_;
+};
+
+/// RAII span. Use via TFC_SPAN; name must outlive the collector (string
+/// literals only).
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(name), active_(TraceCollector::global().enabled()) {
+    if (active_) begin_us_ = trace_now_us();
+  }
+  ~Span() {
+    if (active_) {
+      const std::int64_t end = trace_now_us();
+      TraceCollector::global().record(name_, begin_us_, end - begin_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  std::int64_t begin_us_ = 0;
+};
+
+}  // namespace tfc::obs
+
+#define TFC_OBS_CONCAT_INNER(a, b) a##b
+#define TFC_OBS_CONCAT(a, b) TFC_OBS_CONCAT_INNER(a, b)
+
+/// Open a trace span covering the rest of the enclosing scope.
+#define TFC_SPAN(name) ::tfc::obs::Span TFC_OBS_CONCAT(tfc_obs_span_, __LINE__)(name)

@@ -4,6 +4,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/sparse_cholesky.h"
+#include "obs/trace.h"
 
 namespace tfc::tec {
 
@@ -24,6 +25,7 @@ ElectroThermalSystem ElectroThermalSystem::assemble(
     const thermal::PackageGeometry& geometry, const TileMask& deployment,
     const linalg::Vector& tile_powers, const TecDeviceParams& device,
     std::size_t stages) {
+  TFC_SPAN("assemble");
   thermal::PackageModelOptions opts;
   opts.geometry = geometry;
   opts.tec_tiles = deployment;
@@ -71,6 +73,7 @@ std::optional<OperatingPoint> ElectroThermalSystem::solve(
     double i, const thermal::SteadyStateOptions& options) const {
   if (i < 0.0) return std::nullopt;
 
+  TFC_SPAN("et_solve");
   OperatingPoint op;
   op.current = i;
 

@@ -1,15 +1,18 @@
 #include "tec/runaway.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "linalg/cholesky.h"
 #include "linalg/eigen.h"
 #include "linalg/sparse_cholesky.h"
+#include "obs/obs.h"
 
 namespace tfc::tec {
 
 SchurReduction schur_reduction(const ElectroThermalSystem& system) {
+  TFC_SPAN("schur_reduction");
   const auto& hot = system.model().hot_nodes();
   const auto& cold = system.model().cold_nodes();
   if (hot.empty()) {
@@ -82,8 +85,19 @@ std::optional<double> runaway_limit(const ElectroThermalSystem& system,
                                     const RunawayOptions& options) {
   if (system.model().hot_nodes().empty()) return std::nullopt;
 
+  TFC_SPAN("runaway_limit");
+  obs::MetricsRegistry::global().counter("runaway.calls").increment();
+
   linalg::PencilBisectionOptions bis;
   bis.rel_tol = options.rel_tol;
+
+  const auto report = [&system](const char* method, std::optional<double> lm) {
+    if (lm) obs::MetricsRegistry::global().gauge("runaway.lambda_m").set(*lm);
+    TFC_LOG_DEBUG("runaway_limit", {"method", method},
+                  {"devices", system.model().hot_nodes().size()},
+                  {"lambda_m", lm ? *lm : std::numeric_limits<double>::infinity()});
+    return lm;
+  };
 
   switch (options.method) {
     case RunawayMethod::kSchur: {
@@ -91,13 +105,14 @@ std::optional<double> runaway_limit(const ElectroThermalSystem& system,
       if (!linalg::is_positive_definite(red.s0)) {
         throw std::runtime_error("runaway_limit: Schur complement not positive definite");
       }
-      return linalg::pencil_smallest_positive_eigenvalue(
-          red.s0, linalg::DenseMatrix::diagonal(red.d_diag), bis);
+      return report("schur", linalg::pencil_smallest_positive_eigenvalue(
+                                 red.s0, linalg::DenseMatrix::diagonal(red.d_diag), bis));
     }
     case RunawayMethod::kDenseBisect: {
       const auto g = system.matrix_g().to_dense();
       const auto d = linalg::DenseMatrix::diagonal(system.d_diagonal());
-      return linalg::pencil_smallest_positive_eigenvalue(g, d, bis);
+      return report("dense_bisect",
+                    linalg::pencil_smallest_positive_eigenvalue(g, d, bis));
     }
   }
   throw std::logic_error("runaway_limit: unknown method");

@@ -5,11 +5,13 @@
 #include "linalg/cg.h"
 #include "linalg/cholesky.h"
 #include "linalg/sparse_cholesky.h"
+#include "obs/trace.h"
 
 namespace tfc::thermal {
 
 linalg::Vector solve_steady_state(const linalg::SparseMatrix& g, const linalg::Vector& rhs,
                                   const SteadyStateOptions& options) {
+  TFC_SPAN("steady_state_solve");
   switch (options.backend) {
     case SolverBackend::kSparseCholesky: {
       auto f = linalg::SparseCholeskyFactor::factor(g);

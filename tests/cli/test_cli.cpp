@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -120,6 +122,65 @@ TEST(Cli, MissingFlpFileReported) {
   auto r = run({"design", "--flp", "/nonexistent.flp", "--ptrace", "/nonexistent.ptrace"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, VersionPrintsBuildInfo) {
+  auto r = run({"version"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("tfcool"), std::string::npos);
+  EXPECT_NE(r.out.find("compiler:"), std::string::npos);
+  EXPECT_NE(r.out.find("obs compile-time level:"), std::string::npos);
+}
+
+TEST(Cli, BadLogLevelIsUsageError) {
+  auto r = run({"design", "--chip", "alpha", "--log-level", "shouty"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown log level"), std::string::npos);
+}
+
+TEST(Cli, TraceAndMetricsOutWriteJson) {
+  namespace fs = std::filesystem;
+  const auto trace = fs::temp_directory_path() / "tfcool_cli_test_trace.json";
+  const auto metrics = fs::temp_directory_path() / "tfcool_cli_test_metrics.json";
+  fs::remove(trace);
+  fs::remove(metrics);
+  auto r = run({"design", "--chip", "alpha", "--no-full-cover", "--trace-out",
+                trace.string(), "--metrics-out", metrics.string()});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good());
+  std::stringstream tbuf;
+  tbuf << tf.rdbuf();
+  EXPECT_NE(tbuf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tbuf.str().find("\"name\":\"design\""), std::string::npos);
+  EXPECT_NE(tbuf.str().find("\"name\":\"greedy_deploy\""), std::string::npos);
+  EXPECT_NE(tbuf.str().find("\"ph\":\"X\""), std::string::npos);
+
+  std::ifstream mf(metrics);
+  ASSERT_TRUE(mf.good());
+  std::stringstream mbuf;
+  mbuf << mf.rdbuf();
+  EXPECT_NE(mbuf.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(mbuf.str().find("\"cg.iterations\""), std::string::npos);
+  EXPECT_NE(mbuf.str().find("\"greedy.candidate_evaluations\""), std::string::npos);
+
+  fs::remove(trace);
+  fs::remove(metrics);
+}
+
+TEST(Cli, TracingIsScopedToOneInvocation) {
+  namespace fs = std::filesystem;
+  const auto trace = fs::temp_directory_path() / "tfcool_cli_test_trace2.json";
+  fs::remove(trace);
+  auto r1 = run({"runaway", "--chip", "alpha", "--trace-out", trace.string()});
+  EXPECT_EQ(r1.code, 0);
+  // A following invocation without --trace-out must not collect spans.
+  auto r2 = run({"runaway", "--chip", "alpha"});
+  EXPECT_EQ(r2.code, 0);
+  EXPECT_FALSE(tfc::obs::TraceCollector::global().enabled());
+  EXPECT_EQ(tfc::obs::TraceCollector::global().event_count(), 0u);
+  fs::remove(trace);
 }
 
 TEST(Cli, ImportedChipDesign) {

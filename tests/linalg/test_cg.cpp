@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 #include <stdexcept>
 
 #include "linalg/cholesky.h"
 #include "linalg/random_stieltjes.h"
+#include "obs/obs.h"
 
 namespace tfc::linalg {
 namespace {
@@ -47,9 +49,13 @@ TEST(Cg, MatchesDenseCholesky) {
   auto a = SparseMatrix::from_dense(d);
   Vector b(30);
   for (std::size_t i = 0; i < 30; ++i) b[i] = double(i % 5) - 2.0;
-  Vector x_cg = cg_solve(a, b);
+  CgResult r = cg_solve(a, b);
   Vector x_ch = CholeskyFactor::factor(d)->solve(b);
-  EXPECT_TRUE(approx_equal(x_cg, x_ch, 1e-8));
+  EXPECT_TRUE(approx_equal(r.x, x_ch, 1e-8));
+  // cg_solve reports solver effort alongside the solution.
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_LT(r.residual_norm, 1e-10 * norm2(b));
 }
 
 TEST(Cg, ZeroRhsGivesZero) {
@@ -80,6 +86,31 @@ TEST(Cg, MaxIterationsRespected) {
   auto r = conjugate_gradient(a, b, identity_preconditioner(), opts);
   EXPECT_FALSE(r.converged);
   EXPECT_EQ(r.iterations, 2u);
+}
+
+TEST(Cg, NonConvergenceLogsWarning) {
+  // Hitting max_iterations must emit a structured WARN with the reason.
+  auto& logger = obs::Logger::global();
+  const auto saved_level = logger.level();
+  auto saved_sinks = logger.sinks();
+  std::ostringstream captured;
+  logger.set_sinks({std::make_shared<obs::TextSink>(captured)});
+  logger.set_level(obs::Level::kWarn);
+
+  auto a = laplacian_1d(200, 1e-6);
+  Vector b(200, 1.0);
+  CgOptions opts;
+  opts.max_iterations = 2;
+  opts.rel_tol = 1e-15;
+  auto r = conjugate_gradient(a, b, identity_preconditioner(), opts);
+
+  logger.set_level(saved_level);
+  logger.set_sinks(std::move(saved_sinks));
+
+  EXPECT_FALSE(r.converged);
+  const std::string text = captured.str();
+  EXPECT_NE(text.find("cg_no_convergence"), std::string::npos);
+  EXPECT_NE(text.find("reason=max_iterations"), std::string::npos);
 }
 
 TEST(Cg, NonSpdDetected) {

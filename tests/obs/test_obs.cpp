@@ -1,0 +1,376 @@
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tfc::obs {
+namespace {
+
+/// Save/restore the global logger around a test so suites can run in any
+/// order (and alongside the CLI tests, which reconfigure it too).
+class ScopedLogger {
+ public:
+  ScopedLogger() : level_(Logger::global().level()), sinks_(Logger::global().sinks()) {}
+  ~ScopedLogger() {
+    Logger::global().set_level(level_);
+    Logger::global().set_sinks(std::move(sinks_));
+  }
+
+ private:
+  Level level_;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+};
+
+// ---------------------------------------------------------------------------
+// Levels
+
+TEST(Log, LevelNamesRoundTrip) {
+  for (Level l : {Level::kTrace, Level::kDebug, Level::kInfo, Level::kWarn, Level::kError}) {
+    Level parsed;
+    std::string name = level_name(l);
+    ASSERT_TRUE(parse_level(name, parsed)) << name;
+    EXPECT_EQ(parsed, l);
+  }
+}
+
+TEST(Log, ParseLevelAliasesAndCase) {
+  Level l;
+  EXPECT_TRUE(parse_level("WaRn", l));
+  EXPECT_EQ(l, Level::kWarn);
+  EXPECT_TRUE(parse_level("warning", l));
+  EXPECT_EQ(l, Level::kWarn);
+  EXPECT_TRUE(parse_level("none", l));
+  EXPECT_EQ(l, Level::kOff);
+  EXPECT_FALSE(parse_level("loud", l));
+  EXPECT_FALSE(parse_level("", l));
+}
+
+TEST(Log, RuntimeLevelFiltersRecords) {
+  ScopedLogger guard;
+  auto& logger = Logger::global();
+  std::ostringstream captured;
+  logger.set_sinks({std::make_shared<TextSink>(captured)});
+  logger.set_level(Level::kWarn);
+
+  TFC_LOG_INFO("quiet_event", {"k", 1});
+  TFC_LOG_WARN("loud_event", {"k", 2});
+
+  const std::string text = captured.str();
+  EXPECT_EQ(text.find("quiet_event"), std::string::npos);
+  EXPECT_NE(text.find("WARN loud_event k=2"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  ScopedLogger guard;
+  auto& logger = Logger::global();
+  std::ostringstream captured;
+  logger.set_sinks({std::make_shared<TextSink>(captured)});
+  logger.set_level(Level::kOff);
+  TFC_LOG_ERROR("even_errors");
+  EXPECT_TRUE(captured.str().empty());
+}
+
+TEST(Log, FieldsAreNotEvaluatedWhenFiltered) {
+  ScopedLogger guard;
+  auto& logger = Logger::global();
+  logger.set_sinks({std::make_shared<NullSink>()});
+  logger.set_level(Level::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("payload");
+  };
+  TFC_LOG_DEBUG("gated", {"v", expensive()});
+  EXPECT_EQ(evaluations, 0);
+  TFC_LOG_ERROR("passes", {"v", expensive()});
+  EXPECT_EQ(evaluations, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Text sink formatting
+
+TEST(Log, TextSinkQuotesSpaceyStrings) {
+  ScopedLogger guard;
+  auto& logger = Logger::global();
+  std::ostringstream captured;
+  logger.set_sinks({std::make_shared<TextSink>(captured)});
+  logger.set_level(Level::kTrace);
+  TFC_LOG_INFO("ev", {"plain", "word"}, {"spacey", "two words"}, {"empty", ""});
+  const std::string text = captured.str();
+  EXPECT_NE(text.find("plain=word"), std::string::npos);
+  EXPECT_NE(text.find("spacey=\"two words\""), std::string::npos);
+  EXPECT_NE(text.find("empty=\"\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL sink
+
+TEST(Log, JsonlSinkEscapesControlAndQuoteCharacters) {
+  ScopedLogger guard;
+  auto& logger = Logger::global();
+  std::ostringstream captured;
+  logger.set_sinks({std::make_shared<JsonlSink>(captured)});
+  logger.set_level(Level::kTrace);
+  TFC_LOG_WARN("tricky", {"msg", std::string("a\"b\\c\nd\te\x01") + "f"});
+
+  const std::string line = captured.str();
+  EXPECT_NE(line.find("\"level\":\"WARN\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"tricky\""), std::string::npos);
+  EXPECT_NE(line.find("a\\\"b\\\\c\\nd\\te\\u0001f"), std::string::npos);
+  // Raw control characters must never reach the stream.
+  EXPECT_EQ(line.find('\x01'), std::string::npos);
+  // Exactly one line per record.
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST(Log, JsonlSinkRendersTypedValues) {
+  ScopedLogger guard;
+  auto& logger = Logger::global();
+  std::ostringstream captured;
+  logger.set_sinks({std::make_shared<JsonlSink>(captured)});
+  logger.set_level(Level::kTrace);
+  TFC_LOG_INFO("typed", {"i", -3}, {"u", std::uint64_t{7}}, {"d", 2.5}, {"b", true},
+               {"nan", std::nan("")});
+  const std::string line = captured.str();
+  EXPECT_NE(line.find("\"i\":-3"), std::string::npos);
+  EXPECT_NE(line.find("\"u\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"d\":2.5"), std::string::npos);
+  EXPECT_NE(line.find("\"b\":true"), std::string::npos);
+  // Non-finite doubles are quoted (bare nan is not valid JSON).
+  EXPECT_NE(line.find("\"nan\":\"nan\""), std::string::npos);
+}
+
+TEST(Log, JsonEscapeHelper) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("\n\r\t\b\f"), "\\n\\r\\t\\b\\f");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: counters and gauges
+
+TEST(Metrics, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.increment(5);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+  // reset() zeroes values but keeps the same objects alive.
+  reg.reset();
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(Metrics, RegistryThreadSafety) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Mix of shared-counter increments, per-thread creation, and
+      // histogram records to exercise registry locking + atomic paths.
+      auto& shared = reg.counter("shared");
+      auto& hist = reg.histogram("h");
+      for (int i = 0; i < kIncrements; ++i) {
+        shared.increment();
+        reg.counter("per_thread_" + std::to_string(t)).increment();
+        hist.record(double(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared").value(), std::uint64_t(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("per_thread_" + std::to_string(t)).value(),
+              std::uint64_t(kIncrements));
+  }
+  EXPECT_EQ(reg.histogram("h").summary().count, std::uint64_t(kThreads) * kIncrements);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: histograms
+
+TEST(Metrics, HistogramExactStatsBelowCapacity) {
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.record(double(v));
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  // Linear interpolation between closest ranks (NumPy default):
+  // rank = q/100 * (n-1) over the sorted samples 1..100.
+  EXPECT_NEAR(s.p50, 50.5, 1e-12);
+  EXPECT_NEAR(s.p95, 95.05, 1e-12);
+  EXPECT_NEAR(s.p99, 99.01, 1e-12);
+}
+
+TEST(Metrics, PercentileInterpolation) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Histogram::percentile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentile(sorted, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentile(sorted, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentile(sorted, 25.0), 17.5);
+  EXPECT_DOUBLE_EQ(Histogram::percentile({7.0}, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentile({}, 50.0), 0.0);
+}
+
+TEST(Metrics, HistogramReservoirBoundsMemoryButKeepsExactAggregates) {
+  Histogram h(64);  // tiny reservoir to force sampling
+  const int n = 100000;
+  for (int v = 0; v < n; ++v) h.record(double(v));
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, std::uint64_t(n));
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, double(n - 1));
+  EXPECT_DOUBLE_EQ(s.mean, double(n - 1) / 2.0);
+  // Percentiles are sampled, but over a uniform stream the median of 64
+  // uniform draws is within the bulk of the range with huge probability.
+  EXPECT_GT(s.p50, 0.1 * n);
+  EXPECT_LT(s.p50, 0.9 * n);
+}
+
+TEST(Metrics, RegistryJsonExport) {
+  MetricsRegistry reg;
+  reg.counter("cg.solves").increment(3);
+  reg.gauge("lambda_m").set(1.25);
+  reg.histogram("iters").record(10.0);
+  reg.histogram("iters").record(20.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"cg.solves\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"lambda_m\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"iters\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":15"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+TEST(Trace, SpansAreNoOpsWhenDisabled) {
+  auto& collector = TraceCollector::global();
+  collector.disable();
+  collector.clear();
+  {
+    TFC_SPAN("ignored");
+  }
+  EXPECT_EQ(collector.event_count(), 0u);
+}
+
+TEST(Trace, NestedSpansProduceChromeJson) {
+  auto& collector = TraceCollector::global();
+  collector.clear();
+  collector.enable();
+  {
+    TFC_SPAN("outer");
+    {
+      TFC_SPAN("inner");
+    }
+  }
+  collector.disable();
+  ASSERT_EQ(collector.event_count(), 2u);
+
+  const std::string json = collector.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  collector.clear();
+  EXPECT_EQ(collector.event_count(), 0u);
+}
+
+TEST(Trace, OuterSpanContainsInner) {
+  auto& collector = TraceCollector::global();
+  collector.clear();
+  collector.enable();
+  std::int64_t outer_begin = 0;
+  {
+    outer_begin = trace_now_us();
+    TFC_SPAN("outer");
+    {
+      TFC_SPAN("inner");
+      // Busy-wait a little so durations are strictly measurable.
+      const auto until = trace_now_us() + 200;
+      while (trace_now_us() < until) {
+      }
+    }
+  }
+  collector.disable();
+  ASSERT_EQ(collector.event_count(), 2u);
+
+  // Inner closes first, so it is recorded first.
+  const std::string json = collector.to_chrome_json();
+  const auto inner_pos = json.find("\"name\":\"inner\"");
+  const auto outer_pos = json.find("\"name\":\"outer\"");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+
+  auto dur_after = [&json](std::size_t pos) {
+    const auto d = json.find("\"dur\":", pos);
+    return std::stoll(json.substr(d + 6));
+  };
+  // The outer span must fully contain the inner one.
+  EXPECT_GE(dur_after(outer_pos), dur_after(inner_pos));
+  EXPECT_GE(dur_after(inner_pos), 150);
+  EXPECT_GE(outer_begin, 0);
+  collector.clear();
+}
+
+TEST(Trace, SpansFromMultipleThreadsGetDistinctTids) {
+  auto& collector = TraceCollector::global();
+  collector.clear();
+  collector.enable();
+  std::thread worker([] { TFC_SPAN("worker_span"); });
+  worker.join();
+  {
+    TFC_SPAN("main_span");
+  }
+  collector.disable();
+  ASSERT_EQ(collector.event_count(), 2u);
+  const std::string json = collector.to_chrome_json();
+  // Two different thread ids must appear.
+  const auto first = json.find("\"tid\":");
+  const auto second = json.find("\"tid\":", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_NE(json.substr(first, json.find(',', first) - first),
+            json.substr(second, json.find(',', second) - second));
+  collector.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Build / compile-level info
+
+TEST(Obs, CompileLevelNameIsKnown) {
+  const std::string name = compile_level_name();
+  Level parsed;
+  EXPECT_TRUE(parse_level(name, parsed)) << name;
+}
+
+}  // namespace
+}  // namespace tfc::obs
