@@ -11,6 +11,7 @@
 #include "floorplan/alpha21364.h"
 #include "floorplan/random_chip.h"
 #include "obs/obs.h"
+#include "par/parallel.h"
 #include "power/workload.h"
 
 namespace tfc::bench {
@@ -31,13 +32,13 @@ struct BenchChip {
 };
 
 inline std::vector<BenchChip> table1_chips() {
-  std::vector<BenchChip> chips;
-  chips.push_back({"Alpha", worst_case_map(floorplan::alpha21364())});
-  for (std::size_t i = 1; i <= 10; ++i) {
-    chips.push_back({floorplan::hypothetical_chip_name(i),
-                     worst_case_map(floorplan::hypothetical_chip(i))});
-  }
-  return chips;
+  // Per-chip workload synthesis is independent; build all eleven power maps
+  // concurrently. Slot k is always chip k, so the list order is fixed.
+  return par::parallel_map(11, [](std::size_t k) {
+    if (k == 0) return BenchChip{"Alpha", worst_case_map(floorplan::alpha21364())};
+    return BenchChip{floorplan::hypothetical_chip_name(k),
+                     worst_case_map(floorplan::hypothetical_chip(k))};
+  });
 }
 
 /// A DesignResult plus the fallback policy's retry history, so benches can

@@ -77,6 +77,24 @@ int main() {
                 thermal::to_celsius(r.peak_timeline[s]), r.tec_on[s] ? "on" : "off");
   }
 
+  // Hysteresis-band sensitivity: one simulation per band width, run
+  // concurrently via sweep_on_demand.
+  const double bands[] = {0.5, 1.0, 1.5, 2.0, 3.0};
+  std::vector<core::OnDemandOptions> configs;
+  for (double band : bands) {
+    core::OnDemandOptions c = opts;
+    c.theta_off = c.theta_on - band;  // 1 degC step == 1 K
+    configs.push_back(c);
+  }
+  const auto sweep = core::sweep_on_demand(system, workload, configs);
+  std::printf("\nhysteresis-band sweep:\n%10s %12s %10s %10s %8s\n", "band [K]",
+              "peak [degC]", "duty [%]", "energy [J]", "switch");
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    std::printf("%10.1f %12.2f %10.1f %10.2f %8zu\n", bands[k],
+                thermal::to_celsius(sweep[k].max_peak), 100.0 * sweep[k].duty_cycle,
+                sweep[k].tec_energy, sweep[k].switch_count);
+  }
+
   const bool ok = r.duty_cycle > 0.0 && r.duty_cycle < 1.0 &&
                   r.tec_energy < always_energy && r.max_peak < opts.theta_on + 1.5;
   return ok ? 0 : 1;

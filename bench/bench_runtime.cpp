@@ -4,14 +4,22 @@
 /// ("within 2 minutes" for the Alpha chip — on four 2.8 GHz Xeons of 2010).
 ///
 /// Wall-clock of the full design run (GreedyDeploy + convex current setting
-/// + full-cover comparison) per chip, plus a breakdown of where the time
-/// goes on the Alpha instance.
+/// + full-cover comparison) per chip, a breakdown of where the time goes on
+/// the Alpha instance, and the parallel-layer speedup of the greedy
+/// deployment at 1 vs 8 threads. Everything is also written to
+/// `BENCH_runtime.json` so CI can diff runs and gate regressions.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/convexity.h"
+#include "core/greedy_deploy.h"
+#include "par/thread_pool.h"
 #include "tec/runaway.h"
 
 namespace {
@@ -21,6 +29,22 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Greedy deployment on one chip at a fixed pool size; returns wall ms
+/// (best of `reps` to damp scheduler noise).
+double greedy_ms_at(std::size_t threads, const tfc::linalg::Vector& powers,
+                    int reps = 3) {
+  using namespace tfc;
+  par::ThreadPool::set_global_threads(threads);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)core::greedy_deploy(thermal::PackageGeometry{}, powers,
+                              tec::TecDeviceParams::chowdhury_superlattice());
+    best = std::min(best, ms_since(t0));
+  }
+  return best;
+}
+
 }  // namespace
 
 int main() {
@@ -28,11 +52,19 @@ int main() {
 
   std::printf("=== Design runtime per chip (paper budget: < 180 000 ms) ===\n\n");
   std::printf("%-6s %12s %8s %8s\n", "chip", "runtime[ms]", "#TECs", "status");
+  struct ChipRow {
+    std::string name;
+    double runtime_ms;
+    std::size_t tecs;
+    bool success;
+  };
+  std::vector<ChipRow> rows;
   double worst = 0.0;
   for (const auto& chip : bench::table1_chips()) {
     auto res = bench::design_with_fallback(chip);
     std::printf("%-6s %12.0f %8zu %8s\n", chip.name.c_str(), res.runtime_ms,
                 res.tec_count, res.success ? "ok" : "FAILED");
+    rows.push_back({chip.name, res.runtime_ms, res.tec_count, res.success});
     worst = std::max(worst, res.runtime_ms);
   }
   std::printf("\nworst chip: %.0f ms — %.0fx under the paper's 3-minute budget\n",
@@ -71,5 +103,36 @@ int main() {
               "vs %.1f ms (dense bisect) | current optimization %.1f ms | Theorem-4 "
               "certificate %.1f ms\n",
               solve_ms, lm_schur_ms, lm_dense_ms, opt_ms, cert_ms);
+
+  // Parallel-layer scaling of the greedy deployment (Alpha, 1 vs 8 threads).
+  // Deterministic by construction: both pool sizes compute the same design.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double greedy_1t_ms = greedy_ms_at(1, powers);
+  const double greedy_8t_ms = greedy_ms_at(8, powers);
+  par::ThreadPool::set_global_threads(0);
+  const double speedup = greedy_1t_ms / std::max(greedy_8t_ms, 1e-9);
+  std::printf("\ngreedy deployment on Alpha: %.0f ms at 1 thread, %.0f ms at 8 "
+              "threads — %.2fx speedup (%u hardware threads available)\n",
+              greedy_1t_ms, greedy_8t_ms, speedup, hw);
+
+  {
+    std::ofstream out("BENCH_runtime.json");
+    out << "{\"bench\":\"runtime\",\"hardware_threads\":" << hw << ",\"chips\":{";
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (k != 0) out << ',';
+      out << '"' << rows[k].name << "\":{\"runtime_ms\":" << rows[k].runtime_ms
+          << ",\"tecs\":" << rows[k].tecs
+          << ",\"success\":" << (rows[k].success ? "true" : "false") << '}';
+    }
+    out << "},\"worst_ms\":" << worst
+        << ",\"alpha_breakdown_ms\":{\"steady_solve\":" << solve_ms
+        << ",\"runaway_schur\":" << lm_schur_ms
+        << ",\"runaway_dense\":" << lm_dense_ms
+        << ",\"current_opt\":" << opt_ms << ",\"convexity_cert\":" << cert_ms
+        << "},\"greedy_speedup\":{\"threads_1_ms\":" << greedy_1t_ms
+        << ",\"threads_8_ms\":" << greedy_8t_ms << ",\"speedup\":" << speedup
+        << "}}\n";
+    std::printf("wrote BENCH_runtime.json\n");
+  }
   return worst < 180000.0 ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "io/design_json.h"
 #include "obs/build_info.h"
 #include "obs/obs.h"
+#include "par/thread_pool.h"
 #include "power/power_profile.h"
 #include "power/workload.h"
 #include "tec/runaway.h"
@@ -403,6 +404,11 @@ std::string usage() {
       "  version   print build provenance (git, compiler, build type,\n"
       "            obs compile-time level)\n"
       "\n"
+      "execution (any command):\n"
+      "  --threads N             worker threads for parallel sections\n"
+      "                          (default: TFCOOL_THREADS env, else hardware;\n"
+      "                          results are identical for any N)\n"
+      "\n"
       "observability (any command):\n"
       "  --log-level L           trace|debug|info|warn|error|off (default warn)\n"
       "  --log-json PATH         append structured JSONL log records to PATH\n"
@@ -436,6 +442,15 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     return 0;
   }
   if (parsed->command == "version") return cmd_version(out);
+
+  if (auto it = parsed->options.find("--threads"); it != parsed->options.end()) {
+    try {
+      par::ThreadPool::set_global_threads(std::stoul(it->second));
+    } catch (const std::exception&) {
+      err << "error: bad --threads value '" << it->second << "'\n";
+      return 2;
+    }
+  }
 
   ObsScope obs_scope;
   if (!obs_scope.configure(*parsed, err)) return 2;

@@ -3,34 +3,68 @@
 #include <random>
 
 #include "linalg/random_stieltjes.h"
+#include "par/parallel.h"
 
 namespace tfc::core {
 
+namespace {
+
+/// splitmix64 finalizer: decorrelates per-task seeds derived from one
+/// campaign seed, so every task owns an independent random stream and the
+/// campaign stays deterministic in options.seed for any thread count.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t task) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (task + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 ConjectureCampaignReport run_conjecture_campaign(
     const ConjectureCampaignOptions& options) {
+  // One task per (size, repetition): each draws both matrix families from its
+  // own derived stream. Tasks are merged in index order, so the report —
+  // including the *first* violation — is identical for any pool size.
+  const std::size_t reps = options.matrices_per_size;
+  const std::size_t tasks = options.sizes.size() * reps;
+
+  const auto partials =
+      par::parallel_map(tasks, [&](std::size_t task) {
+        ConjectureCampaignReport part;
+        const std::size_t n = options.sizes[task / reps];
+        std::mt19937_64 rng(derive_seed(options.seed, task));
+
+        const auto check = [&](const linalg::DenseMatrix& s) {
+          auto res = linalg::check_conjecture1(s, options.pair_budget);
+          ++part.matrices_checked;
+          const std::size_t dim = s.rows();
+          part.pairs_checked_at_least +=
+              options.pair_budget == 0 ? dim * dim
+                                       : std::min(options.pair_budget, dim * dim);
+          if (!res.holds) {
+            ++part.violations;
+            if (part.violations == 1) {
+              part.violating_size = dim;
+              part.min_eigenvalue_seen = res.min_eigenvalue;
+            }
+          }
+        };
+
+        check(linalg::random_pd_stieltjes(n, rng));
+        check(linalg::random_grounded_laplacian(n, 1 + n / 6, rng));
+        return part;
+      });
+
   ConjectureCampaignReport report;
-  std::mt19937_64 rng(options.seed);
-
-  const auto check = [&](const linalg::DenseMatrix& s) {
-    auto res = linalg::check_conjecture1(s, options.pair_budget);
-    ++report.matrices_checked;
-    const std::size_t n = s.rows();
-    report.pairs_checked_at_least +=
-        options.pair_budget == 0 ? n * n : std::min(options.pair_budget, n * n);
-    if (!res.holds) {
-      ++report.violations;
-      if (report.violations == 1) {
-        report.violating_size = n;
-        report.min_eigenvalue_seen = res.min_eigenvalue;
-      }
+  for (const auto& part : partials) {
+    if (report.violations == 0 && part.violations > 0) {
+      report.violating_size = part.violating_size;
+      report.min_eigenvalue_seen = part.min_eigenvalue_seen;
     }
-  };
-
-  for (std::size_t n : options.sizes) {
-    for (std::size_t rep = 0; rep < options.matrices_per_size; ++rep) {
-      check(linalg::random_pd_stieltjes(n, rng));
-      check(linalg::random_grounded_laplacian(n, 1 + n / 6, rng));
-    }
+    report.matrices_checked += part.matrices_checked;
+    report.pairs_checked_at_least += part.pairs_checked_at_least;
+    report.violations += part.violations;
   }
   return report;
 }

@@ -8,6 +8,7 @@
 #include "core/response.h"
 #include "linalg/minimize.h"
 #include "obs/obs.h"
+#include "par/parallel.h"
 
 namespace tfc::core {
 
@@ -18,6 +19,7 @@ const char* method_name(CurrentMethod method) {
     case CurrentMethod::kGoldenSection: return "golden_section";
     case CurrentMethod::kBrent: return "brent";
     case CurrentMethod::kGradientDescent: return "gradient_descent";
+    case CurrentMethod::kParallelSection: return "parallel_section";
   }
   return "?";
 }
@@ -49,6 +51,38 @@ CurrentOptimum scalar_search(const tec::ElectroThermalSystem& system, double hi,
       hi, mo);
   res.current = r.x;
   res.converged = r.converged;
+  return res;
+}
+
+CurrentOptimum parallel_section(const tec::ElectroThermalSystem& system, double hi,
+                                const CurrentOptimizerOptions& options) {
+  CurrentOptimum res;
+  const std::size_t k = std::max<std::size_t>(2, options.section_probes);
+  // Probes depend only on the bracket, never on the pool size, so the search
+  // trajectory (and hence the result) is identical for any thread count.
+  double a = 0.0, b = hi;
+  std::vector<double> xs(k);
+  while (b - a > options.current_tol &&
+         res.objective_evaluations + k <= options.max_iterations) {
+    for (std::size_t j = 0; j < k; ++j) {
+      xs[j] = a + (b - a) * double(j + 1) / double(k + 1);
+    }
+    const std::vector<double> fs = par::parallel_map(k, [&](std::size_t j) {
+      auto op = system.solve(xs[j]);
+      return op ? op->peak_tile_temperature : std::numeric_limits<double>::infinity();
+    });
+    res.objective_evaluations += k;
+    // First minimum wins: a deterministic tie-break, and for a convex
+    // objective the left-most minimizer of the sampled values.
+    std::size_t m = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (fs[j] < fs[m]) m = j;
+    }
+    a = (m == 0) ? a : xs[m - 1];
+    b = (m == k - 1) ? b : xs[m + 1];
+  }
+  res.current = 0.5 * (a + b);
+  res.converged = (b - a) <= options.current_tol;
   return res;
 }
 
@@ -146,6 +180,9 @@ CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
       break;
     case CurrentMethod::kGradientDescent:
       inner = gradient_descent(system, hi, options);
+      break;
+    case CurrentMethod::kParallelSection:
+      inner = parallel_section(system, hi, options);
       break;
   }
 

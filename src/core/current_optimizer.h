@@ -23,15 +23,24 @@ enum class CurrentMethod {
   kGoldenSection,
   kBrent,  ///< golden + parabolic interpolation: fewer solves, same optimum
   kGradientDescent,
+  /// Iterated K-point section search: every round solves K fixed probe
+  /// currents concurrently (tfc::par) and shrinks the bracket around the
+  /// best probe by ≈ 2/(K+1). The probe set depends only on the bracket —
+  /// never on the thread count — so the result is bit-identical for any
+  /// pool size. More solves than golden-section, but K per round run in
+  /// parallel, so wall-clock wins whenever threads ≥ 2.
+  kParallelSection,
 };
 
 struct CurrentOptimizerOptions {
-  CurrentMethod method = CurrentMethod::kGoldenSection;
+  CurrentMethod method = CurrentMethod::kParallelSection;
   /// Search interval is [0, runaway_fraction · λ_m].
   double runaway_fraction = 0.999;
   /// Absolute tolerance on the current [A].
   double current_tol = 1e-4;
   std::size_t max_iterations = 200;
+  /// Probes per round for kParallelSection (clamped to ≥ 2).
+  std::size_t section_probes = 8;
   /// Gradient-descent knobs.
   double initial_step = 1.0;     ///< [A]
   double backtrack_ratio = 0.5;

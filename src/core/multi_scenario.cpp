@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/sparse_cholesky.h"
+#include "par/parallel.h"
 #include "tec/runaway.h"
 
 namespace tfc::core {
@@ -41,15 +42,16 @@ class ScenarioEvaluator {
   /// Per-scenario tile temperature vectors at current i; nullopt past λ_m.
   std::optional<std::vector<linalg::Vector>> tile_temps(double i) const {
     if (i < 0.0) return std::nullopt;
-    auto factor = linalg::SparseCholeskyFactor::factor(system_.system_matrix(i));
+    auto factor = system_.factorize(i);
     if (!factor) return std::nullopt;
 
     const double joule = 0.5 * system_.device().resistance * i * i;
     const std::size_t f2 =
         system_.model().refine() * system_.model().refine();
-    std::vector<linalg::Vector> out;
-    out.reserve(scenarios_->size());
-    for (const auto& powers : *scenarios_) {
+    // One factorization, independent per-scenario solves: result slot s is
+    // always scenario s, so the output is identical for any pool size.
+    return par::parallel_map(scenarios_->size(), [&](std::size_t s) {
+      const auto& powers = (*scenarios_)[s];
       linalg::Vector rhs = ambient_rhs_;
       for (std::size_t t = 0; t < tile_nodes_.size(); ++t) {
         const double share = powers[t] / double(f2);
@@ -57,9 +59,8 @@ class ScenarioEvaluator {
       }
       for (std::size_t hot : system_.model().hot_nodes()) rhs[hot] += joule;
       for (std::size_t cold : system_.model().cold_nodes()) rhs[cold] += joule;
-      out.push_back(system_.model().tile_temperatures(factor->solve(rhs)));
-    }
-    return out;
+      return system_.model().tile_temperatures(factor->solve(rhs));
+    });
   }
 
   /// Worst peak over scenarios at current i; +inf past λ_m.

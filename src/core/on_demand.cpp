@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "par/parallel.h"
 #include "thermal/steady_state.h"
 #include "thermal/transient.h"
 
@@ -98,6 +99,15 @@ OnDemandResult simulate_on_demand(
   }
   res.duty_cycle = double(on_steps) / double(options.steps);
   return res;
+}
+
+std::vector<OnDemandResult> sweep_on_demand(
+    const tec::ElectroThermalSystem& system,
+    const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
+    const std::vector<OnDemandOptions>& configs) {
+  return par::parallel_map(configs.size(), [&](std::size_t k) {
+    return simulate_on_demand(system, tile_powers_at, configs[k]);
+  });
 }
 
 }  // namespace tfc::core

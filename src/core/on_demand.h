@@ -61,4 +61,13 @@ OnDemandResult simulate_on_demand(
     const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
     const OnDemandOptions& options = {});
 
+/// Simulate one controller configuration per entry of \p configs, in parallel
+/// (tfc::par). Result k corresponds to configs[k] regardless of the pool
+/// size. Each simulation is independent; \p tile_powers_at must be safe to
+/// call concurrently (pure functions and captures of const data are fine).
+std::vector<OnDemandResult> sweep_on_demand(
+    const tec::ElectroThermalSystem& system,
+    const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
+    const std::vector<OnDemandOptions>& configs);
+
 }  // namespace tfc::core

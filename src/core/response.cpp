@@ -5,7 +5,7 @@ namespace tfc::core {
 std::optional<ResponseEvaluator> ResponseEvaluator::at(
     const tec::ElectroThermalSystem& system, double i) {
   if (i < 0.0) return std::nullopt;
-  auto factor = linalg::SparseCholeskyFactor::factor(system.system_matrix(i));
+  auto factor = system.factorize(i);
   if (!factor) return std::nullopt;
   return ResponseEvaluator(system, i, std::move(*factor));
 }

@@ -51,7 +51,9 @@ std::string design_result_to_json(const core::DesignResult& r, int indent) {
   if (r.convexity) {
     field("convexity_certified", r.convexity->certified ? "true" : "false");
   }
-  field("runtime_ms", r.runtime_ms);
+  // Deliberately no runtime_ms here: the JSON is a pure function of the
+  // design inputs, so identical runs (any --threads value) diff clean.
+  // Runtime lives in the struct, the logs, and design.runtime_ms metrics.
 
   out << pad << "\"deployment\": [";
   for (std::size_t row = 0; row < r.deployment.rows(); ++row) {

@@ -4,82 +4,96 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "linalg/ordering.h"
 #include "obs/obs.h"
 
 namespace tfc::linalg {
 
-std::optional<SparseCholeskyFactor> SparseCholeskyFactor::factor(const SparseMatrix& a,
-                                                                 FillOrdering ordering) {
-  if (!a.square()) throw std::invalid_argument("SparseCholeskyFactor: matrix not square");
-  TFC_SPAN("sparse_factor");
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SparseCholeskySymbolic SparseCholeskySymbolic::analyze(const SparseMatrix& a,
+                                                       FillOrdering ordering) {
+  if (!a.square()) throw std::invalid_argument("SparseCholeskySymbolic: matrix not square");
+  TFC_SPAN("sparse_analyze");
   const auto t0 = std::chrono::steady_clock::now();
-  const auto finish = [&a, &t0](const SparseCholeskyFactor* f) {
-    auto& metrics = obs::MetricsRegistry::global();
-    metrics.counter("cholesky.sparse.factors").increment();
-    metrics.histogram("cholesky.sparse.factor_ms")
-        .record(std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count());
-    if (f == nullptr) {
-      metrics.counter("cholesky.sparse.not_pd").increment();
-      return;
-    }
-    const std::size_t nnz = f->factor_nnz();
-    metrics.histogram("cholesky.sparse.factor_nnz").record(double(nnz));
-    // Fill-in relative to the lower triangle of A (diagonal included).
-    const std::size_t a_lower = (a.values().size() + a.rows()) / 2;
-    if (a_lower > 0) {
-      metrics.histogram("cholesky.sparse.fill_ratio").record(double(nnz) / double(a_lower));
-    }
-  };
   const std::size_t n = a.rows();
 
-  SparseCholeskyFactor f;
-  f.n_ = n;
+  SparseCholeskySymbolic s;
+  s.n_ = n;
   switch (ordering) {
     case FillOrdering::kNatural:
-      f.perm_ = identity_permutation(n);
+      s.perm_ = identity_permutation(n);
       break;
     case FillOrdering::kRcm:
-      f.perm_ = reverse_cuthill_mckee(a);
+      s.perm_ = reverse_cuthill_mckee(a);
       break;
     case FillOrdering::kMinDegree:
-      f.perm_ = minimum_degree(a);
+      s.perm_ = minimum_degree(a);
       break;
   }
-  f.inv_perm_ = invert_permutation(f.perm_);
-  const SparseMatrix m = permute_symmetric(a, f.perm_);
+  s.inv_perm_ = invert_permutation(s.perm_);
+  s.a_row_ptr_ = a.row_ptr();
+  s.a_col_idx_ = a.col_idx();
 
-  const auto& rp = m.row_ptr();
-  const auto& ci = m.col_idx();
-  const auto& vals = m.values();
+  // Permuted lower triangle (diagonal included) with a gather map into the
+  // original values array: entry q of A at (r, c) lands in permuted row
+  // perm[r] when perm[c] <= perm[r].
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  std::vector<std::size_t> count(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t pr = s.perm_[r];
+    for (std::size_t q = rp[r]; q < rp[r + 1]; ++q) {
+      if (s.perm_[ci[q]] <= pr) ++count[pr];
+    }
+  }
+  s.pa_ptr_.assign(n + 1, 0);
+  for (std::size_t k = 0; k < n; ++k) s.pa_ptr_[k + 1] = s.pa_ptr_[k] + count[k];
+  std::vector<std::pair<std::size_t, std::size_t>> entries(s.pa_ptr_[n]);
+  {
+    std::vector<std::size_t> cursor(s.pa_ptr_.begin(), s.pa_ptr_.end() - 1);
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t pr = s.perm_[r];
+      for (std::size_t q = rp[r]; q < rp[r + 1]; ++q) {
+        const std::size_t pc = s.perm_[ci[q]];
+        if (pc <= pr) entries[cursor[pr]++] = {pc, q};
+      }
+    }
+  }
+  s.pa_col_.resize(entries.size());
+  s.pa_src_.resize(entries.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    std::sort(entries.begin() + std::ptrdiff_t(s.pa_ptr_[k]),
+              entries.begin() + std::ptrdiff_t(s.pa_ptr_[k + 1]));
+    for (std::size_t q = s.pa_ptr_[k]; q < s.pa_ptr_[k + 1]; ++q) {
+      s.pa_col_[q] = entries[q].first;
+      s.pa_src_[q] = entries[q].second;
+    }
+  }
 
-  f.cols_.assign(n, {});
-  f.diag_.assign(n, 0.0);
-
-  // Elimination-tree parents, discovered incrementally (Liu's algorithm).
+  // Elimination-tree parents, discovered incrementally (Liu's algorithm),
+  // and the resulting per-row fill patterns of L.
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<std::size_t> parent(n, kNone);
   std::vector<std::size_t> mark(n, kNone);  // mark[j] == k  ⇔ j visited for row k
-  std::vector<double> x(n, 0.0);            // dense row workspace
   std::vector<std::size_t> pattern;
-
+  s.lpat_ptr_.assign(1, 0);
+  s.lcol_count_.assign(n, 0);
   for (std::size_t k = 0; k < n; ++k) {
-    // Scatter row k of the (permuted) matrix into the workspace and collect
-    // the nonzero pattern of L(k, 0..k-1) via elimination-tree reach.
     pattern.clear();
-    double d = 0.0;
     mark[k] = k;
-    for (std::size_t q = rp[k]; q < rp[k + 1]; ++q) {
-      const std::size_t j = ci[q];
-      if (j > k) continue;
-      if (j == k) {
-        d = vals[q];
-        continue;
-      }
-      x[j] = vals[q];
+    for (std::size_t q = s.pa_ptr_[k]; q < s.pa_ptr_[k + 1]; ++q) {
+      const std::size_t j = s.pa_col_[q];
+      if (j == k) continue;
       // Walk up the elimination tree until we hit a visited node.
       std::size_t t = j;
       while (mark[t] != k) {
@@ -92,26 +106,102 @@ std::optional<SparseCholeskyFactor> SparseCholeskyFactor::factor(const SparseMat
         t = parent[t];
       }
     }
-    // Up-looking numeric step needs ascending column order.
+    // The numeric up-looking step needs ascending column order.
     std::sort(pattern.begin(), pattern.end());
+    for (std::size_t j : pattern) ++s.lcol_count_[j];
+    s.lpat_idx_.insert(s.lpat_idx_.end(), pattern.begin(), pattern.end());
+    s.lpat_ptr_.push_back(s.lpat_idx_.size());
+  }
 
-    for (std::size_t j : pattern) {
+  obs::MetricsRegistry::global()
+      .histogram("cholesky.sparse.analyze_ms")
+      .record(ms_since(t0));
+  return s;
+}
+
+bool SparseCholeskySymbolic::pattern_matches(const SparseMatrix& a) const {
+  return a.rows() == n_ && a.cols() == n_ && a.row_ptr() == a_row_ptr_ &&
+         a.col_idx() == a_col_idx_;
+}
+
+std::optional<SparseCholeskyFactor> SparseCholeskySymbolic::numeric(
+    const SparseMatrix& a) const {
+  const auto& vals = a.values();
+
+  SparseCholeskyFactor f;
+  f.n_ = n_;
+  f.perm_ = perm_;
+  f.inv_perm_ = inv_perm_;
+  f.cols_.assign(n_, {});
+  for (std::size_t j = 0; j < n_; ++j) f.cols_[j].reserve(lcol_count_[j]);
+  f.diag_.assign(n_, 0.0);
+
+  std::vector<double> x(n_, 0.0);  // dense row workspace
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Scatter row k of the (permuted) matrix into the workspace.
+    double d = 0.0;
+    for (std::size_t q = pa_ptr_[k]; q < pa_ptr_[k + 1]; ++q) {
+      const std::size_t j = pa_col_[q];
+      if (j == k) {
+        d = vals[pa_src_[q]];
+      } else {
+        x[j] = vals[pa_src_[q]];
+      }
+    }
+    // Up-looking numeric step over the precomputed fill pattern.
+    for (std::size_t idx = lpat_ptr_[k]; idx < lpat_ptr_[k + 1]; ++idx) {
+      const std::size_t j = lpat_idx_[idx];
       const double lkj = x[j] / f.diag_[j];
       x[j] = 0.0;
-      for (const Entry& e : f.cols_[j]) {
+      for (const SparseCholeskyFactor::Entry& e : f.cols_[j]) {
         // e.row < k always (only processed rows are stored).
         x[e.row] -= e.value * lkj;
       }
       d -= lkj * lkj;
       f.cols_[j].push_back({k, lkj});
     }
-    if (!(d > 0.0) || !std::isfinite(d)) {
-      finish(nullptr);
-      return std::nullopt;
-    }
+    if (!(d > 0.0) || !std::isfinite(d)) return std::nullopt;
     f.diag_[k] = std::sqrt(d);
   }
-  finish(&f);
+  return f;
+}
+
+std::optional<SparseCholeskyFactor> SparseCholeskySymbolic::refactorize(
+    const SparseMatrix& a) const {
+  if (!pattern_matches(a)) {
+    throw std::invalid_argument("SparseCholeskySymbolic::refactorize: pattern mismatch");
+  }
+  TFC_SPAN("sparse_refactor");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto f = numeric(a);
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("cholesky.sparse.refactors").increment();
+  metrics.histogram("cholesky.sparse.refactor_ms").record(ms_since(t0));
+  if (!f) metrics.counter("cholesky.sparse.not_pd").increment();
+  return f;
+}
+
+std::optional<SparseCholeskyFactor> SparseCholeskyFactor::factor(const SparseMatrix& a,
+                                                                 FillOrdering ordering) {
+  TFC_SPAN("sparse_factor");
+  const auto t0 = std::chrono::steady_clock::now();
+  const SparseCholeskySymbolic symbolic = SparseCholeskySymbolic::analyze(a, ordering);
+  auto f = symbolic.numeric(a);
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("cholesky.sparse.factors").increment();
+  metrics.histogram("cholesky.sparse.factor_ms").record(ms_since(t0));
+  if (!f) {
+    metrics.counter("cholesky.sparse.not_pd").increment();
+    return f;
+  }
+  const std::size_t nnz = f->factor_nnz();
+  metrics.histogram("cholesky.sparse.factor_nnz").record(double(nnz));
+  // Fill-in relative to the lower triangle of A (diagonal included).
+  const std::size_t a_lower = (a.values().size() + a.rows()) / 2;
+  if (a_lower > 0) {
+    metrics.histogram("cholesky.sparse.fill_ratio").record(double(nnz) / double(a_lower));
+  }
   return f;
 }
 

@@ -139,6 +139,30 @@ SparseMatrix SparseMatrix::add_scaled(const SparseMatrix& b, double alpha) const
   return from_triplets(t);
 }
 
+SparseMatrix SparseMatrix::add_scaled_diagonal(const Vector& d, double alpha) const {
+  if (!square() || d.size() != rows_) {
+    throw std::invalid_argument("SparseMatrix::add_scaled_diagonal: shape mismatch");
+  }
+  SparseMatrix out = *this;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double add = alpha * d[r];
+    if (add == 0.0) continue;
+    const auto begin = out.col_idx_.begin() + std::ptrdiff_t(out.row_ptr_[r]);
+    const auto end = out.col_idx_.begin() + std::ptrdiff_t(out.row_ptr_[r + 1]);
+    const auto it = std::lower_bound(begin, end, r);
+    if (it == end || *it != r) {
+      // No stored diagonal to update: give up on pattern preservation.
+      TripletList t(rows_, cols_);
+      for (std::size_t k = 0; k < rows_; ++k) {
+        if (d[k] != 0.0) t.add(k, k, alpha * d[k]);
+      }
+      return add_scaled(SparseMatrix::from_triplets(t), 1.0);
+    }
+    out.values_[std::size_t(it - out.col_idx_.begin())] += add;
+  }
+  return out;
+}
+
 bool SparseMatrix::is_symmetric(double tol) const {
   if (!square()) return false;
   for (std::size_t r = 0; r < rows_; ++r) {

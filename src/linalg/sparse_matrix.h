@@ -87,6 +87,14 @@ class SparseMatrix {
   /// A + alpha * B, patterns merged. Shapes must match.
   SparseMatrix add_scaled(const SparseMatrix& b, double alpha) const;
 
+  /// A + alpha·diag(d) for square A, preserving A's sparsity pattern exactly
+  /// (row_ptr/col_idx are copied verbatim; entries that cancel to zero stay
+  /// stored). This keeps the pattern of the pencil `G − i·D` identical for
+  /// every i, which is what lets a single symbolic Cholesky analysis serve
+  /// all currents. Requires a stored diagonal entry wherever d[k] != 0;
+  /// falls back to the pattern-merging add_scaled otherwise.
+  SparseMatrix add_scaled_diagonal(const Vector& d, double alpha) const;
+
   /// Structural symmetry AND value symmetry within tolerance.
   bool is_symmetric(double tol = 0.0) const;
 

@@ -1,0 +1,45 @@
+/// \file parallel.h
+/// \brief parallel_for / parallel_map on the process-wide thread pool.
+///
+/// Both primitives guarantee *determinism by construction*: iteration i
+/// always produces slot i of the output, so any reduction the caller runs
+/// over the results in index order is bit-identical whatever the pool size
+/// (including 1). Exceptions thrown by iterations propagate to the caller —
+/// the lowest-index exception wins, again independent of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace tfc::par {
+
+/// Execute f(i) for every i in [0, n) on the global pool (the calling
+/// thread participates). Blocks until all iterations completed.
+template <class F>
+void parallel_for(std::size_t n, F&& f) {
+  const std::function<void(std::size_t)> fn = std::forward<F>(f);
+  ThreadPool::global().run_indexed(n, fn);
+}
+
+/// Evaluate f(i) for every i in [0, n) and return the results ordered by
+/// index — never by completion order. F's result type needs no default
+/// constructor.
+template <class F>
+auto parallel_map(std::size_t n, F&& f)
+    -> std::vector<std::decay_t<decltype(f(std::size_t{}))>> {
+  using T = std::decay_t<decltype(f(std::size_t{}))>;
+  std::vector<std::optional<T>> slots(n);
+  parallel_for(n, [&](std::size_t i) { slots[i].emplace(f(i)); });
+  std::vector<T> out;
+  out.reserve(n);
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace tfc::par

@@ -1,16 +1,24 @@
 #include "tec/electro_thermal.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "linalg/cholesky.h"
-#include "linalg/sparse_cholesky.h"
 #include "obs/trace.h"
 
 namespace tfc::tec {
 
+/// Lazily computed symbolic analysis, shared by copies of the system (the
+/// pattern is a function of the deployment only, never of the current).
+struct ElectroThermalSystem::SymbolicCache {
+  std::once_flag once;
+  std::unique_ptr<const linalg::SparseCholeskySymbolic> symbolic;
+};
+
 ElectroThermalSystem::ElectroThermalSystem(thermal::PackageModel model,
                                            TecDeviceParams device, bool allow_no_tec)
-    : model_(std::move(model)), device_(device) {
+    : model_(std::move(model)), device_(device),
+      symbolic_cache_(std::make_shared<SymbolicCache>()) {
   device_.validate();
   if (!allow_no_tec && model_.tec_tiles().empty()) {
     throw std::invalid_argument("ElectroThermalSystem: model carries no TEC tiles");
@@ -47,7 +55,31 @@ linalg::SparseMatrix ElectroThermalSystem::matrix_d() const {
 
 linalg::SparseMatrix ElectroThermalSystem::system_matrix(double i) const {
   if (i == 0.0) return g_;
-  return g_.add_scaled(matrix_d(), -i);
+  // Pattern-preserving diagonal update: every i yields G's exact pattern,
+  // which is what keeps the cached symbolic analysis valid.
+  return g_.add_scaled_diagonal(d_diag_, -i);
+}
+
+const linalg::SparseCholeskySymbolic& ElectroThermalSystem::cholesky_symbolic() const {
+  auto& cache = *symbolic_cache_;
+  std::call_once(cache.once, [&] {
+    cache.symbolic = std::make_unique<const linalg::SparseCholeskySymbolic>(
+        linalg::SparseCholeskySymbolic::analyze(g_));
+  });
+  return *cache.symbolic;
+}
+
+std::optional<linalg::SparseCholeskyFactor> ElectroThermalSystem::factorize(
+    double i) const {
+  if (i < 0.0) return std::nullopt;
+  const linalg::SparseMatrix m = system_matrix(i);
+  const auto& symbolic = cholesky_symbolic();
+  if (!symbolic.pattern_matches(m)) {
+    // Cannot happen for a well-formed G (full structural diagonal), but fall
+    // back to a one-shot factorization rather than fail.
+    return linalg::SparseCholeskyFactor::factor(m);
+  }
+  return symbolic.refactorize(m);
 }
 
 linalg::Vector ElectroThermalSystem::power(double i) const {
@@ -83,7 +115,7 @@ std::optional<OperatingPoint> ElectroThermalSystem::solve(
     case thermal::SolverBackend::kConjugateGradient: {
       // CG is unreliable near λ_m; the direct factorization doubles as the
       // positive-definiteness probe, so use it for both back ends.
-      auto f = linalg::SparseCholeskyFactor::factor(system_matrix(i));
+      auto f = factorize(i);
       if (!f) return std::nullopt;
       op.theta = f->solve(b);
       break;

@@ -8,8 +8,10 @@
 /// Joule sources r·i²/2 at both plates of every device.
 #pragma once
 
+#include <memory>
 #include <optional>
 
+#include "linalg/sparse_cholesky.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector.h"
 #include "tec/device.h"
@@ -65,8 +67,19 @@ class ElectroThermalSystem {
   /// D as a sparse matrix.
   linalg::SparseMatrix matrix_d() const;
 
-  /// System matrix G − i·D.
+  /// System matrix G − i·D. Same sparsity pattern for every i (the diagonal
+  /// update preserves G's pattern exactly).
   linalg::SparseMatrix system_matrix(double i) const;
+
+  /// Symbolic Cholesky analysis of the pattern of G − i·D, shared by every
+  /// current probe of this deployment. Computed on first use (thread-safe);
+  /// copies of the system share the cached analysis.
+  const linalg::SparseCholeskySymbolic& cholesky_symbolic() const;
+
+  /// Factor G − i·D reusing the shared symbolic analysis — the numeric-only
+  /// fast path behind solve(). Returns nullopt when the matrix is not
+  /// positive definite (i ≥ λ_m) or i < 0. Safe to call concurrently.
+  std::optional<linalg::SparseCholeskyFactor> factorize(double i) const;
 
   /// Power vector p(i): tile powers on silicon nodes plus r·i²/2 on every
   /// hot/cold node (paper's definition of p).
@@ -84,10 +97,13 @@ class ElectroThermalSystem {
   double tec_input_power(double i, const linalg::Vector& theta) const;
 
  private:
+  struct SymbolicCache;
+
   thermal::PackageModel model_;
   TecDeviceParams device_;
   linalg::SparseMatrix g_;
   linalg::Vector d_diag_;
+  std::shared_ptr<SymbolicCache> symbolic_cache_;
 };
 
 }  // namespace tfc::tec

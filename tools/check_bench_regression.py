@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate CI on bench wall-time regressions.
+
+Compares the per-chip design runtimes in a fresh BENCH_runtime.json against
+the checked-in baseline (ci/bench_baseline.json) and fails when any chip —
+or the worst-case total — regressed by more than the threshold fraction.
+
+Baselines are wall-clock, so they are deliberately generous: the gate exists
+to catch order-of-magnitude algorithmic regressions (a lost symbolic cache,
+an accidental O(n^2) loop), not scheduler noise. Chips present in only one
+file are reported but never fail the gate, so adding a chip does not require
+a lockstep baseline update.
+
+Usage:
+  check_bench_regression.py --baseline ci/bench_baseline.json \
+      --current BENCH_runtime.json [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative wall-time growth (default 0.25)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    base_chips = baseline.get("chips", {})
+    cur_chips = current.get("chips", {})
+
+    failures = []
+    rows = []
+    for name in sorted(set(base_chips) | set(cur_chips)):
+        if name not in base_chips:
+            rows.append((name, None, cur_chips[name]["runtime_ms"], "new (no baseline)"))
+            continue
+        if name not in cur_chips:
+            rows.append((name, base_chips[name]["runtime_ms"], None, "missing in current"))
+            continue
+        base_ms = float(base_chips[name]["runtime_ms"])
+        cur_ms = float(cur_chips[name]["runtime_ms"])
+        limit = base_ms * (1.0 + args.threshold)
+        status = "ok"
+        if cur_ms > limit:
+            status = "REGRESSED (limit %.0f ms)" % limit
+            failures.append(name)
+        if not cur_chips[name].get("success", True):
+            status = "DESIGN FAILED"
+            failures.append(name)
+        rows.append((name, base_ms, cur_ms, status))
+
+    print("%-8s %14s %14s  %s" % ("chip", "baseline[ms]", "current[ms]", "status"))
+    for name, base_ms, cur_ms, status in rows:
+        print("%-8s %14s %14s  %s"
+              % (name,
+                 "-" if base_ms is None else "%.0f" % base_ms,
+                 "-" if cur_ms is None else "%.0f" % cur_ms,
+                 status))
+
+    base_worst = baseline.get("worst_ms")
+    cur_worst = current.get("worst_ms")
+    if base_worst is not None and cur_worst is not None:
+        limit = float(base_worst) * (1.0 + args.threshold)
+        print("worst:   %14.0f %14.0f  %s"
+              % (base_worst, cur_worst, "ok" if cur_worst <= limit else "REGRESSED"))
+        if cur_worst > limit:
+            failures.append("worst_ms")
+
+    speedup = current.get("greedy_speedup", {}).get("speedup")
+    if speedup is not None:
+        print("greedy 1t->8t speedup: %.2fx" % speedup)
+
+    if failures:
+        print("\nFAIL: wall-time regression beyond %.0f%%: %s"
+              % (100.0 * args.threshold, ", ".join(failures)), file=sys.stderr)
+        return 1
+    print("\nOK: within %.0f%% of baseline" % (100.0 * args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
