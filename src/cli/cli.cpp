@@ -1,5 +1,9 @@
 #include "cli/cli.h"
 
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -16,6 +20,8 @@
 #include "par/thread_pool.h"
 #include "power/power_profile.h"
 #include "power/workload.h"
+#include "svc/client.h"
+#include "svc/server.h"
 #include "tec/runaway.h"
 #include "thermal/validation.h"
 
@@ -29,6 +35,10 @@ struct ParsedArgs {
 };
 
 const char* kFlagOptions[] = {"--map", "--help", "--no-full-cover", "--certify"};
+
+struct CommandSpec;
+const CommandSpec* find_command(const std::string& name);
+bool option_allowed(const CommandSpec& spec, const std::string& key);
 
 bool is_flag(const std::string& key) {
   for (const char* f : kFlagOptions) {
@@ -55,7 +65,14 @@ std::optional<ParsedArgs> parse(const std::vector<std::string>& args, std::ostre
       continue;
     }
     if (k + 1 >= args.size()) {
-      err << "error: option '" << a << "' requires a value\n";
+      // An unknown option with no value behind it is an unknown option, not
+      // a missing value — diagnose it the same way run_cli's allowlist does.
+      if (const CommandSpec* spec = find_command(p.command);
+          spec != nullptr && !option_allowed(*spec, a)) {
+        err << "error: unknown option '" << a << "' for command '" << p.command << "'\n";
+      } else {
+        err << "error: option '" << a << "' requires a value\n";
+      }
       return std::nullopt;
     }
     p.options[a] = args[++k];
@@ -73,6 +90,12 @@ std::size_t parse_size(const ParsedArgs& p, const std::string& key, std::size_t 
   auto it = p.options.find(key);
   if (it == p.options.end()) return fallback;
   return std::stoul(it->second);
+}
+
+std::string option_or(const ParsedArgs& p, const std::string& key,
+                      const std::string& fallback) {
+  auto it = p.options.find(key);
+  return it == p.options.end() ? fallback : it->second;
 }
 
 /// Resolve --chip / --flp+--ptrace into a name + tile power map.
@@ -272,12 +295,154 @@ int cmd_sensitivity(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int cmd_version(std::ostream& out) {
+int cmd_version(const ParsedArgs&, std::ostream& out, std::ostream&) {
   out << "tfcool " << TFC_BUILD_VERSION << " (git " << TFC_BUILD_GIT_DESCRIBE << ")\n"
       << "compiler: " << TFC_BUILD_COMPILER << "\n"
       << "build type: " << TFC_BUILD_TYPE << "\n"
       << "obs compile-time level: " << obs::compile_level_name() << "\n";
   return 0;
+}
+
+int cmd_validate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  thermal::PackageModelOptions opts;
+  opts.geometry = chip->geometry;
+  auto rep = thermal::validate_against_reference(opts, chip->tile_powers);
+  out << "coarse nodes: " << rep.coarse_nodes << ", reference nodes: " << rep.reference_nodes
+      << "\n";
+  out << "max |diff| = " << rep.max_abs_diff << " degC, mean |diff| = " << rep.mean_abs_diff
+      << " degC\n";
+  return rep.max_abs_diff < 1.5 ? 0 : 1;
+}
+
+// --- service commands -------------------------------------------------------
+
+/// Stop-pipe fd for the signal handler (write() is async-signal-safe).
+std::atomic<int> g_serve_stop_fd{-1};
+
+extern "C" void tfc_cli_serve_signal_handler(int) {
+  const int fd = g_serve_stop_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(fd, "s", 1);
+  }
+}
+
+/// Route SIGINT/SIGTERM into the server's stop pipe for the scope of run().
+class ServeSignalScope {
+ public:
+  explicit ServeSignalScope(int stop_fd) {
+    g_serve_stop_fd.store(stop_fd, std::memory_order_relaxed);
+    struct sigaction action {};
+    action.sa_handler = tfc_cli_serve_signal_handler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &saved_int_);
+    ::sigaction(SIGTERM, &action, &saved_term_);
+  }
+
+  ~ServeSignalScope() {
+    ::sigaction(SIGINT, &saved_int_, nullptr);
+    ::sigaction(SIGTERM, &saved_term_, nullptr);
+    g_serve_stop_fd.store(-1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct sigaction saved_int_ {};
+  struct sigaction saved_term_ {};
+};
+
+int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  svc::ServerOptions opts;
+  opts.socket_path = option_or(p, "--socket", "");
+  opts.listen = option_or(p, "--listen", "");
+  if (opts.socket_path.empty() && opts.listen.empty()) {
+    err << "error: serve requires --socket PATH and/or --listen HOST:PORT\n";
+    return 2;
+  }
+  opts.workers = parse_size(p, "--workers", 2);
+  opts.queue_capacity = parse_size(p, "--queue", 64);
+  opts.cache_capacity = parse_size(p, "--cache", 8);
+  opts.default_deadline_ms = parse_double(p, "--deadline-ms", 60000.0);
+  if (opts.queue_capacity == 0) {
+    err << "error: --queue must be >= 1\n";
+    return 2;
+  }
+  if (!(opts.default_deadline_ms > 0.0)) {
+    err << "error: --deadline-ms must be positive\n";
+    return 2;
+  }
+
+  try {
+    svc::Server server(opts);
+    ServeSignalScope signals(server.signal_fd());
+    out << "serving";
+    if (!opts.socket_path.empty()) out << " on unix:" << opts.socket_path;
+    if (server.tcp_port() != 0) out << " on tcp:" << server.tcp_port();
+    out << " (" << opts.workers << " workers, queue " << opts.queue_capacity
+        << ", cache " << opts.cache_capacity << ")" << std::endl;
+    server.run();
+    out << "server stopped (drained)" << std::endl;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_request(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const std::string method = option_or(p, "--method", "");
+  if (method.empty()) {
+    err << "error: request requires --method NAME\n";
+    return 2;
+  }
+  const std::string socket_path = option_or(p, "--socket", "");
+  const std::string connect = option_or(p, "--connect", "");
+  if (socket_path.empty() == connect.empty()) {
+    err << "error: request needs exactly one of --socket PATH or --connect HOST:PORT\n";
+    return 2;
+  }
+
+  io::JsonValue request = io::JsonValue::make_object();
+  if (const std::string id = option_or(p, "--id", ""); !id.empty()) {
+    request.set("id", io::JsonValue::make_string(id));
+  } else {
+    request.set("id", io::JsonValue::make_number(1));
+  }
+  request.set("method", io::JsonValue::make_string(method));
+  if (const std::string params_text = option_or(p, "--params", ""); !params_text.empty()) {
+    io::JsonValue params;
+    try {
+      params = io::parse_json(params_text);
+    } catch (const io::JsonParseError& e) {
+      err << "error: bad --params: " << e.what() << "\n";
+      return 2;
+    }
+    if (!params.is_object()) {
+      err << "error: --params must be a JSON object\n";
+      return 2;
+    }
+    request.set("params", params);
+  }
+  if (const double deadline = parse_double(p, "--deadline-ms", 0.0); deadline > 0.0) {
+    request.set("deadline_ms", io::JsonValue::make_number(deadline));
+  }
+
+  try {
+    svc::Client client = socket_path.empty()
+                             ? [&] {
+                                 const auto [host, port] = svc::parse_listen_spec(connect);
+                                 return svc::Client::connect_tcp(host, port);
+                               }()
+                             : svc::Client::connect_unix(socket_path);
+    client.set_receive_timeout_ms(parse_double(p, "--timeout-ms", 120000.0));
+    const std::string reply_line = client.call_raw(request.dump());
+    out << reply_line << std::endl;
+    const io::JsonValue reply = io::parse_json(reply_line);
+    return reply.bool_or("ok", false) ? 0 : 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 /// Scoped observability configuration for one CLI invocation: applies
@@ -374,35 +539,163 @@ class ObsScope {
   std::string metrics_path_;
 };
 
-int cmd_validate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
-  auto chip = load_chip(p, err);
-  if (!chip) return 2;
-  thermal::PackageModelOptions opts;
-  opts.geometry = chip->geometry;
-  auto rep = thermal::validate_against_reference(opts, chip->tile_powers);
-  out << "coarse nodes: " << rep.coarse_nodes << ", reference nodes: " << rep.reference_nodes
-      << "\n";
-  out << "max |diff| = " << rep.max_abs_diff << " degC, mean |diff| = " << rep.mean_abs_diff
-      << " degC\n";
-  return rep.max_abs_diff < 1.5 ? 0 : 1;
+// --- command registry -------------------------------------------------------
+
+using CommandHandler = int (*)(const ParsedArgs&, std::ostream&, std::ostream&);
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;  ///< one line for the global usage text
+  /// Option keys this command accepts beyond the global execution /
+  /// observability set (nullptr-terminated).
+  const char* const* options;
+  /// Per-command option help lines (shown by `tfcool <command> --help`).
+  const char* option_help;
+  CommandHandler handler;
+};
+
+const char* kGlobalOptions[] = {"--threads",   "--log-level", "--log-json",
+                                "--trace-out", "--metrics-out", "--help", nullptr};
+
+const char* kChipOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
+                              "--cols", "--die-mm", nullptr};
+
+const char kChipOptionHelp[] =
+    "  --chip alpha|hc<N>      built-in benchmark chip (default alpha)\n"
+    "  --flp F --ptrace P      import HotSpot floorplan + power trace\n"
+    "  --rows R --cols C       tile grid for imports (default 12x12)\n"
+    "  --die-mm W              die side for imports [mm] (default 6)\n";
+
+const char* kDesignOptions[] = {"--chip", "--flp", "--ptrace", "--rows", "--cols",
+                                "--die-mm", "--limit", "--map", "--json",
+                                "--certify", "--no-full-cover", nullptr};
+
+const char* kTable1Options[] = {"--limit", nullptr};
+
+const char* kLimitChipOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
+                                   "--cols", "--die-mm", "--limit", nullptr};
+
+const char* kSweepOptions[] = {"--chip", "--flp",    "--ptrace",       "--rows",
+                               "--cols", "--die-mm", "--limit",        "--points",
+                               "--max-fraction", nullptr};
+
+const char* kNoOptions[] = {nullptr};
+
+const char* kServeOptions[] = {"--socket", "--listen", "--workers",
+                               "--queue",  "--cache",  "--deadline-ms", nullptr};
+
+const char* kRequestOptions[] = {"--socket",      "--connect", "--method",
+                                 "--params",      "--id",      "--deadline-ms",
+                                 "--timeout-ms",  nullptr};
+
+const CommandSpec kCommands[] = {
+    {"design", "solve the cooling-system configuration problem", kDesignOptions,
+     "  --limit C               temperature limit [degC] (default 85)\n"
+     "  --map                   print the deployment tile map\n"
+     "  --json PATH             write the result as JSON\n"
+     "  --certify               run the Theorem-4 convexity certificate\n"
+     "  --no-full-cover         skip the full-cover comparison\n"
+     "\nchip selection:\n",
+     cmd_design},
+    {"table1", "reproduce the paper's Table I (all 11 benchmark chips)",
+     kTable1Options, "  --limit C               temperature limit [degC] (default 85)\n",
+     cmd_table1},
+    {"runaway", "report lambda_m and a supply-current sweep", kLimitChipOptions,
+     "  --limit C               design temperature limit [degC] (default 85)\n"
+     "\nchip selection:\n",
+     cmd_runaway},
+    {"validate", "compact-model vs fine-grid agreement", kChipOptions,
+     "\nchip selection:\n", cmd_validate},
+    {"sweep", "CSV sweep of peak temperature vs supply current", kSweepOptions,
+     "  --limit C               design temperature limit [degC] (default 85)\n"
+     "  --points N              sweep points (default 25)\n"
+     "  --max-fraction F        top of the sweep as a fraction of lambda_m\n"
+     "                          (default 0.95)\n"
+     "\nchip selection:\n",
+     cmd_sweep},
+    {"sensitivity", "CSV of device-parameter sensitivities at the design",
+     kLimitChipOptions,
+     "  --limit C               design temperature limit [degC] (default 85)\n"
+     "\nchip selection:\n",
+     cmd_sensitivity},
+    {"serve", "run the persistent solver service (see docs/SERVICE.md)",
+     kServeOptions,
+     "  --socket PATH           listen on a unix-domain socket at PATH\n"
+     "  --listen HOST:PORT      also/instead listen on TCP (IPv4; port 0 =\n"
+     "                          ephemeral, the bound port is printed)\n"
+     "  --workers N             request workers (default 2)\n"
+     "  --queue N               bounded queue capacity; a full queue sheds\n"
+     "                          load with an 'overloaded' reply (default 64)\n"
+     "  --cache N               LRU session-cache capacity (default 8)\n"
+     "  --deadline-ms D         default per-request deadline (default 60000)\n"
+     "\nstops gracefully (drain, then exit 0) on SIGINT/SIGTERM or a\n"
+     "'shutdown' request.\n",
+     cmd_serve},
+    {"request", "send one request to a running service and print the reply",
+     kRequestOptions,
+     "  --socket PATH           connect to a unix-domain socket\n"
+     "  --connect HOST:PORT     connect over TCP instead\n"
+     "  --method NAME           ping|stats|solve|design|runaway|sweep|shutdown\n"
+     "  --params JSON           request parameters as a JSON object\n"
+     "  --id ID                 request id to echo (default 1)\n"
+     "  --deadline-ms D         server-side deadline for this request\n"
+     "  --timeout-ms T          client-side reply timeout (default 120000)\n"
+     "\nexit code: 0 = ok reply, 1 = error reply, 2 = transport/usage error.\n",
+     cmd_request},
+    {"version", "print build provenance (git, compiler, build type)", kNoOptions,
+     "", cmd_version},
+};
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const CommandSpec& spec : kCommands) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string command_usage(const CommandSpec& spec) {
+  std::string text = "usage: tfcool ";
+  text += spec.name;
+  text += " [options]\n\n";
+  text += spec.summary;
+  text += "\n\noptions:\n";
+  text += spec.option_help;
+  if (std::string(spec.option_help).find("chip selection") != std::string::npos) {
+    text += kChipOptionHelp;
+  }
+  text +=
+      "\nglobal options (any command): --threads N, --log-level L,\n"
+      "--log-json PATH, --trace-out PATH, --metrics-out PATH\n";
+  return text;
+}
+
+bool option_allowed(const CommandSpec& spec, const std::string& key) {
+  for (const char* const* opt = kGlobalOptions; *opt; ++opt) {
+    if (key == *opt) return true;
+  }
+  for (const char* const* opt = spec.options; *opt; ++opt) {
+    if (key == *opt) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
 std::string usage() {
-  return
+  std::string text =
       "usage: tfcool <command> [options]\n"
       "\n"
-      "commands:\n"
-      "  design    solve the cooling-system configuration problem\n"
-      "  table1    reproduce the paper's Table I (all 11 benchmark chips)\n"
-      "  runaway   report lambda_m and a supply-current sweep\n"
-      "  validate  compact-model vs fine-grid agreement\n"
-      "  sweep     CSV sweep of peak temperature vs supply current\n"
-      "            (--points N, --max-fraction F of lambda_m)\n"
-      "  sensitivity  CSV of device-parameter sensitivities at the design\n"
-      "  version   print build provenance (git, compiler, build type,\n"
-      "            obs compile-time level)\n"
+      "commands:\n";
+  for (const CommandSpec& spec : kCommands) {
+    const std::string name = spec.name;
+    text += "  " + name;
+    text.append(name.size() < 12 ? 12 - name.size() : 2, ' ');
+    text += spec.summary;
+    text += "\n";
+  }
+  text +=
+      "\n"
+      "`tfcool <command> --help` prints the command's own options.\n"
       "\n"
       "execution (any command):\n"
       "  --threads N             worker threads for parallel sections\n"
@@ -414,34 +707,39 @@ std::string usage() {
       "  --log-json PATH         append structured JSONL log records to PATH\n"
       "  --trace-out PATH        write Chrome trace_event JSON (open in\n"
       "                          Perfetto / about://tracing)\n"
-      "  --metrics-out PATH      write the metrics-registry snapshot as JSON\n"
-      "\n"
-      "chip selection (design/runaway/validate):\n"
-      "  --chip alpha|hc<N>      built-in benchmark chip (default alpha)\n"
-      "  --flp F --ptrace P      import HotSpot floorplan + power trace\n"
-      "  --rows R --cols C       tile grid for imports (default 12x12)\n"
-      "  --die-mm W              die side for imports [mm] (default 6)\n"
-      "\n"
-      "design options:\n"
-      "  --limit C               temperature limit [degC] (default 85)\n"
-      "  --map                   print the deployment tile map\n"
-      "  --json PATH             write the result as JSON\n"
-      "  --certify               run the Theorem-4 convexity certificate\n"
-      "  --no-full-cover         skip the full-cover comparison\n";
+      "  --metrics-out PATH      write the metrics-registry snapshot as JSON\n";
+  return text;
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   auto parsed = parse(args, err);
   if (!parsed) {
-    err << usage();
+    const CommandSpec* spec = args.empty() ? nullptr : find_command(args[0]);
+    err << (spec != nullptr ? command_usage(*spec) : usage());
     return 2;
   }
-  if (parsed->command == "--help" || parsed->command == "help" ||
-      parsed->options.count("--help") != 0) {
+  if (parsed->command == "--help" || parsed->command == "help") {
     out << usage();
     return 0;
   }
-  if (parsed->command == "version") return cmd_version(out);
+
+  const CommandSpec* spec = find_command(parsed->command);
+  if (!spec) {
+    err << "error: unknown command '" << parsed->command << "'\n" << usage();
+    return 2;
+  }
+  if (parsed->options.count("--help") != 0) {
+    out << command_usage(*spec);
+    return 0;
+  }
+  for (const auto& [key, value] : parsed->options) {
+    if (!option_allowed(*spec, key)) {
+      err << "error: unknown option '" << key << "' for command '" << spec->name
+          << "'\n"
+          << command_usage(*spec);
+      return 2;
+    }
+  }
 
   if (auto it = parsed->options.find("--threads"); it != parsed->options.end()) {
     try {
@@ -455,20 +753,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   ObsScope obs_scope;
   if (!obs_scope.configure(*parsed, err)) return 2;
 
-  int code = -1;
+  int code;
   try {
-    if (parsed->command == "design") code = cmd_design(*parsed, out, err);
-    else if (parsed->command == "table1") code = cmd_table1(*parsed, out, err);
-    else if (parsed->command == "runaway") code = cmd_runaway(*parsed, out, err);
-    else if (parsed->command == "validate") code = cmd_validate(*parsed, out, err);
-    else if (parsed->command == "sweep") code = cmd_sweep(*parsed, out, err);
-    else if (parsed->command == "sensitivity") code = cmd_sensitivity(*parsed, out, err);
+    code = spec->handler(*parsed, out, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
-    return 2;
-  }
-  if (code < 0) {
-    err << "error: unknown command '" << parsed->command << "'\n" << usage();
     return 2;
   }
   if (!obs_scope.finish(out, err) && code == 0) code = 2;

@@ -6,6 +6,11 @@
 ///   table1   — reproduce the paper's Table I across all benchmark chips
 ///   runaway  — report λ_m and a current sweep for a designed deployment
 ///   validate — compact-vs-fine-grid agreement for a chip
+///   serve    — run the persistent solver service (tfc::svc, docs/SERVICE.md)
+///   request  — send one request to a running service and print the reply
+///
+/// Every command validates its options (unknown tokens are named in the
+/// error) and prints per-command usage on `tfcool <command> --help`.
 ///
 /// `run_cli` never calls exit(); it returns the process exit code and writes
 /// human output to \p out, diagnostics to \p err — so the whole surface is

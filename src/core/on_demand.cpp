@@ -15,11 +15,21 @@ OnDemandResult simulate_on_demand(
   if (system.device_count() == 0) {
     throw std::invalid_argument("simulate_on_demand: system has no TECs");
   }
-  if (!(options.theta_off < options.theta_on)) {
-    throw std::invalid_argument("simulate_on_demand: need theta_off < theta_on");
+  if (!(options.dt > 0.0)) {
+    throw std::invalid_argument("simulate_on_demand: dt must be positive, got " +
+                                std::to_string(options.dt));
   }
-  if (!(options.on_current > 0.0) || options.steps == 0 || !(options.dt > 0.0)) {
-    throw std::invalid_argument("simulate_on_demand: bad drive/time options");
+  if (options.steps == 0) {
+    throw std::invalid_argument("simulate_on_demand: steps must be nonzero");
+  }
+  if (!(options.theta_off < options.theta_on)) {
+    throw std::invalid_argument(
+        "simulate_on_demand: theta_off (" + std::to_string(options.theta_off) +
+        " K) must be below theta_on (" + std::to_string(options.theta_on) + " K)");
+  }
+  if (!(options.on_current > 0.0)) {
+    throw std::invalid_argument("simulate_on_demand: on_current must be positive, got " +
+                                std::to_string(options.on_current));
   }
 
   const auto& model = system.model();

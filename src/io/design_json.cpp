@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "io/json.h"
+
 namespace tfc::io {
 
 namespace {
@@ -65,6 +67,56 @@ std::string design_result_to_json(const core::DesignResult& r, int indent) {
   }
   out << "]\n}";
   return out.str();
+}
+
+core::DesignResult design_result_from_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("design json: document is not an object");
+  }
+  core::DesignResult r;
+  r.chip_name = doc.at("chip").as_string();
+  r.theta_limit_celsius = doc.at("theta_limit_celsius").as_number();
+  r.success = doc.at("success").as_bool();
+  r.peak_no_tec_celsius = doc.at("peak_no_tec_celsius").as_number();
+  r.peak_greedy_celsius = doc.at("peak_greedy_celsius").as_number();
+  r.tec_count = std::size_t(doc.at("tec_count").as_number());
+  r.current = doc.at("current_a").as_number();
+  r.tec_power = doc.at("tec_power_w").as_number();
+  if (const JsonValue* lm = doc.get("lambda_m_a"); lm && lm->is_number()) {
+    r.lambda_m = lm->as_number();
+  }
+  r.greedy_iterations = std::size_t(doc.at("greedy_iterations").as_number());
+  r.full_cover_min_peak_celsius = doc.at("full_cover_min_peak_celsius").as_number();
+  r.full_cover_current = doc.at("full_cover_current_a").as_number();
+  r.full_cover_power = doc.at("full_cover_power_w").as_number();
+  r.swing_loss_celsius = doc.at("swing_loss_celsius").as_number();
+  if (const JsonValue* cc = doc.get("convexity_certified"); cc && cc->is_bool()) {
+    core::ConvexityCertificate cert;
+    cert.certified = cc->as_bool();
+    r.convexity = cert;
+  }
+
+  const auto& dep_rows = doc.at("deployment").as_array();
+  if (!dep_rows.empty()) {
+    const std::size_t rows = dep_rows.size();
+    const std::size_t cols = dep_rows.front().as_string().size();
+    TileMask mask(rows, cols);
+    for (std::size_t row = 0; row < rows; ++row) {
+      const std::string& line = dep_rows[row].as_string();
+      if (line.size() != cols) {
+        throw std::runtime_error("design json: ragged deployment rows");
+      }
+      for (std::size_t col = 0; col < cols; ++col) {
+        if (line[col] != '#' && line[col] != '.') {
+          throw std::runtime_error("design json: deployment rows must be '#'/'.'");
+        }
+        mask.set(row, col, line[col] == '#');
+      }
+    }
+    r.deployment = mask;
+  }
+  return r;
 }
 
 }  // namespace tfc::io

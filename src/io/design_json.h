@@ -13,4 +13,12 @@ namespace tfc::io {
 /// order; deployment encoded as row strings of '.'/'#').
 std::string design_result_to_json(const core::DesignResult& result, int indent = 2);
 
+/// Parse a document produced by design_result_to_json back into a
+/// DesignResult (the service protocol and downstream tooling re-ingest the
+/// files the CLI writes). Only the serialized fields are recovered; the
+/// convexity certificate, when present, carries just its `certified` flag.
+/// Throws std::runtime_error (or io::JsonParseError, a subclass) on
+/// truncated or malformed input, naming what is wrong.
+core::DesignResult design_result_from_json(const std::string& text);
+
 }  // namespace tfc::io

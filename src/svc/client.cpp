@@ -1,0 +1,143 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace tfc::svc {
+
+Client Client::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("svc client: socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error("svc client: socket failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("svc client: cannot connect to '" + socket_path +
+                             "': " + std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string resolved = host.empty() || host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("svc client: bad host '" + host + "' (IPv4 only)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error("svc client: socket failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("svc client: cannot connect to " + resolved + ":" +
+                             std::to_string(port) + ": " + std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      next_id_(other.next_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::set_receive_timeout_ms(double timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0.0) {
+    tv.tv_sec = time_t(timeout_ms / 1000.0);
+    tv.tv_usec = suseconds_t(std::fmod(timeout_ms, 1000.0) * 1000.0);
+  }
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::string Client::call_raw(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      throw std::runtime_error("svc client: send failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    off += std::size_t(n);
+  }
+
+  while (true) {
+    if (const std::size_t nl = buffer_.find('\n'); nl != std::string::npos) {
+      std::string reply = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return reply;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) throw std::runtime_error("svc client: connection closed by server");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("svc client: timed out waiting for reply");
+      }
+      throw std::runtime_error("svc client: recv failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, std::size_t(n));
+  }
+}
+
+io::JsonValue Client::call(const std::string& method, const io::JsonValue& params,
+                           double deadline_ms) {
+  io::JsonValue request = io::JsonValue::make_object();
+  request.set("id", io::JsonValue::make_number(double(next_id_++)));
+  request.set("method", io::JsonValue::make_string(method));
+  if (params.is_object()) request.set("params", params);
+  if (deadline_ms > 0.0) {
+    request.set("deadline_ms", io::JsonValue::make_number(deadline_ms));
+  }
+  const std::string reply_line = call_raw(request.dump());
+  io::JsonValue reply;
+  try {
+    reply = io::parse_json(reply_line);
+  } catch (const io::JsonParseError& e) {
+    throw std::runtime_error(std::string("svc client: malformed reply: ") + e.what());
+  }
+  if (!reply.is_object()) {
+    throw std::runtime_error("svc client: reply is not a JSON object");
+  }
+  return reply;
+}
+
+}  // namespace tfc::svc

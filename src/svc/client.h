@@ -1,0 +1,54 @@
+/// \file client.h
+/// \brief Blocking client for the tfcool service protocol.
+///
+/// Used by `tfcool request`, the end-to-end tests, and the bench_service
+/// load generator. One Client owns one connection; requests are issued
+/// serially per client (open several clients for concurrency). Request ids
+/// are assigned automatically when the caller does not provide one.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "io/json.h"
+
+namespace tfc::svc {
+
+class Client {
+ public:
+  /// Connect to a unix-domain socket. Throws std::runtime_error on failure.
+  static Client connect_unix(const std::string& socket_path);
+
+  /// Connect to an IPv4 TCP endpoint. Throws std::runtime_error on failure.
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Issue one request and wait for its reply. \p params must be a JSON
+  /// object (or null for none); \p deadline_ms > 0 is forwarded as the
+  /// request's server-side deadline. The full reply object
+  /// ({"id":...,"ok":...,...}) is returned; transport failures (EOF,
+  /// malformed reply) throw std::runtime_error.
+  io::JsonValue call(const std::string& method,
+                     const io::JsonValue& params = io::JsonValue::make_null(),
+                     double deadline_ms = 0.0);
+
+  /// Send one raw line (no trailing newline) and return the next reply line.
+  std::string call_raw(const std::string& line);
+
+  /// Cap on waiting for a reply [ms]; 0 = wait forever (default).
+  void set_receive_timeout_ms(double timeout_ms);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tfc::svc

@@ -1,0 +1,91 @@
+#include "svc/protocol.h"
+
+namespace tfc::svc {
+
+int error_status(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return 400;
+    case ErrorCode::kBadRequest: return 400;
+    case ErrorCode::kUnknownMethod: return 404;
+    case ErrorCode::kDeadlineExceeded: return 408;
+    case ErrorCode::kOverloaded: return 429;
+    case ErrorCode::kShuttingDown: return 503;
+    case ErrorCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownMethod: return "unknown_method";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+Request parse_request(const std::string& line) {
+  io::JsonValue doc;
+  try {
+    doc = io::parse_json(line);
+  } catch (const io::JsonParseError& e) {
+    throw ProtocolError(ErrorCode::kParseError, e.what());
+  }
+  if (!doc.is_object()) {
+    throw ProtocolError(ErrorCode::kParseError, "request must be a JSON object");
+  }
+
+  Request req;
+  if (const io::JsonValue* id = doc.get("id")) {
+    if (!id->is_string() && !id->is_number() && !id->is_null()) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'id' must be a string or number");
+    }
+    req.id = *id;
+  }
+  const io::JsonValue* method = doc.get("method");
+  if (!method || !method->is_string() || method->as_string().empty()) {
+    throw ProtocolError(ErrorCode::kBadRequest, "missing 'method' string");
+  }
+  req.method = method->as_string();
+  if (const io::JsonValue* params = doc.get("params")) {
+    if (!params->is_object()) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'params' must be an object");
+    }
+    req.params = *params;
+  }
+  if (const io::JsonValue* deadline = doc.get("deadline_ms")) {
+    if (!deadline->is_number() || deadline->as_number() < 0.0) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'deadline_ms' must be a nonnegative number");
+    }
+    req.deadline_ms = deadline->as_number();
+  }
+  return req;
+}
+
+std::string make_result_reply(const io::JsonValue& id, const io::JsonValue& result) {
+  io::JsonValue reply = io::JsonValue::make_object();
+  reply.set("id", id);
+  reply.set("ok", io::JsonValue::make_bool(true));
+  reply.set("result", result);
+  return reply.dump();
+}
+
+std::string make_error_reply(const io::JsonValue& id, ErrorCode code,
+                             const std::string& message) {
+  io::JsonValue error = io::JsonValue::make_object();
+  error.set("code", io::JsonValue::make_string(error_code_name(code)));
+  error.set("status", io::JsonValue::make_number(error_status(code)));
+  error.set("message", io::JsonValue::make_string(message));
+  io::JsonValue reply = io::JsonValue::make_object();
+  reply.set("id", id);
+  reply.set("ok", io::JsonValue::make_bool(false));
+  reply.set("error", error);
+  return reply.dump();
+}
+
+}  // namespace tfc::svc

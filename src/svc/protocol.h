@@ -1,0 +1,79 @@
+/// \file protocol.h
+/// \brief The tfcool service wire protocol: newline-delimited JSON requests
+/// and replies with request ids.
+///
+/// One request per line, one reply per line, UTF-8, no framing beyond '\n':
+///
+///   → {"id": 1, "method": "solve", "params": {"chip": "alpha"}}
+///   ← {"id": 1, "ok": true, "result": {...}}
+///   ← {"id": 1, "ok": false, "error": {"code": "overloaded", "status": 429,
+///                                      "message": "..."}}
+///
+/// `id` may be any JSON string or number and is echoed verbatim; requests
+/// without an id get `null` back. `params` is optional (defaults to {});
+/// `deadline_ms` is an optional per-request time budget measured from
+/// arrival — a request still queued (or only starting) after its deadline
+/// gets a `deadline_exceeded` error instead of a late result. Error replies
+/// carry both a machine-readable `code` and an HTTP-flavored `status` so
+/// load generators can bucket outcomes without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "io/json.h"
+
+namespace tfc::svc {
+
+/// Machine-readable failure classes of the service.
+enum class ErrorCode {
+  kParseError,        ///< request line is not valid JSON / not an object
+  kBadRequest,        ///< missing or ill-typed fields, bad parameter values
+  kUnknownMethod,     ///< method name not recognised
+  kDeadlineExceeded,  ///< per-request deadline expired before completion
+  kOverloaded,        ///< bounded request queue is full (429-style shed)
+  kShuttingDown,      ///< server is draining; no new work accepted
+  kInternal,          ///< handler threw
+};
+
+/// The HTTP-flavored status for an error code (400/404/408/429/503/500).
+int error_status(ErrorCode code);
+
+/// The stable wire name for an error code (e.g. "overloaded").
+const char* error_code_name(ErrorCode code);
+
+/// Thrown by parse_request / handlers to produce a structured error reply.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// A decoded request line.
+struct Request {
+  /// Echoed verbatim in the reply (string, number, or null when absent).
+  io::JsonValue id;
+  std::string method;
+  /// Always an object (possibly empty).
+  io::JsonValue params = io::JsonValue::make_object();
+  /// Time budget [ms] from arrival; 0 means "use the server default".
+  double deadline_ms = 0.0;
+};
+
+/// Decode one request line. Throws ProtocolError with kParseError for
+/// non-JSON / non-object lines and kBadRequest for ill-typed fields.
+Request parse_request(const std::string& line);
+
+/// Encode a success reply (single line, no trailing newline).
+std::string make_result_reply(const io::JsonValue& id, const io::JsonValue& result);
+
+/// Encode an error reply (single line, no trailing newline).
+std::string make_error_reply(const io::JsonValue& id, ErrorCode code,
+                             const std::string& message);
+
+}  // namespace tfc::svc

@@ -1,0 +1,594 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "core/cooling_system.h"
+#include "floorplan/alpha21364.h"
+#include "floorplan/random_chip.h"
+#include "io/design_json.h"
+#include "obs/obs.h"
+#include "power/power_profile.h"
+#include "power/workload.h"
+#include "tec/runaway.h"
+#include "thermal/package.h"
+
+namespace tfc::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Pre-register every svc metric so exported documents have a stable schema.
+void register_metrics() {
+  auto& m = obs::MetricsRegistry::global();
+  m.counter("svc.requests.received");
+  m.counter("svc.replies.ok");
+  m.counter("svc.replies.error");
+  m.counter("svc.rejected.overloaded");
+  m.counter("svc.rejected.deadline");
+  m.counter("svc.rejected.shutting_down");
+  m.counter("svc.connections.accepted");
+  m.histogram("svc.latency_ms");
+  m.histogram("svc.queue_wait_ms");
+}
+
+}  // namespace
+
+/// One accepted client. The reader thread and any queued request share
+/// ownership; the last owner closes the socket. Writes are serialized so
+/// concurrent workers cannot interleave reply lines.
+struct Server::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer went away; nothing useful to do
+      off += std::size_t(n);
+    }
+  }
+
+  int fd = -1;
+  std::mutex write_mutex;
+};
+
+/// One queued request with its arrival time and absolute deadline.
+struct Server::Pending {
+  Request request;
+  std::shared_ptr<Connection> conn;
+  Clock::time_point arrival;
+  Clock::time_point deadline;
+};
+
+std::pair<std::string, int> parse_listen_spec(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("listen spec '" + spec + "' must be host:port");
+  }
+  std::string host = spec.substr(0, colon);
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  const std::string port_text = spec.substr(colon + 1);
+  int port = -1;
+  try {
+    std::size_t used = 0;
+    port = std::stoi(port_text, &used);
+    if (used != port_text.size()) port = -1;
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port < 0 || port > 65535) {
+    throw std::invalid_argument("listen spec '" + spec + "': bad port '" + port_text + "'");
+  }
+  return {host, port};
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  register_metrics();
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.socket_path.empty() && options_.listen.empty()) {
+    throw std::runtime_error("svc: need a unix socket path or a --listen address");
+  }
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC) != 0) {
+    throw std::runtime_error("svc: pipe2 failed: " + std::string(std::strerror(errno)));
+  }
+  stop_rd_ = pipe_fds[0];
+  stop_wr_ = pipe_fds[1];
+
+  try {
+    if (!options_.socket_path.empty()) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("svc: socket path too long: " + options_.socket_path);
+      }
+      std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+      unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (unix_fd_ < 0) {
+        throw std::runtime_error("svc: socket(AF_UNIX) failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      ::unlink(options_.socket_path.c_str());  // stale socket from a dead server
+      if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+          ::listen(unix_fd_, 64) != 0) {
+        throw std::runtime_error("svc: cannot listen on '" + options_.socket_path +
+                                 "': " + std::strerror(errno));
+      }
+    }
+    if (!options_.listen.empty()) {
+      const auto [host, port] = parse_listen_spec(options_.listen);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error("svc: bad listen host '" + host + "' (IPv4 only)");
+      }
+      tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (tcp_fd_ < 0) {
+        throw std::runtime_error("svc: socket(AF_INET) failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      const int one = 1;
+      ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+          ::listen(tcp_fd_, 64) != 0) {
+        throw std::runtime_error("svc: cannot listen on '" + options_.listen +
+                                 "': " + std::strerror(errno));
+      }
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        tcp_port_ = ntohs(bound.sin_port);
+      }
+    }
+  } catch (...) {
+    close_if_open(unix_fd_);
+    close_if_open(tcp_fd_);
+    close_if_open(stop_rd_);
+    close_if_open(stop_wr_);
+    throw;
+  }
+}
+
+Server::~Server() {
+  request_stop();
+  close_if_open(unix_fd_);
+  close_if_open(tcp_fd_);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+  close_if_open(stop_rd_);
+  close_if_open(stop_wr_);
+}
+
+void Server::request_stop() {
+  if (stop_wr_ >= 0) {
+    // The pipe is deliberately never drained: POLLIN stays level-triggered
+    // for every poller (accept loop and all connection readers at once).
+    [[maybe_unused]] ssize_t n = ::write(stop_wr_, "s", 1);
+  }
+}
+
+void Server::run() {
+  TFC_LOG_INFO("svc_serving", {"socket", options_.socket_path},
+               {"listen", options_.listen}, {"workers", options_.workers},
+               {"queue", options_.queue_capacity}, {"cache", options_.cache_capacity});
+
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  accept_loop();
+
+  // Shutdown: refuse new work, then drain. The flag flips under the queue
+  // mutex so a reader can never enqueue after the workers' exit condition
+  // became observable.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_.store(true);
+  }
+  queue_cv_.notify_all();
+  close_if_open(unix_fd_);
+  close_if_open(tcp_fd_);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+
+  // Every queued reply has been written; drop the readers (they wake on the
+  // stop pipe) and close the connections.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (auto& t : conn_threads_) t.join();
+  conn_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.clear();
+  }
+  TFC_LOG_INFO("svc_stopped", {"socket", options_.socket_path});
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[3];
+    int listen_fds[3] = {-1, -1, -1};
+    nfds_t nfds = 0;
+    fds[nfds++] = {stop_rd_, POLLIN, 0};
+    if (unix_fd_ >= 0) {
+      listen_fds[nfds] = unix_fd_;
+      fds[nfds++] = {unix_fd_, POLLIN, 0};
+    }
+    if (tcp_fd_ >= 0) {
+      listen_fds[nfds] = tcp_fd_;
+      fds[nfds++] = {tcp_fd_, POLLIN, 0};
+    }
+
+    if (::poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // stop requested
+
+    for (nfds_t slot = 1; slot < nfds; ++slot) {
+      if ((fds[slot].revents & POLLIN) == 0) continue;
+      const int client = ::accept(listen_fds[slot], nullptr, nullptr);
+      if (client < 0) continue;
+      obs::MetricsRegistry::global().counter("svc.connections.accepted").increment();
+      auto conn = std::make_shared<Connection>(client);
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(conn);
+      conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+    }
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{conn->fd, POLLIN, 0}, {stop_rd_, POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // draining; stop reading new requests
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk, std::size_t(n));
+
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) handle_line(conn, line);
+    }
+    buffer.erase(0, start);
+  }
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("svc.requests.received").increment();
+
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    metrics.counter("svc.replies.error").increment();
+    conn->send_line(make_error_reply(io::JsonValue::make_null(), e.code(), e.what()));
+    return;
+  }
+
+  if (request.method == "shutdown") {
+    io::JsonValue result = io::JsonValue::make_object();
+    result.set("stopping", io::JsonValue::make_bool(true));
+    metrics.counter("svc.replies.ok").increment();
+    conn->send_line(make_result_reply(request.id, result));
+    TFC_LOG_INFO("svc_shutdown_requested");
+    request_stop();
+    return;
+  }
+
+  auto item = std::make_unique<Pending>();
+  item->request = std::move(request);
+  item->conn = conn;
+  item->arrival = Clock::now();
+  const double budget_ms =
+      item->request.deadline_ms > 0.0 ? item->request.deadline_ms : options_.default_deadline_ms;
+  item->deadline =
+      item->arrival + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(budget_ms));
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_.load()) {
+      metrics.counter("svc.rejected.shutting_down").increment();
+      metrics.counter("svc.replies.error").increment();
+      conn->send_line(make_error_reply(item->request.id, ErrorCode::kShuttingDown,
+                                       "server is draining"));
+      return;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      metrics.counter("svc.rejected.overloaded").increment();
+      metrics.counter("svc.replies.error").increment();
+      conn->send_line(make_error_reply(
+          item->request.id, ErrorCode::kOverloaded,
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+              " pending); retry with backoff"));
+      return;
+    }
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::unique_ptr<Pending> item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    serve_request(*item);
+  }
+}
+
+void Server::serve_request(Pending& item) {
+  auto& metrics = obs::MetricsRegistry::global();
+  const auto start = Clock::now();
+  metrics.histogram("svc.queue_wait_ms").record(ms_between(item.arrival, start));
+
+  if (start > item.deadline) {
+    metrics.counter("svc.rejected.deadline").increment();
+    metrics.counter("svc.replies.error").increment();
+    item.conn->send_line(make_error_reply(
+        item.request.id, ErrorCode::kDeadlineExceeded,
+        "deadline expired after " + std::to_string(ms_between(item.arrival, start)) +
+            " ms in queue"));
+    return;
+  }
+
+  std::string reply;
+  try {
+    TFC_SPAN("svc.request");
+    io::JsonValue result = dispatch(item.request);
+    metrics.counter("svc.replies.ok").increment();
+    reply = make_result_reply(item.request.id, result);
+  } catch (const ProtocolError& e) {
+    metrics.counter("svc.replies.error").increment();
+    reply = make_error_reply(item.request.id, e.code(), e.what());
+  } catch (const std::exception& e) {
+    metrics.counter("svc.replies.error").increment();
+    reply = make_error_reply(item.request.id, ErrorCode::kInternal, e.what());
+  }
+  item.conn->send_line(reply);
+  metrics.histogram("svc.latency_ms").record(ms_between(item.arrival, Clock::now()));
+}
+
+std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params) {
+  SessionKey key;
+  key.chip = params.string_or("chip", "alpha");
+  key.theta_limit_celsius = params.number_or("limit", 85.0);
+  if (!(key.theta_limit_celsius > 0.0) || key.theta_limit_celsius > 500.0) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "'limit' must be in (0, 500] degC");
+  }
+  {
+    const thermal::PackageGeometry defaults;
+    key.tile_rows = defaults.tile_rows;
+    key.tile_cols = defaults.tile_cols;
+  }
+
+  return cache_.get_or_build(key, [](const SessionKey& k) {
+    floorplan::Floorplan plan = [&] {
+      if (k.chip == "alpha") return floorplan::alpha21364();
+      if (k.chip.rfind("hc", 0) == 0) {
+        std::size_t n = 0;
+        try {
+          n = std::stoul(k.chip.substr(2));
+        } catch (const std::exception&) {
+          n = 0;
+        }
+        if (n >= 1 && n <= 99) return floorplan::hypothetical_chip(n);
+      }
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "unknown chip '" + k.chip + "' (use alpha or hc<N>)");
+    }();
+
+    auto session = std::make_shared<Session>();
+    session->key = k;
+    session->geometry = thermal::PackageGeometry{};
+    power::WorkloadSynthesizer synth(plan);
+    session->tile_powers =
+        power::worst_case_profile(plan, synth.synthesize_suite(8)).tile_powers();
+
+    core::DesignRequest req;
+    req.chip_name = k.chip;
+    req.geometry = session->geometry;
+    req.tile_powers = session->tile_powers;
+    req.theta_limit_celsius = k.theta_limit_celsius;
+    req.run_full_cover = false;
+    session->design = core::design_cooling_system(req);
+    while (!session->design.success &&
+           req.theta_limit_celsius < k.theta_limit_celsius + 25.0) {
+      req.theta_limit_celsius += 1.0;
+      TFC_LOG_INFO("svc_design_fallback_relax", {"chip", k.chip},
+                   {"theta_limit_c", req.theta_limit_celsius});
+      session->design = core::design_cooling_system(req);
+    }
+
+    session->system = std::make_shared<const tec::ElectroThermalSystem>(
+        tec::ElectroThermalSystem::assemble(session->geometry,
+                                            session->design.deployment,
+                                            session->tile_powers, req.device,
+                                            /*stages=*/1));
+    if (!session->design.deployment.empty()) {
+      session->lambda_m = tec::runaway_limit(*session->system);
+    }
+    TFC_LOG_INFO("svc_session_built", {"key", k.to_string()},
+                 {"tecs", session->design.tec_count});
+    return std::shared_ptr<const Session>(session);
+  });
+}
+
+io::JsonValue Server::dispatch(const Request& request) {
+  using io::JsonValue;
+  const JsonValue& params = request.params;
+
+  if (request.method == "ping") {
+    const double delay_ms = params.number_or("delay_ms", 0.0);
+    if (delay_ms < 0.0 || delay_ms > 60000.0) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'delay_ms' must be in [0, 60000]");
+    }
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    JsonValue result = JsonValue::make_object();
+    result.set("pong", JsonValue::make_bool(true));
+    return result;
+  }
+
+  if (request.method == "stats") {
+    JsonValue cache = JsonValue::make_object();
+    cache.set("capacity", JsonValue::make_number(double(cache_.capacity())));
+    cache.set("size", JsonValue::make_number(double(cache_.size())));
+    cache.set("hits", JsonValue::make_number(double(cache_.hits())));
+    cache.set("misses", JsonValue::make_number(double(cache_.misses())));
+    cache.set("evictions", JsonValue::make_number(double(cache_.evictions())));
+    JsonValue result = JsonValue::make_object();
+    result.set("cache", cache);
+    result.set("workers", JsonValue::make_number(double(options_.workers)));
+    result.set("queue_capacity", JsonValue::make_number(double(options_.queue_capacity)));
+    return result;
+  }
+
+  if (request.method == "solve") {
+    auto session = session_for(params);
+    double current = params.number_or("current", session->design.current);
+    if (current < 0.0) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'current' must be nonnegative");
+    }
+    auto op = session->system->solve(current);
+    if (!op) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "current " + std::to_string(current) +
+                              " A is at or beyond the runaway limit");
+    }
+    JsonValue result = JsonValue::make_object();
+    result.set("chip", JsonValue::make_string(session->key.chip));
+    result.set("current_a", JsonValue::make_number(current));
+    result.set("peak_celsius",
+               JsonValue::make_number(thermal::to_celsius(op->peak_tile_temperature)));
+    result.set("tec_power_w", JsonValue::make_number(op->tec_input_power));
+    result.set("tec_count", JsonValue::make_number(double(session->design.tec_count)));
+    result.set("lambda_m_a", session->lambda_m
+                                 ? JsonValue::make_number(*session->lambda_m)
+                                 : JsonValue::make_null());
+    return result;
+  }
+
+  if (request.method == "design") {
+    auto session = session_for(params);
+    // Re-use the canonical serializer so the service and `tfcool design
+    // --json` emit byte-identical documents for the same chip.
+    return io::parse_json(io::design_result_to_json(session->design));
+  }
+
+  if (request.method == "runaway") {
+    auto session = session_for(params);
+    JsonValue result = JsonValue::make_object();
+    result.set("chip", JsonValue::make_string(session->key.chip));
+    result.set("tec_count", JsonValue::make_number(double(session->design.tec_count)));
+    result.set("lambda_m_a", session->lambda_m
+                                 ? JsonValue::make_number(*session->lambda_m)
+                                 : JsonValue::make_null());
+    return result;
+  }
+
+  if (request.method == "sweep") {
+    auto session = session_for(params);
+    if (!session->lambda_m) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "no TECs deployed for this session; nothing to sweep");
+    }
+    const double points_d = params.number_or("points", 25.0);
+    if (points_d < 1.0 || points_d > 10000.0 || points_d != std::size_t(points_d)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'points' must be an integer in [1, 10000]");
+    }
+    const std::size_t points = std::size_t(points_d);
+    const double max_fraction = params.number_or("max_fraction", 0.95);
+    if (!(max_fraction > 0.0) || max_fraction >= 1.0) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'max_fraction' must be in (0, 1)");
+    }
+    const double hi = max_fraction * *session->lambda_m;
+    JsonValue currents = JsonValue::make_array();
+    JsonValue peaks = JsonValue::make_array();
+    JsonValue powers = JsonValue::make_array();
+    for (std::size_t s = 0; s <= points; ++s) {
+      const double i = hi * double(s) / double(points);
+      auto op = session->system->solve(i);
+      if (!op) break;
+      currents.push_back(JsonValue::make_number(i));
+      peaks.push_back(
+          JsonValue::make_number(thermal::to_celsius(op->peak_tile_temperature)));
+      powers.push_back(JsonValue::make_number(op->tec_input_power));
+    }
+    JsonValue result = JsonValue::make_object();
+    result.set("chip", JsonValue::make_string(session->key.chip));
+    result.set("lambda_m_a", JsonValue::make_number(*session->lambda_m));
+    result.set("current_a", currents);
+    result.set("peak_celsius", peaks);
+    result.set("tec_power_w", powers);
+    return result;
+  }
+
+  throw ProtocolError(ErrorCode::kUnknownMethod,
+                      "unknown method '" + request.method +
+                          "' (use ping|stats|solve|design|runaway|sweep|shutdown)");
+}
+
+}  // namespace tfc::svc

@@ -1,0 +1,125 @@
+/// \file server.h
+/// \brief The persistent solver service behind `tfcool serve`.
+///
+/// A long-lived daemon answering solve/design/runaway/sweep queries over a
+/// unix-domain socket (optionally TCP) in the newline-delimited JSON
+/// protocol of protocol.h. The serving pipeline is:
+///
+///   connection reader threads → bounded request queue → worker group
+///
+/// with three explicit back-pressure behaviors instead of unbounded
+/// buffering:
+///  - a full queue rejects immediately with an `overloaded` (429) reply;
+///  - every request carries a deadline (its own `deadline_ms` or the server
+///    default) measured from arrival — once expired the request is answered
+///    with `deadline_exceeded` instead of being served late;
+///  - during shutdown new requests get `shutting_down` while everything
+///    already queued is drained and answered before the process exits.
+///
+/// Sessions (assembled systems + symbolic Cholesky analyses, see
+/// session_cache.h) are shared across requests through an LRU cache, so a
+/// repeat query skips assembly and analysis entirely. Counters and latency
+/// histograms are published in tfc::obs::MetricsRegistry under `svc.*`.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/protocol.h"
+#include "svc/session_cache.h"
+
+namespace tfc::svc {
+
+struct ServerOptions {
+  /// Path of the unix-domain listening socket (created on start, unlinked on
+  /// stop). Empty disables the unix listener.
+  std::string socket_path;
+  /// Optional TCP listen address, "host:port" (IPv4; empty host = loopback;
+  /// port 0 = ephemeral, see Server::tcp_port()). Empty disables TCP.
+  std::string listen;
+  /// Worker threads draining the request queue. Each worker runs the full
+  /// solver stack (which parallelizes internally via tfc::par).
+  std::size_t workers = 2;
+  /// Bounded request-queue capacity; a full queue sheds load.
+  std::size_t queue_capacity = 64;
+  /// LRU session-cache capacity (sessions, not bytes).
+  std::size_t cache_capacity = 8;
+  /// Deadline applied to requests that do not carry their own [ms].
+  double default_deadline_ms = 60000.0;
+};
+
+/// One serving instance. Construction binds the listeners (throwing
+/// std::runtime_error on failure); run() serves until a shutdown request,
+/// request_stop(), or a byte written to signal_fd().
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until stopped, then drain and answer everything queued. Returns
+  /// when the last reply has been written.
+  void run();
+
+  /// Ask run() to stop (thread-safe; callable before or during run()).
+  void request_stop();
+
+  /// Write end of the internal stop pipe. Writing one byte is
+  /// async-signal-safe, so a SIGINT/SIGTERM handler can trigger graceful
+  /// shutdown: `write(server.signal_fd(), "s", 1)`.
+  int signal_fd() const { return stop_wr_; }
+
+  /// Bound TCP port (after construction; 0 when TCP is disabled).
+  int tcp_port() const { return tcp_port_; }
+
+  const ServerOptions& options() const { return options_; }
+  SessionCache& cache() { return cache_; }
+
+ private:
+  struct Connection;
+  struct Pending;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
+  void serve_request(Pending& item);
+  io::JsonValue dispatch(const Request& request);
+
+  std::shared_ptr<const Session> session_for(const io::JsonValue& params);
+
+  ServerOptions options_;
+  SessionCache cache_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = 0;
+  int stop_rd_ = -1;
+  int stop_wr_ = -1;
+
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::thread> workers_;
+};
+
+/// Split a "host:port" listen spec (empty host = "127.0.0.1"). Throws
+/// std::invalid_argument on a malformed spec or port outside [0, 65535].
+std::pair<std::string, int> parse_listen_spec(const std::string& spec);
+
+}  // namespace tfc::svc

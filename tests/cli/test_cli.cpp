@@ -1,14 +1,18 @@
 #include "cli/cli.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include "io/json.h"
 #include "obs/obs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace tfc::cli {
 namespace {
@@ -181,6 +185,161 @@ TEST(Cli, TracingIsScopedToOneInvocation) {
   EXPECT_FALSE(tfc::obs::TraceCollector::global().enabled());
   EXPECT_EQ(tfc::obs::TraceCollector::global().event_count(), 0u);
   fs::remove(trace);
+}
+
+TEST(Cli, UnknownOptionNamesTokenAndCommand) {
+  auto r = run({"design", "--frobnicate", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option '--frobnicate' for command 'design'"),
+            std::string::npos);
+  EXPECT_NE(r.err.find("usage: tfcool design"), std::string::npos);
+
+  // Same diagnosis when the unknown option is the last token (nothing behind
+  // it that could have been its value).
+  auto last = run({"design", "--frobnicate"});
+  EXPECT_EQ(last.code, 2);
+  EXPECT_NE(last.err.find("unknown option '--frobnicate' for command 'design'"),
+            std::string::npos);
+  EXPECT_NE(last.err.find("usage: tfcool design"), std::string::npos);
+
+  // A known value-taking option with no value still reports the missing value.
+  auto missing = run({"design", "--chip"});
+  EXPECT_EQ(missing.code, 2);
+  EXPECT_NE(missing.err.find("option '--chip' requires a value"), std::string::npos);
+}
+
+TEST(Cli, OptionsAreValidatedPerCommand) {
+  // --points belongs to sweep, not runaway.
+  auto r = run({"runaway", "--points", "5"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option '--points' for command 'runaway'"),
+            std::string::npos);
+}
+
+TEST(Cli, PerCommandHelpShowsOwnOptions) {
+  auto r = run({"sweep", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage: tfcool sweep"), std::string::npos);
+  EXPECT_NE(r.out.find("--points"), std::string::npos);
+  EXPECT_NE(r.out.find("--chip"), std::string::npos);  // chip-selection block
+
+  auto serve_help = run({"serve", "--help"});
+  EXPECT_EQ(serve_help.code, 0);
+  EXPECT_NE(serve_help.out.find("--queue"), std::string::npos);
+  EXPECT_NE(serve_help.out.find("SIGINT/SIGTERM"), std::string::npos);
+}
+
+TEST(Cli, ServeRequiresAListener) {
+  auto r = run({"serve"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--socket"), std::string::npos);
+}
+
+TEST(Cli, RequestValidatesItsOptions) {
+  auto no_method = run({"request", "--socket", "/tmp/nowhere.sock"});
+  EXPECT_EQ(no_method.code, 2);
+  EXPECT_NE(no_method.err.find("--method"), std::string::npos);
+
+  auto no_endpoint = run({"request", "--method", "ping"});
+  EXPECT_EQ(no_endpoint.code, 2);
+  EXPECT_NE(no_endpoint.err.find("exactly one of"), std::string::npos);
+
+  auto bad_params = run({"request", "--socket", "/tmp/nowhere.sock", "--method",
+                         "ping", "--params", "not json"});
+  EXPECT_EQ(bad_params.code, 2);
+  EXPECT_NE(bad_params.err.find("bad --params"), std::string::npos);
+}
+
+/// Full service loop through the CLI surface only: `tfcool serve` in a
+/// thread, `tfcool request` for the traffic, metrics checked from the
+/// --metrics-out export — the same artifacts a shell user would touch.
+TEST(Cli, ServeRequestEndToEnd) {
+  namespace fs = std::filesystem;
+  const auto sock = fs::temp_directory_path() /
+                    ("tfcool_cli_e2e_" + std::to_string(::getpid()) + ".sock");
+  const auto metrics = fs::temp_directory_path() / "tfcool_cli_e2e_metrics.json";
+  fs::remove(sock);
+  fs::remove(metrics);
+  const auto hits_before =
+      tfc::obs::MetricsRegistry::global().counter("svc.cache.hits").value();
+
+  CliRun serve_result;
+  std::thread server([&] {
+    serve_result = run({"serve", "--socket", sock.string(), "--workers", "1",
+                        "--queue", "1", "--metrics-out", metrics.string()});
+  });
+
+  auto request = [&](std::vector<std::string> extra) {
+    std::vector<std::string> args = {"request", "--socket", sock.string()};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return run(args);
+  };
+
+  // Wait until the service answers a ping (socket creation is async).
+  CliRun ping;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ping = request({"--method", "ping"});
+    if (ping.code == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(ping.code, 0) << ping.err;
+  EXPECT_NE(ping.out.find("\"pong\""), std::string::npos);
+
+  // Second identical solve must be served from the session cache.
+  auto solve1 = request({"--method", "solve", "--params", R"({"chip": "alpha"})"});
+  ASSERT_EQ(solve1.code, 0) << solve1.err;
+  EXPECT_NE(solve1.out.find("\"peak_celsius\""), std::string::npos);
+  auto solve2 = request({"--method", "solve", "--params", R"({"chip": "alpha"})"});
+  ASSERT_EQ(solve2.code, 0) << solve2.err;
+
+  // A request whose deadline expires while the lone worker is busy gets a
+  // structured timeout error (exit 1, not a hang).
+  std::thread blocker([&] {
+    auto slow = request({"--method", "ping", "--params", R"({"delay_ms": 600})"});
+    EXPECT_EQ(slow.code, 0) << slow.err;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto late = request({"--method", "ping", "--deadline-ms", "50"});
+  blocker.join();
+  EXPECT_EQ(late.code, 1);
+  EXPECT_NE(late.out.find("deadline_exceeded"), std::string::npos);
+
+  // Worker busy + queue full → the extra request is shed with `overloaded`.
+  std::thread busy1([&] {
+    (void)request({"--method", "ping", "--params", R"({"delay_ms": 600})"});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::thread busy2([&] {
+    (void)request({"--method", "ping", "--params", R"({"delay_ms": 600})"});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto shed = request({"--method", "ping"});
+  busy1.join();
+  busy2.join();
+  EXPECT_EQ(shed.code, 1);
+  EXPECT_NE(shed.out.find("overloaded"), std::string::npos);
+  EXPECT_NE(shed.out.find("429"), std::string::npos);
+
+  // Graceful stop through the protocol; the serve command must exit 0.
+  auto bye = request({"--method", "shutdown"});
+  EXPECT_EQ(bye.code, 0);
+  server.join();
+  EXPECT_EQ(serve_result.code, 0) << serve_result.err;
+  EXPECT_NE(serve_result.out.find("server stopped (drained)"), std::string::npos);
+
+  // The exported metrics document proves the cache hit (acceptance check).
+  std::ifstream mf(metrics);
+  ASSERT_TRUE(mf.good());
+  std::stringstream mbuf;
+  mbuf << mf.rdbuf();
+  const auto doc = tfc::io::parse_json(mbuf.str());
+  EXPECT_GE(doc.at("counters").at("svc.cache.hits").as_number(),
+            double(hits_before + 1));
+  EXPECT_GE(doc.at("counters").at("svc.rejected.overloaded").as_number(), 1.0);
+  EXPECT_GE(doc.at("counters").at("svc.rejected.deadline").as_number(), 1.0);
+
+  fs::remove(sock);
+  fs::remove(metrics);
 }
 
 TEST(Cli, ImportedChipDesign) {

@@ -93,22 +93,57 @@ TEST(OnDemand, BurstWorkloadTogglesController) {
   EXPECT_LT(r.duty_cycle, 1.0);
 }
 
-TEST(OnDemand, Validation) {
+/// Each rejected option produces its own std::invalid_argument naming the
+/// offending field (not one catch-all message).
+std::string rejection_message(const OnDemandOptions& o) {
   auto sys = make_system();
+  try {
+    (void)simulate_on_demand(sys, [](std::size_t) { return hot_map(); }, o);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(OnDemand, RejectsNonPositiveDt) {
   OnDemandOptions o;
-  o.theta_on = o.theta_off = thermal::to_kelvin(80.0);  // not a hysteresis band
-  EXPECT_THROW(simulate_on_demand(sys, [&](std::size_t) { return hot_map(); }, o),
-               std::invalid_argument);
-  o = {};
+  o.dt = 0.0;
+  EXPECT_NE(rejection_message(o).find("dt must be positive"), std::string::npos);
+  o.dt = -1e-3;
+  EXPECT_NE(rejection_message(o).find("dt must be positive"), std::string::npos);
+}
+
+TEST(OnDemand, RejectsZeroSteps) {
+  OnDemandOptions o;
+  o.steps = 0;
+  EXPECT_NE(rejection_message(o).find("steps must be nonzero"), std::string::npos);
+}
+
+TEST(OnDemand, RejectsInvertedHysteresisBand) {
+  OnDemandOptions o;
+  o.theta_on = o.theta_off = thermal::to_kelvin(80.0);  // not a band
+  EXPECT_NE(rejection_message(o).find("theta_off"), std::string::npos);
+  o.theta_off = o.theta_on + 5.0;  // inverted
+  const std::string msg = rejection_message(o);
+  EXPECT_NE(msg.find("theta_off"), std::string::npos);
+  EXPECT_NE(msg.find("must be below theta_on"), std::string::npos);
+}
+
+TEST(OnDemand, RejectsNonPositiveOnCurrent) {
+  OnDemandOptions o;
   o.on_current = 0.0;
-  EXPECT_THROW(simulate_on_demand(sys, [&](std::size_t) { return hot_map(); }, o),
-               std::invalid_argument);
+  EXPECT_NE(rejection_message(o).find("on_current must be positive"),
+            std::string::npos);
+}
+
+TEST(OnDemand, RejectsDegenerateSystemAndPowerMap) {
   // No-TEC system rejected.
   auto bare = tec::ElectroThermalSystem::assemble(small_geom(), TileMask(), hot_map(),
                                                   tec::TecDeviceParams::chowdhury_superlattice());
   EXPECT_THROW(simulate_on_demand(bare, [&](std::size_t) { return hot_map(); }, {}),
                std::invalid_argument);
   // Wrong-size power map rejected at the first step.
+  auto sys = make_system();
   EXPECT_THROW(
       simulate_on_demand(sys, [&](std::size_t) { return linalg::Vector(3); }, {}),
       std::invalid_argument);

@@ -5,6 +5,7 @@
 
 #include "io/csv.h"
 #include "io/design_json.h"
+#include "io/json.h"
 #include "io/matrix_market.h"
 #include "linalg/random_stieltjes.h"
 
@@ -110,6 +111,110 @@ TEST(DesignJson, NullLambdaWhenAbsent) {
   r.deployment = TileMask(1, 1);
   const std::string json = design_result_to_json(r);
   EXPECT_NE(json.find("\"lambda_m_a\": null"), std::string::npos);
+}
+
+TEST(MatrixMarket, WriteReadPreservesPatternAndValues) {
+  // A structured (non-random) pattern: 1-D Laplacian plus a far-off-diagonal
+  // coupling, so pattern preservation is distinguishable from value luck.
+  linalg::TripletList triplets(6, 6);
+  for (std::size_t k = 0; k < 6; ++k) triplets.add(k, k, 2.0 + double(k) * 0.25);
+  for (std::size_t k = 0; k + 1 < 6; ++k) triplets.add_symmetric(k, k + 1, -1.0);
+  triplets.add_symmetric(0, 5, -0.125);
+  auto a = linalg::SparseMatrix::from_triplets(triplets);
+
+  std::stringstream buf;
+  write_matrix_market(buf, a);
+  auto b = read_matrix_market(buf);
+
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (std::size_t row = 0; row < 6; ++row) {
+    for (std::size_t col = 0; col < 6; ++col) {
+      // Same sparsity pattern (exact zeros where a has no entry)...
+      EXPECT_EQ(b.at(row, col) != 0.0, a.at(row, col) != 0.0)
+          << "pattern differs at (" << row << "," << col << ")";
+      // ...and bit-identical values where it does.
+      EXPECT_DOUBLE_EQ(b.at(row, col), a.at(row, col));
+    }
+  }
+}
+
+TEST(DesignJson, RoundTripThroughParser) {
+  core::DesignResult r;
+  r.chip_name = "hc7";
+  r.theta_limit_celsius = 85.0;
+  r.success = true;
+  r.peak_no_tec_celsius = 97.25;
+  r.peak_greedy_celsius = 84.5;
+  r.tec_count = 9;
+  r.current = 4.75;
+  r.tec_power = 11.5;
+  r.lambda_m = 123.5;
+  r.greedy_iterations = 17;
+  r.swing_loss_celsius = 0.75;
+  r.convexity = core::ConvexityCertificate{};
+  r.convexity->certified = true;
+  r.deployment = TileMask(3, 4);
+  r.deployment.set(0, 1);
+  r.deployment.set(2, 3);
+
+  const auto back = design_result_from_json(design_result_to_json(r));
+  EXPECT_EQ(back.chip_name, "hc7");
+  EXPECT_TRUE(back.success);
+  EXPECT_EQ(back.tec_count, 9u);
+  EXPECT_DOUBLE_EQ(back.current, 4.75);
+  ASSERT_TRUE(back.lambda_m.has_value());
+  EXPECT_DOUBLE_EQ(*back.lambda_m, 123.5);
+  ASSERT_TRUE(back.convexity.has_value());
+  EXPECT_TRUE(back.convexity->certified);
+  ASSERT_EQ(back.deployment.rows(), 3u);
+  ASSERT_EQ(back.deployment.cols(), 4u);
+  EXPECT_EQ(back.deployment.count(), 2u);
+  EXPECT_TRUE(back.deployment.test(0, 1));
+  EXPECT_TRUE(back.deployment.test(2, 3));
+
+  // Null lambda stays absent through the round trip.
+  core::DesignResult no_lambda;
+  no_lambda.deployment = TileMask(1, 1);
+  EXPECT_FALSE(design_result_from_json(design_result_to_json(no_lambda))
+                   .lambda_m.has_value());
+}
+
+TEST(DesignJson, RejectsTruncatedAndGarbageInput) {
+  core::DesignResult r;
+  r.deployment = TileMask(2, 2);
+  const std::string good = design_result_to_json(r);
+
+  // Truncation at any structural point is a parse error, not a crash.
+  EXPECT_THROW((void)design_result_from_json(good.substr(0, good.size() / 2)),
+               JsonParseError);
+  EXPECT_THROW((void)design_result_from_json(good.substr(0, 1)), JsonParseError);
+  EXPECT_THROW((void)design_result_from_json(""), JsonParseError);
+  EXPECT_THROW((void)design_result_from_json("not json at all"), JsonParseError);
+
+  // Valid JSON of the wrong shape fails with a structural error.
+  EXPECT_THROW((void)design_result_from_json("[1, 2, 3]"), std::runtime_error);
+  EXPECT_THROW((void)design_result_from_json("{}"), std::runtime_error);
+  EXPECT_THROW((void)design_result_from_json(R"({"chip": 42})"), std::runtime_error);
+
+  // Structurally bad deployment grids are named specifically.
+  const auto with_deployment = [&](const std::string& rows_json) {
+    std::string doc = good;
+    const auto pos = doc.find("\"deployment\": [");
+    return doc.substr(0, pos) + "\"deployment\": " + rows_json + "\n}";
+  };
+  try {
+    (void)design_result_from_json(with_deployment(R"(["..", "."])"));
+    FAIL() << "expected ragged-rows error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ragged"), std::string::npos);
+  }
+  try {
+    (void)design_result_from_json(with_deployment(R"(["..", "#x"])"));
+    FAIL() << "expected bad-cell error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'#'/'.'"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,99 @@
+#include "svc/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace tfc::svc {
+namespace {
+
+TEST(Protocol, ParsesMinimalRequest) {
+  auto req = parse_request(R"({"method": "ping"})");
+  EXPECT_EQ(req.method, "ping");
+  EXPECT_TRUE(req.id.is_null());
+  EXPECT_TRUE(req.params.is_object());
+  EXPECT_TRUE(req.params.members().empty());
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 0.0);
+}
+
+TEST(Protocol, ParsesFullRequest) {
+  auto req = parse_request(
+      R"({"id": 7, "method": "solve", "params": {"chip": "hc3"}, "deadline_ms": 250})");
+  EXPECT_EQ(req.method, "solve");
+  EXPECT_DOUBLE_EQ(req.id.as_number(), 7.0);
+  EXPECT_EQ(req.params.at("chip").as_string(), "hc3");
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 250.0);
+}
+
+TEST(Protocol, StringIdsSurviveRoundTrip) {
+  auto req = parse_request(R"({"id": "req-42", "method": "ping"})");
+  const std::string reply = make_result_reply(req.id, io::JsonValue::make_object());
+  auto parsed = io::parse_json(reply);
+  EXPECT_EQ(parsed.at("id").as_string(), "req-42");
+  EXPECT_TRUE(parsed.at("ok").as_bool());
+}
+
+TEST(Protocol, NonJsonLineIsParseError) {
+  try {
+    parse_request("this is not json");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+  }
+}
+
+TEST(Protocol, NonObjectIsParseError) {
+  try {
+    parse_request("[1, 2, 3]");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+  }
+}
+
+TEST(Protocol, MissingMethodIsBadRequest) {
+  try {
+    parse_request(R"({"id": 1})");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+}
+
+TEST(Protocol, BadDeadlineIsBadRequest) {
+  EXPECT_THROW(parse_request(R"({"method": "ping", "deadline_ms": -5})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"method": "ping", "deadline_ms": "soon"})"),
+               ProtocolError);
+}
+
+TEST(Protocol, BadParamsTypeIsBadRequest) {
+  EXPECT_THROW(parse_request(R"({"method": "ping", "params": [1]})"), ProtocolError);
+}
+
+TEST(Protocol, ErrorReplyCarriesCodeStatusMessage) {
+  const std::string reply = make_error_reply(io::JsonValue::make_number(3),
+                                             ErrorCode::kOverloaded, "queue full");
+  auto parsed = io::parse_json(reply);
+  EXPECT_FALSE(parsed.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(parsed.at("id").as_number(), 3.0);
+  EXPECT_EQ(parsed.at("error").at("code").as_string(), "overloaded");
+  EXPECT_DOUBLE_EQ(parsed.at("error").at("status").as_number(), 429.0);
+  EXPECT_EQ(parsed.at("error").at("message").as_string(), "queue full");
+}
+
+TEST(Protocol, StatusMapping) {
+  EXPECT_EQ(error_status(ErrorCode::kParseError), 400);
+  EXPECT_EQ(error_status(ErrorCode::kBadRequest), 400);
+  EXPECT_EQ(error_status(ErrorCode::kUnknownMethod), 404);
+  EXPECT_EQ(error_status(ErrorCode::kDeadlineExceeded), 408);
+  EXPECT_EQ(error_status(ErrorCode::kOverloaded), 429);
+  EXPECT_EQ(error_status(ErrorCode::kShuttingDown), 503);
+  EXPECT_EQ(error_status(ErrorCode::kInternal), 500);
+}
+
+TEST(Protocol, ReplyIsSingleLine) {
+  const std::string reply =
+      make_error_reply(io::JsonValue::make_string("a\nb"), ErrorCode::kInternal, "x\ny");
+  EXPECT_EQ(reply.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfc::svc

@@ -1,0 +1,260 @@
+/// End-to-end tests of the solver service: a real Server on a temp unix
+/// socket (plus TCP), driven through the blocking Client. The solver-heavy
+/// paths use the small built-in chips so the suite stays fast; the
+/// scheduling paths (deadline, overload, drain) use `ping` with `delay_ms`
+/// so they are deterministic without burning CPU.
+#include "svc/server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "obs/obs.h"
+#include "svc/client.h"
+
+namespace tfc::svc {
+namespace {
+
+std::string temp_socket_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("tfc_svc_test_" + tag + "_" + std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+/// Server running on a background thread for the duration of a test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options) : server_(std::move(options)) {
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~ServerFixture() {
+    server_.request_stop();
+    thread_.join();
+  }
+
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+ServerOptions quick_options(const std::string& tag) {
+  ServerOptions o;
+  o.socket_path = temp_socket_path(tag);
+  o.workers = 2;
+  o.queue_capacity = 16;
+  o.cache_capacity = 4;
+  return o;
+}
+
+TEST(Service, PingPong) {
+  ServerFixture fx(quick_options("ping"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  auto reply = client.call("ping");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_TRUE(reply.at("result").at("pong").as_bool());
+  EXPECT_DOUBLE_EQ(reply.at("id").as_number(), 1.0);
+}
+
+TEST(Service, TcpListenerWorks) {
+  ServerOptions o;
+  o.listen = "127.0.0.1:0";
+  o.workers = 1;
+  ServerFixture fx(o);
+  ASSERT_GT(fx.server().tcp_port(), 0);
+  auto client = Client::connect_tcp("127.0.0.1", fx.server().tcp_port());
+  auto reply = client.call("ping");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+}
+
+TEST(Service, MalformedLineGetsParseError) {
+  ServerFixture fx(quick_options("parse"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  auto reply = io::parse_json(client.call_raw("this is not json"));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), "parse_error");
+  EXPECT_TRUE(reply.at("id").is_null());
+  // The connection survives a bad line.
+  EXPECT_TRUE(client.call("ping").at("ok").as_bool());
+}
+
+TEST(Service, UnknownMethodNamed) {
+  ServerFixture fx(quick_options("method"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  auto reply = client.call("frobnicate");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), "unknown_method");
+  EXPECT_NE(reply.at("error").at("message").as_string().find("frobnicate"),
+            std::string::npos);
+}
+
+TEST(Service, SolveServedFromSessionCacheOnRepeat) {
+  ServerFixture fx(quick_options("cache"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  const auto hits_before = fx.server().cache().hits();
+
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("chip", io::JsonValue::make_string("alpha"));
+  auto first = client.call("solve", params);
+  ASSERT_TRUE(first.at("ok").as_bool()) << first.dump();
+  auto second = client.call("solve", params);
+  ASSERT_TRUE(second.at("ok").as_bool());
+
+  EXPECT_GE(fx.server().cache().hits() - hits_before, 1u);
+  // Identical query → identical answer (the cache is semantically invisible).
+  EXPECT_EQ(first.at("result").dump(), second.at("result").dump());
+  EXPECT_GT(first.at("result").at("peak_celsius").as_number(), 20.0);
+  EXPECT_GT(first.at("result").at("tec_count").as_number(), 0.0);
+}
+
+TEST(Service, DesignMatchesCliSerialization) {
+  ServerFixture fx(quick_options("design"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  auto reply = client.call("design");
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const auto& result = reply.at("result");
+  EXPECT_EQ(result.at("chip").as_string(), "alpha");
+  EXPECT_TRUE(result.at("success").as_bool());
+  EXPECT_EQ(result.at("deployment").as_array().size(), 12u);
+}
+
+TEST(Service, RunawayAndSweep) {
+  ServerFixture fx(quick_options("sweep"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  auto runaway = client.call("runaway");
+  ASSERT_TRUE(runaway.at("ok").as_bool());
+  const double lm = runaway.at("result").at("lambda_m_a").as_number();
+  EXPECT_GT(lm, 0.0);
+
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("points", io::JsonValue::make_number(5));
+  auto sweep = client.call("sweep", params);
+  ASSERT_TRUE(sweep.at("ok").as_bool());
+  const auto& currents = sweep.at("result").at("current_a").as_array();
+  const auto& peaks = sweep.at("result").at("peak_celsius").as_array();
+  ASSERT_EQ(currents.size(), 6u);
+  ASSERT_EQ(peaks.size(), 6u);
+  EXPECT_DOUBLE_EQ(sweep.at("result").at("lambda_m_a").as_number(), lm);
+}
+
+TEST(Service, BadParamsAreStructuredErrors) {
+  ServerFixture fx(quick_options("badparams"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("chip", io::JsonValue::make_string("pentium"));
+  auto reply = client.call("solve", params);
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), "bad_request");
+  EXPECT_NE(reply.at("error").at("message").as_string().find("pentium"),
+            std::string::npos);
+}
+
+TEST(Service, ExpiredDeadlineGetsStructuredTimeout) {
+  ServerOptions o = quick_options("deadline");
+  o.workers = 1;  // a single worker so a slow request blocks the queue
+  ServerFixture fx(o);
+
+  // Occupy the only worker for ~400 ms.
+  std::thread blocker([&] {
+    auto slow = Client::connect_unix(fx.server().options().socket_path);
+    io::JsonValue params = io::JsonValue::make_object();
+    params.set("delay_ms", io::JsonValue::make_number(400));
+    (void)slow.call("ping", params);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // This request's 50 ms deadline expires while it waits in the queue.
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  auto reply = client.call("ping", io::JsonValue::make_null(), /*deadline_ms=*/50);
+  blocker.join();
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), "deadline_exceeded");
+  EXPECT_DOUBLE_EQ(reply.at("error").at("status").as_number(), 408.0);
+}
+
+TEST(Service, FullQueueShedsLoadInsteadOfBlocking) {
+  ServerOptions o = quick_options("overload");
+  o.workers = 1;
+  o.queue_capacity = 1;
+  ServerFixture fx(o);
+
+  io::JsonValue slow_params = io::JsonValue::make_object();
+  slow_params.set("delay_ms", io::JsonValue::make_number(600));
+
+  // First request occupies the worker; second fills the 1-slot queue.
+  std::thread t1([&] {
+    auto c = Client::connect_unix(fx.server().options().socket_path);
+    EXPECT_TRUE(c.call("ping", slow_params).at("ok").as_bool());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::thread t2([&] {
+    auto c = Client::connect_unix(fx.server().options().socket_path);
+    EXPECT_TRUE(c.call("ping", slow_params).at("ok").as_bool());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Third request finds the queue full and is rejected immediately.
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto reply = client.call("ping");
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  t1.join();
+  t2.join();
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), "overloaded");
+  EXPECT_DOUBLE_EQ(reply.at("error").at("status").as_number(), 429.0);
+  EXPECT_LT(waited_ms, 500.0);  // shed, not queued behind ~1.2 s of work
+}
+
+TEST(Service, ShutdownRequestDrainsAndStops) {
+  ServerOptions o = quick_options("shutdown");
+  o.workers = 1;
+  Server server(o);
+  std::thread runner([&] { server.run(); });
+
+  // Queue a slow request, then ask for shutdown: the slow reply must still
+  // arrive (drain-then-stop), and run() must return.
+  std::thread slow_caller([&] {
+    auto c = Client::connect_unix(o.socket_path);
+    io::JsonValue params = io::JsonValue::make_object();
+    params.set("delay_ms", io::JsonValue::make_number(300));
+    auto reply = c.call("ping", params);
+    EXPECT_TRUE(reply.at("ok").as_bool());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto client = Client::connect_unix(o.socket_path);
+  auto reply = client.call("shutdown");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_TRUE(reply.at("result").at("stopping").as_bool());
+
+  runner.join();
+  slow_caller.join();
+  // The socket is gone after shutdown.
+  EXPECT_FALSE(std::filesystem::exists(o.socket_path));
+  EXPECT_THROW(Client::connect_unix(o.socket_path), std::runtime_error);
+}
+
+TEST(Service, StatsReportsCacheAndLimits) {
+  ServerOptions o = quick_options("stats");
+  o.queue_capacity = 5;
+  o.cache_capacity = 3;
+  ServerFixture fx(o);
+  auto client = Client::connect_unix(o.socket_path);
+  auto reply = client.call("stats");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(reply.at("result").at("queue_capacity").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(reply.at("result").at("cache").at("capacity").as_number(), 3.0);
+}
+
+}  // namespace
+}  // namespace tfc::svc

@@ -11,9 +11,17 @@ an accidental O(n^2) loop), not scheduler noise. Chips present in only one
 file are reported but never fail the gate, so adding a chip does not require
 a lockstep baseline update.
 
+With --service-baseline/--service-current the gate also checks the solver
+service's BENCH_service.json: each scenario's throughput must stay above the
+baseline floor (min_throughput_rps) and its tail below the p99 ceiling
+(max_p99_ms, when present). Floors are absolute, not relative, because
+service throughput is far noisier than single-run wall time.
+
 Usage:
   check_bench_regression.py --baseline ci/bench_baseline.json \
-      --current BENCH_runtime.json [--threshold 0.25]
+      --current BENCH_runtime.json [--threshold 0.25] \
+      [--service-baseline ci/bench_service_baseline.json \
+       --service-current BENCH_service.json]
 """
 
 import argparse
@@ -26,12 +34,52 @@ def load(path):
         return json.load(f)
 
 
+def check_service(baseline_path, current_path):
+    """Return the list of failed service-scenario checks."""
+    baseline = load(baseline_path)
+    current = load(current_path)
+    base_scenarios = baseline.get("scenarios", {})
+    cur_scenarios = current.get("scenarios", {})
+
+    failures = []
+    print("\n%-14s %14s %14s  %s" % ("scenario", "floor[rps]", "current[rps]", "status"))
+    for name in sorted(set(base_scenarios) | set(cur_scenarios)):
+        base = base_scenarios.get(name)
+        cur = cur_scenarios.get(name)
+        if base is None:
+            print("%-14s %14s %14.0f  new (no baseline)"
+                  % (name, "-", cur["throughput_rps"]))
+            continue
+        if cur is None:
+            print("%-14s %14.0f %14s  missing in current"
+                  % (name, base["min_throughput_rps"], "-"))
+            failures.append("service:%s" % name)
+            continue
+        floor = float(base["min_throughput_rps"])
+        rps = float(cur["throughput_rps"])
+        status = "ok"
+        if rps < floor:
+            status = "REGRESSED (floor %.0f rps)" % floor
+            failures.append("service:%s" % name)
+        ceiling = base.get("max_p99_ms")
+        if ceiling is not None and float(cur.get("p99_ms", 0.0)) > float(ceiling):
+            status = "REGRESSED (p99 %.2f ms > %.2f ms)" % (cur["p99_ms"], ceiling)
+            failures.append("service:%s:p99" % name)
+        print("%-14s %14.0f %14.0f  %s" % (name, floor, rps, status))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed relative wall-time growth (default 0.25)")
+    ap.add_argument("--service-baseline",
+                    help="throughput floors for BENCH_service.json")
+    ap.add_argument("--service-current",
+                    help="fresh BENCH_service.json to gate (requires "
+                         "--service-baseline)")
     args = ap.parse_args()
 
     baseline = load(args.baseline)
@@ -80,6 +128,13 @@ def main():
     speedup = current.get("greedy_speedup", {}).get("speedup")
     if speedup is not None:
         print("greedy 1t->8t speedup: %.2fx" % speedup)
+
+    if bool(args.service_baseline) != bool(args.service_current):
+        print("error: --service-baseline and --service-current go together",
+              file=sys.stderr)
+        return 2
+    if args.service_baseline:
+        failures += check_service(args.service_baseline, args.service_current)
 
     if failures:
         print("\nFAIL: wall-time regression beyond %.0f%%: %s"
