@@ -81,6 +81,12 @@ inline FallbackDesignResult design_with_fallback(const BenchChip& chip,
 /// it, so each chip's solver-level counters (CG iterations, PD probes,
 /// candidate evaluations, ...) are attributable — regression trackers can
 /// diff them run over run, not just end-to-end seconds.
+///
+/// Window boundaries use MetricsRegistry::snapshot_and_reset(), which reads
+/// and zeroes each metric atomically — a sample recorded concurrently (e.g.
+/// from a tfc::par pool thread still draining) lands in exactly one chip's
+/// window instead of being dropped or double-counted by a separate
+/// `to_json(); reset();` pair.
 class MetricsDumper {
  public:
   explicit MetricsDumper(std::string bench_name) : bench_name_(std::move(bench_name)) {
@@ -88,8 +94,8 @@ class MetricsDumper {
   }
 
   void chip_done(const std::string& chip) {
-    snapshots_.emplace_back(chip, obs::MetricsRegistry::global().to_json());
-    obs::MetricsRegistry::global().reset();
+    snapshots_.emplace_back(chip, obs::MetricsRegistry::snapshot_to_json(
+                                      obs::MetricsRegistry::global().snapshot_and_reset()));
   }
 
   ~MetricsDumper() {

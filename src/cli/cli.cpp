@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <iomanip>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -34,7 +35,8 @@ struct ParsedArgs {
   std::map<std::string, std::string> options;  // --key value (or "" for flags)
 };
 
-const char* kFlagOptions[] = {"--map", "--help", "--no-full-cover", "--certify"};
+const char* kFlagOptions[] = {"--map", "--help", "--no-full-cover", "--certify",
+                              "--trace", "--raw"};
 
 struct CommandSpec;
 const CommandSpec* find_command(const std::string& name);
@@ -363,12 +365,24 @@ int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   opts.queue_capacity = parse_size(p, "--queue", 64);
   opts.cache_capacity = parse_size(p, "--cache", 8);
   opts.default_deadline_ms = parse_double(p, "--deadline-ms", 60000.0);
+  opts.prom_listen = option_or(p, "--prom-addr", "");
+  opts.slow_ms = parse_double(p, "--slow-ms", 0.0);
+  opts.recorder_capacity = parse_size(p, "--recent", 128);
+  opts.trace_path = option_or(p, "--trace-file", "");
   if (opts.queue_capacity == 0) {
     err << "error: --queue must be >= 1\n";
     return 2;
   }
   if (!(opts.default_deadline_ms > 0.0)) {
     err << "error: --deadline-ms must be positive\n";
+    return 2;
+  }
+  if (opts.slow_ms < 0.0) {
+    err << "error: --slow-ms must be >= 0\n";
+    return 2;
+  }
+  if (opts.recorder_capacity == 0) {
+    err << "error: --recent must be >= 1\n";
     return 2;
   }
 
@@ -378,6 +392,7 @@ int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     out << "serving";
     if (!opts.socket_path.empty()) out << " on unix:" << opts.socket_path;
     if (server.tcp_port() != 0) out << " on tcp:" << server.tcp_port();
+    if (server.prom_port() != 0) out << " metrics on http:" << server.prom_port();
     out << " (" << opts.workers << " workers, queue " << opts.queue_capacity
         << ", cache " << opts.cache_capacity << ")" << std::endl;
     server.run();
@@ -387,6 +402,39 @@ int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     return 2;
   }
   return 0;
+}
+
+/// Render a `recent` reply as a fixed-width table, newest request first.
+void print_recent_table(const io::JsonValue& reply, std::ostream& out) {
+  const io::JsonValue& result = reply.at("result");
+  const auto& requests = result.at("requests").as_array();
+  out << "recent requests: " << requests.size() << " shown, "
+      << std::size_t(result.number_or("total", 0.0)) << " recorded (capacity "
+      << std::size_t(result.number_or("capacity", 0.0)) << ")\n";
+  if (requests.empty()) return;
+
+  out << std::left << std::setw(6) << "seq" << std::setw(9) << "method"
+      << std::setw(7) << "chip" << std::setw(6) << "cache" << std::setw(19)
+      << "status" << std::right << std::setw(10) << "queue_ms" << std::setw(10)
+      << "lat_ms" << std::setw(9) << "fact_ms" << std::setw(10) << "solve_ms"
+      << std::setw(7) << "facts" << std::setw(7) << "cg_it" << "\n";
+  for (const io::JsonValue& r : requests) {
+    const io::JsonValue* chip = r.get("chip");
+    const io::JsonValue* cache = r.get("cache");
+    out << std::left << std::setw(6) << std::size_t(r.number_or("seq", 0.0))
+        << std::setw(9) << r.string_or("method", "?") << std::setw(7)
+        << (chip != nullptr && chip->is_string() ? chip->as_string() : "-")
+        << std::setw(6)
+        << (cache != nullptr && cache->is_string() ? cache->as_string() : "-")
+        << std::setw(19) << r.string_or("status", "?") << std::right
+        << std::fixed << std::setprecision(2) << std::setw(10)
+        << r.number_or("queue_wait_ms", 0.0) << std::setw(10)
+        << r.number_or("latency_ms", 0.0) << std::setw(9)
+        << r.number_or("factorize_ms", 0.0) << std::setw(10)
+        << r.number_or("solve_ms", 0.0) << std::defaultfloat << std::setw(7)
+        << std::size_t(r.number_or("factorizations", 0.0)) << std::setw(7)
+        << std::size_t(r.number_or("cg_iterations", 0.0)) << "\n";
+  }
 }
 
 int cmd_request(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
@@ -426,6 +474,12 @@ int cmd_request(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (const double deadline = parse_double(p, "--deadline-ms", 0.0); deadline > 0.0) {
     request.set("deadline_ms", io::JsonValue::make_number(deadline));
   }
+  if (p.options.count("--trace") != 0) {
+    request.set("trace", io::JsonValue::make_bool(true));
+  }
+  if (const std::string trace_id = option_or(p, "--trace-id", ""); !trace_id.empty()) {
+    request.set("trace_id", io::JsonValue::make_string(trace_id));
+  }
 
   try {
     svc::Client client = socket_path.empty()
@@ -436,9 +490,14 @@ int cmd_request(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
                              : svc::Client::connect_unix(socket_path);
     client.set_receive_timeout_ms(parse_double(p, "--timeout-ms", 120000.0));
     const std::string reply_line = client.call_raw(request.dump());
-    out << reply_line << std::endl;
     const io::JsonValue reply = io::parse_json(reply_line);
-    return reply.bool_or("ok", false) ? 0 : 1;
+    const bool ok = reply.bool_or("ok", false);
+    if (method == "recent" && ok && p.options.count("--raw") == 0) {
+      print_recent_table(reply, out);
+    } else {
+      out << reply_line << std::endl;
+    }
+    return ok ? 0 : 1;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 2;
@@ -581,12 +640,15 @@ const char* kSweepOptions[] = {"--chip", "--flp",    "--ptrace",       "--rows",
 
 const char* kNoOptions[] = {nullptr};
 
-const char* kServeOptions[] = {"--socket", "--listen", "--workers",
-                               "--queue",  "--cache",  "--deadline-ms", nullptr};
+const char* kServeOptions[] = {"--socket",      "--listen",   "--workers",
+                               "--queue",       "--cache",    "--deadline-ms",
+                               "--prom-addr",   "--slow-ms",  "--recent",
+                               "--trace-file",  nullptr};
 
 const char* kRequestOptions[] = {"--socket",      "--connect", "--method",
                                  "--params",      "--id",      "--deadline-ms",
-                                 "--timeout-ms",  nullptr};
+                                 "--timeout-ms",  "--trace",   "--trace-id",
+                                 "--raw",         nullptr};
 
 const CommandSpec kCommands[] = {
     {"design", "solve the cooling-system configuration problem", kDesignOptions,
@@ -628,6 +690,12 @@ const CommandSpec kCommands[] = {
      "                          load with an 'overloaded' reply (default 64)\n"
      "  --cache N               LRU session-cache capacity (default 8)\n"
      "  --deadline-ms D         default per-request deadline (default 60000)\n"
+     "  --prom-addr HOST:PORT   serve Prometheus text on plain-HTTP\n"
+     "                          GET /metrics (port 0 = ephemeral, printed)\n"
+     "  --slow-ms D             WARN with the span tree when a request's\n"
+     "                          latency reaches D ms (default off)\n"
+     "  --recent N              flight-recorder capacity (default 128)\n"
+     "  --trace-file PATH       append each request's span tree as JSONL\n"
      "\nstops gracefully (drain, then exit 0) on SIGINT/SIGTERM or a\n"
      "'shutdown' request.\n",
      cmd_serve},
@@ -635,12 +703,18 @@ const CommandSpec kCommands[] = {
      kRequestOptions,
      "  --socket PATH           connect to a unix-domain socket\n"
      "  --connect HOST:PORT     connect over TCP instead\n"
-     "  --method NAME           ping|stats|solve|design|runaway|sweep|shutdown\n"
+     "  --method NAME           ping|stats|metrics|recent|solve|design|\n"
+     "                          runaway|sweep|shutdown\n"
      "  --params JSON           request parameters as a JSON object\n"
      "  --id ID                 request id to echo (default 1)\n"
      "  --deadline-ms D         server-side deadline for this request\n"
      "  --timeout-ms T          client-side reply timeout (default 120000)\n"
-     "\nexit code: 0 = ok reply, 1 = error reply, 2 = transport/usage error.\n",
+     "  --trace                 ask for this request's span tree inline\n"
+     "  --trace-id ID           client-chosen trace id (echoed in the reply)\n"
+     "  --raw                   print the raw reply line even for 'recent'\n"
+     "\n'recent' prints a table of the service's last requests; all other\n"
+     "methods print the raw reply line.\n"
+     "exit code: 0 = ok reply, 1 = error reply, 2 = transport/usage error.\n",
      cmd_request},
     {"version", "print build provenance (git, compiler, build type)", kNoOptions,
      "", cmd_version},

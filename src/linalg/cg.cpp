@@ -140,8 +140,11 @@ CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
                             const Preconditioner& precond, const CgOptions& opts,
                             const Vector& x0) {
   TFC_SPAN("cg_solve");
+  TFC_SPAN_ATTR("n", b.size());
   const auto t0 = std::chrono::steady_clock::now();
   CgResult res = conjugate_gradient_impl(a, b, precond, opts, x0);
+  TFC_SPAN_ATTR("iterations", res.iterations);
+  TFC_SPAN_ATTR("converged", res.converged);
   const double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

@@ -172,6 +172,7 @@ std::optional<SparseCholeskyFactor> SparseCholeskySymbolic::refactorize(
     throw std::invalid_argument("SparseCholeskySymbolic::refactorize: pattern mismatch");
   }
   TFC_SPAN("sparse_refactor");
+  TFC_SPAN_ATTR("n", a.rows());
   const auto t0 = std::chrono::steady_clock::now();
   auto f = numeric(a);
   auto& metrics = obs::MetricsRegistry::global();
@@ -184,6 +185,7 @@ std::optional<SparseCholeskyFactor> SparseCholeskySymbolic::refactorize(
 std::optional<SparseCholeskyFactor> SparseCholeskyFactor::factor(const SparseMatrix& a,
                                                                  FillOrdering ordering) {
   TFC_SPAN("sparse_factor");
+  TFC_SPAN_ATTR("n", a.rows());
   const auto t0 = std::chrono::steady_clock::now();
   const SparseCholeskySymbolic symbolic = SparseCholeskySymbolic::analyze(a, ordering);
   auto f = symbolic.numeric(a);

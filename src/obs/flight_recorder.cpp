@@ -1,0 +1,48 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace tfc::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void FlightRecorder::add(RequestRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_slot_] = std::move(record);
+  }
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+std::vector<RequestRecord> FlightRecorder::recent(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = std::min(limit, ring_.size());
+  std::vector<RequestRecord> out;
+  out.reserve(n);
+  // next_slot_ points at the oldest entry once the ring wrapped; the newest
+  // is directly before it.
+  std::size_t slot = ring_.size() < capacity_ ? ring_.size() : next_slot_;
+  for (std::size_t k = 0; k < n; ++k) {
+    slot = (slot + ring_.size() - 1) % ring_.size();
+    out.push_back(ring_[slot]);
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::total_added() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - 1;
+}
+
+}  // namespace tfc::obs

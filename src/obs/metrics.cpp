@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/log.h"  // json_escape
+
 namespace tfc::obs {
 
 namespace {
@@ -57,8 +59,7 @@ double Histogram::percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-HistogramSummary Histogram::summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+HistogramSummary Histogram::summary_locked() const {
   HistogramSummary s;
   s.count = count_;
   s.sum = sum_;
@@ -72,6 +73,20 @@ HistogramSummary Histogram::summary() const {
     s.p95 = percentile(sorted, 95.0);
     s.p99 = percentile(sorted, 99.0);
   }
+  return s;
+}
+
+HistogramSummary Histogram::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_locked();
+}
+
+HistogramSummary Histogram::summary_and_reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSummary s = summary_locked();
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  reservoir_.clear();
   return s;
 }
 
@@ -108,30 +123,60 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
-std::string MetricsRegistry::to_json() const {
+MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h->summary());
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot_and_reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->exchange_reset());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+    g->reset();
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->summary_and_reset());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::snapshot_to_json(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, value] : snapshot.counters) {
     if (!first) out << ',';
     first = false;
-    out << '"' << name << "\":" << c->value();
+    out << '"' << json_escape(name) << "\":" << value;
   }
   out << "},\"gauges\":{";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, value] : snapshot.gauges) {
     if (!first) out << ',';
     first = false;
-    out << '"' << name << "\":" << json_number(g->value());
+    out << '"' << json_escape(name) << "\":" << json_number(value);
   }
   out << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, s] : snapshot.histograms) {
     if (!first) out << ',';
     first = false;
-    const HistogramSummary s = h->summary();
-    out << '"' << name << "\":{\"count\":" << s.count << ",\"sum\":" << json_number(s.sum)
+    out << '"' << json_escape(name) << "\":{\"count\":" << s.count
+        << ",\"sum\":" << json_number(s.sum)
         << ",\"min\":" << json_number(s.min) << ",\"max\":" << json_number(s.max)
         << ",\"mean\":" << json_number(s.mean) << ",\"p50\":" << json_number(s.p50)
         << ",\"p95\":" << json_number(s.p95) << ",\"p99\":" << json_number(s.p99) << '}';
@@ -139,6 +184,8 @@ std::string MetricsRegistry::to_json() const {
   out << "}}";
   return out.str();
 }
+
+std::string MetricsRegistry::to_json() const { return snapshot_to_json(snapshot()); }
 
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -25,6 +25,9 @@ class Counter {
   void increment(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
+  /// Read and zero in one atomic step — every increment lands in exactly one
+  /// export window (see MetricsRegistry::snapshot_and_reset).
+  std::uint64_t exchange_reset() { return value_.exchange(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -64,6 +67,10 @@ class Histogram {
 
   void record(double v);
   HistogramSummary summary() const;
+  /// Summarize and clear under ONE lock acquisition, so samples recorded
+  /// concurrently are counted in exactly one window (never dropped between a
+  /// separate summary() and reset(), never double-counted).
+  HistogramSummary summary_and_reset();
   void reset();
 
   /// Percentile q in [0, 100] over a sorted sample set, with linear
@@ -72,6 +79,8 @@ class Histogram {
   static double percentile(const std::vector<double>& sorted, double q);
 
  private:
+  HistogramSummary summary_locked() const;
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::uint64_t count_ = 0;
@@ -82,9 +91,22 @@ class Histogram {
   std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  // deterministic
 };
 
+/// Point-in-time copy of every metric, name-sorted (std::map iteration
+/// order). The unit consumed by the JSON and Prometheus encoders.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+};
+
 /// The process-wide registry. Metric objects are created on first use and
 /// live for the process lifetime, so references returned here are stable
 /// and cheap to cache at call sites.
+///
+/// Metric names may carry Prometheus-style labels in a trailing brace block,
+/// e.g. `svc.latency_ms{method="solve"}` — the registry treats the whole
+/// string as the key; the Prometheus encoder (prometheus.h) splits base name
+/// and labels. Build such names with obs::labeled_name so values are escaped.
 class MetricsRegistry {
  public:
   static MetricsRegistry& global();
@@ -93,9 +115,23 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Copy every metric's current value (no resetting).
+  MetricsSnapshot snapshot() const;
+
+  /// Copy and zero every metric, atomically PER METRIC: counters are
+  /// exchanged, histograms are summarized-and-cleared under one lock. A
+  /// sample recorded concurrently lands in exactly one window — the old
+  /// `to_json(); reset();` pair could drop it (recorded after the export
+  /// read, erased by the reset) or double-count it across windows.
+  MetricsSnapshot snapshot_and_reset();
+
   /// One JSON object:
   /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,...},...}}`.
+  /// Names are JSON-escaped (label blocks contain quotes).
   std::string to_json() const;
+
+  /// Render a snapshot with the same schema as to_json().
+  static std::string snapshot_to_json(const MetricsSnapshot& snapshot);
 
   /// Zero every metric (objects stay registered; references stay valid).
   void reset();

@@ -1,11 +1,16 @@
 /// \file obs.h
 /// \brief Umbrella header for the tfc observability layer: structured
-/// logging (log.h), the metrics registry (metrics.h), and trace spans
-/// (trace.h). See docs/OBSERVABILITY.md for architecture and usage.
+/// logging (log.h), the metrics registry (metrics.h), trace spans (trace.h),
+/// request-scoped context (context.h), Prometheus exposition (prometheus.h),
+/// and the request flight recorder (flight_recorder.h). See
+/// docs/OBSERVABILITY.md for architecture and usage.
 #pragma once
 
+#include "obs/context.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 
 namespace tfc::obs {

@@ -1,0 +1,164 @@
+#include "obs/prometheus.h"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace tfc::obs {
+
+namespace {
+
+std::string render_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+/// Split `base{labels}` into (sanitized base, label block without braces).
+/// A malformed block (no closing brace) is folded into the sanitized name.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    return {prometheus_name(name), ""};
+  }
+  return {prometheus_name(name.substr(0, brace)),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+/// One emitted sample line: `name{labels} value`.
+void append_sample(std::ostringstream& out, const std::string& family,
+                   std::string labels, double value) {
+  out << family;
+  if (!labels.empty()) out << '{' << labels << '}';
+  out << ' ' << render_number(value) << '\n';
+}
+
+/// Join a label block with one extra label (for quantile lines).
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+struct Family {
+  const char* type;
+  std::string body;  // pre-rendered sample lines
+};
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t k = 0; k < name.size(); ++k) {
+    const char c = name[k];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += (alpha || (digit && k > 0)) ? c : '_';
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string prometheus_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled_name(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return base;
+  std::string out = base;
+  out += '{';
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (k != 0) out += ',';
+    out += prometheus_name(labels[k].first);
+    out += "=\"";
+    out += prometheus_label_value(labels[k].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  // Group sample lines by family so each family gets exactly one # TYPE
+  // header even when several labeled variants exist. std::map keeps the
+  // output deterministic (sorted by family name).
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    auto [family, labels] = split_labels(name);
+    if (family.size() < 6 || family.compare(family.size() - 6, 6, "_total") != 0) {
+      family += "_total";
+    }
+    auto& f = families[family];
+    f.type = "counter";
+    std::ostringstream line;
+    append_sample(line, family, labels, double(value));
+    f.body += line.str();
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    auto [family, labels] = split_labels(name);
+    auto& f = families[family];
+    f.type = "gauge";
+    std::ostringstream line;
+    append_sample(line, family, labels, value);
+    f.body += line.str();
+  }
+
+  for (const auto& [name, s] : snapshot.histograms) {
+    auto [family, labels] = split_labels(name);
+    auto& f = families[family];
+    f.type = "summary";
+    std::ostringstream lines;
+    append_sample(lines, family, with_label(labels, "quantile=\"0.5\""), s.p50);
+    append_sample(lines, family, with_label(labels, "quantile=\"0.95\""), s.p95);
+    append_sample(lines, family, with_label(labels, "quantile=\"0.99\""), s.p99);
+    append_sample(lines, family + "_sum", labels, s.sum);
+    append_sample(lines, family + "_count", labels, double(s.count));
+    f.body += lines.str();
+  }
+
+  std::ostringstream out;
+  for (const auto& [family, f] : families) {
+    out << "# TYPE " << family << ' ' << f.type << '\n' << f.body;
+  }
+  return out.str();
+}
+
+std::uint64_t process_rss_bytes() {
+#ifdef __linux__
+  // /proc/self/statm field 2 is the resident set in pages.
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t size_pages = 0, rss_pages = 0;
+  if (statm >> size_pages >> rss_pages) {
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return rss_pages * std::uint64_t(page > 0 ? page : 4096);
+  }
+#endif
+  return 0;
+}
+
+}  // namespace tfc::obs

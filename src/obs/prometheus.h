@@ -1,0 +1,50 @@
+/// \file prometheus.h
+/// \brief Prometheus text-format (version 0.0.4) exposition of the metrics
+/// registry, so a long-running `tfcool serve` can be scraped live instead of
+/// dumping metrics only at process exit.
+///
+/// Mapping:
+///  - Counter  → `# TYPE <name>_total counter` — the `_total` suffix is
+///    appended unless the name already ends with it.
+///  - Gauge    → `# TYPE <name> gauge`.
+///  - Histogram (bounded-reservoir summary) → `# TYPE <name> summary` with
+///    `quantile="0.5|0.95|0.99"` sample lines plus `_sum` and `_count`.
+///
+/// Registry names are dotted (`svc.latency_ms`); dots and any other
+/// character outside `[a-zA-Z0-9_:]` become `_`. A name may carry a label
+/// block built by labeled_name() — `svc.latency_ms{method="solve"}` — which
+/// is split off, merged per family (one `# TYPE` line per family), and
+/// re-emitted verbatim on each sample line.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tfc::obs {
+
+/// Build a registry metric name carrying Prometheus-style labels:
+/// `labeled_name("svc.latency_ms", {{"method", "solve"}})` →
+/// `svc.latency_ms{method="solve"}`. Values are escaped (backslash, quote,
+/// newline); labels keep the given order.
+std::string labeled_name(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+/// Sanitize a metric (family) name to `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+std::string prometheus_name(const std::string& name);
+
+/// Escape a label value per the exposition format (backslash, quote, \n).
+std::string prometheus_label_value(const std::string& value);
+
+/// Render a whole snapshot as Prometheus text (one `# TYPE` line per metric
+/// family, samples sorted by family name; deterministic output).
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Resident-set size of the calling process [bytes]; 0 when unavailable
+/// (non-Linux). Exposed so scrapes can watch for leaks.
+std::uint64_t process_rss_bytes();
+
+}  // namespace tfc::obs

@@ -2,11 +2,14 @@
 /// \brief RAII trace spans exporting Chrome trace_event JSON.
 ///
 /// `TFC_SPAN("cg_solve")` opens a span that closes at scope exit. Spans are
-/// disabled by default: the constructor is a single relaxed atomic load and
-/// nothing is buffered, so instrumented hot paths (`--trace-out` absent)
-/// pay effectively nothing. When enabled, completed spans are buffered
+/// disabled by default: the constructor is a single relaxed atomic load plus
+/// one thread-local read and nothing is buffered, so instrumented hot paths
+/// (`--trace-out` absent, no request context) pay effectively nothing. When
+/// the global collector is enabled, completed spans are buffered
 /// thread-safely and exported as "X" (complete) events, which Perfetto /
-/// `about://tracing` render as nested bars per thread.
+/// `about://tracing` render as nested bars per thread. When a request-scoped
+/// context is installed on the calling thread (context.h), the same span
+/// additionally nests into that request's span tree.
 #pragma once
 
 #include <atomic>
@@ -16,6 +19,8 @@
 #include <unordered_map>
 #include <thread>
 #include <vector>
+
+#include "obs/context.h"
 
 namespace tfc::obs {
 
@@ -61,17 +66,28 @@ class TraceCollector {
 };
 
 /// RAII span. Use via TFC_SPAN; name must outlive the collector (string
-/// literals only).
+/// literals only). Records into the global collector when tracing is
+/// enabled, and into the calling thread's request trace when one is bound.
 class Span {
  public:
   explicit Span(const char* name)
-      : name_(name), active_(TraceCollector::global().enabled()) {
-    if (active_) begin_us_ = trace_now_us();
+      : name_(name),
+        global_active_(TraceCollector::global().enabled()),
+        request_trace_(current_request_trace()) {
+    if (global_active_ || request_trace_ != nullptr) {
+      begin_us_ = trace_now_us();
+      if (request_trace_ != nullptr) {
+        request_index_ = request_trace_->open(name_, begin_us_);
+      }
+    }
   }
   ~Span() {
-    if (active_) {
+    if (global_active_ || request_trace_ != nullptr) {
       const std::int64_t end = trace_now_us();
-      TraceCollector::global().record(name_, begin_us_, end - begin_us_);
+      if (request_trace_ != nullptr) request_trace_->close(request_index_, end);
+      if (global_active_) {
+        TraceCollector::global().record(name_, begin_us_, end - begin_us_);
+      }
     }
   }
   Span(const Span&) = delete;
@@ -79,7 +95,9 @@ class Span {
 
  private:
   const char* name_;
-  bool active_;
+  bool global_active_;
+  RequestTrace* request_trace_;
+  int request_index_ = -1;
   std::int64_t begin_us_ = 0;
 };
 

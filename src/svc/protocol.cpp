@@ -64,19 +64,51 @@ Request parse_request(const std::string& line) {
     }
     req.deadline_ms = deadline->as_number();
   }
+  if (const io::JsonValue* trace_id = doc.get("trace_id")) {
+    if (!trace_id->is_string()) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'trace_id' must be a string");
+    }
+    if (trace_id->as_string().size() > 128) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'trace_id' must be at most 128 bytes");
+    }
+    req.trace_id = trace_id->as_string();
+  }
+  if (const io::JsonValue* trace = doc.get("trace")) {
+    if (!trace->is_bool()) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'trace' must be a boolean");
+    }
+    req.want_trace = trace->as_bool();
+  }
   return req;
 }
 
-std::string make_result_reply(const io::JsonValue& id, const io::JsonValue& result) {
+namespace {
+
+void attach_extras(io::JsonValue& reply, const ReplyExtras& extras) {
+  if (!extras.trace_id.empty()) {
+    reply.set("trace_id", io::JsonValue::make_string(extras.trace_id));
+  }
+  if (extras.trace != nullptr) {
+    reply.set("trace", *extras.trace);
+  }
+}
+
+}  // namespace
+
+std::string make_result_reply(const io::JsonValue& id, const io::JsonValue& result,
+                              const ReplyExtras& extras) {
   io::JsonValue reply = io::JsonValue::make_object();
   reply.set("id", id);
   reply.set("ok", io::JsonValue::make_bool(true));
   reply.set("result", result);
+  attach_extras(reply, extras);
   return reply.dump();
 }
 
 std::string make_error_reply(const io::JsonValue& id, ErrorCode code,
-                             const std::string& message) {
+                             const std::string& message,
+                             const ReplyExtras& extras) {
   io::JsonValue error = io::JsonValue::make_object();
   error.set("code", io::JsonValue::make_string(error_code_name(code)));
   error.set("status", io::JsonValue::make_number(error_status(code)));
@@ -85,6 +117,7 @@ std::string make_error_reply(const io::JsonValue& id, ErrorCode code,
   reply.set("id", id);
   reply.set("ok", io::JsonValue::make_bool(false));
   reply.set("error", error);
+  attach_extras(reply, extras);
   return reply.dump();
 }
 

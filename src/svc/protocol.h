@@ -63,17 +63,32 @@ struct Request {
   io::JsonValue params = io::JsonValue::make_object();
   /// Time budget [ms] from arrival; 0 means "use the server default".
   double deadline_ms = 0.0;
+  /// Client-chosen trace id ("" when absent; the server generates one). Any
+  /// string up to 128 bytes; echoed as the reply's `trace_id`.
+  std::string trace_id;
+  /// `"trace": true` — return this request's span tree inline in the reply.
+  bool want_trace = false;
 };
 
 /// Decode one request line. Throws ProtocolError with kParseError for
 /// non-JSON / non-object lines and kBadRequest for ill-typed fields.
 Request parse_request(const std::string& line);
 
+/// Optional per-request observability fields attached to a reply.
+struct ReplyExtras {
+  /// Emitted as `"trace_id"` when nonempty.
+  std::string trace_id;
+  /// Emitted as `"trace"` when non-null (the request's span tree).
+  const io::JsonValue* trace = nullptr;
+};
+
 /// Encode a success reply (single line, no trailing newline).
-std::string make_result_reply(const io::JsonValue& id, const io::JsonValue& result);
+std::string make_result_reply(const io::JsonValue& id, const io::JsonValue& result,
+                              const ReplyExtras& extras = {});
 
 /// Encode an error reply (single line, no trailing newline).
 std::string make_error_reply(const io::JsonValue& id, ErrorCode code,
-                             const std::string& message);
+                             const std::string& message,
+                             const ReplyExtras& extras = {});
 
 }  // namespace tfc::svc

@@ -11,12 +11,14 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 
 #include "core/cooling_system.h"
 #include "floorplan/alpha21364.h"
 #include "floorplan/random_chip.h"
 #include "io/design_json.h"
+#include "obs/build_info.h"
 #include "obs/obs.h"
 #include "power/power_profile.h"
 #include "power/workload.h"
@@ -33,11 +35,39 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 void close_if_open(int& fd) {
   if (fd >= 0) {
     ::close(fd);
     fd = -1;
   }
+}
+
+/// Methods with pre-registered per-method latency histograms. Anything else
+/// (unknown methods, shutdown) is bucketed under "other" so a misbehaving
+/// client cannot grow the registry without bound.
+constexpr const char* kMethodLabels[] = {"ping",   "stats",  "solve",
+                                         "design", "runaway", "sweep",
+                                         "metrics", "recent"};
+
+const char* method_label(const std::string& method) {
+  for (const char* known : kMethodLabels) {
+    if (method == known) return known;
+  }
+  return "other";
+}
+
+std::string latency_metric(const char* method) {
+  return obs::labeled_name("svc.latency_ms", {{"method", method}});
+}
+
+std::string queue_wait_metric(const char* method) {
+  return obs::labeled_name("svc.queue_wait_ms", {{"method", method}});
 }
 
 /// Pre-register every svc metric so exported documents have a stable schema.
@@ -50,8 +80,71 @@ void register_metrics() {
   m.counter("svc.rejected.deadline");
   m.counter("svc.rejected.shutting_down");
   m.counter("svc.connections.accepted");
-  m.histogram("svc.latency_ms");
-  m.histogram("svc.queue_wait_ms");
+  m.gauge("svc.queue_depth");
+  m.gauge("process.uptime_seconds");
+  m.gauge("process.rss_bytes");
+  for (const char* method : kMethodLabels) {
+    m.histogram(latency_metric(method));
+    m.histogram(queue_wait_metric(method));
+  }
+  m.histogram(latency_metric("other"));
+  m.histogram(queue_wait_metric("other"));
+}
+
+/// Bind + listen an IPv4 TCP socket per \p spec ("host:port"); returns the
+/// fd and stores the bound port (resolves port 0). Throws on failure.
+int bind_tcp_listener(const std::string& spec, const char* what, int& port_out) {
+  const auto [host, port] = parse_listen_spec(spec);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error(std::string("svc: bad ") + what + " host '" + host +
+                             "' (IPv4 only)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error("svc: socket(AF_INET) failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string msg = std::string("svc: cannot listen on ") + what + " '" +
+                            spec + "': " + std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error(msg);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_out = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+io::JsonValue record_to_json(const obs::RequestRecord& rec) {
+  using io::JsonValue;
+  JsonValue out = JsonValue::make_object();
+  out.set("seq", JsonValue::make_number(double(rec.seq)));
+  out.set("id", JsonValue::make_string(rec.id));
+  out.set("trace_id", JsonValue::make_string(rec.trace_id));
+  out.set("method", JsonValue::make_string(rec.method));
+  out.set("chip", rec.chip.empty() ? JsonValue::make_null()
+                                   : JsonValue::make_string(rec.chip));
+  out.set("cache", rec.cache < 0 ? JsonValue::make_null()
+                                 : JsonValue::make_string(rec.cache ? "hit" : "miss"));
+  out.set("status", JsonValue::make_string(rec.status));
+  out.set("queue_wait_ms", JsonValue::make_number(rec.queue_wait_ms));
+  out.set("latency_ms", JsonValue::make_number(rec.latency_ms));
+  out.set("factorize_ms", JsonValue::make_number(rec.factorize_ms));
+  out.set("solve_ms", JsonValue::make_number(rec.solve_ms));
+  out.set("factorizations", JsonValue::make_number(double(rec.factorizations)));
+  out.set("cg_iterations", JsonValue::make_number(double(rec.cg_iterations)));
+  out.set("span_count", JsonValue::make_number(double(rec.span_count)));
+  out.set("wall_us", JsonValue::make_number(double(rec.wall_us)));
+  return out;
 }
 
 }  // namespace
@@ -112,11 +205,21 @@ std::pair<std::string, int> parse_listen_spec(const std::string& spec) {
 }
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      recorder_(options_.recorder_capacity == 0 ? 1 : options_.recorder_capacity),
+      start_time_(Clock::now()) {
   register_metrics();
   if (options_.workers == 0) options_.workers = 1;
   if (options_.socket_path.empty() && options_.listen.empty()) {
     throw std::runtime_error("svc: need a unix socket path or a --listen address");
+  }
+  if (!options_.trace_path.empty()) {
+    trace_file_.open(options_.trace_path, std::ios::app);
+    if (!trace_file_) {
+      throw std::runtime_error("svc: cannot open trace file '" +
+                               options_.trace_path + "'");
+    }
   }
 
   int pipe_fds[2];
@@ -147,34 +250,15 @@ Server::Server(ServerOptions options)
       }
     }
     if (!options_.listen.empty()) {
-      const auto [host, port] = parse_listen_spec(options_.listen);
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_port = htons(static_cast<std::uint16_t>(port));
-      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-        throw std::runtime_error("svc: bad listen host '" + host + "' (IPv4 only)");
-      }
-      tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-      if (tcp_fd_ < 0) {
-        throw std::runtime_error("svc: socket(AF_INET) failed: " +
-                                 std::string(std::strerror(errno)));
-      }
-      const int one = 1;
-      ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-      if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-          ::listen(tcp_fd_, 64) != 0) {
-        throw std::runtime_error("svc: cannot listen on '" + options_.listen +
-                                 "': " + std::strerror(errno));
-      }
-      sockaddr_in bound{};
-      socklen_t len = sizeof(bound);
-      if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-        tcp_port_ = ntohs(bound.sin_port);
-      }
+      tcp_fd_ = bind_tcp_listener(options_.listen, "listen", tcp_port_);
+    }
+    if (!options_.prom_listen.empty()) {
+      prom_fd_ = bind_tcp_listener(options_.prom_listen, "prom", prom_port_);
     }
   } catch (...) {
     close_if_open(unix_fd_);
     close_if_open(tcp_fd_);
+    close_if_open(prom_fd_);
     close_if_open(stop_rd_);
     close_if_open(stop_wr_);
     throw;
@@ -185,6 +269,7 @@ Server::~Server() {
   request_stop();
   close_if_open(unix_fd_);
   close_if_open(tcp_fd_);
+  close_if_open(prom_fd_);
   if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
   close_if_open(stop_rd_);
   close_if_open(stop_wr_);
@@ -207,6 +292,9 @@ void Server::run() {
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (prom_fd_ >= 0) {
+    prom_thread_ = std::thread([this] { http_loop(); });
+  }
 
   accept_loop();
 
@@ -224,6 +312,8 @@ void Server::run() {
 
   for (auto& t : workers_) t.join();
   workers_.clear();
+  if (prom_thread_.joinable()) prom_thread_.join();
+  close_if_open(prom_fd_);
 
   // Every queued reply has been written; drop the readers (they wake on the
   // stop pipe) and close the connections.
@@ -271,6 +361,68 @@ void Server::accept_loop() {
       conns_.push_back(conn);
       conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
     }
+  }
+}
+
+double Server::uptime_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_time_).count();
+}
+
+std::string Server::prometheus_text() {
+  auto& m = obs::MetricsRegistry::global();
+  m.gauge("process.uptime_seconds").set(uptime_seconds());
+  m.gauge("process.rss_bytes").set(double(obs::process_rss_bytes()));
+  return obs::to_prometheus_text(m.snapshot());
+}
+
+/// Minimal HTTP/1.1 responder for Prometheus scrapes: one request per
+/// connection, `GET /metrics` only, everything else 404. Runs on its own
+/// thread; wakes on the stop pipe like every other poller.
+void Server::http_loop() {
+  while (true) {
+    pollfd fds[2] = {{stop_rd_, POLLIN, 0}, {prom_fd_, POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // stop requested
+    if ((fds[1].revents & POLLIN) == 0) continue;
+    const int client = ::accept(prom_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // A scrape request fits in one read; anything longer is not a scraper.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string response;
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string head(buf);
+      const bool is_metrics = head.rfind("GET /metrics ", 0) == 0 ||
+                              head.rfind("GET /metrics\r", 0) == 0;
+      if (is_metrics) {
+        const std::string body = prometheus_text();
+        response =
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            "Content-Length: " + std::to_string(body.size()) + "\r\n"
+            "Connection: close\r\n\r\n" + body;
+      } else {
+        const std::string body = "only GET /metrics is served here\n";
+        response =
+            "HTTP/1.1 404 Not Found\r\n"
+            "Content-Type: text/plain; charset=utf-8\r\n"
+            "Content-Length: " + std::to_string(body.size()) + "\r\n"
+            "Connection: close\r\n\r\n" + body;
+      }
+    }
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t sent =
+          ::send(client, response.data() + off, response.size() - off, MSG_NOSIGNAL);
+      if (sent <= 0) break;
+      off += std::size_t(sent);
+    }
+    ::close(client);
   }
 }
 
@@ -355,6 +507,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       return;
     }
     queue_.push_back(std::move(item));
+    metrics.gauge("svc.queue_depth").set(double(queue_.size()));
   }
   queue_cv_.notify_one();
 }
@@ -371,6 +524,7 @@ void Server::worker_loop() {
       }
       item = std::move(queue_.front());
       queue_.pop_front();
+      obs::MetricsRegistry::global().gauge("svc.queue_depth").set(double(queue_.size()));
     }
     serve_request(*item);
   }
@@ -379,36 +533,121 @@ void Server::worker_loop() {
 void Server::serve_request(Pending& item) {
   auto& metrics = obs::MetricsRegistry::global();
   const auto start = Clock::now();
-  metrics.histogram("svc.queue_wait_ms").record(ms_between(item.arrival, start));
+  const char* method = method_label(item.request.method);
+  const double queue_wait = ms_between(item.arrival, start);
+  metrics.histogram(queue_wait_metric(method)).record(queue_wait);
+
+  std::string trace_id = item.request.trace_id;
+  if (trace_id.empty()) {
+    trace_id = "srv-" + std::to_string(::getpid()) + "-" +
+               std::to_string(trace_seq_.fetch_add(1) + 1);
+  }
+  ReplyExtras extras;
+  extras.trace_id = trace_id;
+
+  obs::RequestRecord rec;
+  rec.id = item.request.id.dump();
+  rec.trace_id = trace_id;
+  rec.method = item.request.method;
+  rec.queue_wait_ms = queue_wait;
 
   if (start > item.deadline) {
     metrics.counter("svc.rejected.deadline").increment();
     metrics.counter("svc.replies.error").increment();
+    rec.status = error_code_name(ErrorCode::kDeadlineExceeded);
+    rec.latency_ms = ms_between(item.arrival, Clock::now());
+    rec.wall_us = wall_now_us();
+    recorder_.add(std::move(rec));
     item.conn->send_line(make_error_reply(
         item.request.id, ErrorCode::kDeadlineExceeded,
-        "deadline expired after " + std::to_string(ms_between(item.arrival, start)) +
-            " ms in queue"));
+        "deadline expired after " + std::to_string(queue_wait) + " ms in queue",
+        extras));
     return;
   }
 
-  std::string reply;
-  try {
+  // Dispatch under a request context so every TFC_SPAN below nests into this
+  // request's trace. The scope (and with it the svc.request envelope span)
+  // closes before the trace is serialized.
+  obs::RequestTrace trace;
+  DispatchInfo info;
+  io::JsonValue result;
+  bool ok = true;
+  ErrorCode err_code = ErrorCode::kInternal;
+  std::string err_msg;
+  {
+    obs::ScopedRequestContext scope(trace_id, &trace);
     TFC_SPAN("svc.request");
-    io::JsonValue result = dispatch(item.request);
-    metrics.counter("svc.replies.ok").increment();
-    reply = make_result_reply(item.request.id, result);
-  } catch (const ProtocolError& e) {
-    metrics.counter("svc.replies.error").increment();
-    reply = make_error_reply(item.request.id, e.code(), e.what());
-  } catch (const std::exception& e) {
-    metrics.counter("svc.replies.error").increment();
-    reply = make_error_reply(item.request.id, ErrorCode::kInternal, e.what());
+    try {
+      result = dispatch(item.request, info);
+    } catch (const ProtocolError& e) {
+      ok = false;
+      err_code = e.code();
+      err_msg = e.what();
+    } catch (const std::exception& e) {
+      ok = false;
+      err_code = ErrorCode::kInternal;
+      err_msg = e.what();
+    }
   }
+
+  std::string trace_json_text;
+  io::JsonValue trace_json;
+  if (item.request.want_trace || trace_file_.is_open()) {
+    trace_json_text = trace.to_json(trace_id);
+  }
+  if (item.request.want_trace) {
+    trace_json = io::parse_json(trace_json_text);
+    extras.trace = &trace_json;
+  }
+
+  std::string reply;
+  if (ok) {
+    metrics.counter("svc.replies.ok").increment();
+    reply = make_result_reply(item.request.id, result, extras);
+  } else {
+    metrics.counter("svc.replies.error").increment();
+    reply = make_error_reply(item.request.id, err_code, err_msg, extras);
+  }
+  const double latency = ms_between(item.arrival, Clock::now());
+  metrics.histogram(latency_metric(method)).record(latency);
+
+  rec.chip = info.chip;
+  rec.cache = info.cache;
+  rec.status = ok ? "ok" : error_code_name(err_code);
+  rec.latency_ms = latency;
+  rec.factorize_ms = double(trace.total_us("sparse_factor") +
+                            trace.total_us("sparse_refactor")) / 1000.0;
+  rec.solve_ms = double(trace.total_us("et_solve")) / 1000.0;
+  for (const auto& span : trace.spans()) {
+    const std::string_view name(span.name);
+    if (name == "sparse_factor" || name == "sparse_refactor") ++rec.factorizations;
+  }
+  rec.cg_iterations =
+      std::uint64_t(trace.total_attr("cg_solve", "iterations") + 0.5);
+  rec.span_count = trace.spans().size();
+  rec.wall_us = wall_now_us();
+  // Record before replying so a client that got its answer and immediately
+  // asks `recent` is guaranteed to see this request in the ring.
+  recorder_.add(std::move(rec));
+
+  if (trace_file_.is_open()) {
+    std::lock_guard<std::mutex> lock(trace_file_mutex_);
+    trace_file_ << trace_json_text << '\n';
+    trace_file_.flush();
+  }
+
   item.conn->send_line(reply);
-  metrics.histogram("svc.latency_ms").record(ms_between(item.arrival, Clock::now()));
+
+  if (options_.slow_ms > 0.0 && latency >= options_.slow_ms) {
+    TFC_LOG_WARN("svc_slow_request", {"trace_id", trace_id},
+                 {"method", item.request.method}, {"latency_ms", latency},
+                 {"queue_wait_ms", queue_wait}, {"slow_ms", options_.slow_ms},
+                 {"spans", trace.to_json(trace_id)});
+  }
 }
 
-std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params) {
+std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params,
+                                                   DispatchInfo& info) {
   SessionKey key;
   key.chip = params.string_or("chip", "alpha");
   key.theta_limit_celsius = params.number_or("limit", 85.0);
@@ -421,8 +660,10 @@ std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params) 
     key.tile_rows = defaults.tile_rows;
     key.tile_cols = defaults.tile_cols;
   }
+  info.chip = key.chip;
 
-  return cache_.get_or_build(key, [](const SessionKey& k) {
+  bool cache_hit = false;
+  auto session = cache_.get_or_build(key, [](const SessionKey& k) {
     floorplan::Floorplan plan = [&] {
       if (k.chip == "alpha") return floorplan::alpha21364();
       if (k.chip.rfind("hc", 0) == 0) {
@@ -471,10 +712,12 @@ std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params) 
     TFC_LOG_INFO("svc_session_built", {"key", k.to_string()},
                  {"tecs", session->design.tec_count});
     return std::shared_ptr<const Session>(session);
-  });
+  }, &cache_hit);
+  info.cache = cache_hit ? 1 : 0;
+  return session;
 }
 
-io::JsonValue Server::dispatch(const Request& request) {
+io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
   using io::JsonValue;
   const JsonValue& params = request.params;
 
@@ -502,14 +745,62 @@ io::JsonValue Server::dispatch(const Request& request) {
     result.set("cache", cache);
     result.set("workers", JsonValue::make_number(double(options_.workers)));
     result.set("queue_capacity", JsonValue::make_number(double(options_.queue_capacity)));
+    result.set("version", JsonValue::make_string(TFC_BUILD_VERSION));
+    result.set("git", JsonValue::make_string(TFC_BUILD_GIT_DESCRIBE));
+    result.set("pid", JsonValue::make_number(double(::getpid())));
+    result.set("uptime_s", JsonValue::make_number(uptime_seconds()));
+    result.set("rss_bytes", JsonValue::make_number(double(obs::process_rss_bytes())));
+    JsonValue recorder = JsonValue::make_object();
+    recorder.set("capacity", JsonValue::make_number(double(recorder_.capacity())));
+    recorder.set("size", JsonValue::make_number(double(recorder_.size())));
+    recorder.set("total", JsonValue::make_number(double(recorder_.total_added())));
+    result.set("recorder", recorder);
+    return result;
+  }
+
+  if (request.method == "metrics") {
+    const std::string format = params.string_or("format", "json");
+    JsonValue result = JsonValue::make_object();
+    result.set("format", JsonValue::make_string(format));
+    if (format == "json") {
+      auto& m = obs::MetricsRegistry::global();
+      m.gauge("process.uptime_seconds").set(uptime_seconds());
+      m.gauge("process.rss_bytes").set(double(obs::process_rss_bytes()));
+      result.set("metrics", io::parse_json(m.to_json()));
+    } else if (format == "prometheus") {
+      result.set("text", JsonValue::make_string(prometheus_text()));
+    } else {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'format' must be \"json\" or \"prometheus\"");
+    }
+    return result;
+  }
+
+  if (request.method == "recent") {
+    const double count_d = params.number_or("count", 20.0);
+    if (count_d < 1.0 || count_d > 10000.0 || count_d != std::size_t(count_d)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'count' must be an integer in [1, 10000]");
+    }
+    const auto records = recorder_.recent(std::size_t(count_d));
+    JsonValue requests = JsonValue::make_array();
+    for (const auto& rec : records) requests.push_back(record_to_json(rec));
+    JsonValue result = JsonValue::make_object();
+    result.set("capacity", JsonValue::make_number(double(recorder_.capacity())));
+    result.set("total", JsonValue::make_number(double(recorder_.total_added())));
+    result.set("requests", requests);
     return result;
   }
 
   if (request.method == "solve") {
-    auto session = session_for(params);
+    auto session = session_for(params, info);
     double current = params.number_or("current", session->design.current);
     if (current < 0.0) {
       throw ProtocolError(ErrorCode::kBadRequest, "'current' must be nonnegative");
+    }
+    if (session->lambda_m) {
+      // λ_m margin of the requested operating point, on the svc.request span.
+      TFC_SPAN_ATTR("lambda_margin_a", *session->lambda_m - current);
     }
     auto op = session->system->solve(current);
     if (!op) {
@@ -531,14 +822,14 @@ io::JsonValue Server::dispatch(const Request& request) {
   }
 
   if (request.method == "design") {
-    auto session = session_for(params);
+    auto session = session_for(params, info);
     // Re-use the canonical serializer so the service and `tfcool design
     // --json` emit byte-identical documents for the same chip.
     return io::parse_json(io::design_result_to_json(session->design));
   }
 
   if (request.method == "runaway") {
-    auto session = session_for(params);
+    auto session = session_for(params, info);
     JsonValue result = JsonValue::make_object();
     result.set("chip", JsonValue::make_string(session->key.chip));
     result.set("tec_count", JsonValue::make_number(double(session->design.tec_count)));
@@ -549,7 +840,7 @@ io::JsonValue Server::dispatch(const Request& request) {
   }
 
   if (request.method == "sweep") {
-    auto session = session_for(params);
+    auto session = session_for(params, info);
     if (!session->lambda_m) {
       throw ProtocolError(ErrorCode::kBadRequest,
                           "no TECs deployed for this session; nothing to sweep");
@@ -586,9 +877,10 @@ io::JsonValue Server::dispatch(const Request& request) {
     return result;
   }
 
-  throw ProtocolError(ErrorCode::kUnknownMethod,
-                      "unknown method '" + request.method +
-                          "' (use ping|stats|solve|design|runaway|sweep|shutdown)");
+  throw ProtocolError(
+      ErrorCode::kUnknownMethod,
+      "unknown method '" + request.method +
+          "' (use ping|stats|metrics|recent|solve|design|runaway|sweep|shutdown)");
 }
 
 }  // namespace tfc::svc

@@ -19,19 +19,33 @@
 /// Sessions (assembled systems + symbolic Cholesky analyses, see
 /// session_cache.h) are shared across requests through an LRU cache, so a
 /// repeat query skips assembly and analysis entirely. Counters and latency
-/// histograms are published in tfc::obs::MetricsRegistry under `svc.*`.
+/// histograms are published in tfc::obs::MetricsRegistry under `svc.*`
+/// (latency and queue wait are labeled per method,
+/// `svc.latency_ms{method="solve"}`).
+///
+/// Live observability (PR 4): every request runs under an
+/// obs::ScopedRequestContext, so the spans of the whole solver stack nest
+/// into a per-request trace that can be returned inline (`"trace": true`),
+/// appended to a rolling trace file (`--trace-file`), or attached to the
+/// `svc_slow_request` WARN when latency exceeds `--slow-ms`. Completed
+/// requests land in an obs::FlightRecorder ring served by the `recent`
+/// method; `metrics` returns the registry as JSON or Prometheus text, and
+/// `--prom-addr` starts a plain-HTTP `GET /metrics` responder.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "svc/protocol.h"
 #include "svc/session_cache.h"
 
@@ -44,6 +58,10 @@ struct ServerOptions {
   /// Optional TCP listen address, "host:port" (IPv4; empty host = loopback;
   /// port 0 = ephemeral, see Server::tcp_port()). Empty disables TCP.
   std::string listen;
+  /// Optional plain-HTTP metrics address, "host:port" (same spec syntax as
+  /// `listen`). Serves `GET /metrics` in Prometheus text format; empty
+  /// disables the listener. See Server::prom_port().
+  std::string prom_listen;
   /// Worker threads draining the request queue. Each worker runs the full
   /// solver stack (which parallelizes internally via tfc::par).
   std::size_t workers = 2;
@@ -53,6 +71,14 @@ struct ServerOptions {
   std::size_t cache_capacity = 8;
   /// Deadline applied to requests that do not carry their own [ms].
   double default_deadline_ms = 60000.0;
+  /// Latency threshold for the structured `svc_slow_request` WARN (with the
+  /// request's span tree attached); 0 disables slow-request logging.
+  double slow_ms = 0.0;
+  /// Flight-recorder capacity (completed requests remembered for `recent`).
+  std::size_t recorder_capacity = 128;
+  /// Append every completed request's span tree as one JSONL line to this
+  /// file; empty disables the trace file.
+  std::string trace_path;
 };
 
 /// One serving instance. Construction binds the listeners (throwing
@@ -81,32 +107,58 @@ class Server {
   /// Bound TCP port (after construction; 0 when TCP is disabled).
   int tcp_port() const { return tcp_port_; }
 
+  /// Bound metrics-HTTP port (after construction; 0 when disabled).
+  int prom_port() const { return prom_port_; }
+
   const ServerOptions& options() const { return options_; }
   SessionCache& cache() { return cache_; }
+  obs::FlightRecorder& recorder() { return recorder_; }
 
  private:
   struct Connection;
   struct Pending;
 
+  /// What dispatch learned about a request, for the flight record.
+  struct DispatchInfo {
+    std::string chip;  ///< "" for non-solver methods
+    int cache = -1;    ///< session-cache outcome: -1 n/a, 0 miss, 1 hit
+  };
+
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
+  void http_loop();
   void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
   void serve_request(Pending& item);
-  io::JsonValue dispatch(const Request& request);
+  io::JsonValue dispatch(const Request& request, DispatchInfo& info);
 
-  std::shared_ptr<const Session> session_for(const io::JsonValue& params);
+  std::shared_ptr<const Session> session_for(const io::JsonValue& params,
+                                             DispatchInfo& info);
+
+  /// Registry rendered as Prometheus text, with the process.* gauges
+  /// (uptime, RSS) refreshed first.
+  std::string prometheus_text();
+
+  double uptime_seconds() const;
 
   ServerOptions options_;
   SessionCache cache_;
+  obs::FlightRecorder recorder_;
 
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
   int tcp_port_ = 0;
+  int prom_fd_ = -1;
+  int prom_port_ = 0;
   int stop_rd_ = -1;
   int stop_wr_ = -1;
 
+  std::chrono::steady_clock::time_point start_time_;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> trace_seq_{0};
+
+  std::mutex trace_file_mutex_;
+  std::ofstream trace_file_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -116,6 +168,7 @@ class Server {
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> conn_threads_;
   std::vector<std::thread> workers_;
+  std::thread prom_thread_;
 };
 
 /// Split a "host:port" listen spec (empty host = "127.0.0.1"). Throws

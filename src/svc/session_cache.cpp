@@ -42,8 +42,10 @@ SessionCache::SessionCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 std::shared_ptr<const Session> SessionCache::get_or_build(const SessionKey& key,
-                                                          const Builder& build) {
+                                                          const Builder& build,
+                                                          bool* cache_hit) {
   const std::string skey = key.to_string();
+  if (cache_hit != nullptr) *cache_hit = false;
 
   if (capacity_ == 0) {
     miss_counter().increment();
@@ -57,6 +59,7 @@ std::shared_ptr<const Session> SessionCache::get_or_build(const SessionKey& key,
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = index_.find(skey); it != index_.end()) {
       hit_counter().increment();
+      if (cache_hit != nullptr) *cache_hit = true;
       // Move to the front (most recently used).
       lru_.splice(lru_.begin(), lru_, it->second);
       future = it->second->session;

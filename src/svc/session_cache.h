@@ -69,9 +69,12 @@ class SessionCache {
 
   /// Return the session for \p key, building it via \p build on a miss.
   /// Build failures propagate to every waiter of that key and the entry is
-  /// dropped so a later request can retry.
+  /// dropped so a later request can retry. When \p cache_hit is non-null it
+  /// is set to whether the key was already present (joining an in-flight
+  /// build of the same key counts as a hit).
   std::shared_ptr<const Session> get_or_build(const SessionKey& key,
-                                              const Builder& build);
+                                              const Builder& build,
+                                              bool* cache_hit = nullptr);
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;

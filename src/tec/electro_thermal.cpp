@@ -106,6 +106,8 @@ std::optional<OperatingPoint> ElectroThermalSystem::solve(
   if (i < 0.0) return std::nullopt;
 
   TFC_SPAN("et_solve");
+  TFC_SPAN_ATTR("n", model_.node_count());
+  TFC_SPAN_ATTR("current_a", i);
   OperatingPoint op;
   op.current = i;
 

@@ -92,7 +92,10 @@ std::optional<double> runaway_limit(const ElectroThermalSystem& system,
   bis.rel_tol = options.rel_tol;
 
   const auto report = [&system](const char* method, std::optional<double> lm) {
-    if (lm) obs::MetricsRegistry::global().gauge("runaway.lambda_m").set(*lm);
+    if (lm) {
+      obs::MetricsRegistry::global().gauge("runaway.lambda_m").set(*lm);
+      TFC_SPAN_ATTR("lambda_m_a", *lm);
+    }
     TFC_LOG_DEBUG("runaway_limit", {"method", method},
                   {"devices", system.model().hot_nodes().size()},
                   {"lambda_m", lm ? *lm : std::numeric_limits<double>::infinity()});

@@ -342,6 +342,87 @@ TEST(Cli, ServeRequestEndToEnd) {
   fs::remove(metrics);
 }
 
+TEST(Cli, ServeObservabilityFlagsAreValidated) {
+  auto bad_slow = run({"serve", "--socket", "/tmp/x.sock", "--slow-ms", "-1"});
+  EXPECT_EQ(bad_slow.code, 2);
+  EXPECT_NE(bad_slow.err.find("--slow-ms"), std::string::npos);
+
+  auto bad_recent = run({"serve", "--socket", "/tmp/x.sock", "--recent", "0"});
+  EXPECT_EQ(bad_recent.code, 2);
+  EXPECT_NE(bad_recent.err.find("--recent"), std::string::npos);
+}
+
+/// The observability surface through the CLI only: --trace/--trace-id on
+/// `request`, the `recent` pretty-printer, and serve's --prom-addr /
+/// --trace-file flags.
+TEST(Cli, ObservabilityFlagsEndToEnd) {
+  namespace fs = std::filesystem;
+  const auto sock = fs::temp_directory_path() /
+                    ("tfcool_cli_obs_" + std::to_string(::getpid()) + ".sock");
+  const auto trace = fs::temp_directory_path() /
+                     ("tfcool_cli_obs_" + std::to_string(::getpid()) + ".jsonl");
+  fs::remove(sock);
+  fs::remove(trace);
+
+  CliRun serve_result;
+  std::thread server([&] {
+    serve_result = run({"serve", "--socket", sock.string(), "--workers", "1",
+                        "--prom-addr", "127.0.0.1:0", "--recent", "4",
+                        "--trace-file", trace.string()});
+  });
+  auto request = [&](std::vector<std::string> extra) {
+    std::vector<std::string> args = {"request", "--socket", sock.string()};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return run(args);
+  };
+  CliRun ping;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ping = request({"--method", "ping"});
+    if (ping.code == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(ping.code, 0) << ping.err;
+
+  // --trace asks for the span tree inline; --trace-id is echoed back.
+  auto traced = request({"--method", "solve", "--params", R"({"chip": "alpha"})",
+                         "--trace", "--trace-id", "cli-t1"});
+  ASSERT_EQ(traced.code, 0) << traced.err;
+  EXPECT_NE(traced.out.find("cli-t1"), std::string::npos);
+  EXPECT_NE(traced.out.find("svc.request"), std::string::npos);
+  EXPECT_NE(traced.out.find("et_solve"), std::string::npos);
+
+  // `recent` pretty-prints by default and stays raw NDJSON with --raw.
+  auto solve2 = request({"--method", "solve", "--params", R"({"chip": "alpha"})"});
+  ASSERT_EQ(solve2.code, 0) << solve2.err;
+  auto table = request({"--method", "recent"});
+  ASSERT_EQ(table.code, 0) << table.err;
+  EXPECT_NE(table.out.find("recent requests:"), std::string::npos);
+  EXPECT_NE(table.out.find("(capacity 4)"), std::string::npos);
+  EXPECT_NE(table.out.find("method"), std::string::npos);
+  EXPECT_NE(table.out.find("hit"), std::string::npos);
+  EXPECT_EQ(table.out.find("\"requests\""), std::string::npos);
+  auto raw = request({"--method", "recent", "--raw"});
+  ASSERT_EQ(raw.code, 0) << raw.err;
+  EXPECT_NE(raw.out.find("\"requests\""), std::string::npos);
+
+  auto bye = request({"--method", "shutdown"});
+  EXPECT_EQ(bye.code, 0);
+  server.join();
+  ASSERT_EQ(serve_result.code, 0) << serve_result.err;
+  // The serve banner announces the bound scrape port.
+  EXPECT_NE(serve_result.out.find("metrics on http:"), std::string::npos);
+
+  // --trace-file captured one JSONL span tree per request.
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(tf, line));
+  EXPECT_NE(line.find("svc.request"), std::string::npos);
+
+  fs::remove(sock);
+  fs::remove(trace);
+}
+
 TEST(Cli, ImportedChipDesign) {
   namespace fs = std::filesystem;
   const auto dir = fs::temp_directory_path();

@@ -1,0 +1,423 @@
+/// PR 4 observability: request-scoped traces, Prometheus exposition, the
+/// flight recorder, and the snapshot-and-reset window semantics.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tfc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RequestTrace
+
+TEST(RequestTrace, OpenCloseBuildsNestedTree) {
+  RequestTrace trace;
+  const int outer = trace.open("outer", 100);
+  const int inner = trace.open("inner", 150);
+  trace.close(inner, 170);
+  trace.close(outer, 300);
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[0].parent, -1);
+  EXPECT_EQ(trace.spans()[1].parent, outer);
+  EXPECT_EQ(trace.spans()[0].dur_us, 200);
+  EXPECT_EQ(trace.spans()[1].dur_us, 20);
+}
+
+TEST(RequestTrace, CloseIsTolerantOfLeakedChildren) {
+  RequestTrace trace;
+  const int outer = trace.open("outer", 0);
+  trace.open("leaked", 10);  // never closed explicitly
+  trace.close(outer, 100);
+  // Closing the parent popped the leaked child; a new span is a root again.
+  const int next = trace.open("next", 200);
+  EXPECT_EQ(trace.spans()[std::size_t(next)].parent, -1);
+}
+
+TEST(RequestTrace, TotalsSumAcrossRepeatedSpans) {
+  RequestTrace trace;
+  for (int k = 0; k < 3; ++k) {
+    const int idx = trace.open("sparse_refactor", k * 100);
+    trace.attr(Field("n", 288));
+    trace.close(idx, k * 100 + 10);
+  }
+  const int other = trace.open("et_solve", 500);
+  trace.close(other, 600);
+
+  EXPECT_EQ(trace.total_us("sparse_refactor"), 30);
+  EXPECT_EQ(trace.total_us("et_solve"), 100);
+  EXPECT_EQ(trace.total_us("absent"), 0);
+  EXPECT_DOUBLE_EQ(trace.total_attr("sparse_refactor", "n"), 3 * 288.0);
+  EXPECT_DOUBLE_EQ(trace.total_attr("sparse_refactor", "absent"), 0.0);
+}
+
+TEST(RequestTrace, ToJsonRendersTreeParseableShape) {
+  RequestTrace trace;
+  const int outer = trace.open("svc.request", 1000);
+  trace.attr(Field("method", "solve"));
+  const int inner = trace.open("et_solve", 1100);
+  trace.attr(Field("n", 288));
+  trace.close(inner, 1250);
+  trace.close(outer, 1500);
+
+  const std::string json = trace.to_json("t-42");
+  EXPECT_NE(json.find("\"trace_id\":\"t-42\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"svc.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"et_solve\""), std::string::npos);
+  // start_us is relative to the first span.
+  EXPECT_NE(json.find("\"start_us\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"start_us\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"method\":\"solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":288"), std::string::npos);
+  // The child must be nested inside the outer span's "children".
+  const auto children = json.find("\"children\":[");
+  ASSERT_NE(children, std::string::npos);
+  EXPECT_GT(json.find("\"name\":\"et_solve\""), children);
+}
+
+TEST(RequestContext, ScopedContextRoutesSpansIntoTrace) {
+  TraceCollector::global().disable();  // request capture must not need it
+  EXPECT_EQ(current_request_trace(), nullptr);
+  EXPECT_EQ(current_trace_id(), "");
+
+  RequestTrace trace;
+  {
+    ScopedRequestContext scope("req-7", &trace);
+    EXPECT_EQ(current_request_trace(), &trace);
+    EXPECT_EQ(current_trace_id(), "req-7");
+    TFC_SPAN("outer");
+    {
+      TFC_SPAN("inner");
+      TFC_SPAN_ATTR("iterations", 12);
+    }
+  }
+  EXPECT_EQ(current_request_trace(), nullptr);
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_STREQ(trace.spans()[0].name, "outer");
+  EXPECT_STREQ(trace.spans()[1].name, "inner");
+  EXPECT_EQ(trace.spans()[1].parent, 0);
+  EXPECT_GE(trace.spans()[0].dur_us, trace.spans()[1].dur_us);
+  ASSERT_EQ(trace.spans()[1].attrs.size(), 1u);
+  EXPECT_EQ(trace.spans()[1].attrs[0].key, "iterations");
+}
+
+TEST(RequestContext, ScopesNestAndRestore) {
+  RequestTrace outer_trace;
+  RequestTrace inner_trace;
+  {
+    ScopedRequestContext outer("outer-id", &outer_trace);
+    {
+      ScopedRequestContext inner("inner-id", &inner_trace);
+      EXPECT_EQ(current_trace_id(), "inner-id");
+      TFC_SPAN("inner_only");
+    }
+    EXPECT_EQ(current_trace_id(), "outer-id");
+    EXPECT_EQ(current_request_trace(), &outer_trace);
+  }
+  EXPECT_EQ(inner_trace.spans().size(), 1u);
+  EXPECT_TRUE(outer_trace.empty());
+}
+
+TEST(RequestContext, SpanAttrIsNoOpOutsideContext) {
+  EXPECT_EQ(current_request_trace(), nullptr);
+  TFC_SPAN_ATTR("ignored", 1.0);  // must not crash or allocate a context
+  EXPECT_EQ(current_request_trace(), nullptr);
+}
+
+TEST(RequestContext, OtherThreadsDoNotSeeTheContext) {
+  RequestTrace trace;
+  ScopedRequestContext scope("main-only", &trace);
+  RequestTrace* seen = &trace;
+  std::thread worker([&seen] { seen = current_request_trace(); });
+  worker.join();
+  EXPECT_EQ(seen, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("svc.latency_ms"), "svc_latency_ms");
+  EXPECT_EQ(prometheus_name("cg.solves"), "cg_solves");
+  EXPECT_EQ(prometheus_name("9lives"), "_lives");  // leading digit
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(Prometheus, LabeledNameEscapesValues) {
+  EXPECT_EQ(labeled_name("svc.latency_ms", {{"method", "solve"}}),
+            "svc.latency_ms{method=\"solve\"}");
+  EXPECT_EQ(labeled_name("m", {{"a", "x"}, {"b", "y"}}), "m{a=\"x\",b=\"y\"}");
+  // Quotes, backslashes, and newlines in values are escaped per the text
+  // format; bad label keys are sanitized.
+  EXPECT_EQ(labeled_name("m", {{"k", "a\"b\\c\nd"}}),
+            "m{k=\"a\\\"b\\\\c\\nd\"}");
+  EXPECT_EQ(labeled_name("m", {{"bad key", "v"}}), "m{bad_key=\"v\"}");
+  EXPECT_EQ(labeled_name("m", {}), "m");
+}
+
+TEST(Prometheus, CountersGetTotalSuffixAndType) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("svc.requests.received", 17);
+  snap.counters.emplace_back("already_total", 3);
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE svc_requests_received_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_requests_received_total 17\n"), std::string::npos);
+  // No double suffix.
+  EXPECT_NE(text.find("already_total 3\n"), std::string::npos);
+  EXPECT_EQ(text.find("already_total_total"), std::string::npos);
+}
+
+TEST(Prometheus, LabeledCountersShareOneTypeHeader) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back(labeled_name("req", {{"method", "a"}}), 1);
+  snap.counters.emplace_back(labeled_name("req", {{"method", "b"}}), 2);
+  const std::string text = to_prometheus_text(snap);
+  std::size_t headers = 0;
+  for (std::size_t pos = text.find("# TYPE req_total"); pos != std::string::npos;
+       pos = text.find("# TYPE req_total", pos + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_NE(text.find("req_total{method=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{method=\"b\"} 2\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramsEmitSummaryQuantilesSumCount) {
+  HistogramSummary s;
+  s.count = 4;
+  s.sum = 100.0;
+  s.p50 = 20.0;
+  s.p95 = 45.0;
+  s.p99 = 49.0;
+  MetricsSnapshot snap;
+  snap.histograms.emplace_back(labeled_name("svc.latency_ms", {{"method", "solve"}}), s);
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE svc_latency_ms summary\n"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms{method=\"solve\",quantile=\"0.5\"} 20\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms{method=\"solve\",quantile=\"0.95\"} 45\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms{method=\"solve\",quantile=\"0.99\"} 49\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms_sum{method=\"solve\"} 100\n"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms_count{method=\"solve\"} 4\n"), std::string::npos);
+}
+
+TEST(Prometheus, GaugesAndNonFiniteValues) {
+  MetricsSnapshot snap;
+  snap.gauges.emplace_back("lambda_m", 1.25);
+  snap.gauges.emplace_back("weird", std::nan(""));
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE lambda_m gauge\nlambda_m 1.25\n"), std::string::npos);
+  EXPECT_NE(text.find("weird NaN\n"), std::string::npos);
+}
+
+TEST(Prometheus, FamiliesAreSortedDeterministically) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("zzz", 1);
+  snap.counters.emplace_back("aaa", 2);
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_LT(text.find("# TYPE aaa_total"), text.find("# TYPE zzz_total"));
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorder, RecentIsNewestFirst) {
+  FlightRecorder rec(8);
+  for (int k = 1; k <= 3; ++k) {
+    RequestRecord r;
+    r.method = std::to_string(k);
+    rec.add(std::move(r));
+  }
+  const auto recent = rec.recent(10);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].method, "3");
+  EXPECT_EQ(recent[0].seq, 3u);
+  EXPECT_EQ(recent[2].method, "1");
+  EXPECT_EQ(rec.total_added(), 3u);
+}
+
+TEST(FlightRecorder, RingOverwritesOldest) {
+  FlightRecorder rec(4);
+  for (int k = 1; k <= 10; ++k) {
+    RequestRecord r;
+    r.latency_ms = double(k);
+    rec.add(std::move(r));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_added(), 10u);
+  const auto recent = rec.recent(100);
+  ASSERT_EQ(recent.size(), 4u);
+  // Newest first: 10, 9, 8, 7.
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(recent[std::size_t(k)].latency_ms, double(10 - k));
+    EXPECT_EQ(recent[std::size_t(k)].seq, std::uint64_t(10 - k));
+  }
+}
+
+TEST(FlightRecorder, LimitTruncates) {
+  FlightRecorder rec(8);
+  for (int k = 0; k < 5; ++k) rec.add(RequestRecord{});
+  EXPECT_EQ(rec.recent(2).size(), 2u);
+  EXPECT_EQ(rec.recent(0).size(), 0u);
+}
+
+TEST(FlightRecorder, ConcurrentAddsKeepUniqueSeqs) {
+  FlightRecorder rec(64);
+  constexpr int kThreads = 4, kAdds = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec] {
+      for (int k = 0; k < kAdds; ++k) rec.add(RequestRecord{});
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(rec.total_added(), std::uint64_t(kThreads) * kAdds);
+  const auto recent = rec.recent(64);
+  ASSERT_EQ(recent.size(), 64u);
+  for (std::size_t k = 1; k < recent.size(); ++k) {
+    EXPECT_EQ(recent[k].seq, recent[k - 1].seq - 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram reservoir past capacity + windowed reset semantics
+
+TEST(Metrics, ReservoirPastCapacityKeepsExactCountSumAndTolerablePercentiles) {
+  Histogram h(256);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int v = 1; v <= n; ++v) {
+    h.record(double(v));
+    sum += double(v);
+  }
+  const auto s = h.summary();
+  // count/sum/min/max/mean are exact regardless of sampling.
+  EXPECT_EQ(s.count, std::uint64_t(n));
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, double(n));
+  EXPECT_DOUBLE_EQ(s.mean, sum / n);
+  // Percentiles come from a 256-sample uniform reservoir: for a uniform
+  // stream the p-th sample quantile concentrates around p with standard
+  // error sqrt(p(1-p)/256) ≈ 0.031 at the median — 15 points is > 4σ.
+  EXPECT_NEAR(s.p50 / double(n), 0.50, 0.15);
+  EXPECT_NEAR(s.p95 / double(n), 0.95, 0.10);
+  EXPECT_NEAR(s.p99 / double(n), 0.99, 0.10);
+}
+
+TEST(Metrics, CounterExchangeReset) {
+  Counter c;
+  c.increment(5);
+  EXPECT_EQ(c.exchange_reset(), 5u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(c.exchange_reset(), 0u);
+}
+
+TEST(Metrics, SummaryAndResetStartsAFreshWindow) {
+  Histogram h;
+  h.record(1.0);
+  h.record(3.0);
+  const auto first = h.summary_and_reset();
+  EXPECT_EQ(first.count, 2u);
+  EXPECT_DOUBLE_EQ(first.sum, 4.0);
+  const auto empty = h.summary();
+  EXPECT_EQ(empty.count, 0u);
+  h.record(10.0);
+  const auto second = h.summary_and_reset();
+  EXPECT_EQ(second.count, 1u);
+  EXPECT_DOUBLE_EQ(second.sum, 10.0);
+  EXPECT_DOUBLE_EQ(second.min, 10.0);
+}
+
+TEST(Metrics, SnapshotAndResetCountsEverySampleInExactlyOneWindow) {
+  // The satellite fix: export+reset is atomic per metric, so concurrent
+  // increments/records can never be dropped between a separate snapshot and
+  // reset, nor double-counted across windows.
+  MetricsRegistry reg;
+  reg.counter("events");
+  reg.histogram("values");
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> produced{0};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int k = 0; k < 50000; ++k) {
+        reg.counter("events").increment();
+        reg.histogram("values").record(1.0);
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::uint64_t window_events = 0;
+  std::uint64_t window_hist_count = 0;
+  double window_hist_sum = 0.0;
+  std::thread exporter([&] {
+    while (!done.load()) {
+      const MetricsSnapshot snap = reg.snapshot_and_reset();
+      for (const auto& [name, value] : snap.counters) {
+        if (name == "events") window_events += value;
+      }
+      for (const auto& [name, s] : snap.histograms) {
+        if (name == "values") {
+          window_hist_count += s.count;
+          window_hist_sum += s.sum;
+        }
+      }
+    }
+  });
+
+  for (auto& p : producers) p.join();
+  done.store(true);
+  exporter.join();
+  // Pick up whatever landed after the exporter's last window.
+  const MetricsSnapshot tail = reg.snapshot_and_reset();
+  for (const auto& [name, value] : tail.counters) {
+    if (name == "events") window_events += value;
+  }
+  for (const auto& [name, s] : tail.histograms) {
+    if (name == "values") {
+      window_hist_count += s.count;
+      window_hist_sum += s.sum;
+    }
+  }
+
+  EXPECT_EQ(window_events, produced.load());
+  EXPECT_EQ(window_hist_count, produced.load());
+  EXPECT_DOUBLE_EQ(window_hist_sum, double(produced.load()));
+}
+
+TEST(Metrics, SnapshotToJsonEscapesLabeledNames) {
+  MetricsRegistry reg;
+  reg.counter(labeled_name("req", {{"method", "solve"}})).increment(2);
+  reg.histogram(labeled_name("lat", {{"method", "ping"}})).record(1.0);
+  const std::string json = MetricsRegistry::snapshot_to_json(reg.snapshot());
+  // The label block's quotes must be escaped so the document stays valid.
+  EXPECT_NE(json.find("req{method=\\\"solve\\\"}"), std::string::npos);
+  EXPECT_NE(json.find("lat{method=\\\"ping\\\"}"), std::string::npos);
+  EXPECT_EQ(json.find("method=\"solve\""), std::string::npos);
+}
+
+TEST(Metrics, ProcessRssBytesIsPositiveOnLinux) {
+#ifdef __linux__
+  EXPECT_GT(process_rss_bytes(), 0u);
+#else
+  GTEST_SKIP() << "no /proc on this platform";
+#endif
+}
+
+}  // namespace
+}  // namespace tfc::obs

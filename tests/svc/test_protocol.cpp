@@ -95,5 +95,60 @@ TEST(Protocol, ReplyIsSingleLine) {
   EXPECT_EQ(reply.find('\n'), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// PR 4: trace_id / trace request fields and ReplyExtras
+
+TEST(Protocol, TraceFieldsDefaultToOff) {
+  const Request req = parse_request(R"({"method": "ping"})");
+  EXPECT_EQ(req.trace_id, "");
+  EXPECT_FALSE(req.want_trace);
+}
+
+TEST(Protocol, TraceFieldsParse) {
+  const Request req =
+      parse_request(R"({"method": "solve", "trace_id": "cli-7", "trace": true})");
+  EXPECT_EQ(req.trace_id, "cli-7");
+  EXPECT_TRUE(req.want_trace);
+}
+
+TEST(Protocol, BadTraceFieldsAreBadRequest) {
+  EXPECT_THROW(parse_request(R"({"method": "ping", "trace_id": 7})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"method": "ping", "trace": "yes"})"), ProtocolError);
+  const std::string long_id(129, 'x');
+  EXPECT_THROW(parse_request(R"({"method": "ping", "trace_id": ")" + long_id + R"("})"),
+               ProtocolError);
+  // 128 bytes is the cap, not beyond it.
+  const std::string ok_id(128, 'x');
+  EXPECT_EQ(parse_request(R"({"method": "ping", "trace_id": ")" + ok_id + R"("})")
+                .trace_id,
+            ok_id);
+}
+
+TEST(Protocol, ReplyExtrasAttachTraceIdAndTree) {
+  ReplyExtras extras;
+  extras.trace_id = "srv-1-2";
+  io::JsonValue trace = io::parse_json(R"({"span_count": 1, "spans": []})");
+  extras.trace = &trace;
+
+  io::JsonValue result = io::JsonValue::make_object();
+  result.set("pong", io::JsonValue::make_bool(true));
+  const auto ok = io::parse_json(
+      make_result_reply(io::JsonValue::make_number(1), result, extras));
+  EXPECT_EQ(ok.at("trace_id").as_string(), "srv-1-2");
+  EXPECT_DOUBLE_EQ(ok.at("trace").at("span_count").as_number(), 1.0);
+
+  const auto err = io::parse_json(make_error_reply(
+      io::JsonValue::make_number(2), ErrorCode::kInternal, "boom", extras));
+  EXPECT_EQ(err.at("trace_id").as_string(), "srv-1-2");
+  EXPECT_TRUE(err.has("trace"));
+}
+
+TEST(Protocol, EmptyExtrasAddNoFields) {
+  const auto reply = io::parse_json(make_result_reply(
+      io::JsonValue::make_number(1), io::JsonValue::make_object()));
+  EXPECT_FALSE(reply.has("trace_id"));
+  EXPECT_FALSE(reply.has("trace"));
+}
+
 }  // namespace
 }  // namespace tfc::svc

@@ -5,12 +5,20 @@
 /// so they are deterministic without burning CPU.
 #include "svc/server.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "obs/obs.h"
 #include "svc/client.h"
@@ -254,6 +262,275 @@ TEST(Service, StatsReportsCacheAndLimits) {
   ASSERT_TRUE(reply.at("ok").as_bool());
   EXPECT_DOUBLE_EQ(reply.at("result").at("queue_capacity").as_number(), 5.0);
   EXPECT_DOUBLE_EQ(reply.at("result").at("cache").at("capacity").as_number(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// PR 4: tracing, live metrics, flight recorder
+
+TEST(Service, TraceIdEchoedOrGenerated) {
+  ServerFixture fx(quick_options("traceid"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  auto echoed = io::parse_json(
+      client.call_raw(R"({"id": 1, "method": "ping", "trace_id": "cli-abc"})"));
+  ASSERT_TRUE(echoed.at("ok").as_bool());
+  EXPECT_EQ(echoed.at("trace_id").as_string(), "cli-abc");
+
+  auto generated = io::parse_json(client.call_raw(R"({"id": 2, "method": "ping"})"));
+  ASSERT_TRUE(generated.at("ok").as_bool());
+  EXPECT_EQ(generated.at("trace_id").as_string().rfind("srv-", 0), 0u);
+  // Without `"trace": true` no span tree rides along.
+  EXPECT_FALSE(generated.has("trace"));
+}
+
+TEST(Service, InlineTraceCarriesSolverSpans) {
+  ServerFixture fx(quick_options("trace"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  auto reply = io::parse_json(client.call_raw(
+      R"({"id": 1, "method": "solve", "params": {"chip": "alpha"}, "trace": true})"));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  ASSERT_TRUE(reply.has("trace"));
+  const auto& trace = reply.at("trace");
+  EXPECT_EQ(trace.at("trace_id").as_string(), reply.at("trace_id").as_string());
+  EXPECT_GE(trace.at("span_count").as_number(), 2.0);
+
+  const auto& roots = trace.at("spans").as_array();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].at("name").as_string(), "svc.request");
+  EXPECT_GE(roots[0].at("dur_us").as_number(), 0.0);
+
+  // Somewhere under svc.request the electro-thermal solve must appear.
+  std::function<bool(const io::JsonValue&, const std::string&)> contains =
+      [&](const io::JsonValue& span, const std::string& name) {
+        if (span.at("name").as_string() == name) return true;
+        if (!span.has("children")) return false;
+        for (const auto& child : span.at("children").as_array())
+          if (contains(child, name)) return true;
+        return false;
+      };
+  EXPECT_TRUE(contains(roots[0], "et_solve")) << trace.dump();
+}
+
+TEST(Service, MetricsMethodServesJsonAndPrometheus) {
+  ServerFixture fx(quick_options("metrics"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  ASSERT_TRUE(client.call("ping").at("ok").as_bool());
+
+  auto json_reply = client.call("metrics");
+  ASSERT_TRUE(json_reply.at("ok").as_bool()) << json_reply.dump();
+  EXPECT_EQ(json_reply.at("result").at("format").as_string(), "json");
+  const auto& metrics = json_reply.at("result").at("metrics");
+  EXPECT_GE(metrics.at("counters").at("svc.requests.received").as_number(), 1.0);
+  EXPECT_TRUE(metrics.at("gauges").has("svc.queue_depth"));
+  EXPECT_GT(metrics.at("gauges").at("process.rss_bytes").as_number(), 0.0);
+
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("format", io::JsonValue::make_string("prometheus"));
+  auto prom_reply = client.call("metrics", params);
+  ASSERT_TRUE(prom_reply.at("ok").as_bool());
+  const std::string text = prom_reply.at("result").at("text").as_string();
+  EXPECT_NE(text.find("svc_requests_received_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE svc_latency_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("method=\"ping\""), std::string::npos);
+
+  params.set("format", io::JsonValue::make_string("xml"));
+  auto bad = client.call("metrics", params);
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(Service, RecentReportsCacheMissThenHit) {
+  ServerFixture fx(quick_options("recent"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("chip", io::JsonValue::make_string("alpha"));
+  ASSERT_TRUE(client.call("solve", params).at("ok").as_bool());
+  ASSERT_TRUE(client.call("solve", params).at("ok").as_bool());
+
+  auto reply = client.call("recent");
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const auto& result = reply.at("result");
+  EXPECT_DOUBLE_EQ(result.at("capacity").as_number(), 128.0);
+  EXPECT_GE(result.at("total").as_number(), 2.0);
+
+  const auto& records = result.at("requests").as_array();
+  ASSERT_GE(records.size(), 2u);
+  // Newest first: records[0] is the second (cached) solve.
+  EXPECT_GT(records[0].at("seq").as_number(), records[1].at("seq").as_number());
+  EXPECT_EQ(records[0].at("method").as_string(), "solve");
+  EXPECT_EQ(records[0].at("chip").as_string(), "alpha");
+  EXPECT_EQ(records[0].at("cache").as_string(), "hit");
+  EXPECT_EQ(records[1].at("cache").as_string(), "miss");
+  EXPECT_EQ(records[0].at("status").as_string(), "ok");
+  EXPECT_GE(records[0].at("latency_ms").as_number(), 0.0);
+  // The cache miss did real factorization work; the record shows it.
+  EXPECT_GT(records[1].at("factorizations").as_number(), 0.0);
+  EXPECT_GT(records[1].at("span_count").as_number(), 1.0);
+
+  io::JsonValue limit = io::JsonValue::make_object();
+  limit.set("count", io::JsonValue::make_number(1));
+  auto limited = client.call("recent", limit);
+  ASSERT_TRUE(limited.at("ok").as_bool());
+  EXPECT_EQ(limited.at("result").at("requests").as_array().size(), 1u);
+
+  limit.set("count", io::JsonValue::make_number(0));
+  EXPECT_FALSE(client.call("recent", limit).at("ok").as_bool());
+}
+
+TEST(Service, StatsReportBuildAndProcessInfo) {
+  ServerOptions o = quick_options("statsinfo");
+  o.recorder_capacity = 7;
+  ServerFixture fx(o);
+  auto client = Client::connect_unix(o.socket_path);
+  ASSERT_TRUE(client.call("ping").at("ok").as_bool());
+
+  auto reply = client.call("stats");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  const auto& result = reply.at("result");
+  EXPECT_FALSE(result.at("version").as_string().empty());
+  EXPECT_FALSE(result.at("git").as_string().empty());
+  EXPECT_DOUBLE_EQ(result.at("pid").as_number(), double(::getpid()));
+  EXPECT_GE(result.at("uptime_s").as_number(), 0.0);
+  EXPECT_GT(result.at("rss_bytes").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(result.at("recorder").at("capacity").as_number(), 7.0);
+  EXPECT_GE(result.at("recorder").at("total").as_number(), 1.0);
+}
+
+/// Collects records under a mutex so a worker-thread WARN can be polled for
+/// from the test thread without racing an ostringstream.
+class CaptureSink : public obs::Sink {
+ public:
+  void write(const obs::LogRecord& record) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(record.event);
+    for (const auto& f : record.fields)
+      if (f.key == "spans") spans_seen_ = true;
+  }
+  std::size_t count(const std::string& event) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& e : events_) n += (e == event) ? 1 : 0;
+    return n;
+  }
+  bool spans_seen() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_seen_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> events_;
+  bool spans_seen_ = false;
+};
+
+TEST(Service, SlowRequestsEmitOneStructuredWarn) {
+  const auto prior_level = obs::Logger::global().level();
+  const auto prior_sinks = obs::Logger::global().sinks();
+  auto sink = std::make_shared<CaptureSink>();
+  obs::Logger::global().set_level(obs::Level::kWarn);
+  obs::Logger::global().set_sinks({sink});
+
+  {
+    ServerOptions o = quick_options("slow");
+    o.slow_ms = 20.0;
+    ServerFixture fx(o);
+    auto client = Client::connect_unix(o.socket_path);
+
+    // Fast request: stays under the threshold, no WARN.
+    ASSERT_TRUE(client.call("ping").at("ok").as_bool());
+
+    io::JsonValue params = io::JsonValue::make_object();
+    params.set("delay_ms", io::JsonValue::make_number(60));
+    ASSERT_TRUE(client.call("ping", params).at("ok").as_bool());
+    // The WARN is written after the reply is sent; the fixture dtor below
+    // joins the workers, so by the end of this scope it has landed.
+  }
+
+  obs::Logger::global().set_level(prior_level);
+  obs::Logger::global().set_sinks(prior_sinks);
+  EXPECT_EQ(sink->count("svc_slow_request"), 1u);
+  EXPECT_TRUE(sink->spans_seen());
+}
+
+TEST(Service, TraceFileRecordsEveryRequest) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("tfc_svc_trace_" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  std::filesystem::remove(path);
+  {
+    ServerOptions o = quick_options("tracefile");
+    o.trace_path = path;
+    ServerFixture fx(o);
+    auto client = Client::connect_unix(o.socket_path);
+    ASSERT_TRUE(
+        io::parse_json(client.call_raw(R"({"id": 1, "method": "ping", "trace_id": "t-9"})"))
+            .at("ok")
+            .as_bool());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto entry = io::parse_json(line);
+  EXPECT_EQ(entry.at("trace_id").as_string(), "t-9");
+  EXPECT_EQ(entry.at("spans").as_array()[0].at("name").as_string(), "svc.request");
+  std::filesystem::remove(path);
+}
+
+/// One-shot HTTP GET against 127.0.0.1:port; returns the full response.
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  for (std::size_t sent = 0; sent < request.size();) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+    response.append(chunk, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST(Service, HttpMetricsEndpointServesPrometheusText) {
+  ServerOptions o = quick_options("prom");
+  o.prom_listen = "127.0.0.1:0";
+  ServerFixture fx(o);
+  ASSERT_GT(fx.server().prom_port(), 0);
+
+  auto client = Client::connect_unix(o.socket_path);
+  ASSERT_TRUE(client.call("ping").at("ok").as_bool());
+
+  const std::string response = http_get(fx.server().prom_port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE svc_requests_received_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("process_uptime_seconds"), std::string::npos);
+
+  const std::string missing = http_get(fx.server().prom_port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  // The scrape endpoint is read-only: the NDJSON side still works after it.
+  EXPECT_TRUE(client.call("ping").at("ok").as_bool());
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-format (0.0.4) exposition and read metric values.
+
+Used by CI to gate the service's `GET /metrics` endpoint: the whole body must
+parse under the line grammar (comments, `# TYPE` declarations, samples with
+optional labels), every sample must belong to a family declared by exactly
+one `# TYPE` line above it, and counter samples must carry the `_total`
+suffix. Stdlib only — no prometheus_client dependency.
+
+With --get NAME the script also prints the sum of that metric's samples
+across all label sets (so `svc_requests_received_total` works whether or not
+the family is labeled), which lets a shell script assert a counter moved:
+
+Usage:
+  check_prometheus.py --file scrape.txt
+  check_prometheus.py --url http://127.0.0.1:9464/metrics --get svc_requests_received_total
+  some_producer | check_prometheus.py
+"""
+
+import argparse
+import re
+import sys
+import urllib.request
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALUE = re.compile(r"^[+-]?(\d+(\.\d*)?([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|Inf|NaN)$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+# Suffixes that summary/histogram families attach to their base name.
+AGG_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def fail(lineno, line, why):
+    return f"line {lineno}: {why}: {line!r}"
+
+
+def parse_labels(text, lineno, line, errors):
+    """Parse `k="v",...` (the text between braces); return the label dict."""
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[pos:])
+        if not m:
+            errors.append(fail(lineno, line, "malformed label pair"))
+            return labels
+        name = m.group(1)
+        pos += m.end()
+        value = []
+        while pos < len(text):
+            c = text[pos]
+            if c == "\\":
+                if pos + 1 >= len(text):
+                    errors.append(fail(lineno, line, "dangling escape in label value"))
+                    return labels
+                nxt = text[pos + 1]
+                if nxt not in ('"', "\\", "n"):
+                    errors.append(fail(lineno, line, f"bad escape \\{nxt}"))
+                value.append({"n": "\n"}.get(nxt, nxt))
+                pos += 2
+                continue
+            if c == '"':
+                pos += 1
+                break
+            value.append(c)
+            pos += 1
+        else:
+            errors.append(fail(lineno, line, "unterminated label value"))
+            return labels
+        labels[name] = "".join(value)
+        if pos < len(text):
+            if text[pos] != ",":
+                errors.append(fail(lineno, line, "expected ',' between labels"))
+                return labels
+            pos += 1
+    return labels
+
+
+def base_family(name):
+    """Family a sample belongs to: strips summary/histogram aggregate suffixes."""
+    for suffix in AGG_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text):
+    """Return (errors, values) where values maps metric name -> summed value."""
+    errors = []
+    declared = {}  # family name -> (type, lineno)
+    values = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(fail(lineno, line, "malformed # TYPE"))
+                    continue
+                _, _, family, kind = parts
+                if not METRIC_NAME.match(family):
+                    errors.append(fail(lineno, line, "bad family name"))
+                if kind not in TYPES:
+                    errors.append(fail(lineno, line, f"unknown type {kind!r}"))
+                if family in declared:
+                    errors.append(
+                        fail(lineno, line,
+                             f"duplicate # TYPE (first at line {declared[family][1]})"))
+                else:
+                    declared[family] = (kind, lineno)
+            # `# HELP` and free comments are legal and unchecked.
+            continue
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+\S+)?$", line)
+        if not m:
+            errors.append(fail(lineno, line, "unparseable sample"))
+            continue
+        name, _, labeltext, value, _ = m.groups()
+        if labeltext is not None:
+            parse_labels(labeltext, lineno, line, errors)
+        if not VALUE.match(value):
+            errors.append(fail(lineno, line, f"bad value {value!r}"))
+            continue
+
+        # A sample belongs to its family directly (0.0.4 counters declare the
+        # full `_total` name), via a summary/histogram aggregate suffix, or —
+        # OpenMetrics style — via a TYPE line with the `_total` stripped.
+        candidates = [name, base_family(name)]
+        if name.endswith("_total"):
+            candidates.append(name[: -len("_total")])
+        family = next((c for c in candidates if c in declared), None)
+        if family is None:
+            family = base_family(name)
+            errors.append(fail(lineno, line, f"sample before any # TYPE for {family!r}"))
+            continue
+        kind = declared[family][0]
+        if kind == "counter" and not name.endswith("_total"):
+            errors.append(fail(lineno, line, "counter sample must end in _total"))
+
+        try:
+            values[name] = values.get(name, 0.0) + float(value)
+        except ValueError:
+            values[name] = float("nan")
+    return errors, values
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    src = ap.add_mutually_exclusive_group()
+    src.add_argument("--file", help="read exposition text from a file")
+    src.add_argument("--url", help="scrape exposition text over HTTP")
+    ap.add_argument("--get", metavar="METRIC",
+                    help="print the sum of METRIC across label sets")
+    ap.add_argument("--require", action="append", default=[], metavar="METRIC",
+                    help="fail unless METRIC is present (repeatable)")
+    args = ap.parse_args()
+
+    if args.url:
+        with urllib.request.urlopen(args.url, timeout=10) as resp:
+            if resp.status != 200:
+                print(f"GET {args.url} -> {resp.status}", file=sys.stderr)
+                return 1
+            text = resp.read().decode("utf-8")
+    elif args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors, values = validate(text)
+    for err in errors:
+        print(err, file=sys.stderr)
+    for required in args.require:
+        if required not in values:
+            print(f"required metric missing: {required}", file=sys.stderr)
+            errors.append(required)
+    if errors:
+        return 1
+
+    if args.get:
+        if args.get not in values:
+            print(f"metric not found: {args.get}", file=sys.stderr)
+            return 1
+        value = values[args.get]
+        print(int(value) if value == int(value) else value)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
