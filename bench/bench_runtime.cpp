@@ -19,6 +19,7 @@
 #include "bench_common.h"
 #include "core/convexity.h"
 #include "core/greedy_deploy.h"
+#include "engine/solve_context.h"
 #include "par/thread_pool.h"
 #include "tec/runaway.h"
 
@@ -30,19 +31,30 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 }
 
 /// Greedy deployment on one chip at a fixed pool size; returns wall ms
-/// (best of `reps` to damp scheduler noise).
+/// (best of `reps` to damp scheduler noise). \p incremental_restamp toggles
+/// the engine's per-pass incremental re-stamping vs the pre-engine
+/// full-reassembly behaviour.
 double greedy_ms_at(std::size_t threads, const tfc::linalg::Vector& powers,
-                    int reps = 3) {
+                    int reps = 3, bool incremental_restamp = true) {
   using namespace tfc;
   par::ThreadPool::set_global_threads(threads);
+  core::GreedyDeployOptions options;
+  options.engine.incremental_restamp = incremental_restamp;
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     (void)core::greedy_deploy(thermal::PackageGeometry{}, powers,
-                              tec::TecDeviceParams::chowdhury_superlattice());
+                              tec::TecDeviceParams::chowdhury_superlattice(), options);
     best = std::min(best, ms_since(t0));
   }
   return best;
+}
+
+/// Mean point-solve latency of one engine backend on \p context [ms].
+double backend_probe_ms(const tfc::engine::SolveContext& context, int reps = 20) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < reps; ++k) (void)context.solve(3.0);
+  return ms_since(t0) / reps;
 }
 
 }  // namespace
@@ -115,6 +127,68 @@ int main() {
               "threads — %.2fx speedup (%u hardware threads available)\n",
               greedy_1t_ms, greedy_8t_ms, speedup, hw);
 
+  // Engine-layer ablations on Alpha, single-threaded so the deltas are not
+  // hidden by pool scheduling:
+  //  * incremental re-stamping (PackageModel::extend_tec per greedy pass) vs
+  //    the pre-engine full PackageModel reassembly, and
+  //  * per-backend point-solve latency on the designed deployment.
+  const double greedy_inc_ms = greedy_ms_at(1, powers, 3, true);
+  const double greedy_full_ms = greedy_ms_at(1, powers, 3, false);
+  par::ThreadPool::set_global_threads(0);
+  std::printf("\ngreedy on Alpha (1 thread): %.1f ms with incremental re-stamping "
+              "vs %.1f ms with full reassembly per pass\n",
+              greedy_inc_ms, greedy_full_ms);
+
+  // The per-pass re-stamp itself, isolated: grow the designed deployment by
+  // its final tile via extend() — incrementally (PackageModel::extend_tec)
+  // vs the pre-engine full from-geometry reassembly. This is the assembly
+  // overhead incremental re-stamping eliminates from every greedy pass.
+  double pass_inc_ms = 1e300, pass_full_ms = 1e300;
+  {
+    const auto tiles = res.deployment.tiles();
+    TileMask partial(res.deployment.rows(), res.deployment.cols());
+    for (std::size_t k = 0; k + 1 < tiles.size(); ++k) {
+      partial.set(tiles[k].row, tiles[k].col);
+    }
+    for (int r = 0; r < 10; ++r) {
+      engine::SolveContext ctx(thermal::PackageGeometry{}, partial, powers,
+                               tec::TecDeviceParams::chowdhury_superlattice());
+      const auto t1 = std::chrono::steady_clock::now();
+      ctx.extend(res.deployment);
+      pass_inc_ms = std::min(pass_inc_ms, ms_since(t1));
+    }
+    engine::EngineOptions full_opts;
+    full_opts.incremental_restamp = false;
+    for (int r = 0; r < 10; ++r) {
+      engine::SolveContext ctx(thermal::PackageGeometry{}, partial, powers,
+                               tec::TecDeviceParams::chowdhury_superlattice(),
+                               full_opts);
+      const auto t1 = std::chrono::steady_clock::now();
+      ctx.extend(res.deployment);
+      pass_full_ms = std::min(pass_full_ms, ms_since(t1));
+    }
+  }
+  std::printf("per-pass re-stamp on Alpha: %.3f ms incremental vs %.3f ms full "
+              "assembly — %.3f ms eliminated per greedy pass\n",
+              pass_inc_ms, pass_full_ms, pass_full_ms - pass_inc_ms);
+
+  double probe_ms[3] = {0.0, 0.0, 0.0};
+  const engine::Backend kBackends[3] = {engine::Backend::kCholesky,
+                                        engine::Backend::kCg,
+                                        engine::Backend::kLdlt};
+  for (int k = 0; k < 3; ++k) {
+    engine::EngineOptions opts;
+    opts.backend = kBackends[k];
+    opts.ldlt_max_dim = 16384;  // let the dense backend run on the full grid
+    const engine::SolveContext context(thermal::PackageGeometry{}, res.deployment,
+                                       powers,
+                                       tec::TecDeviceParams::chowdhury_superlattice(),
+                                       opts);
+    probe_ms[k] = backend_probe_ms(context);
+    std::printf("point solve via %-8s backend: %8.3f ms\n",
+                engine::backend_name(kBackends[k]), probe_ms[k]);
+  }
+
   {
     std::ofstream out("BENCH_runtime.json");
     out << "{\"bench\":\"runtime\",\"hardware_threads\":" << hw << ",\"chips\":{";
@@ -131,7 +205,13 @@ int main() {
         << ",\"current_opt\":" << opt_ms << ",\"convexity_cert\":" << cert_ms
         << "},\"greedy_speedup\":{\"threads_1_ms\":" << greedy_1t_ms
         << ",\"threads_8_ms\":" << greedy_8t_ms << ",\"speedup\":" << speedup
-        << "}}\n";
+        << "},\"greedy_restamp\":{\"greedy_incremental_ms\":" << greedy_inc_ms
+        << ",\"greedy_full_reassembly_ms\":" << greedy_full_ms
+        << ",\"pass_incremental_ms\":" << pass_inc_ms
+        << ",\"pass_full_assemble_ms\":" << pass_full_ms
+        << ",\"pass_saved_ms\":" << pass_full_ms - pass_inc_ms
+        << "},\"backend_probe_ms\":{\"cholesky\":" << probe_ms[0]
+        << ",\"cg\":" << probe_ms[1] << ",\"ldlt\":" << probe_ms[2] << "}}\n";
     std::printf("wrote BENCH_runtime.json\n");
   }
   return worst < 180000.0 ? 0 : 1;

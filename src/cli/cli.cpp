@@ -12,6 +12,7 @@
 
 #include "core/cooling_system.h"
 #include "core/sensitivity.h"
+#include "engine/solve_context.h"
 #include "floorplan/alpha21364.h"
 #include "floorplan/hotspot_import.h"
 #include "floorplan/random_chip.h"
@@ -100,6 +101,23 @@ std::string option_or(const ParsedArgs& p, const std::string& key,
   return it == p.options.end() ? fallback : it->second;
 }
 
+/// Resolve --backend into solve-engine options; nullopt (with a message on
+/// \p err) for an unknown backend name.
+std::optional<engine::EngineOptions> parse_engine_options(const ParsedArgs& p,
+                                                          std::ostream& err) {
+  engine::EngineOptions opts;
+  if (auto it = p.options.find("--backend"); it != p.options.end()) {
+    auto backend = engine::parse_backend(it->second);
+    if (!backend) {
+      err << "error: unknown backend '" << it->second << "' (use "
+          << engine::backend_list() << ")\n";
+      return std::nullopt;
+    }
+    opts.backend = *backend;
+  }
+  return opts;
+}
+
 /// Resolve --chip / --flp+--ptrace into a name + tile power map.
 struct ChipInput {
   std::string name;
@@ -169,7 +187,8 @@ std::optional<ChipInput> load_chip(const ParsedArgs& p, std::ostream& err) {
 }
 
 core::DesignResult design_with_fallback(const ChipInput& chip, double limit,
-                                        bool full_cover, bool certify) {
+                                        bool full_cover, bool certify,
+                                        const engine::EngineOptions& engine_opts = {}) {
   core::DesignRequest req;
   req.chip_name = chip.name;
   req.geometry = chip.geometry;
@@ -177,6 +196,7 @@ core::DesignResult design_with_fallback(const ChipInput& chip, double limit,
   req.theta_limit_celsius = limit;
   req.run_full_cover = full_cover;
   req.run_convexity_certificate = certify;
+  req.greedy.engine = engine_opts;
   auto res = core::design_cooling_system(req);
   while (!res.success && req.theta_limit_celsius < limit + 25.0) {
     req.theta_limit_celsius += 1.0;
@@ -193,8 +213,10 @@ int cmd_design(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   const double limit = parse_double(p, "--limit", 85.0);
   const bool full_cover = p.options.find("--no-full-cover") == p.options.end();
   const bool certify = p.options.find("--certify") != p.options.end();
+  const auto engine_opts = parse_engine_options(p, err);
+  if (!engine_opts) return 2;
 
-  auto res = design_with_fallback(*chip, limit, full_cover, certify);
+  auto res = design_with_fallback(*chip, limit, full_cover, certify, *engine_opts);
   out << core::table_header() << "\n" << core::format_table_row(res) << "\n";
   if (p.options.count("--map") != 0) {
     out << "\n" << core::deployment_map(res.deployment);
@@ -235,19 +257,22 @@ int cmd_table1(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
 int cmd_runaway(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   auto chip = load_chip(p, err);
   if (!chip) return 2;
-  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false);
+  const auto engine_opts = parse_engine_options(p, err);
+  if (!engine_opts) return 2;
+  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false,
+                                  *engine_opts);
   if (res.deployment.empty()) {
     err << "error: no TECs deployed; nothing to analyze\n";
     return 1;
   }
-  auto system = tec::ElectroThermalSystem::assemble(
-      chip->geometry, res.deployment, chip->tile_powers,
-      tec::TecDeviceParams::chowdhury_superlattice());
-  const double lm = *tec::runaway_limit(system);
+  const engine::SolveContext context(chip->geometry, res.deployment, chip->tile_powers,
+                                     tec::TecDeviceParams::chowdhury_superlattice(),
+                                     *engine_opts);
+  const double lm = *context.runaway_limit();
   out << "deployment: " << res.tec_count << " TECs; lambda_m = " << lm << " A\n";
   out << "i[A], peak[degC]\n";
   for (double f : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 0.99}) {
-    auto op = system.solve(f * lm);
+    auto op = context.solve(f * lm);
     out << f * lm << ", " << thermal::to_celsius(op->peak_tile_temperature) << "\n";
   }
   return 0;
@@ -256,21 +281,24 @@ int cmd_runaway(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
 int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   auto chip = load_chip(p, err);
   if (!chip) return 2;
-  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false);
+  const auto engine_opts = parse_engine_options(p, err);
+  if (!engine_opts) return 2;
+  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false,
+                                  *engine_opts);
   if (res.deployment.empty()) {
     err << "error: no TECs deployed; nothing to sweep\n";
     return 1;
   }
-  auto system = tec::ElectroThermalSystem::assemble(
-      chip->geometry, res.deployment, chip->tile_powers,
-      tec::TecDeviceParams::chowdhury_superlattice());
-  const double lm = *tec::runaway_limit(system);
+  const engine::SolveContext context(chip->geometry, res.deployment, chip->tile_powers,
+                                     tec::TecDeviceParams::chowdhury_superlattice(),
+                                     *engine_opts);
+  const double lm = *context.runaway_limit();
   const std::size_t points = parse_size(p, "--points", 25);
   const double hi = parse_double(p, "--max-fraction", 0.95) * lm;
   out << "current_a,peak_degc,ptec_w\n";
   for (std::size_t s = 0; s <= points; ++s) {
     const double i = hi * double(s) / double(points);
-    auto op = system.solve(i);
+    auto op = context.solve(i);
     if (!op) break;
     out << i << "," << thermal::to_celsius(op->peak_tile_temperature) << ","
         << op->tec_input_power << "\n";
@@ -281,14 +309,19 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
 int cmd_sensitivity(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   auto chip = load_chip(p, err);
   if (!chip) return 2;
-  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false);
+  const auto engine_opts = parse_engine_options(p, err);
+  if (!engine_opts) return 2;
+  auto res = design_with_fallback(*chip, parse_double(p, "--limit", 85.0), false, false,
+                                  *engine_opts);
   if (res.deployment.empty()) {
     err << "error: no TECs deployed; nothing to analyze\n";
     return 1;
   }
+  core::SensitivityOptions sens;
+  sens.engine = *engine_opts;
   auto rows = core::device_sensitivities(chip->geometry, chip->tile_powers,
                                          tec::TecDeviceParams::chowdhury_superlattice(),
-                                         res.deployment);
+                                         res.deployment, sens);
   out << "parameter,d_peak_per_rel,d_lambda_per_rel,d_iopt_per_rel\n";
   for (const auto& r : rows) {
     out << r.parameter << "," << r.peak_per_unit_relative << ","
@@ -627,16 +660,17 @@ const char kChipOptionHelp[] =
 
 const char* kDesignOptions[] = {"--chip", "--flp", "--ptrace", "--rows", "--cols",
                                 "--die-mm", "--limit", "--map", "--json",
-                                "--certify", "--no-full-cover", nullptr};
+                                "--certify", "--no-full-cover", "--backend", nullptr};
 
 const char* kTable1Options[] = {"--limit", nullptr};
 
 const char* kLimitChipOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
-                                   "--cols", "--die-mm", "--limit", nullptr};
+                                   "--cols", "--die-mm", "--limit", "--backend",
+                                   nullptr};
 
 const char* kSweepOptions[] = {"--chip", "--flp",    "--ptrace",       "--rows",
                                "--cols", "--die-mm", "--limit",        "--points",
-                               "--max-fraction", nullptr};
+                               "--max-fraction", "--backend", nullptr};
 
 const char* kNoOptions[] = {nullptr};
 
@@ -657,6 +691,9 @@ const CommandSpec kCommands[] = {
      "  --json PATH             write the result as JSON\n"
      "  --certify               run the Theorem-4 convexity certificate\n"
      "  --no-full-cover         skip the full-cover comparison\n"
+     "  --backend B             linear backend for point solves\n"
+     "                          (cholesky|cg|ldlt, default cholesky; the\n"
+     "                          design probe path always uses cholesky)\n"
      "\nchip selection:\n",
      cmd_design},
     {"table1", "reproduce the paper's Table I (all 11 benchmark chips)",
@@ -664,6 +701,8 @@ const CommandSpec kCommands[] = {
      cmd_table1},
     {"runaway", "report lambda_m and a supply-current sweep", kLimitChipOptions,
      "  --limit C               design temperature limit [degC] (default 85)\n"
+     "  --backend B             linear backend for point solves\n"
+     "                          (cholesky|cg|ldlt, default cholesky)\n"
      "\nchip selection:\n",
      cmd_runaway},
     {"validate", "compact-model vs fine-grid agreement", kChipOptions,
@@ -673,6 +712,8 @@ const CommandSpec kCommands[] = {
      "  --points N              sweep points (default 25)\n"
      "  --max-fraction F        top of the sweep as a fraction of lambda_m\n"
      "                          (default 0.95)\n"
+     "  --backend B             linear backend for point solves\n"
+     "                          (cholesky|cg|ldlt, default cholesky)\n"
      "\nchip selection:\n",
      cmd_sweep},
     {"sensitivity", "CSV of device-parameter sensitivities at the design",

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "engine/solve_context.h"
+
 namespace tfc::core {
 
 namespace {
@@ -12,12 +14,13 @@ BaselineResult run_with_deployment(const thermal::PackageGeometry& geometry,
                                    const linalg::Vector& tile_powers,
                                    const tec::TecDeviceParams& device,
                                    TileMask deployment,
-                                   const CurrentOptimizerOptions& options) {
-  auto system =
-      tec::ElectroThermalSystem::assemble(geometry, deployment, tile_powers, device);
+                                   const CurrentOptimizerOptions& options,
+                                   const engine::EngineOptions& engine_options) {
+  const engine::SolveContext context(geometry, deployment, tile_powers, device,
+                                     engine_options);
   BaselineResult res;
   res.deployment = std::move(deployment);
-  res.optimum = optimize_current(system, options);
+  res.optimum = optimize_current(context, options);
   res.min_peak_temperature = res.optimum.peak_tile_temperature;
   return res;
 }
@@ -27,23 +30,25 @@ BaselineResult run_with_deployment(const thermal::PackageGeometry& geometry,
 BaselineResult full_cover(const thermal::PackageGeometry& geometry,
                           const linalg::Vector& tile_powers,
                           const tec::TecDeviceParams& device,
-                          const CurrentOptimizerOptions& options) {
+                          const CurrentOptimizerOptions& options,
+                          const engine::EngineOptions& engine_options) {
   return run_with_deployment(geometry, tile_powers, device,
                              TileMask::full(geometry.tile_rows, geometry.tile_cols),
-                             options);
+                             options, engine_options);
 }
 
 BaselineResult threshold_cover(const thermal::PackageGeometry& geometry,
                                const linalg::Vector& tile_powers,
                                const tec::TecDeviceParams& device, std::size_t k,
-                               const CurrentOptimizerOptions& options) {
+                               const CurrentOptimizerOptions& options,
+                               const engine::EngineOptions& engine_options) {
   if (k == 0 || k > geometry.tile_count()) {
     throw std::invalid_argument("threshold_cover: k must be in [1, tile_count]");
   }
   // Rank tiles by passive steady-state temperature.
-  auto passive =
-      tec::ElectroThermalSystem::assemble(geometry, TileMask(), tile_powers, device);
-  auto op = passive.solve(0.0);
+  const engine::SolveContext passive(geometry, TileMask(), tile_powers, device,
+                                     engine_options);
+  auto op = passive.solve_probe(0.0);
   if (!op) throw std::runtime_error("threshold_cover: passive model not solvable");
 
   std::vector<std::size_t> order(geometry.tile_count());
@@ -56,7 +61,8 @@ BaselineResult threshold_cover(const thermal::PackageGeometry& geometry,
   for (std::size_t j = 0; j < k; ++j) {
     mask.set(order[j] / geometry.tile_cols, order[j] % geometry.tile_cols);
   }
-  return run_with_deployment(geometry, tile_powers, device, std::move(mask), options);
+  return run_with_deployment(geometry, tile_powers, device, std::move(mask), options,
+                             engine_options);
 }
 
 }  // namespace tfc::core

@@ -29,16 +29,22 @@ const char* method_name(CurrentMethod method) {
 namespace {
 
 /// Objective: peak silicon tile temperature at current i; +∞ past λ_m.
-double objective(const tec::ElectroThermalSystem& system, double i,
-                 std::size_t& evals, tec::OperatingPoint* op_out = nullptr) {
+/// A zero-allocation workspace-pooled probe — the full operating point is
+/// only materialized when \p op_out is requested.
+double objective(const engine::SolveContext& context, double i, std::size_t& evals,
+                 tec::OperatingPoint* op_out = nullptr) {
   ++evals;
-  auto op = system.solve(i);
-  if (!op) return std::numeric_limits<double>::infinity();
-  if (op_out != nullptr) *op_out = *op;
-  return op->peak_tile_temperature;
+  if (op_out != nullptr) {
+    auto op = context.solve_probe(i);
+    if (!op) return std::numeric_limits<double>::infinity();
+    *op_out = std::move(*op);
+    return op_out->peak_tile_temperature;
+  }
+  auto peak = context.probe_peak(i);
+  return peak ? *peak : std::numeric_limits<double>::infinity();
 }
 
-CurrentOptimum scalar_search(const tec::ElectroThermalSystem& system, double hi,
+CurrentOptimum scalar_search(const engine::SolveContext& context, double hi,
                              const CurrentOptimizerOptions& options,
                              linalg::ScalarMethod method) {
   CurrentOptimum res;
@@ -47,14 +53,14 @@ CurrentOptimum scalar_search(const tec::ElectroThermalSystem& system, double hi,
   mo.x_tol = options.current_tol;
   mo.max_evaluations = options.max_iterations;
   auto r = linalg::minimize_scalar(
-      [&](double i) { return objective(system, i, res.objective_evaluations); }, 0.0,
+      [&](double i) { return objective(context, i, res.objective_evaluations); }, 0.0,
       hi, mo);
   res.current = r.x;
   res.converged = r.converged;
   return res;
 }
 
-CurrentOptimum parallel_section(const tec::ElectroThermalSystem& system, double hi,
+CurrentOptimum parallel_section(const engine::SolveContext& context, double hi,
                                 const CurrentOptimizerOptions& options) {
   CurrentOptimum res;
   const std::size_t k = std::max<std::size_t>(2, options.section_probes);
@@ -68,8 +74,8 @@ CurrentOptimum parallel_section(const tec::ElectroThermalSystem& system, double 
       xs[j] = a + (b - a) * double(j + 1) / double(k + 1);
     }
     const std::vector<double> fs = par::parallel_map(k, [&](std::size_t j) {
-      auto op = system.solve(xs[j]);
-      return op ? op->peak_tile_temperature : std::numeric_limits<double>::infinity();
+      auto peak = context.probe_peak(xs[j]);
+      return peak ? *peak : std::numeric_limits<double>::infinity();
     });
     res.objective_evaluations += k;
     // First minimum wins: a deterministic tie-break, and for a convex
@@ -86,11 +92,12 @@ CurrentOptimum parallel_section(const tec::ElectroThermalSystem& system, double 
   return res;
 }
 
-CurrentOptimum gradient_descent(const tec::ElectroThermalSystem& system, double hi,
+CurrentOptimum gradient_descent(const engine::SolveContext& context, double hi,
                                 const CurrentOptimizerOptions& options) {
+  const tec::ElectroThermalSystem& system = context.system();
   CurrentOptimum res;
   double i = 0.0;
-  double f = objective(system, i, res.objective_evaluations);
+  double f = objective(context, i, res.objective_evaluations);
   double step = options.initial_step;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
@@ -120,7 +127,7 @@ CurrentOptimum gradient_descent(const tec::ElectroThermalSystem& system, double 
     while (trial_step > 1e-7) {
       double i_new = std::clamp(i - trial_step * grad, 0.0, hi);
       if (i_new != i) {
-        const double f_new = objective(system, i_new, res.objective_evaluations);
+        const double f_new = objective(context, i_new, res.objective_evaluations);
         if (f_new < f) {
           i = i_new;
           f = f_new;
@@ -143,26 +150,27 @@ CurrentOptimum gradient_descent(const tec::ElectroThermalSystem& system, double 
 
 }  // namespace
 
-CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
+CurrentOptimum optimize_current(const engine::SolveContext& context,
                                 const CurrentOptimizerOptions& options) {
   TFC_SPAN("optimize_current");
   obs::MetricsRegistry::global().counter("current_opt.calls").increment();
+  const tec::ElectroThermalSystem& system = context.system();
   CurrentOptimum res;
 
   if (system.device_count() == 0) {
     // No devices: current has no effect; report the passive solution.
-    auto op = system.solve(0.0);
+    auto op = context.solve_probe(0.0);
     if (!op) throw std::runtime_error("optimize_current: passive system not solvable");
     res.current = 0.0;
     res.converged = true;
-    res.operating_point = *op;
-    res.peak_tile_temperature = op->peak_tile_temperature;
+    res.operating_point = std::move(*op);
+    res.peak_tile_temperature = res.operating_point.peak_tile_temperature;
     res.tec_input_power = 0.0;
     res.objective_evaluations = 1;
     return res;
   }
 
-  res.lambda_m = tec::runaway_limit(system, options.runaway);
+  res.lambda_m = context.runaway_limit(options.runaway);
   // Search interval: up to just below λ_m; without a finite λ_m fall back to
   // a generous multiple of the single-device optimal pumping current.
   const double hi = res.lambda_m
@@ -173,16 +181,16 @@ CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
   CurrentOptimum inner;
   switch (options.method) {
     case CurrentMethod::kGoldenSection:
-      inner = scalar_search(system, hi, options, linalg::ScalarMethod::kGoldenSection);
+      inner = scalar_search(context, hi, options, linalg::ScalarMethod::kGoldenSection);
       break;
     case CurrentMethod::kBrent:
-      inner = scalar_search(system, hi, options, linalg::ScalarMethod::kBrent);
+      inner = scalar_search(context, hi, options, linalg::ScalarMethod::kBrent);
       break;
     case CurrentMethod::kGradientDescent:
-      inner = gradient_descent(system, hi, options);
+      inner = gradient_descent(context, hi, options);
       break;
     case CurrentMethod::kParallelSection:
-      inner = parallel_section(system, hi, options);
+      inner = parallel_section(context, hi, options);
       break;
   }
 
@@ -190,12 +198,12 @@ CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
   res.converged = inner.converged;
   res.objective_evaluations = inner.objective_evaluations;
 
-  auto op = system.solve(res.current);
+  auto op = context.solve_probe(res.current);
   if (!op) throw std::runtime_error("optimize_current: optimum not solvable");
   ++res.objective_evaluations;
-  res.operating_point = *op;
-  res.peak_tile_temperature = op->peak_tile_temperature;
-  res.tec_input_power = op->tec_input_power;
+  res.operating_point = std::move(*op);
+  res.peak_tile_temperature = res.operating_point.peak_tile_temperature;
+  res.tec_input_power = res.operating_point.tec_input_power;
 
   obs::MetricsRegistry::global()
       .histogram("current_opt.objective_evaluations")
@@ -210,6 +218,12 @@ CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
                  {"max_iterations", options.max_iterations});
   }
   return res;
+}
+
+CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
+                                const CurrentOptimizerOptions& options) {
+  const engine::SolveContext context(system);
+  return optimize_current(context, options);
 }
 
 }  // namespace tfc::core

@@ -13,6 +13,7 @@
 
 #include <optional>
 
+#include "engine/solve_context.h"
 #include "tec/electro_thermal.h"
 #include "tec/runaway.h"
 
@@ -61,7 +62,14 @@ struct CurrentOptimum {
 
 /// Solve Problem 2 for a fixed deployment. For a system without TECs the
 /// optimum is trivially i = 0. Throws std::runtime_error if the passive
-/// system (i = 0) cannot be solved.
+/// system (i = 0) cannot be solved. Every objective evaluation is a
+/// zero-allocation probe through the context's workspace pool, and λ_m is
+/// taken from the context's cache.
+CurrentOptimum optimize_current(const engine::SolveContext& context,
+                                const CurrentOptimizerOptions& options = {});
+
+/// Convenience overload: wraps \p system in a single-use engine::SolveContext
+/// (copying it; the symbolic-analysis cache is shared, not recomputed).
 CurrentOptimum optimize_current(const tec::ElectroThermalSystem& system,
                                 const CurrentOptimizerOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "engine/solve_context.h"
 #include "obs/obs.h"
 
 namespace tfc::core {
@@ -35,10 +36,14 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
   GreedyDeployResult result;
   result.deployment = TileMask(geometry.tile_rows, geometry.tile_cols);
 
+  // One solve context spans the whole greedy loop: the deployment only ever
+  // grows, so each pass extends the stamped network in place (engine
+  // incremental re-stamp) instead of reassembling from geometry.
+  engine::SolveContext context(geometry, TileMask(), tile_powers, device,
+                               options.engine);
+
   // Line 3-4: solve G·θ = p (no TECs) and collect the over-limit set T.
-  auto passive =
-      tec::ElectroThermalSystem::assemble(geometry, TileMask(), tile_powers, device);
-  auto passive_op = passive.solve(0.0);
+  auto passive_op = context.solve_probe(0.0);
   if (!passive_op) throw std::runtime_error("greedy_deploy: passive model not solvable");
   result.peak_without_tec = passive_op->peak_tile_temperature;
   result.peak_tile_temperature = passive_op->peak_tile_temperature;
@@ -66,10 +71,9 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
     metrics.counter("greedy.passes").increment();
     metrics.counter("greedy.accepted_sites").increment(result.deployment.count() - before);
 
-    auto system = tec::ElectroThermalSystem::assemble(geometry, result.deployment,
-                                                      tile_powers, device);
+    context.extend(result.deployment);
     // Line 8: find i_opt minimizing the peak tile temperature.
-    CurrentOptimum opt = optimize_current(system, options.current);
+    CurrentOptimum opt = optimize_current(context, options.current);
     metrics.counter("greedy.candidate_evaluations").increment(opt.objective_evaluations);
 
     result.current = opt.current;

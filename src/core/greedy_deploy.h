@@ -29,6 +29,10 @@ struct GreedyDeployOptions {
   /// bench_ablate_deployment.
   double coverage_margin = 0.0;
   CurrentOptimizerOptions current;
+  /// Solve-engine knobs: one engine::SolveContext spans every pass, so each
+  /// deployment extension is an incremental re-stamp instead of a full
+  /// reassembly (unless incremental_restamp is off).
+  engine::EngineOptions engine;
 };
 
 /// One loop iteration, for reporting/analysis.

@@ -4,25 +4,25 @@
 #include <limits>
 #include <stdexcept>
 
+#include "engine/solve_context.h"
 #include "linalg/sparse_cholesky.h"
 #include "par/parallel.h"
-#include "tec/runaway.h"
 
 namespace tfc::core {
 
 namespace {
 
 /// Fixed deployment, multiple scenarios: evaluate per-scenario tile
-/// temperatures at a current by factoring once and solving per RHS.
+/// temperatures at a current by factoring once (into the context's pooled
+/// workspace) and solving per RHS. Rebuilt per greedy pass on a context that
+/// persists across passes, so each pass is an incremental re-stamp.
 class ScenarioEvaluator {
  public:
-  ScenarioEvaluator(const thermal::PackageGeometry& geometry, const TileMask& deployment,
-                    const std::vector<linalg::Vector>& scenarios,
-                    const tec::TecDeviceParams& device)
-      : scenarios_(&scenarios),
-        system_(tec::ElectroThermalSystem::assemble(geometry, deployment, scenarios[0],
-                                                    device)) {
-    const auto& model = system_.model();
+  ScenarioEvaluator(const engine::SolveContext& context,
+                    const std::vector<linalg::Vector>& scenarios)
+      : scenarios_(&scenarios), context_(&context) {
+    const auto& model = context.system().model();
+    const auto& geometry = model.geometry();
     const std::size_t rows = geometry.tile_rows;
     const std::size_t cols = geometry.tile_cols;
     tile_nodes_.resize(rows * cols);
@@ -37,17 +37,16 @@ class ScenarioEvaluator {
     }
   }
 
-  const tec::ElectroThermalSystem& system() const { return system_; }
-
   /// Per-scenario tile temperature vectors at current i; nullopt past λ_m.
   std::optional<std::vector<linalg::Vector>> tile_temps(double i) const {
     if (i < 0.0) return std::nullopt;
-    auto factor = system_.factorize(i);
-    if (!factor) return std::nullopt;
+    const auto& system = context_->system();
+    engine::SolveContext::WorkspaceLease ws(*context_);
+    if (!system.factorize_into(i, *ws)) return std::nullopt;
+    const linalg::SparseCholeskyFactor& factor = ws->factor;
 
-    const double joule = 0.5 * system_.device().resistance * i * i;
-    const std::size_t f2 =
-        system_.model().refine() * system_.model().refine();
+    const double joule = 0.5 * system.device().resistance * i * i;
+    const std::size_t f2 = system.model().refine() * system.model().refine();
     // One factorization, independent per-scenario solves: result slot s is
     // always scenario s, so the output is identical for any pool size.
     return par::parallel_map(scenarios_->size(), [&](std::size_t s) {
@@ -57,9 +56,9 @@ class ScenarioEvaluator {
         const double share = powers[t] / double(f2);
         for (std::size_t node : tile_nodes_[t]) rhs[node] += share;
       }
-      for (std::size_t hot : system_.model().hot_nodes()) rhs[hot] += joule;
-      for (std::size_t cold : system_.model().cold_nodes()) rhs[cold] += joule;
-      return system_.model().tile_temperatures(factor->solve(rhs));
+      for (std::size_t hot : system.model().hot_nodes()) rhs[hot] += joule;
+      for (std::size_t cold : system.model().cold_nodes()) rhs[cold] += joule;
+      return system.model().tile_temperatures(factor.solve(rhs));
     });
   }
 
@@ -74,7 +73,7 @@ class ScenarioEvaluator {
 
  private:
   const std::vector<linalg::Vector>* scenarios_;
-  tec::ElectroThermalSystem system_;
+  const engine::SolveContext* context_;
   std::vector<std::vector<std::size_t>> tile_nodes_;
   linalg::Vector ambient_rhs_;
 };
@@ -109,8 +108,14 @@ MultiScenarioResult greedy_deploy_multi(const thermal::PackageGeometry& geometry
   MultiScenarioResult result;
   result.deployment = TileMask(geometry.tile_rows, geometry.tile_cols);
 
+  // One context spans the whole loop: deployments only grow, so each pass
+  // re-stamps incrementally. Scenario powers ride in the per-solve RHS, so
+  // the context's installed power map (scenario 0) is never consulted.
+  engine::SolveContext context(geometry, TileMask(), scenarios[0], device,
+                               options.engine);
+
   // Passive worst case over all scenarios.
-  ScenarioEvaluator passive(geometry, TileMask(), scenarios, device);
+  ScenarioEvaluator passive(context, scenarios);
   auto temps0 = passive.tile_temps(0.0);
   if (!temps0) throw std::runtime_error("greedy_deploy_multi: passive solve failed");
   result.peak_without_tec = passive.worst_peak(0.0);
@@ -130,8 +135,9 @@ MultiScenarioResult greedy_deploy_multi(const thermal::PackageGeometry& geometry
     result.deployment |= over;
     ++result.iterations;
 
-    ScenarioEvaluator eval(geometry, result.deployment, scenarios, device);
-    result.lambda_m = tec::runaway_limit(eval.system(), options.current.runaway);
+    context.extend(result.deployment);
+    ScenarioEvaluator eval(context, scenarios);
+    result.lambda_m = context.runaway_limit(options.current.runaway);
     const double hi = result.lambda_m
                           ? options.current.runaway_fraction * *result.lambda_m
                           : 40.0;

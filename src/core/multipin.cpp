@@ -9,7 +9,8 @@
 namespace tfc::core {
 
 std::optional<tec::OperatingPoint> solve_multi_pin(
-    const tec::ElectroThermalSystem& system, const std::vector<double>& currents) {
+    const engine::SolveContext& context, const std::vector<double>& currents) {
+  const auto& system = context.system();
   const auto& model = system.model();
   const auto& hot = model.hot_nodes();
   const auto& cold = model.cold_nodes();
@@ -21,31 +22,39 @@ std::optional<tec::OperatingPoint> solve_multi_pin(
   }
 
   // System matrix G − Σ_j i_j·D_j: per-device Peltier diagonals.
-  // D_hot = +α ⇒ stamp −i_j·α; D_cold = −α ⇒ stamp +i_j·α.
+  // D_hot = +α ⇒ stamp −i_j·α; D_cold = −α ⇒ stamp +i_j·α. The update
+  // preserves G's pattern, so the shared symbolic analysis applies.
   const double alpha = system.device().seebeck;
-  linalg::TripletList delta(system.node_count(), system.node_count());
+  linalg::Vector d(system.node_count());
   for (std::size_t j = 0; j < hot.size(); ++j) {
-    if (currents[j] == 0.0) continue;
-    delta.add(hot[j], hot[j], -currents[j] * alpha);
-    delta.add(cold[j], cold[j], currents[j] * alpha);
+    d[hot[j]] = -currents[j] * alpha;
+    d[cold[j]] = currents[j] * alpha;
   }
-  auto a = system.matrix_g().add_scaled(linalg::SparseMatrix::from_triplets(delta), 1.0);
 
-  auto factor = linalg::SparseCholeskyFactor::factor(a);
-  if (!factor) return std::nullopt;
+  engine::SolveContext::WorkspaceLease ws(context);
+  ws->pencil.assign_add_scaled_diagonal(system.matrix_g(), d, 1.0);
+  const auto& symbolic = system.cholesky_symbolic();
+  if (!symbolic.pattern_matches(ws->pencil)) {
+    // Cannot happen for a well-formed G; fall back to a one-shot factor.
+    auto f = linalg::SparseCholeskyFactor::factor(ws->pencil);
+    if (!f) return std::nullopt;
+    ws->factor = std::move(*f);
+  } else if (!symbolic.refactorize_into(ws->pencil, ws->factor, ws->factor_scratch)) {
+    return std::nullopt;
+  }
 
   // RHS: silicon power + ambient terms + per-device Joule halves.
-  linalg::Vector b = system.rhs(0.0);
+  system.rhs_into(0.0, ws->rhs);
   const double r = system.device().resistance;
   for (std::size_t j = 0; j < hot.size(); ++j) {
     const double joule = 0.5 * r * currents[j] * currents[j];
-    b[hot[j]] += joule;
-    b[cold[j]] += joule;
+    ws->rhs[hot[j]] += joule;
+    ws->rhs[cold[j]] += joule;
   }
 
   tec::OperatingPoint op;
   op.current = 0.0;  // meaningless for the vector drive; see tec_input_power
-  op.theta = factor->solve(b);
+  ws->factor.solve_into(ws->rhs, op.theta, ws->solve_scratch);
   op.tile_temperatures = model.tile_temperatures(op.theta);
   op.peak_tile_temperature = linalg::max_entry(op.tile_temperatures);
   op.tec_input_power = 0.0;
@@ -56,19 +65,28 @@ std::optional<tec::OperatingPoint> solve_multi_pin(
   return op;
 }
 
+std::optional<tec::OperatingPoint> solve_multi_pin(
+    const tec::ElectroThermalSystem& system, const std::vector<double>& currents) {
+  const engine::SolveContext context(system);
+  return solve_multi_pin(context, currents);
+}
+
 MultiPinResult optimize_multi_pin(const tec::ElectroThermalSystem& system,
                                   double shared_start, const MultiPinOptions& options) {
   const std::size_t m = system.model().hot_nodes().size();
   if (m == 0) throw std::invalid_argument("optimize_multi_pin: system has no TECs");
   if (shared_start < 0.0) throw std::invalid_argument("optimize_multi_pin: bad start");
 
+  // One context for the whole descent: shared symbolic analysis + pooled
+  // workspaces across every coordinate probe.
+  const engine::SolveContext context(system);
   MultiPinResult res;
   res.currents.assign(m, shared_start);
-  auto op = solve_multi_pin(system, res.currents);
+  auto op = solve_multi_pin(context, res.currents);
   if (!op) {
     // Shared start already past the vector runaway surface; restart from 0.
     res.currents.assign(m, 0.0);
-    op = solve_multi_pin(system, res.currents);
+    op = solve_multi_pin(context, res.currents);
     if (!op) throw std::runtime_error("optimize_multi_pin: passive solve failed");
   }
   double best = op->peak_tile_temperature;
@@ -81,7 +99,7 @@ MultiPinResult optimize_multi_pin(const tec::ElectroThermalSystem& system,
       const auto eval = [&](double ij) {
         const double saved = res.currents[j];
         res.currents[j] = ij;
-        auto o = solve_multi_pin(system, res.currents);
+        auto o = solve_multi_pin(context, res.currents);
         res.currents[j] = saved;
         return o ? o->peak_tile_temperature : std::numeric_limits<double>::infinity();
       };
@@ -117,7 +135,7 @@ MultiPinResult optimize_multi_pin(const tec::ElectroThermalSystem& system,
     }
   }
 
-  auto final_op = solve_multi_pin(system, res.currents);
+  auto final_op = solve_multi_pin(context, res.currents);
   if (!final_op) throw std::runtime_error("optimize_multi_pin: final solve failed");
   res.peak_tile_temperature = final_op->peak_tile_temperature;
   res.tec_input_power = final_op->tec_input_power;
@@ -143,6 +161,7 @@ GroupedPinResult optimize_grouped_pins(const tec::ElectroThermalSystem& system,
   }
   if (shared_start < 0.0) throw std::invalid_argument("optimize_grouped_pins: bad start");
 
+  const engine::SolveContext context(system);
   GroupedPinResult res;
   res.group_currents.assign(n_groups, shared_start);
 
@@ -152,10 +171,10 @@ GroupedPinResult optimize_grouped_pins(const tec::ElectroThermalSystem& system,
     return currents;
   };
 
-  auto op = solve_multi_pin(system, expand(res.group_currents));
+  auto op = solve_multi_pin(context, expand(res.group_currents));
   if (!op) {
     res.group_currents.assign(n_groups, 0.0);
-    op = solve_multi_pin(system, expand(res.group_currents));
+    op = solve_multi_pin(context, expand(res.group_currents));
     if (!op) throw std::runtime_error("optimize_grouped_pins: passive solve failed");
   }
   double best = op->peak_tile_temperature;
@@ -167,7 +186,7 @@ GroupedPinResult optimize_grouped_pins(const tec::ElectroThermalSystem& system,
       const auto eval = [&](double ig) {
         const double saved = res.group_currents[g];
         res.group_currents[g] = ig;
-        auto o = solve_multi_pin(system, expand(res.group_currents));
+        auto o = solve_multi_pin(context, expand(res.group_currents));
         res.group_currents[g] = saved;
         return o ? o->peak_tile_temperature : std::numeric_limits<double>::infinity();
       };
@@ -203,7 +222,7 @@ GroupedPinResult optimize_grouped_pins(const tec::ElectroThermalSystem& system,
     }
   }
 
-  auto final_op = solve_multi_pin(system, expand(res.group_currents));
+  auto final_op = solve_multi_pin(context, expand(res.group_currents));
   if (!final_op) throw std::runtime_error("optimize_grouped_pins: final solve failed");
   res.peak_tile_temperature = final_op->peak_tile_temperature;
   res.tec_input_power = final_op->tec_input_power;

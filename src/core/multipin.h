@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "engine/solve_context.h"
 #include "tec/electro_thermal.h"
 
 namespace tfc::core {
@@ -35,7 +36,13 @@ struct MultiPinResult {
 };
 
 /// Solve (G − Σ_j i_j·D_j)·θ = p(i⃗). Returns nullopt when the matrix is not
-/// positive definite (vector runaway).
+/// positive definite (vector runaway). The per-device diagonal update
+/// preserves G's pattern, so the context's shared symbolic analysis and
+/// workspace pool serve every probe of the coordinate descent.
+std::optional<tec::OperatingPoint> solve_multi_pin(
+    const engine::SolveContext& context, const std::vector<double>& currents);
+
+/// Convenience overload: wraps \p system in a single-use context per call.
 std::optional<tec::OperatingPoint> solve_multi_pin(
     const tec::ElectroThermalSystem& system, const std::vector<double>& currents);
 

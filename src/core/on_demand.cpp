@@ -111,6 +111,13 @@ OnDemandResult simulate_on_demand(
   return res;
 }
 
+OnDemandResult simulate_on_demand(
+    const engine::SolveContext& context,
+    const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
+    const OnDemandOptions& options) {
+  return simulate_on_demand(context.system(), tile_powers_at, options);
+}
+
 std::vector<OnDemandResult> sweep_on_demand(
     const tec::ElectroThermalSystem& system,
     const std::function<linalg::Vector(std::size_t)>& tile_powers_at,

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "engine/solve_context.h"
 #include "linalg/vector.h"
 #include "tec/electro_thermal.h"
 
@@ -58,6 +59,13 @@ struct OnDemandResult {
 /// TECs.
 OnDemandResult simulate_on_demand(
     const tec::ElectroThermalSystem& system,
+    const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
+    const OnDemandOptions& options = {});
+
+/// Engine-layer overload: simulate on a SolveContext's assembled system
+/// (e.g. the context left behind by a greedy deployment run).
+OnDemandResult simulate_on_demand(
+    const engine::SolveContext& context,
     const std::function<linalg::Vector(std::size_t)>& tile_powers_at,
     const OnDemandOptions& options = {});
 

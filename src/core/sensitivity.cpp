@@ -3,6 +3,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "engine/solve_context.h"
+
 namespace tfc::core {
 
 namespace {
@@ -15,10 +17,13 @@ struct ProbeResult {
 
 ProbeResult probe(const thermal::PackageGeometry& geometry,
                   const linalg::Vector& tile_powers, const tec::TecDeviceParams& device,
-                  const TileMask& deployment, const CurrentOptimizerOptions& options) {
-  auto system =
-      tec::ElectroThermalSystem::assemble(geometry, deployment, tile_powers, device);
-  auto opt = optimize_current(system, options);
+                  const TileMask& deployment, const CurrentOptimizerOptions& options,
+                  const engine::EngineOptions& engine_options) {
+  // Each perturbed device gets its own context (its conductances change the
+  // stamped network), but every current probe inside it is workspace-pooled.
+  const engine::SolveContext context(geometry, deployment, tile_powers, device,
+                                     engine_options);
+  auto opt = optimize_current(context, options);
   ProbeResult r;
   r.peak_celsius = thermal::to_celsius(opt.peak_tile_temperature);
   r.lambda_m = opt.lambda_m ? *opt.lambda_m : 0.0;
@@ -60,9 +65,10 @@ std::vector<ParameterSensitivity> device_sensitivities(
     tec::TecDeviceParams down = device;
     access(down) *= (1.0 - h);
 
-    const ProbeResult pu = probe(geometry, tile_powers, up, deployment, options.current);
+    const ProbeResult pu =
+        probe(geometry, tile_powers, up, deployment, options.current, options.engine);
     const ProbeResult pd =
-        probe(geometry, tile_powers, down, deployment, options.current);
+        probe(geometry, tile_powers, down, deployment, options.current, options.engine);
 
     ParameterSensitivity s;
     s.parameter = name;

@@ -22,6 +22,8 @@ struct SensitivityOptions {
   /// Relative perturbation per parameter (two-sided).
   double relative_step = 0.10;
   CurrentOptimizerOptions current;
+  /// Solve-engine knobs for the per-perturbation contexts.
+  engine::EngineOptions engine;
 };
 
 /// One row of the sensitivity table.

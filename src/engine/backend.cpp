@@ -1,0 +1,23 @@
+#include "engine/backend.h"
+
+namespace tfc::engine {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kCholesky: return "cholesky";
+    case Backend::kCg: return "cg";
+    case Backend::kLdlt: return "ldlt";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "cholesky") return Backend::kCholesky;
+  if (name == "cg") return Backend::kCg;
+  if (name == "ldlt") return Backend::kLdlt;
+  return std::nullopt;
+}
+
+const char* backend_list() { return "cholesky|cg|ldlt"; }
+
+}  // namespace tfc::engine

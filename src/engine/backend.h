@@ -1,0 +1,57 @@
+/// \file backend.h
+/// \brief Runtime-selectable linear backends for the solve-engine layer.
+///
+/// Every steady-state solve in the library is a pencil solve
+/// (G − i·D)·θ = p(i); the backends differ only in how that SPD system is
+/// factored/solved. The sparse Cholesky numeric refactorization is the
+/// default (and the only backend used on the design probe path, where a
+/// failed factorization doubles as the λ_m positive-definiteness test); CG
+/// and the dense LDLT are alternatives for point solves — CG for matrix-free
+/// style iteration on large refined grids, LDLT for tiny grids where dense
+/// factorization wins.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace tfc::engine {
+
+/// Linear backend for point solves (SolveContext::solve).
+enum class Backend {
+  kCholesky,  ///< sparse Cholesky, shared symbolic + numeric refactorize
+  kCg,        ///< Jacobi-preconditioned conjugate gradient
+  kLdlt,      ///< dense LDLT (gated to small systems)
+};
+
+/// Stable lower-case name ("cholesky", "cg", "ldlt") for CLI/metrics/JSON.
+const char* backend_name(Backend backend);
+
+/// Parse a backend_name() string; nullopt for anything else.
+std::optional<Backend> parse_backend(std::string_view name);
+
+/// "cholesky|cg|ldlt" — for CLI help and error messages.
+const char* backend_list();
+
+/// Knobs of the solve-engine layer.
+struct EngineOptions {
+  /// Backend for point solves. The design/probe path (probe_peak,
+  /// solve_probe, optimize_current, greedy_deploy) always uses the direct
+  /// sparse Cholesky refactorization regardless: near λ_m an iterative
+  /// method cannot certify loss of positive definiteness, and the direct
+  /// factorization doubles as that probe — this is also what keeps
+  /// `design --json` byte-identical across backends.
+  Backend backend = Backend::kCholesky;
+  /// CG backend: convergence ||r|| ≤ cg_rel_tol·||b|| and iteration cap.
+  double cg_rel_tol = 1e-12;
+  std::size_t cg_max_iterations = 20000;
+  /// LDLT backend: systems larger than this fall back to sparse Cholesky
+  /// (dense O(n³) is only sensible for tiny grids).
+  std::size_t ldlt_max_dim = 2048;
+  /// Additive deployment deltas re-stamp the package network incrementally
+  /// (PackageModel::extend_tec) instead of rebuilding from geometry; off
+  /// forces a full rebuild per extension (the pre-engine behaviour).
+  bool incremental_restamp = true;
+};
+
+}  // namespace tfc::engine

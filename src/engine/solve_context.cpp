@@ -1,0 +1,267 @@
+#include "engine/solve_context.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "linalg/cg.h"
+#include "linalg/ldlt.h"
+#include "obs/obs.h"
+#include "obs/prometheus.h"
+
+namespace tfc::engine {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Histogram name `engine.solve_ms{backend=...}`; built once per backend.
+const std::string& solve_histogram_name(Backend backend) {
+  static const std::string cholesky =
+      obs::labeled_name("engine.solve_ms", {{"backend", "cholesky"}});
+  static const std::string cg = obs::labeled_name("engine.solve_ms", {{"backend", "cg"}});
+  static const std::string ldlt =
+      obs::labeled_name("engine.solve_ms", {{"backend", "ldlt"}});
+  switch (backend) {
+    case Backend::kCg: return cg;
+    case Backend::kLdlt: return ldlt;
+    case Backend::kCholesky: break;
+  }
+  return cholesky;
+}
+
+void record_solve(Backend backend, std::chrono::steady_clock::time_point t0) {
+  obs::MetricsRegistry::global()
+      .histogram(solve_histogram_name(backend))
+      .record(ms_since(t0));
+}
+
+/// Deployment mask normalized to the geometry's grid shape (an unshaped
+/// default mask means "no TECs").
+TileMask shaped(const TileMask& mask, const thermal::PackageGeometry& geometry) {
+  if (mask.grid_size() == 0) return TileMask(geometry.tile_rows, geometry.tile_cols);
+  if (mask.rows() != geometry.tile_rows || mask.cols() != geometry.tile_cols) {
+    throw std::invalid_argument("SolveContext: deployment shape mismatch");
+  }
+  return mask;
+}
+
+}  // namespace
+
+SolveContext::SolveContext(const thermal::PackageGeometry& geometry,
+                           const TileMask& deployment, const linalg::Vector& tile_powers,
+                           const tec::TecDeviceParams& device, EngineOptions options,
+                           std::size_t stages)
+    : options_(options),
+      geometry_(geometry),
+      tile_powers_(tile_powers),
+      stages_(stages),
+      deployment_(shaped(deployment, geometry)),
+      system_(tec::ElectroThermalSystem::assemble(geometry, deployment, tile_powers,
+                                                  device, stages)) {}
+
+SolveContext::SolveContext(tec::ElectroThermalSystem system, EngineOptions options)
+    : options_(options),
+      geometry_(system.model().geometry()),
+      stages_(system.model().options().tec_stages),
+      deployment_(shaped(system.model().options().tec_tiles, system.model().geometry())),
+      system_(std::move(system)) {
+  // Recover the tile power map from the network for the full-rebuild
+  // fallback (the incremental path replays node powers exactly, so this is
+  // only consulted when a non-additive set_deployment forces a rebuild).
+  const auto& model = system_.model();
+  tile_powers_.resize(geometry_.tile_count());
+  for (std::size_t r = 0; r < geometry_.tile_rows; ++r) {
+    for (std::size_t c = 0; c < geometry_.tile_cols; ++c) {
+      double acc = 0.0;
+      for (std::size_t node : model.silicon_tile_nodes({r, c})) {
+        acc += model.network().power(node);
+      }
+      tile_powers_[r * geometry_.tile_cols + c] = acc;
+    }
+  }
+}
+
+void SolveContext::extend(const TileMask& tiles) {
+  TileMask delta(geometry_.tile_rows, geometry_.tile_cols);
+  bool any = false;
+  for (Tile t : shaped(tiles, geometry_).tiles()) {
+    if (!deployment_.test(t)) {
+      delta.set(t);
+      any = true;
+    }
+  }
+  if (!any) return;
+  invalidate_runaway_cache();
+
+  if (!options_.incremental_restamp) {
+    TileMask next = deployment_;
+    next |= delta;
+    rebuild(next);
+    return;
+  }
+  TFC_SPAN("engine_restamp_incremental");
+  TFC_SPAN_ATTR("added_tiles", delta.count());
+  obs::MetricsRegistry::global().counter("engine.restamp.incremental").increment();
+  // extend_tec replays the node/edge lists in O(model); the conductance
+  // matrix is then re-assembled in O(nnz) — only the rows touched by the new
+  // devices are restamped, everything else is carried over bitwise from the
+  // previous G through the node remap.
+  thermal::TecExtendDelta remap;
+  thermal::PackageModel next = system_.model().extend_tec(delta, &remap);
+  linalg::SparseMatrix g = next.network().conductance_matrix_extended(
+      system_.matrix_g(), remap.old_to_new, remap.dirty_rows);
+  system_ = tec::ElectroThermalSystem(std::move(next), system_.device(), std::move(g));
+  deployment_ |= delta;
+}
+
+void SolveContext::set_deployment(const TileMask& deployment) {
+  const TileMask target = shaped(deployment, geometry_);
+  if (deployment_.subset_of(target)) {
+    extend(target);
+    return;
+  }
+  invalidate_runaway_cache();
+  rebuild(target);
+}
+
+void SolveContext::rebuild(const TileMask& deployment) {
+  TFC_SPAN("engine_restamp_full");
+  obs::MetricsRegistry::global().counter("engine.restamp.full").increment();
+  system_ = tec::ElectroThermalSystem::assemble(geometry_, deployment, tile_powers_,
+                                                system_.device(), stages_);
+  deployment_ = deployment;
+}
+
+void SolveContext::invalidate_runaway_cache() {
+  std::lock_guard<std::mutex> lock(runaway_mutex_);
+  runaway_cache_.clear();
+}
+
+std::optional<double> SolveContext::probe_peak(double i) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  WorkspaceLease ws(*this);
+  std::optional<double> peak;
+  if (system_.factorize_into(i, *ws)) {
+    system_.rhs_into(i, ws->rhs);
+    ws->factor.solve_into(ws->rhs, ws->theta, ws->solve_scratch);
+    system_.model().tile_temperatures_into(ws->theta, ws->tiles);
+    peak = linalg::max_entry(ws->tiles);
+  }
+  record_solve(Backend::kCholesky, t0);
+  return peak;
+}
+
+std::optional<tec::OperatingPoint> SolveContext::solve_probe(double i) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  WorkspaceLease ws(*this);
+  auto op = system_.solve(i, {}, ws.get());
+  record_solve(Backend::kCholesky, t0);
+  return op;
+}
+
+std::optional<tec::OperatingPoint> SolveContext::solve(double i) const {
+  switch (options_.backend) {
+    case Backend::kCholesky: return solve_probe(i);
+    case Backend::kCg: return solve_cg(i);
+    case Backend::kLdlt:
+      if (system_.node_count() > options_.ldlt_max_dim) {
+        // Dense O(n³) is a losing trade on real grids; fall back quietly to
+        // the direct sparse path (same solution).
+        return solve_probe(i);
+      }
+      return solve_ldlt(i);
+  }
+  return solve_probe(i);
+}
+
+namespace {
+
+/// Assemble the full OperatingPoint from a solved temperature vector.
+tec::OperatingPoint finish_point(const tec::ElectroThermalSystem& system, double i,
+                                 linalg::Vector theta) {
+  tec::OperatingPoint op;
+  op.current = i;
+  op.theta = std::move(theta);
+  op.tile_temperatures = system.model().tile_temperatures(op.theta);
+  op.peak_tile_temperature = linalg::max_entry(op.tile_temperatures);
+  op.tec_input_power = system.tec_input_power(i, op.theta);
+  return op;
+}
+
+}  // namespace
+
+std::optional<tec::OperatingPoint> SolveContext::solve_cg(double i) const {
+  if (i < 0.0) return std::nullopt;
+  const auto t0 = std::chrono::steady_clock::now();
+  const linalg::SparseMatrix m = system_.system_matrix(i);
+  linalg::Preconditioner precond;
+  try {
+    precond = linalg::jacobi_preconditioner(m);
+  } catch (const std::invalid_argument&) {
+    // A non-positive pencil diagonal certifies loss of positive
+    // definiteness (i past λ_m pushes hot-node diagonals negative).
+    record_solve(Backend::kCg, t0);
+    return std::nullopt;
+  }
+  linalg::CgOptions co;
+  co.rel_tol = options_.cg_rel_tol;
+  co.max_iterations = options_.cg_max_iterations;
+  const linalg::CgResult r = linalg::conjugate_gradient(m, system_.rhs(i), precond, co);
+  record_solve(Backend::kCg, t0);
+  if (!r.converged) {
+    if (r.iterations < co.max_iterations) return std::nullopt;  // p·Ap ≤ 0 breakdown
+    throw std::runtime_error("SolveContext: cg backend failed to converge");
+  }
+  return finish_point(system_, i, r.x);
+}
+
+std::optional<tec::OperatingPoint> SolveContext::solve_ldlt(double i) const {
+  if (i < 0.0) return std::nullopt;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto f = linalg::LdltFactor::factor(system_.system_matrix(i).to_dense());
+  std::optional<tec::OperatingPoint> op;
+  if (f && f->positive_definite()) {
+    op = finish_point(system_, i, f->solve(system_.rhs(i)));
+  }
+  record_solve(Backend::kLdlt, t0);
+  return op;
+}
+
+std::optional<double> SolveContext::runaway_limit(const tec::RunawayOptions& opts) const {
+  const std::pair<int, double> key{static_cast<int>(opts.method), opts.rel_tol};
+  {
+    std::lock_guard<std::mutex> lock(runaway_mutex_);
+    for (const auto& [k, v] : runaway_cache_) {
+      if (k == key) return v;
+    }
+  }
+  const std::optional<double> v = tec::runaway_limit(system_, opts);
+  std::lock_guard<std::mutex> lock(runaway_mutex_);
+  for (const auto& [k, cached] : runaway_cache_) {
+    if (k == key) return cached;
+  }
+  runaway_cache_.emplace_back(key, v);
+  return v;
+}
+
+tec::SolveWorkspace* SolveContext::acquire_workspace() const {
+  std::lock_guard<std::mutex> lock(ws_mutex_);
+  if (!ws_free_.empty()) {
+    tec::SolveWorkspace* ws = ws_free_.back();
+    ws_free_.pop_back();
+    return ws;
+  }
+  ws_all_.push_back(std::make_unique<tec::SolveWorkspace>());
+  return ws_all_.back().get();
+}
+
+void SolveContext::release_workspace(tec::SolveWorkspace* ws) const {
+  std::lock_guard<std::mutex> lock(ws_mutex_);
+  ws_free_.push_back(ws);
+}
+
+}  // namespace tfc::engine

@@ -1,0 +1,142 @@
+/// \file solve_context.h
+/// \brief tfc::engine::SolveContext — the one object behind every
+/// steady-state solve in the library.
+///
+/// A SolveContext owns the assembled tec::ElectroThermalSystem for one
+/// deployment, the shared symbolic Cholesky analysis, the cached runaway
+/// limit λ_m, and a pool of preallocated solve workspaces (pencil, factor,
+/// rhs/θ buffers), so the current-probe hot path of Problem 2 runs with zero
+/// allocations. Deployments only ever grow during greedy deployment
+/// (Figure 5), so extend() re-stamps the package network incrementally
+/// (PackageModel::extend_tec) instead of re-deriving every conductance from
+/// geometry — bit-identical to a from-scratch assembly, asserted in Debug.
+///
+/// Point solves dispatch over the runtime-selected Backend; the design/probe
+/// path is pinned to the direct sparse factorization (see EngineOptions).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/tile.h"
+#include "engine/backend.h"
+#include "linalg/vector.h"
+#include "tec/electro_thermal.h"
+#include "tec/runaway.h"
+#include "thermal/package.h"
+
+namespace tfc::engine {
+
+/// Reusable solve engine for one (growing) deployment.
+///
+/// Thread model: probe_peak / solve_probe / solve / runaway_limit are const
+/// and safe to call concurrently (the tfc::par candidate probes). extend()
+/// and set_deployment() mutate the context and must not race any solve.
+class SolveContext {
+ public:
+  /// Assemble the system for \p deployment (may be empty) on \p geometry
+  /// with \p tile_powers installed.
+  SolveContext(const thermal::PackageGeometry& geometry, const TileMask& deployment,
+               const linalg::Vector& tile_powers, const tec::TecDeviceParams& device,
+               EngineOptions options = {}, std::size_t stages = 1);
+
+  /// Adopt an already-assembled system (keeps its model, powers and the
+  /// shared symbolic-analysis cache).
+  explicit SolveContext(tec::ElectroThermalSystem system, EngineOptions options = {});
+
+  const tec::ElectroThermalSystem& system() const { return system_; }
+  const EngineOptions& options() const { return options_; }
+  const TileMask& deployment() const { return deployment_; }
+  std::size_t device_count() const { return system_.device_count(); }
+
+  /// Grow the deployment by \p tiles (tiles already deployed are ignored; a
+  /// fully covered \p tiles is a no-op). The purely additive delta is
+  /// re-stamped incrementally when options().incremental_restamp is on
+  /// (metric engine.restamp.incremental), otherwise the model is rebuilt
+  /// from geometry (engine.restamp.full). Invalidates the λ_m cache.
+  void extend(const TileMask& tiles);
+
+  /// Move to an arbitrary \p deployment: additive supersets of the current
+  /// deployment go through extend(); anything else (a removed tile — not an
+  /// additive delta) falls back to a full rebuild from geometry.
+  void set_deployment(const TileMask& deployment);
+
+  /// Zero-allocation positive-definiteness + peak-temperature probe at
+  /// current \p i via the direct sparse refactorization: nullopt when
+  /// G − i·D is not positive definite (i ≥ λ_m) or i < 0, else the peak
+  /// silicon tile temperature [K]. The Problem 2 objective.
+  std::optional<double> probe_peak(double i) const;
+
+  /// Full operating point via the direct sparse refactorization (the same
+  /// pinned probe backend as probe_peak; workspace-pooled).
+  std::optional<tec::OperatingPoint> solve_probe(double i) const;
+
+  /// Point solve dispatched over options().backend. CG reports loss of
+  /// positive definiteness through iteration breakdown (p·Ap ≤ 0) or a
+  /// non-positive pencil diagonal; LDLT through its pivot signs; systems
+  /// above ldlt_max_dim fall back to sparse Cholesky. All backends return
+  /// nullopt when G − i·D is not positive definite or i < 0.
+  std::optional<tec::OperatingPoint> solve(double i) const;
+
+  /// Runaway limit λ_m of the current deployment (nullopt: none). Cached
+  /// per (method, rel_tol); invalidated by extend()/set_deployment().
+  std::optional<double> runaway_limit(const tec::RunawayOptions& opts = {}) const;
+
+  /// RAII lease of a pooled tec::SolveWorkspace (exposed for callers that
+  /// drive ElectroThermalSystem directly, e.g. sensitivity sweeps).
+  class WorkspaceLease {
+   public:
+    explicit WorkspaceLease(const SolveContext& ctx)
+        : ctx_(&ctx), ws_(ctx.acquire_workspace()) {}
+    ~WorkspaceLease() {
+      if (ws_ != nullptr) ctx_->release_workspace(ws_);
+    }
+    WorkspaceLease(const WorkspaceLease&) = delete;
+    WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+    tec::SolveWorkspace& operator*() const { return *ws_; }
+    tec::SolveWorkspace* operator->() const { return ws_; }
+    tec::SolveWorkspace* get() const { return ws_; }
+
+   private:
+    const SolveContext* ctx_;
+    tec::SolveWorkspace* ws_;
+  };
+
+ private:
+  friend class WorkspaceLease;
+
+  tec::SolveWorkspace* acquire_workspace() const;
+  void release_workspace(tec::SolveWorkspace* ws) const;
+
+  /// Full rebuild from geometry (the non-incremental path).
+  void rebuild(const TileMask& deployment);
+  void invalidate_runaway_cache();
+
+  std::optional<tec::OperatingPoint> solve_cg(double i) const;
+  std::optional<tec::OperatingPoint> solve_ldlt(double i) const;
+
+  EngineOptions options_;
+  thermal::PackageGeometry geometry_;
+  linalg::Vector tile_powers_;
+  std::size_t stages_ = 1;
+  TileMask deployment_;
+  tec::ElectroThermalSystem system_;
+
+  // Workspace pool: all_ owns, free_ lists the idle ones. The lock guards
+  // list manipulation only — solves run outside it.
+  mutable std::mutex ws_mutex_;
+  mutable std::vector<std::unique_ptr<tec::SolveWorkspace>> ws_all_;
+  mutable std::vector<tec::SolveWorkspace*> ws_free_;
+
+  // λ_m cache keyed on the runaway options (the deployment is implicit:
+  // extend() invalidates).
+  mutable std::mutex runaway_mutex_;
+  mutable std::vector<std::pair<std::pair<int, double>, std::optional<double>>>
+      runaway_cache_;
+};
+
+}  // namespace tfc::engine

@@ -126,17 +126,29 @@ bool SparseCholeskySymbolic::pattern_matches(const SparseMatrix& a) const {
 
 std::optional<SparseCholeskyFactor> SparseCholeskySymbolic::numeric(
     const SparseMatrix& a) const {
+  SparseCholeskyFactor f;
+  std::vector<double> x;
+  if (!numeric_into(a, f, x)) return std::nullopt;
+  return f;
+}
+
+bool SparseCholeskySymbolic::numeric_into(const SparseMatrix& a, SparseCholeskyFactor& f,
+                                          std::vector<double>& x) const {
   const auto& vals = a.values();
 
-  SparseCholeskyFactor f;
-  f.n_ = n_;
-  f.perm_ = perm_;
-  f.inv_perm_ = inv_perm_;
-  f.cols_.assign(n_, {});
-  for (std::size_t j = 0; j < n_; ++j) f.cols_[j].reserve(lcol_count_[j]);
+  if (f.n_ != n_ || f.perm_ != perm_) {
+    f.n_ = n_;
+    f.perm_ = perm_;
+    f.inv_perm_ = inv_perm_;
+    f.cols_.assign(n_, {});
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    f.cols_[j].clear();
+    f.cols_[j].reserve(lcol_count_[j]);
+  }
   f.diag_.assign(n_, 0.0);
 
-  std::vector<double> x(n_, 0.0);  // dense row workspace
+  x.assign(n_, 0.0);  // dense row workspace
   for (std::size_t k = 0; k < n_; ++k) {
     // Scatter row k of the (permuted) matrix into the workspace.
     double d = 0.0;
@@ -160,10 +172,26 @@ std::optional<SparseCholeskyFactor> SparseCholeskySymbolic::numeric(
       d -= lkj * lkj;
       f.cols_[j].push_back({k, lkj});
     }
-    if (!(d > 0.0) || !std::isfinite(d)) return std::nullopt;
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
     f.diag_[k] = std::sqrt(d);
   }
-  return f;
+  return true;
+}
+
+bool SparseCholeskySymbolic::refactorize_into(const SparseMatrix& a, SparseCholeskyFactor& f,
+                                              std::vector<double>& scratch) const {
+  if (!pattern_matches(a)) {
+    throw std::invalid_argument("SparseCholeskySymbolic::refactorize_into: pattern mismatch");
+  }
+  TFC_SPAN("sparse_refactor");
+  TFC_SPAN_ATTR("n", a.rows());
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = numeric_into(a, f, scratch);
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("cholesky.sparse.refactors").increment();
+  metrics.histogram("cholesky.sparse.refactor_ms").record(ms_since(t0));
+  if (!ok) metrics.counter("cholesky.sparse.not_pd").increment();
+  return ok;
 }
 
 std::optional<SparseCholeskyFactor> SparseCholeskySymbolic::refactorize(
@@ -232,6 +260,31 @@ Vector SparseCholeskyFactor::solve(const Vector& b) const {
   }
   // Un-permute.
   return permute(pb, inv_perm_);
+}
+
+void SparseCholeskyFactor::solve_into(const Vector& b, Vector& x, Vector& scratch) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("SparseCholeskyFactor::solve_into: dimension mismatch");
+  }
+  scratch.resize(n_);
+  // Permute RHS into factor ordering (b may alias x, never scratch).
+  for (std::size_t i = 0; i < n_; ++i) scratch[perm_[i]] = b[i];
+
+  // Forward: L y = pb (columns scatter).
+  for (std::size_t j = 0; j < n_; ++j) {
+    scratch[j] /= diag_[j];
+    const double yj = scratch[j];
+    for (const Entry& e : cols_[j]) scratch[e.row] -= e.value * yj;
+  }
+  // Backward: Lᵀ x = y (columns gather).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    double s = scratch[jj];
+    for (const Entry& e : cols_[jj]) s -= e.value * scratch[e.row];
+    scratch[jj] = s / diag_[jj];
+  }
+  // Un-permute.
+  x.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[inv_perm_[i]] = scratch[i];
 }
 
 Vector SparseCholeskyFactor::inverse_column(std::size_t j) const {

@@ -36,6 +36,10 @@ enum class FillOrdering {
 /// Sparse Cholesky factor with an embedded symmetric pre-ordering.
 class SparseCholeskyFactor {
  public:
+  /// Empty factor, to be filled by SparseCholeskySymbolic::refactorize_into.
+  /// Calling solve() on an empty factor throws (dimension 0 mismatch).
+  SparseCholeskyFactor() = default;
+
   /// Attempt to factor SPD \p a (full symmetric storage). Returns nullopt if
   /// a non-positive pivot arises (matrix not positive definite). One-shot
   /// convenience: runs the symbolic analysis and the numeric phase back to
@@ -57,6 +61,12 @@ class SparseCholeskyFactor {
   /// Solve A x = b.
   Vector solve(const Vector& b) const;
 
+  /// Solve A x = b into caller-owned storage. \p x and \p scratch are
+  /// resized to dim() — zero allocations once both have adopted it.
+  /// \p x must not alias \p scratch; \p b may alias \p x. Identical
+  /// arithmetic to solve().
+  void solve_into(const Vector& b, Vector& x, Vector& scratch) const;
+
   /// Column j of A⁻¹.
   Vector inverse_column(std::size_t j) const;
 
@@ -65,8 +75,6 @@ class SparseCholeskyFactor {
 
  private:
   friend class SparseCholeskySymbolic;
-
-  SparseCholeskyFactor() = default;
 
   struct Entry {
     std::size_t row;
@@ -106,6 +114,14 @@ class SparseCholeskySymbolic {
   /// std::invalid_argument when \p a does not match the analyzed pattern.
   std::optional<SparseCholeskyFactor> refactorize(const SparseMatrix& a) const;
 
+  /// Numeric factorization into a caller-owned factor, reusing its storage —
+  /// zero allocations once \p f has been warmed on this pattern. \p scratch
+  /// is the dense row workspace (resized to dim()). Returns false on a
+  /// non-positive pivot, leaving \p f partially overwritten (invalid).
+  /// Identical arithmetic (and the same span/metrics) as refactorize().
+  bool refactorize_into(const SparseMatrix& a, SparseCholeskyFactor& f,
+                        std::vector<double>& scratch) const;
+
  private:
   friend class SparseCholeskyFactor;
 
@@ -113,6 +129,11 @@ class SparseCholeskySymbolic {
 
   /// The shared numeric sweep (no metrics, no validation).
   std::optional<SparseCholeskyFactor> numeric(const SparseMatrix& a) const;
+
+  /// Numeric sweep writing into caller storage; shared by numeric() and
+  /// refactorize_into().
+  bool numeric_into(const SparseMatrix& a, SparseCholeskyFactor& f,
+                    std::vector<double>& x) const;
 
   std::size_t n_ = 0;
   std::vector<std::size_t> perm_;      // new = perm_[old]

@@ -16,6 +16,28 @@ void TripletList::add_symmetric(std::size_t r, std::size_t c, double value) {
   if (r != c) add(c, r, value);
 }
 
+namespace {
+
+/// Sort one bucketed row by column and sum duplicates in sorted order,
+/// dropping exact zeros — the single merge used by every assembly path, so
+/// incremental re-assembly accumulates in exactly the order a from-scratch
+/// from_triplets() would (bitwise-identical floating-point sums).
+void sort_and_merge_row(std::vector<std::pair<std::size_t, double>>& row) {
+  std::sort(row.begin(), row.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < row.size();) {
+    std::size_t j = i;
+    double acc = 0.0;
+    while (j < row.size() && row[j].first == row[i].first) acc += row[j++].second;
+    if (acc != 0.0) row[out++] = {row[i].first, acc};
+    i = j;
+  }
+  row.resize(out);
+}
+
+}  // namespace
+
 SparseMatrix SparseMatrix::from_triplets(const TripletList& t) {
   SparseMatrix m;
   m.rows_ = t.rows();
@@ -27,19 +49,8 @@ SparseMatrix SparseMatrix::from_triplets(const TripletList& t) {
 
   m.row_ptr_.assign(m.rows_ + 1, 0);
   for (std::size_t r = 0; r < m.rows_; ++r) {
-    auto& row = rows[r];
-    std::sort(row.begin(), row.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < row.size();) {
-      std::size_t j = i;
-      double acc = 0.0;
-      while (j < row.size() && row[j].first == row[i].first) acc += row[j++].second;
-      if (acc != 0.0) row[out++] = {row[i].first, acc};
-      i = j;
-    }
-    row.resize(out);
-    m.row_ptr_[r + 1] = m.row_ptr_[r] + out;
+    sort_and_merge_row(rows[r]);
+    m.row_ptr_[r + 1] = m.row_ptr_[r] + rows[r].size();
   }
   m.col_idx_.reserve(m.row_ptr_.back());
   m.values_.reserve(m.row_ptr_.back());
@@ -47,6 +58,84 @@ SparseMatrix SparseMatrix::from_triplets(const TripletList& t) {
     for (const auto& [c, v] : row) {
       m.col_idx_.push_back(c);
       m.values_.push_back(v);
+    }
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::extend_remapped(const SparseMatrix& previous,
+                                           const std::vector<std::size_t>& old_to_new,
+                                           const std::vector<char>& dirty,
+                                           const TripletList& dirty_triplets) {
+  const std::size_t n = dirty.size();
+  if (dirty_triplets.rows() != n || dirty_triplets.cols() != n) {
+    throw std::invalid_argument("SparseMatrix::extend_remapped: triplet shape mismatch");
+  }
+  if (old_to_new.size() != previous.rows() || !previous.square()) {
+    throw std::invalid_argument("SparseMatrix::extend_remapped: map/previous mismatch");
+  }
+
+  // Invert the (strictly increasing on survivors) old → new row map.
+  std::vector<std::size_t> source(n, npos);
+  std::size_t last_new = npos;
+  for (std::size_t r = 0; r < old_to_new.size(); ++r) {
+    const std::size_t nr = old_to_new[r];
+    if (nr == npos) continue;
+    if (nr >= n || (last_new != npos && nr <= last_new)) {
+      throw std::invalid_argument("SparseMatrix::extend_remapped: map not increasing");
+    }
+    source[nr] = r;
+    last_new = nr;
+  }
+
+  // Bucket the dirty-row stamps (entry order per row is the caller's stamp
+  // order) and merge each with the canonical sort/accumulate/drop pass.
+  std::vector<std::vector<std::pair<std::size_t, double>>> rebuilt(n);
+  for (const auto& e : dirty_triplets.entries()) {
+    if (!dirty[e.row]) {
+      throw std::invalid_argument("SparseMatrix::extend_remapped: stamp in a clean row");
+    }
+    rebuilt[e.row].emplace_back(e.col, e.value);
+  }
+
+  SparseMatrix m;
+  m.rows_ = m.cols_ = n;
+  m.row_ptr_.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t len = 0;
+    if (dirty[r]) {
+      sort_and_merge_row(rebuilt[r]);
+      len = rebuilt[r].size();
+    } else {
+      const std::size_t src = source[r];
+      if (src == npos) {
+        throw std::invalid_argument(
+            "SparseMatrix::extend_remapped: clean row without a source row");
+      }
+      len = previous.row_ptr_[src + 1] - previous.row_ptr_[src];
+    }
+    m.row_ptr_[r + 1] = m.row_ptr_[r] + len;
+  }
+
+  m.col_idx_.reserve(m.row_ptr_.back());
+  m.values_.reserve(m.row_ptr_.back());
+  for (std::size_t r = 0; r < n; ++r) {
+    if (dirty[r]) {
+      for (const auto& [c, v] : rebuilt[r]) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(v);
+      }
+      continue;
+    }
+    const std::size_t src = source[r];
+    for (std::size_t k = previous.row_ptr_[src]; k < previous.row_ptr_[src + 1]; ++k) {
+      const std::size_t c = old_to_new[previous.col_idx_[k]];
+      if (c == npos) {
+        throw std::invalid_argument(
+            "SparseMatrix::extend_remapped: clean row references a dropped column");
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(previous.values_[k]);  // bitwise: no re-accumulation
     }
   }
   return m;
@@ -161,6 +250,31 @@ SparseMatrix SparseMatrix::add_scaled_diagonal(const Vector& d, double alpha) co
     out.values_[std::size_t(it - out.col_idx_.begin())] += add;
   }
   return out;
+}
+
+void SparseMatrix::assign_add_scaled_diagonal(const SparseMatrix& base, const Vector& d,
+                                              double alpha) {
+  if (!base.square() || d.size() != base.rows_) {
+    throw std::invalid_argument("SparseMatrix::assign_add_scaled_diagonal: shape mismatch");
+  }
+  rows_ = base.rows_;
+  cols_ = base.cols_;
+  row_ptr_ = base.row_ptr_;
+  col_idx_ = base.col_idx_;
+  values_ = base.values_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double add = alpha * d[r];
+    if (add == 0.0) continue;
+    const auto begin = col_idx_.begin() + std::ptrdiff_t(row_ptr_[r]);
+    const auto end = col_idx_.begin() + std::ptrdiff_t(row_ptr_[r + 1]);
+    const auto it = std::lower_bound(begin, end, r);
+    if (it == end || *it != r) {
+      // No stored diagonal to update: fall back to the allocating path.
+      *this = base.add_scaled_diagonal(d, alpha);
+      return;
+    }
+    values_[std::size_t(it - col_idx_.begin())] += add;
+  }
 }
 
 bool SparseMatrix::is_symmetric(double tol) const {

@@ -42,6 +42,14 @@ struct RequestRecord {
   std::uint64_t factorizations = 0;
   /// Total CG iterations (0 when the direct solver handled everything).
   std::uint64_t cg_iterations = 0;
+  /// Engine backend serving the session's point solves ("" for non-solver
+  /// methods).
+  std::string backend;
+  /// Incremental deployment re-stamps performed inside the request (greedy
+  /// passes served by PackageModel::extend_tec instead of full reassembly).
+  std::uint64_t restamp_incremental = 0;
+  /// Full from-geometry assemblies performed inside the request.
+  std::uint64_t restamp_full = 0;
   /// Spans captured in the request's trace.
   std::uint64_t span_count = 0;
   /// Completion wall-clock time [µs since the Unix epoch].

@@ -142,6 +142,11 @@ io::JsonValue record_to_json(const obs::RequestRecord& rec) {
   out.set("solve_ms", JsonValue::make_number(rec.solve_ms));
   out.set("factorizations", JsonValue::make_number(double(rec.factorizations)));
   out.set("cg_iterations", JsonValue::make_number(double(rec.cg_iterations)));
+  out.set("backend", rec.backend.empty() ? JsonValue::make_null()
+                                         : JsonValue::make_string(rec.backend));
+  out.set("restamp_incremental",
+          JsonValue::make_number(double(rec.restamp_incremental)));
+  out.set("restamp_full", JsonValue::make_number(double(rec.restamp_full)));
   out.set("span_count", JsonValue::make_number(double(rec.span_count)));
   out.set("wall_us", JsonValue::make_number(double(rec.wall_us)));
   return out;
@@ -613,6 +618,7 @@ void Server::serve_request(Pending& item) {
 
   rec.chip = info.chip;
   rec.cache = info.cache;
+  rec.backend = info.backend;
   rec.status = ok ? "ok" : error_code_name(err_code);
   rec.latency_ms = latency;
   rec.factorize_ms = double(trace.total_us("sparse_factor") +
@@ -621,6 +627,8 @@ void Server::serve_request(Pending& item) {
   for (const auto& span : trace.spans()) {
     const std::string_view name(span.name);
     if (name == "sparse_factor" || name == "sparse_refactor") ++rec.factorizations;
+    if (name == "engine_restamp_incremental") ++rec.restamp_incremental;
+    if (name == "engine_restamp_full") ++rec.restamp_full;
   }
   rec.cg_iterations =
       std::uint64_t(trace.total_attr("cg_solve", "iterations") + 0.5);
@@ -701,19 +709,18 @@ std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params,
       session->design = core::design_cooling_system(req);
     }
 
-    session->system = std::make_shared<const tec::ElectroThermalSystem>(
-        tec::ElectroThermalSystem::assemble(session->geometry,
-                                            session->design.deployment,
-                                            session->tile_powers, req.device,
-                                            /*stages=*/1));
+    session->context = std::make_shared<const engine::SolveContext>(
+        session->geometry, session->design.deployment, session->tile_powers,
+        req.device, engine::EngineOptions{});
     if (!session->design.deployment.empty()) {
-      session->lambda_m = tec::runaway_limit(*session->system);
+      session->lambda_m = session->context->runaway_limit();
     }
     TFC_LOG_INFO("svc_session_built", {"key", k.to_string()},
                  {"tecs", session->design.tec_count});
     return std::shared_ptr<const Session>(session);
   }, &cache_hit);
   info.cache = cache_hit ? 1 : 0;
+  info.backend = engine::backend_name(session->context->options().backend);
   return session;
 }
 
@@ -802,7 +809,7 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
       // λ_m margin of the requested operating point, on the svc.request span.
       TFC_SPAN_ATTR("lambda_margin_a", *session->lambda_m - current);
     }
-    auto op = session->system->solve(current);
+    auto op = session->context->solve(current);
     if (!op) {
       throw ProtocolError(ErrorCode::kBadRequest,
                           "current " + std::to_string(current) +
@@ -861,7 +868,7 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
     JsonValue powers = JsonValue::make_array();
     for (std::size_t s = 0; s <= points; ++s) {
       const double i = hi * double(s) / double(points);
-      auto op = session->system->solve(i);
+      auto op = session->context->solve(i);
       if (!op) break;
       currents.push_back(JsonValue::make_number(i));
       peaks.push_back(

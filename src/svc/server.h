@@ -120,8 +120,9 @@ class Server {
 
   /// What dispatch learned about a request, for the flight record.
   struct DispatchInfo {
-    std::string chip;  ///< "" for non-solver methods
-    int cache = -1;    ///< session-cache outcome: -1 n/a, 0 miss, 1 hit
+    std::string chip;     ///< "" for non-solver methods
+    int cache = -1;       ///< session-cache outcome: -1 n/a, 0 miss, 1 hit
+    std::string backend;  ///< engine backend name; "" for non-solver methods
   };
 
   void accept_loop();

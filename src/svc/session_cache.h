@@ -29,6 +29,7 @@
 #include <string>
 
 #include "core/cooling_system.h"
+#include "engine/solve_context.h"
 #include "tec/electro_thermal.h"
 
 namespace tfc::svc {
@@ -52,9 +53,10 @@ struct Session {
   thermal::PackageGeometry geometry;
   linalg::Vector tile_powers;
   core::DesignResult design;
-  /// Assembled for the designed deployment; carries the shared symbolic
-  /// Cholesky analysis, so solves at any current are numeric-only.
-  std::shared_ptr<const tec::ElectroThermalSystem> system;
+  /// Solve engine assembled for the designed deployment; carries the shared
+  /// symbolic Cholesky analysis and the pooled solve workspaces, so solves
+  /// at any current are numeric-only and allocation-free.
+  std::shared_ptr<const engine::SolveContext> context;
   /// λ_m of the deployment (nullopt when no TECs were deployed).
   std::optional<double> lambda_m;
 };

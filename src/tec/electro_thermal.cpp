@@ -1,5 +1,6 @@
 #include "tec/electro_thermal.h"
 
+#include <cassert>
 #include <mutex>
 #include <stdexcept>
 
@@ -24,6 +25,27 @@ ElectroThermalSystem::ElectroThermalSystem(thermal::PackageModel model,
     throw std::invalid_argument("ElectroThermalSystem: model carries no TEC tiles");
   }
   g_ = model_.network().conductance_matrix();
+  d_diag_ = linalg::Vector(model_.node_count());
+  for (std::size_t hot : model_.hot_nodes()) d_diag_[hot] = +device_.seebeck;
+  for (std::size_t cold : model_.cold_nodes()) d_diag_[cold] = -device_.seebeck;
+}
+
+ElectroThermalSystem::ElectroThermalSystem(thermal::PackageModel model,
+                                           TecDeviceParams device,
+                                           linalg::SparseMatrix g)
+    : model_(std::move(model)), device_(device), g_(std::move(g)),
+      symbolic_cache_(std::make_shared<SymbolicCache>()) {
+  device_.validate();
+  if (model_.tec_tiles().empty()) {
+    throw std::invalid_argument("ElectroThermalSystem: model carries no TEC tiles");
+  }
+#ifndef NDEBUG
+  {
+    const linalg::SparseMatrix fresh = model_.network().conductance_matrix();
+    assert(g_.row_ptr() == fresh.row_ptr() && g_.col_idx() == fresh.col_idx() &&
+           g_.values() == fresh.values());
+  }
+#endif
   d_diag_ = linalg::Vector(model_.node_count());
   for (std::size_t hot : model_.hot_nodes()) d_diag_[hot] = +device_.seebeck;
   for (std::size_t cold : model_.cold_nodes()) d_diag_[cold] = -device_.seebeck;
@@ -82,6 +104,25 @@ std::optional<linalg::SparseCholeskyFactor> ElectroThermalSystem::factorize(
   return symbolic.refactorize(m);
 }
 
+bool ElectroThermalSystem::factorize_into(double i, SolveWorkspace& ws) const {
+  if (i < 0.0) return false;
+  const auto& symbolic = cholesky_symbolic();
+  const linalg::SparseMatrix* m = &g_;
+  if (i != 0.0) {
+    ws.pencil.assign_add_scaled_diagonal(g_, d_diag_, -i);
+    m = &ws.pencil;
+  }
+  if (!symbolic.pattern_matches(*m)) {
+    // Cannot happen for a well-formed G (full structural diagonal), but fall
+    // back to a one-shot factorization rather than fail.
+    auto f = linalg::SparseCholeskyFactor::factor(*m);
+    if (!f) return false;
+    ws.factor = std::move(*f);
+    return true;
+  }
+  return symbolic.refactorize_into(*m, ws.factor, ws.factor_scratch);
+}
+
 linalg::Vector ElectroThermalSystem::power(double i) const {
   linalg::Vector p = model_.network().power_vector();
   const double joule = 0.5 * device_.resistance * i * i;
@@ -91,18 +132,28 @@ linalg::Vector ElectroThermalSystem::power(double i) const {
 }
 
 linalg::Vector ElectroThermalSystem::rhs(double i) const {
-  linalg::Vector r = power(i);
-  const auto& net = model_.network();
-  const double ambient = model_.geometry().ambient;
-  for (std::size_t k = 0; k < net.node_count(); ++k) {
-    const double g = net.ambient_conductance(k);
-    if (g > 0.0) r[k] += g * ambient;
-  }
+  linalg::Vector r;
+  rhs_into(i, r);
   return r;
 }
 
+void ElectroThermalSystem::rhs_into(double i, linalg::Vector& out) const {
+  const auto& net = model_.network();
+  const std::size_t n = net.node_count();
+  out.resize(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = net.power(k);
+  const double joule = 0.5 * device_.resistance * i * i;
+  for (std::size_t hot : model_.hot_nodes()) out[hot] += joule;
+  for (std::size_t cold : model_.cold_nodes()) out[cold] += joule;
+  const double ambient = model_.geometry().ambient;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double g = net.ambient_conductance(k);
+    if (g > 0.0) out[k] += g * ambient;
+  }
+}
+
 std::optional<OperatingPoint> ElectroThermalSystem::solve(
-    double i, const thermal::SteadyStateOptions& options) const {
+    double i, const thermal::SteadyStateOptions& options, SolveWorkspace* ws) const {
   if (i < 0.0) return std::nullopt;
 
   TFC_SPAN("et_solve");
@@ -111,21 +162,22 @@ std::optional<OperatingPoint> ElectroThermalSystem::solve(
   OperatingPoint op;
   op.current = i;
 
-  const auto b = rhs(i);
+  SolveWorkspace local;
+  SolveWorkspace& w = ws != nullptr ? *ws : local;
+  rhs_into(i, w.rhs);
   switch (options.backend) {
     case thermal::SolverBackend::kSparseCholesky:
     case thermal::SolverBackend::kConjugateGradient: {
       // CG is unreliable near λ_m; the direct factorization doubles as the
       // positive-definiteness probe, so use it for both back ends.
-      auto f = factorize(i);
-      if (!f) return std::nullopt;
-      op.theta = f->solve(b);
+      if (!factorize_into(i, w)) return std::nullopt;
+      w.factor.solve_into(w.rhs, op.theta, w.solve_scratch);
       break;
     }
     case thermal::SolverBackend::kDenseCholesky: {
       auto f = linalg::CholeskyFactor::factor(system_matrix(i).to_dense());
       if (!f) return std::nullopt;
-      op.theta = f->solve(b);
+      op.theta = f->solve(w.rhs);
       break;
     }
   }

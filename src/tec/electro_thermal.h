@@ -33,6 +33,21 @@ struct OperatingPoint {
   double tec_input_power = 0.0;
 };
 
+/// Caller-owned scratch for the zero-allocation probe path: the pencil
+/// matrix G − i·D, the numeric factor, and rhs/temperature buffers. Reused
+/// across probes of one deployment (one workspace per thread); every buffer
+/// is warmed on first use and stays allocation-free afterwards.
+struct SolveWorkspace {
+  linalg::SparseMatrix pencil;
+  linalg::SparseCholeskyFactor factor;
+  std::vector<double> factor_scratch;
+  linalg::Vector rhs;
+  linalg::Vector theta;
+  linalg::Vector solve_scratch;
+  /// Per-tile temperature buffer for peak-only probes.
+  linalg::Vector tiles;
+};
+
 /// Immutable coupled system for a fixed deployment. Supply current remains a
 /// free scalar parameter (single extra pin ⇒ all devices share one current,
 /// Section III.B).
@@ -43,6 +58,14 @@ class ElectroThermalSystem {
   /// carries no TEC tiles and \p allow_no_tec is false.
   ElectroThermalSystem(thermal::PackageModel model, TecDeviceParams device,
                        bool allow_no_tec = false);
+
+  /// As above, but adopt \p g instead of assembling it from the model's
+  /// network — the incremental re-stamp fast path (tfc::engine), where G is
+  /// produced in O(nnz) by ConductanceNetwork::conductance_matrix_extended.
+  /// \p g must equal model.network().conductance_matrix() bit for bit
+  /// (asserted in Debug builds).
+  ElectroThermalSystem(thermal::PackageModel model, TecDeviceParams device,
+                       linalg::SparseMatrix g);
 
   /// Convenience factory: build the package model for \p geometry with TECs
   /// on \p deployment (may be empty), install \p tile_powers, and wrap it.
@@ -81,6 +104,12 @@ class ElectroThermalSystem {
   /// positive definite (i ≥ λ_m) or i < 0. Safe to call concurrently.
   std::optional<linalg::SparseCholeskyFactor> factorize(double i) const;
 
+  /// Factor G − i·D into caller-owned storage (pencil, factor and sweep
+  /// scratch live in \p ws) — the zero-allocation variant of factorize().
+  /// Returns false when the matrix is not positive definite (i ≥ λ_m) or
+  /// i < 0, leaving ws.factor invalid. Identical arithmetic to factorize().
+  bool factorize_into(double i, SolveWorkspace& ws) const;
+
   /// Power vector p(i): tile powers on silicon nodes plus r·i²/2 on every
   /// hot/cold node (paper's definition of p).
   linalg::Vector power(double i) const;
@@ -88,10 +117,18 @@ class ElectroThermalSystem {
   /// Full right-hand side p(i) + g_amb·θ_amb.
   linalg::Vector rhs(double i) const;
 
+  /// rhs(i) into caller-owned storage (resized to node_count()); identical
+  /// arithmetic to rhs().
+  void rhs_into(double i, linalg::Vector& out) const;
+
   /// Solve (G − i·D)θ = p(i). Returns nullopt when the matrix is no longer
-  /// positive definite (i ≥ λ_m: thermal runaway) or i < 0.
-  std::optional<OperatingPoint> solve(
-      double i, const thermal::SteadyStateOptions& options = {}) const;
+  /// positive definite (i ≥ λ_m: thermal runaway) or i < 0. Passing a
+  /// caller-owned \p ws reuses its pencil/factor/rhs buffers instead of
+  /// allocating per call (same arithmetic, bit-identical results); the
+  /// returned OperatingPoint still owns its vectors.
+  std::optional<OperatingPoint> solve(double i,
+                                      const thermal::SteadyStateOptions& options = {},
+                                      SolveWorkspace* ws = nullptr) const;
 
   /// Σ over devices of Eq. (3) evaluated at the solved temperatures.
   double tec_input_power(double i, const linalg::Vector& theta) const;

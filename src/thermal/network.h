@@ -58,6 +58,14 @@ struct NodeInfo {
 /// Mutable network under construction.
 class ConductanceNetwork {
  public:
+  /// One pairwise conductance (stamping order is preserved, so a network
+  /// rebuilt by replaying edges() assembles a bit-identical matrix).
+  struct Edge {
+    std::size_t a;
+    std::size_t b;
+    double g;
+  };
+
   /// Add a node; returns its index.
   std::size_t add_node(const NodeInfo& info);
 
@@ -81,12 +89,33 @@ class ConductanceNetwork {
   /// Total conductance from node a to ambient.
   double ambient_conductance(std::size_t a) const { return ambient_legs_.at(a); }
 
+  /// Heat input at node a [W].
+  double power(std::size_t a) const { return power_.at(a); }
+
+  /// All pairwise conductances in stamping order.
+  const std::vector<Edge>& edges() const { return edges_; }
+
   /// Sum of all node power inputs [W].
   double total_power() const;
 
   /// Assemble the Stieltjes matrix G of Eq. (5): off-diagonals −g_kl,
   /// diagonal Σ_l g_kl + g_ambient.
   linalg::SparseMatrix conductance_matrix() const;
+
+  /// Incremental assembly of conductance_matrix() for a network derived from
+  /// an older one by dropping/adding nodes and edges (PackageModel::
+  /// extend_tec): rows marked dirty are restamped from this network's edges
+  /// and ambient legs in stamping order; every other row is copied bitwise
+  /// from \p previous (the old network's conductance_matrix()) with columns
+  /// renamed through \p old_to_new. The result is bit-identical to
+  /// conductance_matrix() at a fraction of its cost — O(edges) with no
+  /// sorting of unchanged rows. \p dirty must mark (at least) every node
+  /// incident to an edge or ambient leg that is not carried over unchanged
+  /// from the old network.
+  linalg::SparseMatrix conductance_matrix_extended(
+      const linalg::SparseMatrix& previous,
+      const std::vector<std::size_t>& old_to_new,
+      const std::vector<char>& dirty) const;
 
   /// Right-hand side of G·θ = p + g_amb·θ_amb for ambient temperature
   /// \p ambient [K].
@@ -102,11 +131,6 @@ class ConductanceNetwork {
   void require_node(std::size_t a, const char* what) const;
 
   std::vector<NodeInfo> nodes_;
-  struct Edge {
-    std::size_t a;
-    std::size_t b;
-    double g;
-  };
   std::vector<Edge> edges_;
   std::vector<double> ambient_legs_;  // per node
   std::vector<double> power_;        // per node

@@ -1,5 +1,7 @@
 #include "thermal/package_model.h"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace tfc::thermal {
@@ -83,20 +85,28 @@ void PackageModel::set_tile_powers(const linalg::Vector& tile_powers) {
 }
 
 linalg::Vector PackageModel::tile_temperatures(const linalg::Vector& theta) const {
+  linalg::Vector out;
+  tile_temperatures_into(theta, out);
+  return out;
+}
+
+void PackageModel::tile_temperatures_into(const linalg::Vector& theta,
+                                          linalg::Vector& out) const {
   const auto& g = options_.geometry;
   if (theta.size() != network_.node_count()) {
     throw std::invalid_argument("PackageModel::tile_temperatures: size mismatch");
   }
   const std::size_t f = options_.lateral_refine;
-  linalg::Vector out(g.tile_count());
+  out.resize(g.tile_count());
   for (std::size_t r = 0; r < g.tile_rows; ++r) {
     for (std::size_t c = 0; c < g.tile_cols; ++c) {
       double acc = 0.0;
-      for (std::size_t node : silicon_tile_nodes({r, c})) acc += theta[node];
+      for (std::size_t sr = 0; sr < f; ++sr) {
+        for (std::size_t sc = 0; sc < f; ++sc) acc += theta[silicon_node({r, c}, sr, sc)];
+      }
       out[r * g.tile_cols + c] = acc / double(f * f);
     }
   }
-  return out;
 }
 
 double PackageModel::peak_tile_temperature(const linalg::Vector& theta) const {
@@ -335,6 +345,7 @@ PackageModel PackageModel::build(const PackageModelOptions& options) {
   // TEC substitution: silicon —g_c— cold —κ— hot —g_h— spreader, with
   // contact conductances split evenly over the tile's refine² subtiles and
   // composed in series with the adjacent half-slabs.
+  model.tec_edge_begin_ = net.edges().size();
   if (any_tec) {
     const double fsq = double(f * f);
     const TecThermalLink& link = options.tec_link;
@@ -367,6 +378,7 @@ PackageModel PackageModel::build(const PackageModelOptions& options) {
       }
     }
   }
+  model.tec_edge_end_ = net.edges().size();
 
   // ---- spreader / sink periphery -------------------------------------------
   // Boundary rows/cols of a grid slab connect laterally to the adjacent edge
@@ -511,6 +523,272 @@ PackageModel PackageModel::build(const PackageModelOptions& options) {
   }
 
   return model;
+}
+
+PackageModel PackageModel::extend_tec(const TileMask& added_tiles,
+                                      TecExtendDelta* delta_out) const {
+  const auto& g = options_.geometry;
+  if (added_tiles.rows() != g.tile_rows || added_tiles.cols() != g.tile_cols) {
+    throw std::invalid_argument("PackageModel::extend_tec: mask shape mismatch");
+  }
+  const std::vector<Tile> fresh_tiles = added_tiles.tiles();
+  if (fresh_tiles.empty()) {
+    if (delta_out != nullptr) {
+      delta_out->old_to_new.resize(network_.node_count());
+      for (std::size_t i = 0; i < delta_out->old_to_new.size(); ++i) {
+        delta_out->old_to_new[i] = i;
+      }
+      delta_out->dirty_rows.assign(network_.node_count(), 0);
+    }
+    return *this;
+  }
+  options_.tec_link.validate();
+  for (Tile t : fresh_tiles) {
+    if (has_tec(t)) {
+      throw std::invalid_argument("PackageModel::extend_tec: tile already carries a TEC");
+    }
+  }
+
+  const std::size_t f = options_.lateral_refine;
+  const std::size_t rf = g.tile_rows * f;
+  const std::size_t cf = g.tile_cols * f;
+  const std::size_t stages = options_.tec_stages;
+  const std::size_t old_n = network_.node_count();
+
+  PackageModel model;
+  model.options_ = options_;
+  model.options_.tec_tiles =
+      options_.tec_tiles.grid_size() != 0 ? options_.tec_tiles
+                                          : TileMask(g.tile_rows, g.tile_cols);
+  model.options_.tec_tiles |= added_tiles;
+
+  // ---- old-node → new-node map, replaying build()'s numbering --------------
+  // Block order is silicon | TIM | spreader | sink | TEC pairs | the rest
+  // (periphery macros + secondary path, created last and kept in order).
+  std::vector<std::size_t> map(old_n, kNoNode);
+  std::vector<char> dropped(old_n, 0);
+  std::size_t next = 0;
+
+  model.sil_ = sil_;  // numbered first in both builds: identity
+  for (const auto& slab : sil_) {
+    for (std::size_t id : slab) map[id] = next++;
+  }
+
+  model.tim_.assign(tim_.size(), std::vector<std::size_t>(rf * cf, kNoNode));
+  for (std::size_t s = 0; s < tim_.size(); ++s) {
+    for (std::size_t rr = 0; rr < rf; ++rr) {
+      for (std::size_t cc = 0; cc < cf; ++cc) {
+        const std::size_t id = tim_[s][rr * cf + cc];
+        if (id == kNoNode) continue;
+        if (added_tiles.test(rr / f, cc / f)) {
+          dropped[id] = 1;  // this TIM node gives way to the new TEC
+          continue;
+        }
+        map[id] = next;
+        model.tim_[s][rr * cf + cc] = next;
+        ++next;
+      }
+    }
+  }
+
+  model.spr_.assign(spr_.size(), std::vector<std::size_t>(rf * cf, kNoNode));
+  for (std::size_t s = 0; s < spr_.size(); ++s) {
+    for (std::size_t i = 0; i < rf * cf; ++i) {
+      map[spr_[s][i]] = next;
+      model.spr_[s][i] = next++;
+    }
+  }
+  model.snk_.assign(rf * cf, kNoNode);
+  for (std::size_t i = 0; i < rf * cf; ++i) {
+    map[snk_[i]] = next;
+    model.snk_[i] = next++;
+  }
+
+  // TEC pairs: union tiles in row-major order (old pairs keep their relative
+  // order; fresh pairs interleave exactly where build() would create them).
+  const double c_tim_vol = g.tim_material.volumetric_heat_capacity;
+  std::vector<NodeInfo> fresh_infos;        // NodeInfo per fresh node id - grid end
+  std::vector<char> is_fresh_tile;          // parallel to the union tile list
+  model.tec_cold_.assign(g.tile_count(), kNoNode);
+  model.tec_hot_.assign(g.tile_count(), kNoNode);
+  for (Tile t : model.options_.tec_tiles.tiles()) {
+    const std::size_t idx = t.row * g.tile_cols + t.col;
+    const bool fresh = added_tiles.test(t);
+    is_fresh_tile.push_back(fresh ? 1 : 0);
+    const std::size_t old_k =
+        fresh ? kNoNode
+              : std::size_t(std::find(tec_tile_list_.begin(), tec_tile_list_.end(), t) -
+                            tec_tile_list_.begin());
+    std::size_t first_cold = kNoNode;
+    std::size_t last_hot = kNoNode;
+    for (std::size_t s = 0; s < stages; ++s) {
+      const std::size_t c_id = next++;
+      const std::size_t h_id = next++;
+      if (fresh) {
+        NodeInfo cold;
+        cold.kind = NodeKind::kTecCold;
+        cold.row = t.row;
+        cold.col = t.col;
+        cold.slab = s;
+        cold.area = g.tile_area();
+        cold.capacitance =
+            c_tim_vol * g.tile_area() * (0.5 * g.tim_thickness / double(stages));
+        NodeInfo hot = cold;
+        hot.kind = NodeKind::kTecHot;
+        fresh_infos.push_back(cold);
+        fresh_infos.push_back(hot);
+      } else {
+        map[cold_nodes_[old_k * stages + s]] = c_id;
+        map[hot_nodes_[old_k * stages + s]] = h_id;
+      }
+      model.cold_nodes_.push_back(c_id);
+      model.hot_nodes_.push_back(h_id);
+      if (s == 0) first_cold = c_id;
+      last_hot = h_id;
+    }
+    model.tec_cold_[idx] = first_cold;
+    model.tec_hot_[idx] = last_hot;
+    model.tec_tile_list_.push_back(t);
+  }
+
+  // The rest (periphery macros, secondary path): created after every grid and
+  // TEC node in build(), so plain old order is the from-scratch order.
+  for (std::size_t id = 0; id < old_n; ++id) {
+    if (map[id] == kNoNode && !dropped[id]) map[id] = next++;
+  }
+  const std::size_t new_n = next;
+
+  // ---- nodes, ambient legs, powers ----------------------------------------
+  ConductanceNetwork& net = model.network_;
+  {
+    std::vector<NodeInfo> infos(new_n);
+    std::vector<double> ambient(new_n, 0.0);
+    std::vector<double> power(new_n, 0.0);
+    for (std::size_t id = 0; id < old_n; ++id) {
+      if (dropped[id]) continue;
+      const std::size_t nid = map[id];
+      infos[nid] = network_.node(id);
+      ambient[nid] = network_.ambient_conductance(id);
+      power[nid] = network_.power(id);
+    }
+    std::size_t fresh_cursor = 0;
+    for (std::size_t j = 0; j < model.tec_tile_list_.size(); ++j) {
+      if (!is_fresh_tile[j]) continue;
+      for (std::size_t s = 0; s < stages; ++s) {
+        infos[model.cold_nodes_[j * stages + s]] = fresh_infos[fresh_cursor++];
+        infos[model.hot_nodes_[j * stages + s]] = fresh_infos[fresh_cursor++];
+      }
+    }
+    for (std::size_t i = 0; i < new_n; ++i) {
+      net.add_node(infos[i]);
+      if (ambient[i] > 0.0) net.add_ambient_leg(i, ambient[i]);
+      if (power[i] != 0.0) net.set_power(i, power[i]);
+    }
+  }
+
+  // ---- edges ---------------------------------------------------------------
+  // Rows whose matrix row cannot be carried over bitwise from the old
+  // assembly: fresh TEC nodes, neighbours of the dropped TIM nodes, and
+  // neighbours of any freshly stamped edge.
+  std::vector<char> dirty(new_n, 0);
+  const auto& old_edges = network_.edges();
+  const auto replay = [&](const ConductanceNetwork::Edge& e) {
+    if (dropped[e.a] || dropped[e.b]) {
+      if (!dropped[e.a]) dirty[map[e.a]] = 1;
+      if (!dropped[e.b]) dirty[map[e.b]] = 1;
+      return;
+    }
+    net.add_conductance(map[e.a], map[e.b], e.g);
+  };
+  const auto stamp_fresh = [&](std::size_t a, std::size_t b, double cond) {
+    dirty[a] = 1;
+    dirty[b] = 1;
+    net.add_conductance(a, b, cond);
+  };
+  for (std::size_t q = 0; q < tec_edge_begin_; ++q) replay(old_edges[q]);
+
+  model.tec_edge_begin_ = net.edges().size();
+  {
+    // Fresh-tile stamping constants, with build()'s exact formulas.
+    const double px = g.tile_pitch_x() / double(f);
+    const double py = g.tile_pitch_y() / double(f);
+    const double sub_area = px * py;
+    const double t_sil = g.die_thickness / double(options_.silicon_slabs);
+    const double t_spr = g.spreader_thickness / double(options_.spreader_slabs);
+    const double r_half_sil =
+        half_slab_resistance(t_sil, g.die_material.thermal_conductivity, sub_area);
+    const double r_half_spr =
+        half_slab_resistance(t_spr, g.spreader_material.thermal_conductivity, sub_area);
+    const double fsq = double(f * f);
+    const TecThermalLink& link = options_.tec_link;
+    const double g_interstage =
+        1.0 / (1.0 / link.g_hot_contact + 1.0 / link.g_cold_contact);
+    // Per-tile group length in the old TEC block: one internal edge per
+    // stage, one inter-stage bond between consecutive stages, and the two
+    // contact edges per subtile.
+    const std::size_t group_len = stages + (stages - 1) + 2 * f * f;
+
+    const auto& sil_top = model.sil_.back();
+    const auto& spr_bot = model.spr_.front();
+    std::size_t old_group = 0;
+    for (std::size_t j = 0; j < model.tec_tile_list_.size(); ++j) {
+      const Tile t = model.tec_tile_list_[j];
+      if (!is_fresh_tile[j]) {
+        const std::size_t base = tec_edge_begin_ + old_group * group_len;
+        for (std::size_t q = base; q < base + group_len; ++q) replay(old_edges[q]);
+        ++old_group;
+        continue;
+      }
+      for (std::size_t s = 0; s < stages; ++s) {
+        stamp_fresh(model.cold_nodes_[j * stages + s],
+                    model.hot_nodes_[j * stages + s], link.g_internal);
+        if (s + 1 < stages) {
+          stamp_fresh(model.hot_nodes_[j * stages + s],
+                      model.cold_nodes_[j * stages + s + 1], g_interstage);
+        }
+      }
+      const std::size_t cold = model.tec_cold_[t.row * g.tile_cols + t.col];
+      const std::size_t hot = model.tec_hot_[t.row * g.tile_cols + t.col];
+      for (std::size_t sr = 0; sr < f; ++sr) {
+        for (std::size_t sc = 0; sc < f; ++sc) {
+          const std::size_t rr = t.row * f + sr;
+          const std::size_t cc = t.col * f + sc;
+          stamp_fresh(sil_top[rr * cf + cc], cold,
+                      series(r_half_sil, fsq / link.g_cold_contact));
+          stamp_fresh(hot, spr_bot[rr * cf + cc],
+                      series(fsq / link.g_hot_contact, r_half_spr));
+        }
+      }
+    }
+  }
+  model.tec_edge_end_ = net.edges().size();
+
+  for (std::size_t q = tec_edge_end_; q < old_edges.size(); ++q) replay(old_edges[q]);
+
+  if (delta_out != nullptr) {
+    delta_out->old_to_new = std::move(map);
+    delta_out->dirty_rows = std::move(dirty);
+  }
+  assert(model.matches_fresh_build());
+  return model;
+}
+
+bool PackageModel::matches_fresh_build() const {
+  PackageModel fresh = build(options_);
+  if (fresh.node_count() != node_count()) return false;
+  const linalg::SparseMatrix a = network_.conductance_matrix();
+  const linalg::SparseMatrix b = fresh.network_.conductance_matrix();
+  if (a.row_ptr() != b.row_ptr() || a.col_idx() != b.col_idx() ||
+      a.values() != b.values()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (network_.ambient_conductance(i) != fresh.network_.ambient_conductance(i)) {
+      return false;
+    }
+    if (network_.node(i).capacitance != fresh.network_.node(i).capacitance) return false;
+  }
+  return true;
 }
 
 }  // namespace tfc::thermal

@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/backend.h"
+
+namespace tfc::engine {
+namespace {
+
+TEST(Backend, NamesRoundTrip) {
+  for (Backend b : {Backend::kCholesky, Backend::kCg, Backend::kLdlt}) {
+    auto parsed = parse_backend(backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+}
+
+TEST(Backend, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_backend("").has_value());
+  EXPECT_FALSE(parse_backend("gauss").has_value());
+  EXPECT_FALSE(parse_backend("Cholesky").has_value());  // case-sensitive
+}
+
+TEST(Backend, ListMentionsEveryBackend) {
+  const std::string list = backend_list();
+  for (Backend b : {Backend::kCholesky, Backend::kCg, Backend::kLdlt}) {
+    EXPECT_NE(list.find(backend_name(b)), std::string::npos) << backend_name(b);
+  }
+}
+
+TEST(Backend, DefaultOptionsUseCholeskyWithIncrementalRestamp) {
+  const EngineOptions opts;
+  EXPECT_EQ(opts.backend, Backend::kCholesky);
+  EXPECT_TRUE(opts.incremental_restamp);
+}
+
+}  // namespace
+}  // namespace tfc::engine

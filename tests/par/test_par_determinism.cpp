@@ -30,6 +30,17 @@ std::string design_json(const std::string& threads, const std::string& path) {
   return slurp(path);
 }
 
+std::string design_json_backend(const std::string& threads,
+                                const std::string& backend,
+                                const std::string& path) {
+  std::ostringstream out, err;
+  const int code = cli::run_cli({"design", "--chip", "alpha", "--threads", threads,
+                                 "--backend", backend, "--json", path},
+                                out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  return slurp(path);
+}
+
 TEST(ParDeterminism, DesignJsonIsByteIdenticalAcrossThreadCounts) {
   const std::string f1 = "design_threads1.json";
   const std::string f8 = "design_threads8.json";
@@ -41,6 +52,23 @@ TEST(ParDeterminism, DesignJsonIsByteIdenticalAcrossThreadCounts) {
 
   ASSERT_FALSE(one.empty());
   EXPECT_EQ(one, eight);
+}
+
+TEST(ParDeterminism, DesignJsonIsByteIdenticalAcrossEngineBackends) {
+  // The engine's design probe path is pinned to the direct factorization, so
+  // the selected point-solve backend must not perturb the output either.
+  const std::string f = "design_backend.json";
+  const std::string reference = design_json("4", f);
+  for (const char* backend : {"cholesky", "cg", "ldlt"}) {
+    for (const char* threads : {"1", "8"}) {
+      EXPECT_EQ(design_json_backend(threads, backend, f), reference)
+          << backend << " threads=" << threads;
+    }
+  }
+  std::remove(f.c_str());
+  par::ThreadPool::set_global_threads(0);
+
+  ASSERT_FALSE(reference.empty());
 }
 
 }  // namespace

@@ -69,6 +69,67 @@ def check_service(baseline_path, current_path):
     return failures
 
 
+def check_restamp(baseline, current):
+    """Gate the engine's incremental re-stamp against full reassembly.
+
+    Two checks, both against ci/bench_baseline.json's greedy_restamp block:
+    an absolute ceiling on the incremental per-pass cost, and a
+    machine-independent floor on the full/incremental ratio — the speedup the
+    engine layer exists to provide must not silently erode back to 1x.
+    """
+    base = baseline.get("greedy_restamp")
+    if base is None:
+        return []
+    cur = current.get("greedy_restamp")
+    if cur is None:
+        print("greedy re-stamp: MISSING from current bench output")
+        return ["greedy_restamp:missing"]
+
+    failures = []
+    inc = float(cur["pass_incremental_ms"])
+    full = float(cur["pass_full_assemble_ms"])
+    ratio = full / inc if inc > 0.0 else float("inf")
+    ceiling = float(base["max_pass_incremental_ms"])
+    floor = float(base["min_pass_saved_ratio"])
+    status = "ok"
+    if inc > ceiling:
+        status = "REGRESSED (ceiling %.3f ms)" % ceiling
+        failures.append("greedy_restamp:pass_incremental_ms")
+    if ratio < floor:
+        status = "REGRESSED (ratio floor %.1fx)" % floor
+        failures.append("greedy_restamp:pass_saved_ratio")
+    print("greedy re-stamp per pass: %.3f ms incremental vs %.3f ms full "
+          "(%.1fx, floor %.1fx)  %s" % (inc, full, ratio, floor, status))
+    return failures
+
+
+def check_backends(baseline, current):
+    """Gate per-backend point-solve latency against absolute ceilings."""
+    base = baseline.get("backend_probe_ms")
+    if base is None:
+        return []
+    cur = current.get("backend_probe_ms")
+    if cur is None:
+        print("backend probes: MISSING from current bench output")
+        return ["backend_probe_ms:missing"]
+
+    failures = []
+    for name in sorted(k for k in base if k != "comment"):
+        ceiling = float(base[name])
+        if name not in cur:
+            print("backend %-8s probe: missing in current (ceiling %.1f ms)"
+                  % (name, ceiling))
+            failures.append("backend_probe_ms:%s" % name)
+            continue
+        ms = float(cur[name])
+        status = "ok" if ms <= ceiling else "REGRESSED (ceiling %.1f ms)" % ceiling
+        if ms > ceiling:
+            failures.append("backend_probe_ms:%s" % name)
+        print("backend %-8s probe: %8.3f ms (ceiling %.1f ms)  %s"
+              % (name, ms, ceiling, status))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -128,6 +189,9 @@ def main():
     speedup = current.get("greedy_speedup", {}).get("speedup")
     if speedup is not None:
         print("greedy 1t->8t speedup: %.2fx" % speedup)
+
+    failures += check_restamp(baseline, current)
+    failures += check_backends(baseline, current)
 
     if bool(args.service_baseline) != bool(args.service_current):
         print("error: --service-baseline and --service-current go together",
