@@ -172,14 +172,13 @@ int main() {
               "assembly — %.3f ms eliminated per greedy pass\n",
               pass_inc_ms, pass_full_ms, pass_full_ms - pass_inc_ms);
 
-  double probe_ms[3] = {0.0, 0.0, 0.0};
-  const engine::Backend kBackends[3] = {engine::Backend::kCholesky,
-                                        engine::Backend::kCg,
-                                        engine::Backend::kLdlt};
-  for (int k = 0; k < 3; ++k) {
+  double probe_ms[2] = {0.0, 0.0};
+  const engine::Backend kBackends[2] = {engine::Backend::kCholesky,
+                                        engine::Backend::kCg};
+  for (int k = 0; k < 2; ++k) {
     engine::EngineOptions opts;
     opts.backend = kBackends[k];
-    opts.ldlt_max_dim = 16384;  // let the dense backend run on the full grid
+    opts.audit.enabled = false;  // the audit ablation is measured separately
     const engine::SolveContext context(thermal::PackageGeometry{}, res.deployment,
                                        powers,
                                        tec::TecDeviceParams::chowdhury_superlattice(),
@@ -188,6 +187,28 @@ int main() {
     std::printf("point solve via %-8s backend: %8.3f ms\n",
                 engine::backend_name(kBackends[k]), probe_ms[k]);
   }
+
+  // Numerical-health audit ablation: mean point-solve latency with the
+  // engine audit off vs on at the service's default 1-in-8 sample rate. The
+  // gate (check_bench_regression.py) caps the overhead at 5%.
+  double audit_off_ms = 0.0, audit_on_ms = 0.0;
+  {
+    engine::EngineOptions opts;
+    opts.audit.enabled = false;
+    const engine::SolveContext off(thermal::PackageGeometry{}, res.deployment, powers,
+                                   tec::TecDeviceParams::chowdhury_superlattice(), opts);
+    audit_off_ms = backend_probe_ms(off, 64);
+    opts.audit.enabled = true;
+    opts.audit.sample_every = 8;  // svc::ServerOptions::audit_every default
+    const engine::SolveContext on(thermal::PackageGeometry{}, res.deployment, powers,
+                                  tec::TecDeviceParams::chowdhury_superlattice(), opts);
+    audit_on_ms = backend_probe_ms(on, 64);
+  }
+  const double audit_overhead_pct =
+      audit_off_ms > 0.0 ? 100.0 * (audit_on_ms - audit_off_ms) / audit_off_ms : 0.0;
+  std::printf("audit ablation (1-in-8 sampling): %.3f ms unaudited vs %.3f ms "
+              "audited — %.2f%% overhead\n",
+              audit_off_ms, audit_on_ms, audit_overhead_pct);
 
   {
     std::ofstream out("BENCH_runtime.json");
@@ -211,7 +232,10 @@ int main() {
         << ",\"pass_full_assemble_ms\":" << pass_full_ms
         << ",\"pass_saved_ms\":" << pass_full_ms - pass_inc_ms
         << "},\"backend_probe_ms\":{\"cholesky\":" << probe_ms[0]
-        << ",\"cg\":" << probe_ms[1] << ",\"ldlt\":" << probe_ms[2] << "}}\n";
+        << ",\"cg\":" << probe_ms[1]
+        << "},\"audit_overhead\":{\"probe_unaudited_ms\":" << audit_off_ms
+        << ",\"probe_audited_ms\":" << audit_on_ms
+        << ",\"overhead_pct\":" << audit_overhead_pct << "}}\n";
     std::printf("wrote BENCH_runtime.json\n");
   }
   return worst < 180000.0 ? 0 : 1;

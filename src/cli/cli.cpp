@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <map>
@@ -36,8 +37,8 @@ struct ParsedArgs {
   std::map<std::string, std::string> options;  // --key value (or "" for flags)
 };
 
-const char* kFlagOptions[] = {"--map", "--help", "--no-full-cover", "--certify",
-                              "--trace", "--raw"};
+const char* kFlagOptions[] = {"--map",  "--help", "--no-full-cover", "--certify",
+                              "--trace", "--raw", "--fault-injection"};
 
 struct CommandSpec;
 const CommandSpec* find_command(const std::string& name);
@@ -402,6 +403,9 @@ int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   opts.slow_ms = parse_double(p, "--slow-ms", 0.0);
   opts.recorder_capacity = parse_size(p, "--recent", 128);
   opts.trace_path = option_or(p, "--trace-file", "");
+  opts.audit_every = parse_size(p, "--audit-every", 8);
+  opts.cross_check_every = parse_size(p, "--cross-check-every", 4);
+  opts.fault_injection = p.options.count("--fault-injection") != 0;
   if (opts.queue_capacity == 0) {
     err << "error: --queue must be >= 1\n";
     return 2;
@@ -450,10 +454,13 @@ void print_recent_table(const io::JsonValue& reply, std::ostream& out) {
       << std::setw(7) << "chip" << std::setw(6) << "cache" << std::setw(19)
       << "status" << std::right << std::setw(10) << "queue_ms" << std::setw(10)
       << "lat_ms" << std::setw(9) << "fact_ms" << std::setw(10) << "solve_ms"
-      << std::setw(7) << "facts" << std::setw(7) << "cg_it" << "\n";
+      << std::setw(7) << "facts" << std::setw(7) << "cg_it" << std::setw(7)
+      << "audit" << std::setw(10) << "resid" << std::setw(10) << "balance"
+      << "\n";
   for (const io::JsonValue& r : requests) {
     const io::JsonValue* chip = r.get("chip");
     const io::JsonValue* cache = r.get("cache");
+    const io::JsonValue* audit = r.get("audit");
     out << std::left << std::setw(6) << std::size_t(r.number_or("seq", 0.0))
         << std::setw(9) << r.string_or("method", "?") << std::setw(7)
         << (chip != nullptr && chip->is_string() ? chip->as_string() : "-")
@@ -466,7 +473,21 @@ void print_recent_table(const io::JsonValue& reply, std::ostream& out) {
         << r.number_or("factorize_ms", 0.0) << std::setw(10)
         << r.number_or("solve_ms", 0.0) << std::defaultfloat << std::setw(7)
         << std::size_t(r.number_or("factorizations", 0.0)) << std::setw(7)
-        << std::size_t(r.number_or("cg_iterations", 0.0)) << "\n";
+        << std::size_t(r.number_or("cg_iterations", 0.0)) << std::setw(7)
+        << (audit != nullptr && audit->is_string() ? audit->as_string() : "-");
+    const double resid = r.number_or("rel_residual", -1.0);
+    const double balance = r.number_or("energy_balance_rel", -1.0);
+    auto put_ratio = [&out](double v) {
+      if (v < 0.0) {
+        out << std::setw(10) << "-";
+      } else {
+        out << std::scientific << std::setprecision(1) << std::setw(10) << v
+            << std::defaultfloat;
+      }
+    };
+    put_ratio(resid);
+    put_ratio(balance);
+    out << "\n";
   }
 }
 
@@ -531,6 +552,90 @@ int cmd_request(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
       out << reply_line << std::endl;
     }
     return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+/// Ask a running service for its numerical-health verdict and render it.
+/// Exit code: 0 = green, 1 = degraded/red (or error reply), 2 = transport.
+int cmd_health(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const std::string socket_path = option_or(p, "--socket", "");
+  const std::string connect = option_or(p, "--connect", "");
+  if (socket_path.empty() == connect.empty()) {
+    err << "error: health needs exactly one of --socket PATH or --connect HOST:PORT\n";
+    return 2;
+  }
+
+  io::JsonValue request = io::JsonValue::make_object();
+  request.set("id", io::JsonValue::make_number(1));
+  request.set("method", io::JsonValue::make_string("health"));
+
+  try {
+    svc::Client client = socket_path.empty()
+                             ? [&] {
+                                 const auto [host, port] = svc::parse_listen_spec(connect);
+                                 return svc::Client::connect_tcp(host, port);
+                               }()
+                             : svc::Client::connect_unix(socket_path);
+    client.set_receive_timeout_ms(parse_double(p, "--timeout-ms", 120000.0));
+    const std::string reply_line = client.call_raw(request.dump());
+    const io::JsonValue reply = io::parse_json(reply_line);
+    if (p.options.count("--raw") != 0) {
+      out << reply_line << std::endl;
+    }
+    if (!reply.bool_or("ok", false)) {
+      if (p.options.count("--raw") == 0) out << reply_line << std::endl;
+      return 1;
+    }
+    const io::JsonValue& result = reply.at("result");
+    const std::string verdict = result.string_or("verdict", "?");
+    out << "health: " << verdict << " ("
+        << std::size_t(result.number_or("samples", 0.0)) << " certificates, "
+        << std::size_t(result.number_or("violations", 0.0)) << " violations; "
+        << "audit 1-in-" << std::size_t(result.number_or("audit_every", 0.0))
+        << ", cross-check 1-in-"
+        << std::size_t(result.number_or("cross_check_every", 0.0)) << ", window "
+        << std::size_t(result.number_or("window", 0.0)) << ")\n";
+
+    if (const io::JsonValue* scopes = result.get("scopes");
+        scopes != nullptr && scopes->is_array() && !scopes->as_array().empty()) {
+      out << std::left << std::setw(28) << "scope" << std::right << std::setw(8)
+          << "certs" << std::setw(7) << "viol" << std::setw(7) << "degr"
+          << std::setw(12) << "worst_resid" << std::setw(12) << "worst_bal"
+          << std::setw(8) << "xchk" << std::setw(11) << "drift" << "\n";
+      for (const io::JsonValue& s : scopes->as_array()) {
+        auto ratio_text = [](const io::JsonValue& v, const char* key) {
+          const io::JsonValue* field = v.get(key);
+          if (field == nullptr || !field->is_number() || field->as_number() < 0.0) {
+            return std::string("-");
+          }
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.1e", field->as_number());
+          return std::string(buf);
+        };
+        out << std::left << std::setw(28) << s.string_or("scope", "?")
+            << std::right << std::setw(8)
+            << std::size_t(s.number_or("samples", 0.0)) << std::setw(7)
+            << std::size_t(s.number_or("violations", 0.0)) << std::setw(7)
+            << std::size_t(s.number_or("degraded", 0.0)) << std::setw(12)
+            << ratio_text(s, "worst_rel_residual") << std::setw(12)
+            << ratio_text(s, "worst_energy_balance_rel") << std::setw(8)
+            << std::size_t(s.number_or("cross_checks", 0.0)) << std::setw(11)
+            << ratio_text(s, "last_cross_check_drift") << "\n";
+      }
+    }
+    if (const io::JsonValue* offenders = result.get("offenders");
+        offenders != nullptr && offenders->is_array() &&
+        !offenders->as_array().empty()) {
+      out << "offenders:";
+      for (const io::JsonValue& o : offenders->as_array()) {
+        out << " " << (o.is_string() ? o.as_string() : std::string("?"));
+      }
+      out << "\n";
+    }
+    return verdict == "green" ? 0 : 1;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 2;
@@ -677,7 +782,12 @@ const char* kNoOptions[] = {nullptr};
 const char* kServeOptions[] = {"--socket",      "--listen",   "--workers",
                                "--queue",       "--cache",    "--deadline-ms",
                                "--prom-addr",   "--slow-ms",  "--recent",
-                               "--trace-file",  nullptr};
+                               "--trace-file",  "--audit-every",
+                               "--cross-check-every", "--fault-injection",
+                               nullptr};
+
+const char* kHealthOptions[] = {"--socket", "--connect", "--timeout-ms",
+                                "--raw", nullptr};
 
 const char* kRequestOptions[] = {"--socket",      "--connect", "--method",
                                  "--params",      "--id",      "--deadline-ms",
@@ -692,7 +802,7 @@ const CommandSpec kCommands[] = {
      "  --certify               run the Theorem-4 convexity certificate\n"
      "  --no-full-cover         skip the full-cover comparison\n"
      "  --backend B             linear backend for point solves\n"
-     "                          (cholesky|cg|ldlt, default cholesky; the\n"
+     "                          (cholesky|cg, default cholesky; the\n"
      "                          design probe path always uses cholesky)\n"
      "\nchip selection:\n",
      cmd_design},
@@ -702,7 +812,7 @@ const CommandSpec kCommands[] = {
     {"runaway", "report lambda_m and a supply-current sweep", kLimitChipOptions,
      "  --limit C               design temperature limit [degC] (default 85)\n"
      "  --backend B             linear backend for point solves\n"
-     "                          (cholesky|cg|ldlt, default cholesky)\n"
+     "                          (cholesky|cg, default cholesky)\n"
      "\nchip selection:\n",
      cmd_runaway},
     {"validate", "compact-model vs fine-grid agreement", kChipOptions,
@@ -713,7 +823,7 @@ const CommandSpec kCommands[] = {
      "  --max-fraction F        top of the sweep as a fraction of lambda_m\n"
      "                          (default 0.95)\n"
      "  --backend B             linear backend for point solves\n"
-     "                          (cholesky|cg|ldlt, default cholesky)\n"
+     "                          (cholesky|cg, default cholesky)\n"
      "\nchip selection:\n",
      cmd_sweep},
     {"sensitivity", "CSV of device-parameter sensitivities at the design",
@@ -737,6 +847,11 @@ const CommandSpec kCommands[] = {
      "                          latency reaches D ms (default off)\n"
      "  --recent N              flight-recorder capacity (default 128)\n"
      "  --trace-file PATH       append each request's span tree as JSONL\n"
+     "  --audit-every N         numerical-health audit of 1-in-N solves\n"
+     "                          (default 8; 0 disables)\n"
+     "  --cross-check-every N   CG cross-check of 1-in-N audited cache hits\n"
+     "                          (default 4; 0 disables)\n"
+     "  --fault-injection       enable the test-only 'inject' method\n"
      "\nstops gracefully (drain, then exit 0) on SIGINT/SIGTERM or a\n"
      "'shutdown' request.\n",
      cmd_serve},
@@ -744,8 +859,8 @@ const CommandSpec kCommands[] = {
      kRequestOptions,
      "  --socket PATH           connect to a unix-domain socket\n"
      "  --connect HOST:PORT     connect over TCP instead\n"
-     "  --method NAME           ping|stats|metrics|recent|solve|design|\n"
-     "                          runaway|sweep|shutdown\n"
+     "  --method NAME           ping|stats|metrics|recent|health|solve|\n"
+     "                          design|runaway|sweep|shutdown\n"
      "  --params JSON           request parameters as a JSON object\n"
      "  --id ID                 request id to echo (default 1)\n"
      "  --deadline-ms D         server-side deadline for this request\n"
@@ -757,6 +872,15 @@ const CommandSpec kCommands[] = {
      "methods print the raw reply line.\n"
      "exit code: 0 = ok reply, 1 = error reply, 2 = transport/usage error.\n",
      cmd_request},
+    {"health", "numerical-health verdict of a running service", kHealthOptions,
+     "  --socket PATH           connect to a unix-domain socket\n"
+     "  --connect HOST:PORT     connect over TCP instead\n"
+     "  --timeout-ms T          client-side reply timeout (default 120000)\n"
+     "  --raw                   also print the raw reply line\n"
+     "\nprints the service's green/degraded/red verdict, per-session audit\n"
+     "statistics, and any offending sessions.\n"
+     "exit code: 0 = green, 1 = degraded/red, 2 = transport/usage error.\n",
+     cmd_health},
     {"version", "print build provenance (git, compiler, build type)", kNoOptions,
      "", cmd_version},
 };

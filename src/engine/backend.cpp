@@ -1,12 +1,13 @@
 #include "engine/backend.h"
 
+#include <cstdio>
+
 namespace tfc::engine {
 
 const char* backend_name(Backend backend) {
   switch (backend) {
     case Backend::kCholesky: return "cholesky";
     case Backend::kCg: return "cg";
-    case Backend::kLdlt: return "ldlt";
   }
   return "?";
 }
@@ -14,10 +15,26 @@ const char* backend_name(Backend backend) {
 std::optional<Backend> parse_backend(std::string_view name) {
   if (name == "cholesky") return Backend::kCholesky;
   if (name == "cg") return Backend::kCg;
-  if (name == "ldlt") return Backend::kLdlt;
   return std::nullopt;
 }
 
-const char* backend_list() { return "cholesky|cg|ldlt"; }
+const char* backend_list() { return "cholesky|cg"; }
+
+namespace {
+
+std::string cg_message(std::size_t iterations, double rel_residual) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "cg backend failed to converge: %zu iterations, rel residual %.3e",
+                iterations, rel_residual);
+  return buf;
+}
+
+}  // namespace
+
+CgNonConvergedError::CgNonConvergedError(std::size_t iterations, double rel_residual)
+    : std::runtime_error(cg_message(iterations, rel_residual)),
+      iterations_(iterations),
+      rel_residual_(rel_residual) {}
 
 }  // namespace tfc::engine

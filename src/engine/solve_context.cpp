@@ -4,8 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "engine/audit.h"
 #include "linalg/cg.h"
-#include "linalg/ldlt.h"
 #include "obs/obs.h"
 #include "obs/prometheus.h"
 
@@ -23,11 +23,8 @@ const std::string& solve_histogram_name(Backend backend) {
   static const std::string cholesky =
       obs::labeled_name("engine.solve_ms", {{"backend", "cholesky"}});
   static const std::string cg = obs::labeled_name("engine.solve_ms", {{"backend", "cg"}});
-  static const std::string ldlt =
-      obs::labeled_name("engine.solve_ms", {{"backend", "ldlt"}});
   switch (backend) {
     case Backend::kCg: return cg;
-    case Backend::kLdlt: return ldlt;
     case Backend::kCholesky: break;
   }
   return cholesky;
@@ -160,20 +157,19 @@ std::optional<tec::OperatingPoint> SolveContext::solve_probe(double i) const {
   WorkspaceLease ws(*this);
   auto op = system_.solve(i, {}, ws.get());
   record_solve(Backend::kCholesky, t0);
+  if (op.has_value()) maybe_audit(*op);
   return op;
 }
 
 std::optional<tec::OperatingPoint> SolveContext::solve(double i) const {
-  switch (options_.backend) {
+  return solve_backend(options_.backend, i);
+}
+
+std::optional<tec::OperatingPoint> SolveContext::solve_backend(Backend backend,
+                                                               double i) const {
+  switch (backend) {
     case Backend::kCholesky: return solve_probe(i);
     case Backend::kCg: return solve_cg(i);
-    case Backend::kLdlt:
-      if (system_.node_count() > options_.ldlt_max_dim) {
-        // Dense O(n³) is a losing trade on real grids; fall back quietly to
-        // the direct sparse path (same solution).
-        return solve_probe(i);
-      }
-      return solve_ldlt(i);
   }
   return solve_probe(i);
 }
@@ -210,25 +206,59 @@ std::optional<tec::OperatingPoint> SolveContext::solve_cg(double i) const {
   linalg::CgOptions co;
   co.rel_tol = options_.cg_rel_tol;
   co.max_iterations = options_.cg_max_iterations;
-  const linalg::CgResult r = linalg::conjugate_gradient(m, system_.rhs(i), precond, co);
+  const linalg::Vector b = system_.rhs(i);
+  const linalg::CgResult r = linalg::conjugate_gradient(m, b, precond, co);
   record_solve(Backend::kCg, t0);
   if (!r.converged) {
     if (r.iterations < co.max_iterations) return std::nullopt;  // p·Ap ≤ 0 breakdown
-    throw std::runtime_error("SolveContext: cg backend failed to converge");
+    // First-class non-convergence signal: count it, leave a degraded audit
+    // record showing how wrong the abandoned θ was, then throw a typed error
+    // instead of returning a silently-inaccurate operating point.
+    obs::MetricsRegistry::global().counter("engine.cg.nonconverged").increment();
+    const double rel =
+        linalg::norm2(b) > 0.0 ? r.residual_norm / linalg::norm2(b) : r.residual_norm;
+    if (options_.audit.enabled) {
+      record_audit_metrics(
+          audit_point(system_, finish_point(system_, i, r.x), cached_runaway_limit(),
+                      /*degraded=*/true),
+          options_.audit.tolerances);
+    }
+    throw CgNonConvergedError(r.iterations, rel);
   }
-  return finish_point(system_, i, r.x);
+  auto op = finish_point(system_, i, r.x);
+  maybe_audit(op);
+  return op;
 }
 
-std::optional<tec::OperatingPoint> SolveContext::solve_ldlt(double i) const {
-  if (i < 0.0) return std::nullopt;
-  const auto t0 = std::chrono::steady_clock::now();
-  auto f = linalg::LdltFactor::factor(system_.system_matrix(i).to_dense());
-  std::optional<tec::OperatingPoint> op;
-  if (f && f->positive_definite()) {
-    op = finish_point(system_, i, f->solve(system_.rhs(i)));
+void SolveContext::maybe_audit(const tec::OperatingPoint& op) const {
+  const AuditOptions& audit_opts = options_.audit;
+  if (!audit_opts.enabled) return;
+  const std::uint64_t seq = audit_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t every = audit_opts.sample_every == 0 ? 1 : audit_opts.sample_every;
+  if (seq % every != 0) return;
+  record_audit_metrics(audit_point(system_, op, cached_runaway_limit()),
+                       audit_opts.tolerances);
+}
+
+obs::health::Certificate SolveContext::audit(const tec::OperatingPoint& op) const {
+  obs::health::Certificate cert = audit_point(system_, op, cached_runaway_limit());
+  record_audit_metrics(cert, options_.audit.tolerances);
+  return cert;
+}
+
+std::optional<double> SolveContext::cached_runaway_limit() const {
+  std::lock_guard<std::mutex> lock(runaway_mutex_);
+  // Prefer the default-options entry; fall back to any cached method — every
+  // method converges to the same λ_m within its tolerance.
+  const tec::RunawayOptions defaults;
+  const std::pair<int, double> key{static_cast<int>(defaults.method), defaults.rel_tol};
+  for (const auto& [k, v] : runaway_cache_) {
+    if (k == key) return v;
   }
-  record_solve(Backend::kLdlt, t0);
-  return op;
+  for (const auto& [k, v] : runaway_cache_) {
+    if (v.has_value()) return v;
+  }
+  return std::nullopt;
 }
 
 std::optional<double> SolveContext::runaway_limit(const tec::RunawayOptions& opts) const {

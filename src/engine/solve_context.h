@@ -15,6 +15,8 @@
 /// path is pinned to the direct sparse factorization (see EngineOptions).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -76,10 +78,24 @@ class SolveContext {
 
   /// Point solve dispatched over options().backend. CG reports loss of
   /// positive definiteness through iteration breakdown (p·Ap ≤ 0) or a
-  /// non-positive pencil diagonal; LDLT through its pivot signs; systems
-  /// above ldlt_max_dim fall back to sparse Cholesky. All backends return
-  /// nullopt when G − i·D is not positive definite or i < 0.
+  /// non-positive pencil diagonal. All backends return nullopt when G − i·D
+  /// is not positive definite or i < 0. CG throws CgNonConvergedError when
+  /// the iteration cap is hit on a solvable system (never a silent bad θ).
   std::optional<tec::OperatingPoint> solve(double i) const;
+
+  /// Point solve with an explicit backend, ignoring options().backend — the
+  /// service's sampled cross-check path (solve with a second backend, compare
+  /// θ). Same semantics as solve().
+  std::optional<tec::OperatingPoint> solve_backend(Backend backend, double i) const;
+
+  /// Physics certificate of \p op (see engine/audit.h), recorded into the
+  /// engine.audit.* metrics. Uses the *cached* runaway limit when present —
+  /// never triggers the eigensolve. Safe to call concurrently.
+  obs::health::Certificate audit(const tec::OperatingPoint& op) const;
+
+  /// The cached λ_m if any runaway_limit() call already computed one;
+  /// nullopt when the cache is cold (the audit's non-blocking peek).
+  std::optional<double> cached_runaway_limit() const;
 
   /// Runaway limit λ_m of the current deployment (nullopt: none). Cached
   /// per (method, rel_tol); invalidated by extend()/set_deployment().
@@ -117,7 +133,11 @@ class SolveContext {
   void invalidate_runaway_cache();
 
   std::optional<tec::OperatingPoint> solve_cg(double i) const;
-  std::optional<tec::OperatingPoint> solve_ldlt(double i) const;
+
+  /// Sampled audit hook on the point-solve paths: every options().audit
+  /// .sample_every-th solve gets a certificate (the counter starts at zero,
+  /// so the first solve is always audited).
+  void maybe_audit(const tec::OperatingPoint& op) const;
 
   EngineOptions options_;
   thermal::PackageGeometry geometry_;
@@ -137,6 +157,9 @@ class SolveContext {
   mutable std::mutex runaway_mutex_;
   mutable std::vector<std::pair<std::pair<int, double>, std::optional<double>>>
       runaway_cache_;
+
+  // Audit sampling tick (relaxed — sampling needs no ordering).
+  mutable std::atomic<std::uint64_t> audit_seq_{0};
 };
 
 }  // namespace tfc::engine

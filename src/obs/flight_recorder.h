@@ -52,6 +52,15 @@ struct RequestRecord {
   std::uint64_t restamp_full = 0;
   /// Spans captured in the request's trace.
   std::uint64_t span_count = 0;
+  /// Numerical-health audit outcome: -1 not audited, 0 certificate failed,
+  /// 1 certificate passed (see obs/health.h).
+  int audit = -1;
+  /// Relative pencil residual from the audit certificate; < 0 when not
+  /// audited.
+  double rel_residual = -1.0;
+  /// Energy-balance closure from the audit certificate; < 0 when not
+  /// audited.
+  double energy_balance_rel = -1.0;
   /// Completion wall-clock time [µs since the Unix epoch].
   std::int64_t wall_us = 0;
 };

@@ -8,6 +8,7 @@
 
 #include "obs/context.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"

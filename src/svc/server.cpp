@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <string_view>
@@ -53,7 +54,8 @@ void close_if_open(int& fd) {
 /// client cannot grow the registry without bound.
 constexpr const char* kMethodLabels[] = {"ping",   "stats",  "solve",
                                          "design", "runaway", "sweep",
-                                         "metrics", "recent"};
+                                         "metrics", "recent", "health",
+                                         "inject"};
 
 const char* method_label(const std::string& method) {
   for (const char* known : kMethodLabels) {
@@ -83,6 +85,20 @@ void register_metrics() {
   m.gauge("svc.queue_depth");
   m.gauge("process.uptime_seconds");
   m.gauge("process.rss_bytes");
+  // Numerical-health families (svc-side sampling plus the engine-side
+  // certificates), pre-registered so the /metrics schema is stable from the
+  // first scrape.
+  m.counter("svc.audit.samples");
+  m.counter("svc.audit.violations");
+  m.counter("svc.audit.cross_checks");
+  m.counter("svc.audit.cross_check_failures");
+  m.histogram("svc.audit.cross_check_drift");
+  m.counter("engine.audit.samples");
+  m.counter("engine.audit.violations");
+  m.counter("engine.audit.degraded");
+  m.counter("engine.cg.nonconverged");
+  m.histogram("engine.audit.rel_residual");
+  m.histogram("engine.audit.energy_balance_rel");
   for (const char* method : kMethodLabels) {
     m.histogram(latency_metric(method));
     m.histogram(queue_wait_metric(method));
@@ -148,6 +164,16 @@ io::JsonValue record_to_json(const obs::RequestRecord& rec) {
           JsonValue::make_number(double(rec.restamp_incremental)));
   out.set("restamp_full", JsonValue::make_number(double(rec.restamp_full)));
   out.set("span_count", JsonValue::make_number(double(rec.span_count)));
+  out.set("audit", rec.audit < 0
+                       ? JsonValue::make_null()
+                       : JsonValue::make_string(rec.audit ? "pass" : "fail"));
+  out.set("rel_residual", rec.rel_residual < 0.0
+                              ? JsonValue::make_null()
+                              : JsonValue::make_number(rec.rel_residual));
+  out.set("energy_balance_rel",
+          rec.energy_balance_rel < 0.0
+              ? JsonValue::make_null()
+              : JsonValue::make_number(rec.energy_balance_rel));
   out.set("wall_us", JsonValue::make_number(double(rec.wall_us)));
   return out;
 }
@@ -213,6 +239,8 @@ Server::Server(ServerOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
       recorder_(options_.recorder_capacity == 0 ? 1 : options_.recorder_capacity),
+      health_(options_.tolerances,
+              options_.health_window == 0 ? 1 : options_.health_window),
       start_time_(Clock::now()) {
   register_metrics();
   if (options_.workers == 0) options_.workers = 1;
@@ -619,6 +647,9 @@ void Server::serve_request(Pending& item) {
   rec.chip = info.chip;
   rec.cache = info.cache;
   rec.backend = info.backend;
+  rec.audit = info.audit;
+  rec.rel_residual = info.rel_residual;
+  rec.energy_balance_rel = info.energy_balance_rel;
   rec.status = ok ? "ok" : error_code_name(err_code);
   rec.latency_ms = latency;
   rec.factorize_ms = double(trace.total_us("sparse_factor") +
@@ -809,12 +840,22 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
       // λ_m margin of the requested operating point, on the svc.request span.
       TFC_SPAN_ATTR("lambda_margin_a", *session->lambda_m - current);
     }
-    auto op = session->context->solve(current);
+    std::optional<tec::OperatingPoint> op;
+    try {
+      op = session->context->solve(current);
+    } catch (const engine::CgNonConvergedError& e) {
+      // First-class non-convergence: a typed internal error instead of a
+      // silently-wrong θ, and a degraded mark in the health window.
+      health_.record_degraded(session->key.to_string());
+      throw ProtocolError(ErrorCode::kInternal,
+                          std::string("numerical failure: ") + e.what());
+    }
     if (!op) {
       throw ProtocolError(ErrorCode::kBadRequest,
                           "current " + std::to_string(current) +
                               " A is at or beyond the runaway limit");
     }
+    audit_solve(*session, *op, info.cache == 1, info);
     JsonValue result = JsonValue::make_object();
     result.set("chip", JsonValue::make_string(session->key.chip));
     result.set("current_a", JsonValue::make_number(current));
@@ -884,10 +925,161 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
     return result;
   }
 
+  if (request.method == "health") {
+    using obs::health::ScopeStats;
+    JsonValue result = JsonValue::make_object();
+    result.set("verdict",
+               JsonValue::make_string(obs::health::verdict_name(health_.verdict())));
+    result.set("samples", JsonValue::make_number(double(health_.total_samples())));
+    result.set("violations", JsonValue::make_number(double(health_.total_violations())));
+    result.set("audit_every", JsonValue::make_number(double(options_.audit_every)));
+    result.set("cross_check_every",
+               JsonValue::make_number(double(options_.cross_check_every)));
+    result.set("window", JsonValue::make_number(double(health_.window())));
+
+    const auto& tol = health_.tolerances();
+    JsonValue tolerances = JsonValue::make_object();
+    tolerances.set("max_rel_residual", JsonValue::make_number(tol.max_rel_residual));
+    tolerances.set("max_energy_balance_rel",
+                   JsonValue::make_number(tol.max_energy_balance_rel));
+    tolerances.set("theta_min_k", JsonValue::make_number(tol.theta_min_k));
+    tolerances.set("theta_max_k", JsonValue::make_number(tol.theta_max_k));
+    tolerances.set("max_cross_check_drift",
+                   JsonValue::make_number(tol.max_cross_check_drift));
+    result.set("tolerances", tolerances);
+
+    JsonValue offenders = JsonValue::make_array();
+    for (const auto& scope : health_.offending_scopes()) {
+      offenders.push_back(JsonValue::make_string(scope));
+    }
+    result.set("offenders", offenders);
+
+    JsonValue scopes = JsonValue::make_array();
+    for (const auto& [name, stats] : health_.snapshot()) {
+      JsonValue s = JsonValue::make_object();
+      s.set("scope", JsonValue::make_string(name));
+      s.set("samples", JsonValue::make_number(double(stats.samples)));
+      s.set("violations", JsonValue::make_number(double(stats.violations)));
+      s.set("degraded", JsonValue::make_number(double(stats.degraded)));
+      s.set("worst_rel_residual",
+            stats.worst_rel_residual < 0.0
+                ? JsonValue::make_null()
+                : JsonValue::make_number(stats.worst_rel_residual));
+      s.set("worst_energy_balance_rel",
+            stats.worst_energy_balance_rel < 0.0
+                ? JsonValue::make_null()
+                : JsonValue::make_number(stats.worst_energy_balance_rel));
+      s.set("cross_checks", JsonValue::make_number(double(stats.cross_checks)));
+      s.set("cross_check_failures",
+            JsonValue::make_number(double(stats.cross_check_failures)));
+      s.set("last_cross_check_drift",
+            stats.last_cross_check_drift < 0.0
+                ? JsonValue::make_null()
+                : JsonValue::make_number(stats.last_cross_check_drift));
+      s.set("window_samples", JsonValue::make_number(double(stats.window_samples)));
+      s.set("window_violations",
+            JsonValue::make_number(double(stats.window_violations)));
+      s.set("window_degraded", JsonValue::make_number(double(stats.window_degraded)));
+      scopes.push_back(s);
+    }
+    result.set("scopes", scopes);
+    return result;
+  }
+
+  if (request.method == "inject") {
+    if (!options_.fault_injection) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "fault injection is disabled (start the server with "
+                          "--fault-injection)");
+    }
+    auto session = session_for(params, info);
+    const double offset = params.number_or("theta_offset_k", 1.0);
+    if (!(std::abs(offset) <= 100.0)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'theta_offset_k' must be in [-100, 100]");
+    }
+    session->fault_theta_offset_k.store(offset, std::memory_order_relaxed);
+    TFC_LOG_WARN("svc_fault_injected", {"scope", session->key.to_string()},
+                 {"theta_offset_k", offset});
+    JsonValue result = JsonValue::make_object();
+    result.set("chip", JsonValue::make_string(session->key.chip));
+    result.set("theta_offset_k", JsonValue::make_number(offset));
+    return result;
+  }
+
   throw ProtocolError(
       ErrorCode::kUnknownMethod,
       "unknown method '" + request.method +
-          "' (use ping|stats|metrics|recent|solve|design|runaway|sweep|shutdown)");
+          "' (use ping|stats|metrics|recent|health|solve|design|runaway|sweep|"
+          "shutdown)");
+}
+
+void Server::audit_solve(const Session& session, const tec::OperatingPoint& op,
+                         bool cache_hit, DispatchInfo& info) {
+  if (options_.audit_every == 0 || session.context == nullptr) return;
+  const std::uint64_t seq = audit_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % options_.audit_every != 0) return;
+
+  TFC_SPAN("svc_audit");
+  auto& metrics = obs::MetricsRegistry::global();
+  const std::string scope = session.key.to_string();
+
+  // Apply any injected fault to a copy of θ, so the audit sees exactly the
+  // corrupted solution a stale cached factor would have produced.
+  const double fault = session.fault_theta_offset_k.load(std::memory_order_relaxed);
+  const tec::OperatingPoint* audited = &op;
+  tec::OperatingPoint faulted;
+  if (fault != 0.0) {
+    faulted = op;
+    for (std::size_t k = 0; k < faulted.theta.size(); ++k) faulted.theta[k] += fault;
+    audited = &faulted;
+  }
+
+  const obs::health::Certificate cert = session.context->audit(*audited);
+  metrics.counter("svc.audit.samples").increment();
+  const bool ok = health_.record_certificate(scope, cert);
+  info.audit = ok ? 1 : 0;
+  info.rel_residual = cert.rel_residual;
+  info.energy_balance_rel = cert.energy_balance_rel;
+  if (!ok) {
+    metrics.counter("svc.audit.violations").increment();
+    TFC_LOG_WARN("svc_audit_violation", {"scope", scope},
+                 {"certificate", cert.describe()});
+  }
+
+  // Sampled backend cross-check on cache hits: an independent CG solve of
+  // the same pencil catches a stale or corrupted cached factor, which the
+  // residual — computed against the same matrices — cannot.
+  if (options_.cross_check_every == 0 || !cache_hit) return;
+  const std::uint64_t xseq = cross_check_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (xseq % options_.cross_check_every != 0) return;
+
+  TFC_SPAN("svc_cross_check");
+  double drift = -1.0;
+  try {
+    const auto check =
+        session.context->solve_backend(engine::Backend::kCg, op.current);
+    if (check.has_value()) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t k = 0; k < check->theta.size(); ++k) {
+        num = std::max(num, std::abs(audited->theta[k] - check->theta[k]));
+        den = std::max(den, std::abs(check->theta[k]));
+      }
+      drift = den > 0.0 ? num / den : num;
+    }
+  } catch (const engine::CgNonConvergedError&) {
+    // The checking backend itself struggled; that is degradation, not drift.
+    health_.record_degraded(scope);
+    return;
+  }
+  metrics.counter("svc.audit.cross_checks").increment();
+  if (drift >= 0.0) metrics.histogram("svc.audit.cross_check_drift").record(drift);
+  if (!health_.record_cross_check(scope, drift)) {
+    metrics.counter("svc.audit.cross_check_failures").increment();
+    metrics.counter("svc.audit.violations").increment();
+    info.audit = 0;
+    TFC_LOG_WARN("svc_cross_check_drift", {"scope", scope}, {"drift", drift});
+  }
 }
 
 }  // namespace tfc::svc

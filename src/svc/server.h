@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "svc/protocol.h"
 #include "svc/session_cache.h"
 
@@ -79,6 +80,22 @@ struct ServerOptions {
   /// Append every completed request's span tree as one JSONL line to this
   /// file; empty disables the trace file.
   std::string trace_path;
+  /// Numerical-health audit: certify 1-in-N successful `solve` requests
+  /// (residual, energy balance, θ bounds, λ_m margin — see obs/health.h).
+  /// The sample counter starts at 0, so the first solve is always audited.
+  /// 0 disables auditing.
+  std::size_t audit_every = 8;
+  /// Backend cross-check: re-solve 1-in-N *audited* cache-hit requests with
+  /// the CG backend and compare θ — catches a stale factor or restamp drift
+  /// that a residual against the same matrix cannot see. 0 disables.
+  std::size_t cross_check_every = 4;
+  /// Tolerances the health monitor judges certificates against.
+  obs::health::Tolerances tolerances;
+  /// Rolling-window length per session scope for the health verdict.
+  std::size_t health_window = 256;
+  /// Enable the test-only `inject` method (fault injection into a session's
+  /// solved θ); off in production.
+  bool fault_injection = false;
 };
 
 /// One serving instance. Construction binds the listeners (throwing
@@ -113,6 +130,7 @@ class Server {
   const ServerOptions& options() const { return options_; }
   SessionCache& cache() { return cache_; }
   obs::FlightRecorder& recorder() { return recorder_; }
+  obs::health::HealthMonitor& health() { return health_; }
 
  private:
   struct Connection;
@@ -123,6 +141,9 @@ class Server {
     std::string chip;     ///< "" for non-solver methods
     int cache = -1;       ///< session-cache outcome: -1 n/a, 0 miss, 1 hit
     std::string backend;  ///< engine backend name; "" for non-solver methods
+    int audit = -1;       ///< health audit: -1 not audited, 0 failed, 1 passed
+    double rel_residual = -1.0;        ///< audit certificate, when audited
+    double energy_balance_rel = -1.0;  ///< audit certificate, when audited
   };
 
   void accept_loop();
@@ -136,6 +157,13 @@ class Server {
   std::shared_ptr<const Session> session_for(const io::JsonValue& params,
                                              DispatchInfo& info);
 
+  /// Sampled numerical-health audit of one successful `solve`: certify the
+  /// operating point (applying any injected fault first), feed the health
+  /// monitor and svc.audit.* metrics, and — 1-in-cross_check_every audited
+  /// cache hits — re-solve with the CG backend and compare θ.
+  void audit_solve(const Session& session, const tec::OperatingPoint& op,
+                   bool cache_hit, DispatchInfo& info);
+
   /// Registry rendered as Prometheus text, with the process.* gauges
   /// (uptime, RSS) refreshed first.
   std::string prometheus_text();
@@ -145,6 +173,9 @@ class Server {
   ServerOptions options_;
   SessionCache cache_;
   obs::FlightRecorder recorder_;
+  obs::health::HealthMonitor health_;
+  std::atomic<std::uint64_t> audit_seq_{0};
+  std::atomic<std::uint64_t> cross_check_seq_{0};
 
   int unix_fd_ = -1;
   int tcp_fd_ = -1;

@@ -18,6 +18,7 @@
 /// tfc::obs::MetricsRegistry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -59,6 +60,11 @@ struct Session {
   std::shared_ptr<const engine::SolveContext> context;
   /// λ_m of the deployment (nullopt when no TECs were deployed).
   std::optional<double> lambda_m;
+  /// Test-only fault injection (`inject` method behind --fault-injection):
+  /// a uniform perturbation [K] the server adds to this session's solved θ
+  /// before auditing/cross-checking, simulating a corrupted cached factor.
+  /// Atomic + mutable because sessions are shared as shared_ptr<const>.
+  mutable std::atomic<double> fault_theta_offset_k{0.0};
 };
 
 /// Thread-safe LRU cache of sessions.

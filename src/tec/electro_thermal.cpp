@@ -1,6 +1,7 @@
 #include "tec/electro_thermal.h"
 
 #include <cassert>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 
@@ -199,6 +200,30 @@ double ElectroThermalSystem::tec_input_power(double i, const linalg::Vector& the
     acc += device_.input_power(i, theta[hot[k]] - theta[cold[k]]);
   }
   return acc;
+}
+
+EnergyBalance ElectroThermalSystem::energy_balance(double i,
+                                                   const linalg::Vector& theta) const {
+  if (theta.size() != model_.node_count()) {
+    throw std::invalid_argument("energy_balance: theta size mismatch");
+  }
+  EnergyBalance eb;
+  eb.source_w = model_.network().total_power();
+  const double joule = 0.5 * device_.resistance * i * i;
+  eb.joule_w =
+      joule * static_cast<double>(model_.hot_nodes().size() + model_.cold_nodes().size());
+  // Row-summing (G − i·D)θ = p + g_amb·θ_amb kills every pairwise
+  // conductance (each appears +g/−g), leaving exactly
+  //   Σ g_amb(θ − θ_amb) = Σ p + i·Σ d·θ.
+  double peltier = 0.0;
+  for (std::size_t k = 0; k < d_diag_.size(); ++k) peltier += d_diag_[k] * theta[k];
+  eb.peltier_w = i * peltier;
+  eb.injected_w = eb.source_w + eb.joule_w + eb.peltier_w;
+  eb.rejected_w =
+      model_.network().ambient_heat_flow(theta, model_.geometry().ambient);
+  eb.residual_w = eb.rejected_w - eb.injected_w;
+  eb.relative = eb.injected_w != 0.0 ? std::abs(eb.residual_w / eb.injected_w) : 0.0;
+  return eb;
 }
 
 }  // namespace tfc::tec

@@ -33,6 +33,30 @@ struct OperatingPoint {
   double tec_input_power = 0.0;
 };
 
+/// Global energy ledger of one solved operating point. In steady state the
+/// row-sum identity of (G − i·D)θ = p(i) + g_amb·θ_amb forces the heat
+/// rejected through the ambient boundary to equal everything injected:
+/// rejected = source + joule + peltier, exactly. `relative` is the audit
+/// certificate: how far the computed θ is from closing that ledger.
+struct EnergyBalance {
+  /// Installed source power Σ p_k (tile powers) [W].
+  double source_w = 0.0;
+  /// Total Joule heat r·i²/2 over both plates of every device [W].
+  double joule_w = 0.0;
+  /// Net Peltier transport i·Σ_k d_k·θ_k [W] (heat the devices move across
+  /// the boundary row-sum; positive when pumping raises rejected heat).
+  double peltier_w = 0.0;
+  /// source_w + joule_w + peltier_w.
+  double injected_w = 0.0;
+  /// Heat leaving through the ambient legs Σ g_amb,k(θ_k − θ_amb) [W].
+  double rejected_w = 0.0;
+  /// rejected_w − injected_w (signed closure defect) [W].
+  double residual_w = 0.0;
+  /// |residual_w| / injected_w — the certificate value (0 when nothing is
+  /// injected).
+  double relative = 0.0;
+};
+
 /// Caller-owned scratch for the zero-allocation probe path: the pencil
 /// matrix G − i·D, the numeric factor, and rhs/temperature buffers. Reused
 /// across probes of one deployment (one workspace per thread); every buffer
@@ -132,6 +156,12 @@ class ElectroThermalSystem {
 
   /// Σ over devices of Eq. (3) evaluated at the solved temperatures.
   double tec_input_power(double i, const linalg::Vector& theta) const;
+
+  /// Energy ledger of the solved temperatures \p theta at current \p i —
+  /// the conservation certificate behind tfc::obs::health (O(n), one pass
+  /// over the ambient legs and the Peltier diagonal). Throws
+  /// std::invalid_argument on theta size mismatch.
+  EnergyBalance energy_balance(double i, const linalg::Vector& theta) const;
 
  private:
   struct SymbolicCache;

@@ -117,6 +117,30 @@ linalg::Vector ConductanceNetwork::rhs(double ambient) const {
   return r;
 }
 
+double ConductanceNetwork::ambient_heat_flow(const linalg::Vector& theta,
+                                             double ambient) const {
+  if (theta.size() != nodes_.size()) {
+    throw std::invalid_argument("ambient_heat_flow: theta size mismatch");
+  }
+  double flow = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (ambient_legs_[i] > 0.0) flow += ambient_legs_[i] * (theta[i] - ambient);
+  }
+  return flow;
+}
+
+linalg::Vector ConductanceNetwork::ambient_heat_flow_per_node(
+    const linalg::Vector& theta, double ambient) const {
+  if (theta.size() != nodes_.size()) {
+    throw std::invalid_argument("ambient_heat_flow_per_node: theta size mismatch");
+  }
+  linalg::Vector flow(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    flow[i] = ambient_legs_[i] > 0.0 ? ambient_legs_[i] * (theta[i] - ambient) : 0.0;
+  }
+  return flow;
+}
+
 linalg::Vector ConductanceNetwork::power_vector() const {
   linalg::Vector p(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) p[i] = power_[i];

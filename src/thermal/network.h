@@ -121,6 +121,18 @@ class ConductanceNetwork {
   /// \p ambient [K].
   linalg::Vector rhs(double ambient) const;
 
+  /// Heat rejected through the ambient Dirichlet boundary at the solved
+  /// temperatures \p theta: Σ_k g_amb,k·(θ_k − θ_amb) [W]. In steady state
+  /// this must equal the total power injected into the network (sources +
+  /// Joule + net Peltier transport) — the conservation side of the
+  /// numerical-health audit. Throws std::invalid_argument on size mismatch.
+  double ambient_heat_flow(const linalg::Vector& theta, double ambient) const;
+
+  /// Per-node ambient heat flow g_amb,k·(θ_k − θ_amb) [W] (zero for interior
+  /// nodes) — the boundary-flux breakdown behind ambient_heat_flow().
+  linalg::Vector ambient_heat_flow_per_node(const linalg::Vector& theta,
+                                            double ambient) const;
+
   /// Node power vector only (without ambient contribution).
   linalg::Vector power_vector() const;
 

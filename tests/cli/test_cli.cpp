@@ -342,6 +342,76 @@ TEST(Cli, ServeRequestEndToEnd) {
   fs::remove(metrics);
 }
 
+/// `tfcool health` against a live service: green on healthy traffic (exit
+/// 0), red with the offender named after an injected fault (exit 1), and
+/// the `recent` table growing the audit columns.
+TEST(Cli, HealthCommandEndToEnd) {
+  namespace fs = std::filesystem;
+  const auto sock = fs::temp_directory_path() /
+                    ("tfcool_cli_health_" + std::to_string(::getpid()) + ".sock");
+  fs::remove(sock);
+
+  CliRun serve_result;
+  std::thread server([&] {
+    serve_result = run({"serve", "--socket", sock.string(), "--workers", "1",
+                        "--audit-every", "1", "--cross-check-every", "1",
+                        "--fault-injection"});
+  });
+  auto request = [&](std::vector<std::string> extra) {
+    std::vector<std::string> args = {"request", "--socket", sock.string()};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return run(args);
+  };
+
+  CliRun ping;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ping = request({"--method", "ping"});
+    if (ping.code == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(ping.code, 0) << ping.err;
+
+  auto solve = [&] {
+    return request({"--method", "solve", "--params", R"({"chip": "alpha"})"});
+  };
+  ASSERT_EQ(solve().code, 0);
+  ASSERT_EQ(solve().code, 0);
+
+  auto green = run({"health", "--socket", sock.string()});
+  EXPECT_EQ(green.code, 0) << green.err;
+  EXPECT_NE(green.out.find("health: green"), std::string::npos) << green.out;
+  EXPECT_NE(green.out.find("alpha"), std::string::npos);
+
+  auto inject = request({"--method", "inject", "--params",
+                         R"({"chip": "alpha", "theta_offset_k": 5.0})"});
+  ASSERT_EQ(inject.code, 0) << inject.out;
+  ASSERT_EQ(solve().code, 0);
+
+  auto red = run({"health", "--socket", sock.string()});
+  EXPECT_EQ(red.code, 1) << red.out;
+  EXPECT_NE(red.out.find("health: red"), std::string::npos) << red.out;
+  EXPECT_NE(red.out.find("offenders:"), std::string::npos);
+
+  // The fixed-width `recent` table gained the certificate columns.
+  auto recent = request({"--method", "recent"});
+  EXPECT_EQ(recent.code, 0);
+  EXPECT_NE(recent.out.find("audit"), std::string::npos);
+  EXPECT_NE(recent.out.find("resid"), std::string::npos);
+  EXPECT_NE(recent.out.find("balance"), std::string::npos);
+  EXPECT_NE(recent.out.find("fail"), std::string::npos);
+
+  // Usage errors: health needs exactly one endpoint.
+  auto no_endpoint = run({"health"});
+  EXPECT_EQ(no_endpoint.code, 2);
+  EXPECT_NE(no_endpoint.err.find("--socket"), std::string::npos);
+
+  auto bye = request({"--method", "shutdown"});
+  EXPECT_EQ(bye.code, 0);
+  server.join();
+  EXPECT_EQ(serve_result.code, 0) << serve_result.err;
+  fs::remove(sock);
+}
+
 TEST(Cli, ServeObservabilityFlagsAreValidated) {
   auto bad_slow = run({"serve", "--socket", "/tmp/x.sock", "--slow-ms", "-1"});
   EXPECT_EQ(bad_slow.code, 2);

@@ -59,7 +59,7 @@ TEST(ParDeterminism, DesignJsonIsByteIdenticalAcrossEngineBackends) {
   // the selected point-solve backend must not perturb the output either.
   const std::string f = "design_backend.json";
   const std::string reference = design_json("4", f);
-  for (const char* backend : {"cholesky", "cg", "ldlt"}) {
+  for (const char* backend : {"cholesky", "cg"}) {
     for (const char* threads : {"1", "8"}) {
       EXPECT_EQ(design_json_backend(threads, backend, f), reference)
           << backend << " threads=" << threads;

@@ -533,5 +533,132 @@ TEST(Service, HttpMetricsEndpointServesPrometheusText) {
   EXPECT_TRUE(client.call("ping").at("ok").as_bool());
 }
 
+io::JsonValue alpha_solve_params(double current) {
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("chip", io::JsonValue::make_string("alpha"));
+  params.set("current", io::JsonValue::make_number(current));
+  return params;
+}
+
+TEST(Service, HealthMethodReportsGreenOverUnixAndTcp) {
+  ServerOptions o = quick_options("health");
+  o.listen = "127.0.0.1:0";
+  o.audit_every = 1;        // audit every solve so the test is deterministic
+  o.cross_check_every = 1;  // cross-check every audited cache hit
+  ServerFixture fx(o);
+
+  auto client = Client::connect_unix(o.socket_path);
+  ASSERT_TRUE(client.call("solve", alpha_solve_params(1.5)).at("ok").as_bool());
+  ASSERT_TRUE(client.call("solve", alpha_solve_params(1.5)).at("ok").as_bool());
+
+  auto reply = client.call("health");
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const auto& result = reply.at("result");
+  EXPECT_EQ(result.at("verdict").as_string(), "green");
+  EXPECT_GE(result.at("samples").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(result.at("violations").as_number(), 0.0);
+  EXPECT_TRUE(result.at("offenders").as_array().empty());
+  ASSERT_EQ(result.at("scopes").as_array().size(), 1u);
+  const auto& scope = result.at("scopes").as_array()[0];
+  EXPECT_NE(scope.at("scope").as_string().find("alpha"), std::string::npos);
+  EXPECT_LT(scope.at("worst_rel_residual").as_number(), 1e-10);
+  EXPECT_LT(scope.at("worst_energy_balance_rel").as_number(), 1e-8);
+  EXPECT_GE(scope.at("cross_checks").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(scope.at("cross_check_failures").as_number(), 0.0);
+
+  // The same surface over TCP: one service, one monitor, any transport.
+  ASSERT_GT(fx.server().tcp_port(), 0);
+  auto tcp = Client::connect_tcp("127.0.0.1", fx.server().tcp_port());
+  auto tcp_reply = tcp.call("health");
+  ASSERT_TRUE(tcp_reply.at("ok").as_bool());
+  EXPECT_EQ(tcp_reply.at("result").at("verdict").as_string(), "green");
+  EXPECT_EQ(tcp_reply.at("result").at("samples").as_number(),
+            result.at("samples").as_number());
+}
+
+TEST(Service, InjectedDriftFlipsVerdictAndCountsViolations) {
+  ServerOptions o = quick_options("inject");
+  o.audit_every = 1;
+  o.cross_check_every = 1;
+  o.fault_injection = true;
+  ServerFixture fx(o);
+  auto client = Client::connect_unix(o.socket_path);
+
+  const auto violations0 =
+      obs::MetricsRegistry::global().counter("svc.audit.violations").value();
+
+  ASSERT_TRUE(client.call("solve", alpha_solve_params(1.5)).at("ok").as_bool());
+  EXPECT_EQ(fx.server().health().verdict(), obs::health::Verdict::kGreen);
+
+  // Perturb the session's solved θ as a stale/corrupted cached factor
+  // would: the next audited solve must fail its certificate and the CG
+  // cross-check must see the drift.
+  io::JsonValue inject = io::JsonValue::make_object();
+  inject.set("chip", io::JsonValue::make_string("alpha"));
+  inject.set("theta_offset_k", io::JsonValue::make_number(5.0));
+  ASSERT_TRUE(client.call("inject", inject).at("ok").as_bool());
+  ASSERT_TRUE(client.call("solve", alpha_solve_params(1.5)).at("ok").as_bool());
+
+  auto reply = client.call("health");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  const auto& result = reply.at("result");
+  EXPECT_EQ(result.at("verdict").as_string(), "red");
+  ASSERT_EQ(result.at("offenders").as_array().size(), 1u);
+  EXPECT_NE(result.at("offenders").as_array()[0].as_string().find("alpha"),
+            std::string::npos);
+  EXPECT_GE(result.at("violations").as_number(), 1.0);
+  EXPECT_GE(
+      obs::MetricsRegistry::global().counter("svc.audit.violations").value(),
+      violations0 + 1);
+
+  // The flight recorder carries the failing certificate columns.
+  io::JsonValue limit = io::JsonValue::make_object();
+  limit.set("limit", io::JsonValue::make_number(8));
+  auto recent = client.call("recent", limit);
+  ASSERT_TRUE(recent.at("ok").as_bool());
+  bool saw_fail = false, saw_pass = false;
+  for (const auto& r : recent.at("result").at("requests").as_array()) {
+    const io::JsonValue* audit = r.get("audit");
+    if (audit == nullptr || !audit->is_string()) continue;
+    if (audit->as_string() == "fail") {
+      saw_fail = true;
+      EXPECT_GT(r.at("rel_residual").as_number(), 1e-6);
+    }
+    if (audit->as_string() == "pass") {
+      saw_pass = true;
+      EXPECT_LT(r.at("rel_residual").as_number(), 1e-10);
+      EXPECT_LT(r.at("energy_balance_rel").as_number(), 1e-8);
+    }
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_pass);
+}
+
+TEST(Service, InjectIsRejectedUnlessEnabled) {
+  ServerFixture fx(quick_options("noinject"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("chip", io::JsonValue::make_string("alpha"));
+  auto reply = client.call("inject", params);
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), "bad_request");
+  EXPECT_NE(reply.at("error").at("message").as_string().find("disabled"),
+            std::string::npos);
+}
+
+TEST(Service, AuditDisabledRecordsNothing) {
+  ServerOptions o = quick_options("noaudit");
+  o.audit_every = 0;
+  ServerFixture fx(o);
+  auto client = Client::connect_unix(o.socket_path);
+  ASSERT_TRUE(client.call("solve", alpha_solve_params(1.5)).at("ok").as_bool());
+
+  auto reply = client.call("health");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("result").at("verdict").as_string(), "green");
+  EXPECT_DOUBLE_EQ(reply.at("result").at("samples").as_number(), 0.0);
+  EXPECT_TRUE(reply.at("result").at("scopes").as_array().empty());
+}
+
 }  // namespace
 }  // namespace tfc::svc

@@ -130,6 +130,31 @@ def check_backends(baseline, current):
     return failures
 
 
+def check_audit(baseline, current):
+    """Gate the numerical-health audit overhead on the point-solve path.
+
+    bench_runtime measures mean probe latency with the engine audit off vs on
+    at the service's default 1-in-8 sample rate; the sampled certificate (one
+    SpMV + a few O(n) passes) must stay under the baseline's percentage cap.
+    """
+    base = baseline.get("audit_overhead")
+    if base is None:
+        return []
+    cur = current.get("audit_overhead")
+    if cur is None:
+        print("audit overhead: MISSING from current bench output")
+        return ["audit_overhead:missing"]
+
+    cap = float(base["max_overhead_pct"])
+    pct = float(cur["overhead_pct"])
+    status = "ok" if pct <= cap else "REGRESSED (cap %.1f%%)" % cap
+    print("audit overhead: %.3f ms unaudited vs %.3f ms audited = %+.2f%% "
+          "(cap %.1f%%)  %s"
+          % (float(cur["probe_unaudited_ms"]), float(cur["probe_audited_ms"]),
+             pct, cap, status))
+    return [] if pct <= cap else ["audit_overhead:overhead_pct"]
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -192,6 +217,7 @@ def main():
 
     failures += check_restamp(baseline, current)
     failures += check_backends(baseline, current)
+    failures += check_audit(baseline, current)
 
     if bool(args.service_baseline) != bool(args.service_current):
         print("error: --service-baseline and --service-current go together",
