@@ -102,8 +102,8 @@ std::string option_or(const ParsedArgs& p, const std::string& key,
   return it == p.options.end() ? fallback : it->second;
 }
 
-/// Resolve --backend into solve-engine options; nullopt (with a message on
-/// \p err) for an unknown backend name.
+/// Resolve --backend / --runaway-method into solve-engine options; nullopt
+/// (with a message on \p err) for an unknown name.
 std::optional<engine::EngineOptions> parse_engine_options(const ParsedArgs& p,
                                                           std::ostream& err) {
   engine::EngineOptions opts;
@@ -115,6 +115,15 @@ std::optional<engine::EngineOptions> parse_engine_options(const ParsedArgs& p,
       return std::nullopt;
     }
     opts.backend = *backend;
+  }
+  if (auto it = p.options.find("--runaway-method"); it != p.options.end()) {
+    auto method = tec::parse_runaway_method(it->second);
+    if (!method) {
+      err << "error: unknown runaway method '" << it->second << "' (use "
+          << tec::runaway_method_list() << ")\n";
+      return std::nullopt;
+    }
+    opts.runaway.method = *method;
   }
   return opts;
 }
@@ -270,7 +279,11 @@ int cmd_runaway(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
                                      tec::TecDeviceParams::chowdhury_superlattice(),
                                      *engine_opts);
   const double lm = *context.runaway_limit();
-  out << "deployment: " << res.tec_count << " TECs; lambda_m = " << lm << " A\n";
+  // Full precision: the CI cross-validation smoke diffs this line across
+  // runaway methods at 1e-8 relative.
+  char lm_full[32];
+  std::snprintf(lm_full, sizeof(lm_full), "%.17g", lm);
+  out << "deployment: " << res.tec_count << " TECs; lambda_m = " << lm_full << " A\n";
   out << "i[A], peak[degC]\n";
   for (double f : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 0.99}) {
     auto op = context.solve(f * lm);
@@ -765,17 +778,19 @@ const char kChipOptionHelp[] =
 
 const char* kDesignOptions[] = {"--chip", "--flp", "--ptrace", "--rows", "--cols",
                                 "--die-mm", "--limit", "--map", "--json",
-                                "--certify", "--no-full-cover", "--backend", nullptr};
+                                "--certify", "--no-full-cover", "--backend",
+                                "--runaway-method", nullptr};
 
 const char* kTable1Options[] = {"--limit", nullptr};
 
 const char* kLimitChipOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
                                    "--cols", "--die-mm", "--limit", "--backend",
-                                   nullptr};
+                                   "--runaway-method", nullptr};
 
 const char* kSweepOptions[] = {"--chip", "--flp",    "--ptrace",       "--rows",
                                "--cols", "--die-mm", "--limit",        "--points",
-                               "--max-fraction", "--backend", nullptr};
+                               "--max-fraction", "--backend", "--runaway-method",
+                               nullptr};
 
 const char* kNoOptions[] = {nullptr};
 
@@ -804,6 +819,10 @@ const CommandSpec kCommands[] = {
      "  --backend B             linear backend for point solves\n"
      "                          (cholesky|cg, default cholesky; the\n"
      "                          design probe path always uses cholesky)\n"
+     "  --runaway-method M      lambda_m eigensolver for the solve engine\n"
+     "                          (sparse|schur|dense; the design lambda_m\n"
+     "                          stays pinned to schur for byte-identical\n"
+     "                          output)\n"
      "\nchip selection:\n",
      cmd_design},
     {"table1", "reproduce the paper's Table I (all 11 benchmark chips)",
@@ -813,6 +832,8 @@ const CommandSpec kCommands[] = {
      "  --limit C               design temperature limit [degC] (default 85)\n"
      "  --backend B             linear backend for point solves\n"
      "                          (cholesky|cg, default cholesky)\n"
+     "  --runaway-method M      lambda_m eigensolver\n"
+     "                          (sparse|schur|dense, default sparse)\n"
      "\nchip selection:\n",
      cmd_runaway},
     {"validate", "compact-model vs fine-grid agreement", kChipOptions,
@@ -824,6 +845,8 @@ const CommandSpec kCommands[] = {
      "                          (default 0.95)\n"
      "  --backend B             linear backend for point solves\n"
      "                          (cholesky|cg, default cholesky)\n"
+     "  --runaway-method M      lambda_m eigensolver\n"
+     "                          (sparse|schur|dense, default sparse)\n"
      "\nchip selection:\n",
      cmd_sweep},
     {"sensitivity", "CSV of device-parameter sensitivities at the design",

@@ -45,8 +45,13 @@ struct CurrentOptimizerOptions {
   /// Gradient-descent knobs.
   double initial_step = 1.0;     ///< [A]
   double backtrack_ratio = 0.5;
-  /// λ_m computation.
-  tec::RunawayOptions runaway;
+  /// λ_m computation for the *design* pipeline. Pinned to the Schur
+  /// bisection (mirroring the pinned probe backend): the design JSON embeds
+  /// lambda_m_a at full precision, and pinning keeps `design --json`
+  /// byte-identical no matter which runaway method the engine/service
+  /// default to. The sparse Lanczos agrees to 1e-8 relative — but not to
+  /// the last bit.
+  tec::RunawayOptions runaway{tec::RunawayMethod::kSchur};
 };
 
 /// Result of the current setting subroutine.

@@ -878,12 +878,29 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
 
   if (request.method == "runaway") {
     auto session = session_for(params, info);
+    // Sessions cache λ_m computed with the engine default (sparse Lanczos —
+    // cheap at any grid size); an explicit "method" recomputes through the
+    // context's per-method cache, e.g. for a dense cross-validation.
+    tec::RunawayOptions ropts = session->context->options().runaway;
+    const std::string method_str =
+        params.string_or("method", tec::runaway_method_name(ropts.method));
+    const auto method = tec::parse_runaway_method(method_str);
+    if (!method) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "unknown runaway method '" + method_str + "' (use " +
+                              tec::runaway_method_list() + ")");
+    }
+    ropts.method = *method;
+    std::optional<double> lambda_m;
+    if (!session->design.deployment.empty()) {
+      lambda_m = session->context->runaway_limit(ropts);
+    }
     JsonValue result = JsonValue::make_object();
     result.set("chip", JsonValue::make_string(session->key.chip));
+    result.set("method", JsonValue::make_string(tec::runaway_method_name(*method)));
     result.set("tec_count", JsonValue::make_number(double(session->design.tec_count)));
-    result.set("lambda_m_a", session->lambda_m
-                                 ? JsonValue::make_number(*session->lambda_m)
-                                 : JsonValue::make_null());
+    result.set("lambda_m_a", lambda_m ? JsonValue::make_number(*lambda_m)
+                                      : JsonValue::make_null());
     return result;
   }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "linalg/lanczos.h"
 #include "linalg/sparse_cholesky.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector.h"
@@ -70,6 +71,10 @@ struct SolveWorkspace {
   linalg::Vector solve_scratch;
   /// Per-tile temperature buffer for peak-only probes.
   linalg::Vector tiles;
+  /// Scratch of the sparse runaway eigensolve (RunawayMethod::kSparse) —
+  /// pencil, factor and Lanczos basis, warmed on the first λ_m request of
+  /// the pool and allocation-free afterwards.
+  linalg::ShiftInvertLanczosWorkspace lanczos;
 };
 
 /// Immutable coupled system for a fixed deployment. Supply current remains a

@@ -94,6 +94,36 @@ TEST(Cli, RunawayReportsLambda) {
   EXPECT_NE(r.out.find("lambda_m"), std::string::npos);
 }
 
+/// Parse the full-precision λ_m out of `runaway` stdout ("lambda_m = X A").
+double lambda_m_of(const std::string& out) {
+  const auto pos = out.find("lambda_m = ");
+  EXPECT_NE(pos, std::string::npos) << out;
+  return std::stod(out.substr(pos + 11));
+}
+
+TEST(Cli, RunawayMethodFlagCrossValidates) {
+  // The same comparison the CI smoke job runs: every eigensolver must report
+  // the same λ_m to 1e-8 relative.
+  auto sparse = run({"runaway", "--chip", "alpha", "--runaway-method", "sparse"});
+  auto schur = run({"runaway", "--chip", "alpha", "--runaway-method", "schur"});
+  auto dense = run({"runaway", "--chip", "alpha", "--runaway-method", "dense"});
+  ASSERT_EQ(sparse.code, 0) << sparse.err;
+  ASSERT_EQ(schur.code, 0) << schur.err;
+  ASSERT_EQ(dense.code, 0) << dense.err;
+  const double a = lambda_m_of(sparse.out);
+  const double b = lambda_m_of(schur.out);
+  const double c = lambda_m_of(dense.out);
+  EXPECT_NEAR(a, b, 1e-8 * b);
+  EXPECT_NEAR(a, c, 1e-8 * c);
+}
+
+TEST(Cli, UnknownRunawayMethodIsUsageError) {
+  auto r = run({"runaway", "--chip", "alpha", "--runaway-method", "lobpcg"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown runaway method 'lobpcg'"), std::string::npos);
+  EXPECT_NE(r.err.find("sparse|schur|dense"), std::string::npos);
+}
+
 TEST(Cli, ValidateWithinPaperBound) {
   auto r = run({"validate", "--chip", "alpha"});
   EXPECT_EQ(r.code, 0);

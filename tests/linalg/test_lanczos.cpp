@@ -1,0 +1,238 @@
+/// Property tests of the sparse shift-invert Lanczos eigensolver against the
+/// dense pencil-bisection oracle, over random Stieltjes matrices (the
+/// paper's own validation family), sizes, shifts — including a near-singular
+/// K = G − σD and a deliberately bad shift that must re-shift or throw.
+#include "linalg/lanczos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/eigen.h"
+#include "linalg/random_stieltjes.h"
+#include "linalg/sparse_matrix.h"
+
+namespace tfc::linalg {
+namespace {
+
+/// TEC-like diagonal: +mag on `pos` rows, −mag on `neg` rows, 0 elsewhere —
+/// exactly the ±α support pattern of the Peltier matrix D.
+Vector tec_like_diagonal(std::size_t n, std::size_t pos, std::size_t neg,
+                         std::mt19937_64& rng, double mag = 1.0) {
+  Vector d(n);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::shuffle(idx.begin(), idx.end(), rng);
+  std::uniform_real_distribution<double> u(0.5 * mag, mag);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < pos && k < n; ++i, ++k) d[idx[k]] = u(rng);
+  for (std::size_t i = 0; i < neg && k < n; ++i, ++k) d[idx[k]] = -u(rng);
+  return d;
+}
+
+std::optional<double> dense_oracle(const DenseMatrix& g, const Vector& d) {
+  PencilBisectionOptions opts;
+  opts.rel_tol = 1e-12;
+  return pencil_smallest_positive_eigenvalue(g, DenseMatrix::diagonal(d), opts);
+}
+
+std::size_t nnz_of(const Vector& d) {
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) nnz += d[i] != 0.0 ? 1 : 0;
+  return nnz;
+}
+
+TEST(ShiftInvertLanczos, AgreesWithDenseOracleAcrossSizesAndSeeds) {
+  for (std::size_t n : {4u, 8u, 20u, 40u, 80u}) {
+    for (std::uint64_t seed : {1u, 7u, 42u}) {
+      std::mt19937_64 rng(seed * 1000 + n);
+      const DenseMatrix gd = random_pd_stieltjes(n, rng);
+      const Vector d =
+          tec_like_diagonal(n, std::max<std::size_t>(1, n / 4), n / 5, rng);
+      const SparseMatrix g = SparseMatrix::from_dense(gd);
+
+      const auto oracle = dense_oracle(gd, d);
+      const auto sparse = ShiftInvertLanczos::smallest_positive(g, d);
+      ASSERT_TRUE(oracle.has_value()) << "n=" << n << " seed=" << seed;
+      ASSERT_TRUE(sparse.has_value()) << "n=" << n << " seed=" << seed;
+      EXPECT_NEAR(sparse->eigenvalue, *oracle, 1e-8 * *oracle)
+          << "n=" << n << " seed=" << seed;
+      // Certified: the result carries its own residual proof.
+      EXPECT_LE(sparse->rel_residual, 1e-9);
+      // Krylov exhaustion bound: rank(K⁻¹D) ≤ nnz(d).
+      EXPECT_LE(sparse->iterations, nnz_of(d) + 1);
+    }
+  }
+}
+
+TEST(ShiftInvertLanczos, GroundedLaplacianFamily) {
+  // Weakly dominant Laplacians with few grounded rows — the exact structure
+  // of the thermal G, the hardest PD family the repo generates.
+  for (std::uint64_t seed : {3u, 11u}) {
+    std::mt19937_64 rng(seed);
+    const std::size_t n = 48;
+    const DenseMatrix gd = random_grounded_laplacian(n, 4, rng);
+    const Vector d = tec_like_diagonal(n, 5, 5, rng, 0.3);
+    const auto oracle = dense_oracle(gd, d);
+    const auto sparse =
+        ShiftInvertLanczos::smallest_positive(SparseMatrix::from_dense(gd), d);
+    ASSERT_TRUE(oracle.has_value());
+    ASSERT_TRUE(sparse.has_value());
+    EXPECT_NEAR(sparse->eigenvalue, *oracle, 1e-8 * *oracle);
+  }
+}
+
+TEST(ShiftInvertLanczos, EigenpairSatisfiesPencilEquation) {
+  std::mt19937_64 rng(5);
+  const std::size_t n = 30;
+  const DenseMatrix gd = random_pd_stieltjes(n, rng);
+  const Vector d = tec_like_diagonal(n, 6, 4, rng);
+  const SparseMatrix g = SparseMatrix::from_dense(gd);
+  const auto res = ShiftInvertLanczos::smallest_positive(g, d);
+  ASSERT_TRUE(res.has_value());
+  // Recompute ‖G·v − λ·D·v‖ / ‖G·v‖ from scratch; must match the certificate.
+  EXPECT_NEAR(norm2(res->eigenvector), 1.0, 1e-12);
+  Vector gv = g * res->eigenvector;
+  const double gvn = norm2(gv);
+  for (std::size_t i = 0; i < n; ++i) {
+    gv[i] -= res->eigenvalue * d[i] * res->eigenvector[i];
+  }
+  EXPECT_LE(norm2(gv) / gvn, 1e-9);
+}
+
+TEST(ShiftInvertLanczos, InteriorShiftMatchesZeroShift) {
+  std::mt19937_64 rng(9);
+  const std::size_t n = 32;
+  const DenseMatrix gd = random_pd_stieltjes(n, rng);
+  const Vector d = tec_like_diagonal(n, 6, 3, rng);
+  const SparseMatrix g = SparseMatrix::from_dense(gd);
+  const auto base = ShiftInvertLanczos::smallest_positive(g, d);
+  ASSERT_TRUE(base.has_value());
+  for (double f : {0.25, 0.5, 0.9, 0.999}) {
+    // Every σ strictly inside (0, λ_m) keeps K = G − σD SPD; f → 1 drives K
+    // toward singular (the near-breakdown regime).
+    ShiftInvertLanczosOptions opts;
+    opts.shift = f * base->eigenvalue;
+    const auto shifted = ShiftInvertLanczos::smallest_positive(g, d, opts);
+    ASSERT_TRUE(shifted.has_value()) << "f=" << f;
+    EXPECT_EQ(shifted->shift, opts.shift) << "f=" << f;  // no re-shift occurred
+    EXPECT_NEAR(shifted->eigenvalue, base->eigenvalue, 1e-8 * base->eigenvalue)
+        << "f=" << f;
+  }
+}
+
+TEST(ShiftInvertLanczos, BadShiftReshiftsWhenAllowed) {
+  std::mt19937_64 rng(13);
+  const std::size_t n = 24;
+  const DenseMatrix gd = random_pd_stieltjes(n, rng);
+  const Vector d = tec_like_diagonal(n, 5, 3, rng);
+  const SparseMatrix g = SparseMatrix::from_dense(gd);
+  const auto base = ShiftInvertLanczos::smallest_positive(g, d);
+  ASSERT_TRUE(base.has_value());
+
+  ShiftInvertLanczosOptions opts;
+  opts.shift = 2.0 * base->eigenvalue;  // past λ_m: K is indefinite
+  const auto res = ShiftInvertLanczos::smallest_positive(g, d, opts);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->shift, 0.0);  // the re-shift is recorded in the result
+  EXPECT_NEAR(res->eigenvalue, base->eigenvalue, 1e-8 * base->eigenvalue);
+}
+
+TEST(ShiftInvertLanczos, BadShiftThrowsTypedErrorWhenReshiftDisabled) {
+  std::mt19937_64 rng(13);
+  const std::size_t n = 24;
+  const DenseMatrix gd = random_pd_stieltjes(n, rng);
+  const Vector d = tec_like_diagonal(n, 5, 3, rng);
+  const SparseMatrix g = SparseMatrix::from_dense(gd);
+  const auto base = ShiftInvertLanczos::smallest_positive(g, d);
+  ASSERT_TRUE(base.has_value());
+
+  ShiftInvertLanczosOptions opts;
+  opts.shift = 2.0 * base->eigenvalue;
+  opts.allow_reshift = false;
+  try {
+    ShiftInvertLanczos::smallest_positive(g, d, opts);
+    FAIL() << "expected LanczosShiftError";
+  } catch (const LanczosShiftError& e) {
+    EXPECT_EQ(e.shift(), opts.shift);
+  }
+}
+
+TEST(ShiftInvertLanczos, ImpossibleToleranceThrowsTypedNonConvergence) {
+  std::mt19937_64 rng(17);
+  const std::size_t n = 20;
+  const DenseMatrix gd = random_pd_stieltjes(n, rng);
+  const Vector d = tec_like_diagonal(n, 4, 3, rng);
+  const SparseMatrix g = SparseMatrix::from_dense(gd);
+
+  ShiftInvertLanczosOptions opts;
+  opts.rel_tol = 1e-30;  // below machine precision: certificate cannot be met
+  try {
+    ShiftInvertLanczos::smallest_positive(g, d, opts);
+    FAIL() << "expected LanczosNonConvergedError";
+  } catch (const LanczosNonConvergedError& e) {
+    EXPECT_GT(e.iterations(), 0u);
+    EXPECT_GT(e.rel_residual(), 0.0);
+  }
+}
+
+TEST(ShiftInvertLanczos, NoPositiveDirectionGivesNoEigenvalue) {
+  std::mt19937_64 rng(21);
+  const std::size_t n = 16;
+  const DenseMatrix gd = random_pd_stieltjes(n, rng);
+  const SparseMatrix g = SparseMatrix::from_dense(gd);
+
+  Vector zero(n);
+  EXPECT_FALSE(ShiftInvertLanczos::smallest_positive(g, zero).has_value());
+
+  const Vector neg = tec_like_diagonal(n, 0, 5, rng);  // only negative entries
+  EXPECT_FALSE(dense_oracle(gd, neg).has_value());
+  EXPECT_FALSE(ShiftInvertLanczos::smallest_positive(g, neg).has_value());
+}
+
+TEST(ShiftInvertLanczos, OneByOneSystem) {
+  TripletList t(1, 1);
+  t.add(0, 0, 2.0);
+  const SparseMatrix g = SparseMatrix::from_triplets(t);
+  Vector d(1);
+  d[0] = 0.5;
+  const auto res = ShiftInvertLanczos::smallest_positive(g, d);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->eigenvalue, 4.0, 1e-12);
+  EXPECT_EQ(res->iterations, 1u);
+}
+
+TEST(ShiftInvertLanczos, WorkspaceReuseIsBitIdentical) {
+  std::mt19937_64 rng(25);
+  const std::size_t n = 40;
+  const DenseMatrix gd = random_pd_stieltjes(n, rng);
+  const Vector d = tec_like_diagonal(n, 8, 6, rng);
+  const SparseMatrix g = SparseMatrix::from_dense(gd);
+  const auto symbolic = SparseCholeskySymbolic::analyze(g);
+
+  ShiftInvertLanczosWorkspace ws;
+  const auto first = ShiftInvertLanczos::smallest_positive(g, d, symbolic, ws);
+  const auto second = ShiftInvertLanczos::smallest_positive(g, d, symbolic, ws);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // A warm workspace must not change the arithmetic.
+  EXPECT_EQ(first->eigenvalue, second->eigenvalue);
+  EXPECT_EQ(first->iterations, second->iterations);
+  EXPECT_EQ(first->rel_residual, second->rel_residual);
+  EXPECT_TRUE(first->eigenvector == second->eigenvector);
+}
+
+TEST(ShiftInvertLanczos, ShapeMismatchThrows) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  const SparseMatrix g = SparseMatrix::from_triplets(t);
+  Vector d(3);
+  EXPECT_THROW(ShiftInvertLanczos::smallest_positive(g, d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tfc::linalg

@@ -151,6 +151,37 @@ TEST(Service, RunawayAndSweep) {
   EXPECT_DOUBLE_EQ(sweep.at("result").at("lambda_m_a").as_number(), lm);
 }
 
+TEST(Service, RunawayMethodParamSelectsEigensolverAndCrossValidates) {
+  ServerFixture fx(quick_options("runawaymethod"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  // Default: the engine's sparse Lanczos, echoed back in the reply.
+  auto def = client.call("runaway");
+  ASSERT_TRUE(def.at("ok").as_bool()) << def.dump();
+  EXPECT_EQ(def.at("result").at("method").as_string(), "sparse");
+  const double sparse_lm = def.at("result").at("lambda_m_a").as_number();
+
+  // Explicit methods recompute λ_m through the per-method cache and must
+  // agree with the sparse default to 1e-8 relative.
+  for (const char* m : {"schur", "dense"}) {
+    io::JsonValue params = io::JsonValue::make_object();
+    params.set("method", io::JsonValue::make_string(m));
+    auto reply = client.call("runaway", params);
+    ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+    EXPECT_EQ(reply.at("result").at("method").as_string(), m);
+    const double lm = reply.at("result").at("lambda_m_a").as_number();
+    EXPECT_NEAR(lm, sparse_lm, 1e-8 * lm) << m;
+  }
+
+  io::JsonValue bad = io::JsonValue::make_object();
+  bad.set("method", io::JsonValue::make_string("lobpcg"));
+  auto reply = client.call("runaway", bad);
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), "bad_request");
+  EXPECT_NE(reply.at("error").at("message").as_string().find("sparse|schur|dense"),
+            std::string::npos);
+}
+
 TEST(Service, BadParamsAreStructuredErrors) {
   ServerFixture fx(quick_options("badparams"));
   auto client = Client::connect_unix(fx.server().options().socket_path);

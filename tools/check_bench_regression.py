@@ -11,6 +11,10 @@ an accidental O(n^2) loop), not scheduler noise. Chips present in only one
 file are reported but never fail the gate, so adding a chip does not require
 a lockstep baseline update.
 
+Every violated gate is accumulated — the run never stops at the first
+failure — and the final FAIL summary lists each failing key with its actual
+value against the baseline limit, so one CI run shows the full damage.
+
 With --service-baseline/--service-current the gate also checks the solver
 service's BENCH_service.json: each scenario's throughput must stay above the
 baseline floor (min_throughput_rps) and its tail below the p99 ceiling
@@ -34,6 +38,19 @@ def load(path):
         return json.load(f)
 
 
+def fail(key, actual, limit, direction="<="):
+    """One accumulated gate violation: key plus actual-vs-baseline values."""
+    return {"key": key, "actual": actual, "limit": limit, "direction": direction}
+
+
+def fmt_value(v):
+    if v is None:
+        return "missing"
+    if isinstance(v, float):
+        return "%.3f" % v
+    return str(v)
+
+
 def check_service(baseline_path, current_path):
     """Return the list of failed service-scenario checks."""
     baseline = load(baseline_path)
@@ -53,18 +70,20 @@ def check_service(baseline_path, current_path):
         if cur is None:
             print("%-14s %14.0f %14s  missing in current"
                   % (name, base["min_throughput_rps"], "-"))
-            failures.append("service:%s" % name)
+            failures.append(fail("service:%s" % name, None,
+                                 float(base["min_throughput_rps"]), ">="))
             continue
         floor = float(base["min_throughput_rps"])
         rps = float(cur["throughput_rps"])
         status = "ok"
         if rps < floor:
             status = "REGRESSED (floor %.0f rps)" % floor
-            failures.append("service:%s" % name)
+            failures.append(fail("service:%s:throughput_rps" % name, rps, floor, ">="))
         ceiling = base.get("max_p99_ms")
         if ceiling is not None and float(cur.get("p99_ms", 0.0)) > float(ceiling):
             status = "REGRESSED (p99 %.2f ms > %.2f ms)" % (cur["p99_ms"], ceiling)
-            failures.append("service:%s:p99" % name)
+            failures.append(fail("service:%s:p99_ms" % name,
+                                 float(cur["p99_ms"]), float(ceiling)))
         print("%-14s %14.0f %14.0f  %s" % (name, floor, rps, status))
     return failures
 
@@ -83,7 +102,7 @@ def check_restamp(baseline, current):
     cur = current.get("greedy_restamp")
     if cur is None:
         print("greedy re-stamp: MISSING from current bench output")
-        return ["greedy_restamp:missing"]
+        return [fail("greedy_restamp", None, None)]
 
     failures = []
     inc = float(cur["pass_incremental_ms"])
@@ -94,10 +113,10 @@ def check_restamp(baseline, current):
     status = "ok"
     if inc > ceiling:
         status = "REGRESSED (ceiling %.3f ms)" % ceiling
-        failures.append("greedy_restamp:pass_incremental_ms")
+        failures.append(fail("greedy_restamp:pass_incremental_ms", inc, ceiling))
     if ratio < floor:
         status = "REGRESSED (ratio floor %.1fx)" % floor
-        failures.append("greedy_restamp:pass_saved_ratio")
+        failures.append(fail("greedy_restamp:pass_saved_ratio", ratio, floor, ">="))
     print("greedy re-stamp per pass: %.3f ms incremental vs %.3f ms full "
           "(%.1fx, floor %.1fx)  %s" % (inc, full, ratio, floor, status))
     return failures
@@ -111,7 +130,7 @@ def check_backends(baseline, current):
     cur = current.get("backend_probe_ms")
     if cur is None:
         print("backend probes: MISSING from current bench output")
-        return ["backend_probe_ms:missing"]
+        return [fail("backend_probe_ms", None, None)]
 
     failures = []
     for name in sorted(k for k in base if k != "comment"):
@@ -119,12 +138,12 @@ def check_backends(baseline, current):
         if name not in cur:
             print("backend %-8s probe: missing in current (ceiling %.1f ms)"
                   % (name, ceiling))
-            failures.append("backend_probe_ms:%s" % name)
+            failures.append(fail("backend_probe_ms:%s" % name, None, ceiling))
             continue
         ms = float(cur[name])
         status = "ok" if ms <= ceiling else "REGRESSED (ceiling %.1f ms)" % ceiling
         if ms > ceiling:
-            failures.append("backend_probe_ms:%s" % name)
+            failures.append(fail("backend_probe_ms:%s" % name, ms, ceiling))
         print("backend %-8s probe: %8.3f ms (ceiling %.1f ms)  %s"
               % (name, ms, ceiling, status))
     return failures
@@ -143,7 +162,7 @@ def check_audit(baseline, current):
     cur = current.get("audit_overhead")
     if cur is None:
         print("audit overhead: MISSING from current bench output")
-        return ["audit_overhead:missing"]
+        return [fail("audit_overhead", None, None)]
 
     cap = float(base["max_overhead_pct"])
     pct = float(cur["overhead_pct"])
@@ -152,7 +171,43 @@ def check_audit(baseline, current):
           "(cap %.1f%%)  %s"
           % (float(cur["probe_unaudited_ms"]), float(cur["probe_audited_ms"]),
              pct, cap, status))
-    return [] if pct <= cap else ["audit_overhead:overhead_pct"]
+    return [] if pct <= cap else [fail("audit_overhead:overhead_pct", pct, cap)]
+
+
+def check_runaway(baseline, current):
+    """Gate the λ_m eigensolver ablation on the designed Alpha deployment.
+
+    Two checks against ci/bench_baseline.json's runaway block: an absolute
+    ceiling on the sparse shift-invert Lanczos wall time (the engine-default
+    eigensolve must stay interactive), and a machine-independent floor on the
+    dense/sparse ratio — the point of the sparse path is to beat the dense
+    pencil bisection by orders of magnitude, and that margin must not erode.
+    """
+    base = baseline.get("runaway")
+    if base is None:
+        return []
+    cur = current.get("runaway")
+    if cur is None:
+        print("runaway eigensolvers: MISSING from current bench output")
+        return [fail("runaway", None, None)]
+
+    failures = []
+    sparse = float(cur["sparse_ms"])
+    dense = float(cur["dense_ms"])
+    ratio = float(cur["dense_over_sparse_ratio"])
+    ceiling = float(base["max_sparse_ms"])
+    floor = float(base["min_dense_over_sparse_ratio"])
+    status = "ok"
+    if sparse > ceiling:
+        status = "REGRESSED (ceiling %.1f ms)" % ceiling
+        failures.append(fail("runaway:sparse_ms", sparse, ceiling))
+    if ratio < floor:
+        status = "REGRESSED (ratio floor %.0fx)" % floor
+        failures.append(fail("runaway:dense_over_sparse_ratio", ratio, floor, ">="))
+    print("runaway lambda_m on Alpha: %.3f ms sparse Lanczos (ceiling %.1f ms) vs "
+          "%.1f ms dense (%.0fx, floor %.0fx)  %s"
+          % (sparse, ceiling, dense, ratio, floor, status))
+    return failures
 
 
 def main():
@@ -188,10 +243,10 @@ def main():
         status = "ok"
         if cur_ms > limit:
             status = "REGRESSED (limit %.0f ms)" % limit
-            failures.append(name)
+            failures.append(fail("chip:%s:runtime_ms" % name, cur_ms, limit))
         if not cur_chips[name].get("success", True):
             status = "DESIGN FAILED"
-            failures.append(name)
+            failures.append(fail("chip:%s:success" % name, False, True, "=="))
         rows.append((name, base_ms, cur_ms, status))
 
     print("%-8s %14s %14s  %s" % ("chip", "baseline[ms]", "current[ms]", "status"))
@@ -209,7 +264,7 @@ def main():
         print("worst:   %14.0f %14.0f  %s"
               % (base_worst, cur_worst, "ok" if cur_worst <= limit else "REGRESSED"))
         if cur_worst > limit:
-            failures.append("worst_ms")
+            failures.append(fail("worst_ms", float(cur_worst), limit))
 
     speedup = current.get("greedy_speedup", {}).get("speedup")
     if speedup is not None:
@@ -218,6 +273,7 @@ def main():
     failures += check_restamp(baseline, current)
     failures += check_backends(baseline, current)
     failures += check_audit(baseline, current)
+    failures += check_runaway(baseline, current)
 
     if bool(args.service_baseline) != bool(args.service_current):
         print("error: --service-baseline and --service-current go together",
@@ -227,8 +283,12 @@ def main():
         failures += check_service(args.service_baseline, args.service_current)
 
     if failures:
-        print("\nFAIL: wall-time regression beyond %.0f%%: %s"
-              % (100.0 * args.threshold, ", ".join(failures)), file=sys.stderr)
+        print("\nFAIL: %d gate(s) violated (threshold %.0f%%):"
+              % (len(failures), 100.0 * args.threshold), file=sys.stderr)
+        for f in failures:
+            print("  %-44s actual %s, required %s %s"
+                  % (f["key"], fmt_value(f["actual"]), f["direction"],
+                     fmt_value(f["limit"])), file=sys.stderr)
         return 1
     print("\nOK: within %.0f%% of baseline" % (100.0 * args.threshold))
     return 0
