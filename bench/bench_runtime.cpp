@@ -21,6 +21,7 @@
 #include "core/greedy_deploy.h"
 #include "engine/solve_context.h"
 #include "par/thread_pool.h"
+#include "sim/scenario.h"
 #include "tec/runaway.h"
 
 namespace {
@@ -223,6 +224,35 @@ int main() {
               "audited — %.2f%% overhead\n",
               audit_off_ms, audit_on_ms, audit_overhead_pct);
 
+  // Transient scenario stepping (tfc::sim): mean backward-Euler step cost of
+  // the closed-loop simulate path on the designed Alpha deployment. Each step
+  // is a numeric-only sparse solve (one symbolic analysis shared across every
+  // current level), so the gate (check_bench_regression.py) caps the mean
+  // per-step wall time absolutely.
+  double sim_step_ms = 1e300;
+  std::size_t sim_steps = 0;
+  {
+    const auto plan = floorplan::alpha21364();
+    sim::ScenarioOptions sopts;
+    sopts.steps = 400;
+    sopts.frame_every = 100;
+    if (res.current > 0.0) {
+      sopts.policy.current_levels = {0.0, 0.5 * res.current, res.current};
+    }
+    for (int r = 0; r < 3; ++r) {
+      sim::ScenarioEngine engine(plan, thermal::PackageGeometry{},
+                                 tec::TecDeviceParams::chowdhury_superlattice(),
+                                 res.deployment, sopts);
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto summary = engine.run();
+      sim_steps = summary.steps;
+      sim_step_ms = std::min(sim_step_ms, ms_since(t1) / double(summary.steps));
+    }
+  }
+  std::printf("transient scenario step on Alpha (closed loop): %.3f ms mean over "
+              "%zu steps\n",
+              sim_step_ms, sim_steps);
+
   {
     std::ofstream out("BENCH_runtime.json");
     out << "{\"bench\":\"runtime\",\"hardware_threads\":" << hw << ",\"chips\":{";
@@ -252,7 +282,9 @@ int main() {
         << ",\"cg\":" << probe_ms[1]
         << "},\"audit_overhead\":{\"probe_unaudited_ms\":" << audit_off_ms
         << ",\"probe_audited_ms\":" << audit_on_ms
-        << ",\"overhead_pct\":" << audit_overhead_pct << "}}\n";
+        << ",\"overhead_pct\":" << audit_overhead_pct
+        << "},\"sim_step\":{\"mean_step_ms\":" << sim_step_ms
+        << ",\"steps\":" << sim_steps << "}}\n";
     std::printf("wrote BENCH_runtime.json\n");
   }
   return worst < 180000.0 ? 0 : 1;

@@ -23,6 +23,7 @@
 #include "par/thread_pool.h"
 #include "power/power_profile.h"
 #include "power/workload.h"
+#include "sim/scenario.h"
 #include "svc/client.h"
 #include "svc/server.h"
 #include "tec/runaway.h"
@@ -38,7 +39,8 @@ struct ParsedArgs {
 };
 
 const char* kFlagOptions[] = {"--map",  "--help", "--no-full-cover", "--certify",
-                              "--trace", "--raw", "--fault-injection"};
+                              "--trace", "--raw", "--fault-injection",
+                              "--no-dtm", "--tiles", "--cold-start"};
 
 struct CommandSpec;
 const CommandSpec* find_command(const std::string& name);
@@ -365,6 +367,72 @@ int cmd_validate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return rep.max_abs_diff < 1.5 ? 0 : 1;
 }
 
+/// Transient closed-loop scenario, run locally: design a deployment for the
+/// chip, integrate the scenario, and print NDJSON — one frame per line, then
+/// a {"summary": ...} footer. Deterministic for a fixed option set, so the
+/// output is byte-diffable across thread counts.
+int cmd_simulate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const std::string chip = option_or(p, "--chip", "alpha");
+  floorplan::Floorplan plan = [&] {
+    if (chip == "alpha") return floorplan::alpha21364();
+    if (chip.rfind("hc", 0) == 0) {
+      return floorplan::hypothetical_chip(std::stoul(chip.substr(2)));
+    }
+    throw std::invalid_argument("unknown chip '" + chip + "' (use alpha or hc<N>)");
+  }();
+
+  ChipInput input;
+  input.name = chip;
+  power::WorkloadSynthesizer synth(plan);
+  input.tile_powers =
+      power::worst_case_profile(plan, synth.synthesize_suite(8)).tile_powers();
+
+  const double limit = parse_double(p, "--limit", 85.0);
+  auto res = design_with_fallback(input, limit, false, false);
+
+  sim::ScenarioOptions opts;
+  opts.benchmark = option_or(p, "--benchmark", "bench00");
+  opts.dt = parse_double(p, "--dt", 1e-3);
+  opts.steps = parse_size(p, "--steps", 500);
+  opts.frame_every = parse_size(p, "--frame-every", 10);
+  opts.control_every = parse_size(p, "--control-every", 10);
+  opts.dtm = p.options.count("--no-dtm") == 0;
+  opts.include_tiles = p.options.count("--tiles") != 0;
+  opts.start_from_steady_state = p.options.count("--cold-start") == 0;
+  opts.policy.theta_limit = thermal::to_kelvin(limit);
+
+  const double current = parse_double(p, "--current", res.current);
+  if (current < 0.0) {
+    err << "error: --current must be >= 0\n";
+    return 2;
+  }
+  const bool has_tec = res.tec_count > 0 && current > 0.0;
+  if (has_tec && opts.dtm) {
+    opts.policy.current_levels = {0.0, 0.5 * current, current};
+  }
+  if (const double on = parse_double(p, "--tec-on", -1.0); on >= 0.0 && has_tec) {
+    opts.schedule.push_back({std::size_t(on), current});
+  }
+  if (const double off = parse_double(p, "--tec-off", -1.0); off >= 0.0 && has_tec) {
+    opts.schedule.push_back({std::size_t(off), 0.0});
+  }
+  if (!opts.dtm && has_tec && opts.schedule.empty()) {
+    opts.schedule.push_back({0, current});
+  }
+
+  sim::ScenarioEngine engine(plan, input.geometry,
+                             tec::TecDeviceParams::chowdhury_superlattice(),
+                             res.deployment, opts);
+  auto summary = engine.run([&](const sim::Frame& frame) {
+    out << sim::frame_to_json(frame, plan).dump() << "\n";
+    return true;
+  });
+  io::JsonValue footer = io::JsonValue::make_object();
+  footer.set("summary", sim::summary_to_json(summary));
+  out << footer.dump() << "\n";
+  return summary.limit_held_at_end ? 0 : 1;
+}
+
 // --- service commands -------------------------------------------------------
 
 /// Stop-pipe fd for the signal handler (write() is async-signal-safe).
@@ -465,7 +533,8 @@ void print_recent_table(const io::JsonValue& reply, std::ostream& out) {
 
   out << std::left << std::setw(6) << "seq" << std::setw(9) << "method"
       << std::setw(7) << "chip" << std::setw(6) << "cache" << std::setw(19)
-      << "status" << std::right << std::setw(10) << "queue_ms" << std::setw(10)
+      << "status" << std::right << std::setw(7) << "frames" << std::setw(10)
+      << "queue_ms" << std::setw(10)
       << "lat_ms" << std::setw(9) << "fact_ms" << std::setw(10) << "solve_ms"
       << std::setw(7) << "facts" << std::setw(7) << "cg_it" << std::setw(7)
       << "audit" << std::setw(10) << "resid" << std::setw(10) << "balance"
@@ -480,6 +549,7 @@ void print_recent_table(const io::JsonValue& reply, std::ostream& out) {
         << std::setw(6)
         << (cache != nullptr && cache->is_string() ? cache->as_string() : "-")
         << std::setw(19) << r.string_or("status", "?") << std::right
+        << std::setw(7) << std::size_t(r.number_or("frames", 0.0))
         << std::fixed << std::setprecision(2) << std::setw(10)
         << r.number_or("queue_wait_ms", 0.0) << std::setw(10)
         << r.number_or("latency_ms", 0.0) << std::setw(9)
@@ -556,8 +626,18 @@ int cmd_request(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
                                }()
                              : svc::Client::connect_unix(socket_path);
     client.set_receive_timeout_ms(parse_double(p, "--timeout-ms", 120000.0));
-    const std::string reply_line = client.call_raw(request.dump());
-    const io::JsonValue reply = io::parse_json(reply_line);
+    client.send_raw(request.dump());
+    // A streamed method (simulate) sends zero or more non-final frame lines
+    // (no "ok" member) before the final reply. Pass frames through as they
+    // arrive — in both raw and pretty modes — then render the final reply.
+    std::string reply_line;
+    io::JsonValue reply;
+    while (true) {
+      reply_line = client.read_line();
+      reply = io::parse_json(reply_line);
+      if (reply.is_object() && reply.has("ok")) break;
+      out << reply_line << std::endl;
+    }
     const bool ok = reply.bool_or("ok", false);
     if (method == "recent" && ok && p.options.count("--raw") == 0) {
       print_recent_table(reply, out);
@@ -794,6 +874,12 @@ const char* kSweepOptions[] = {"--chip", "--flp",    "--ptrace",       "--rows",
 
 const char* kNoOptions[] = {nullptr};
 
+const char* kSimulateOptions[] = {"--chip",       "--limit",    "--benchmark",
+                                  "--steps",      "--dt",       "--frame-every",
+                                  "--control-every", "--current", "--tec-on",
+                                  "--tec-off",    "--no-dtm",   "--tiles",
+                                  "--cold-start", nullptr};
+
 const char* kServeOptions[] = {"--socket",      "--listen",   "--workers",
                                "--queue",       "--cache",    "--deadline-ms",
                                "--prom-addr",   "--slow-ms",  "--recent",
@@ -854,6 +940,27 @@ const CommandSpec kCommands[] = {
      "  --limit C               design temperature limit [degC] (default 85)\n"
      "\nchip selection:\n",
      cmd_sensitivity},
+    {"simulate", "transient closed-loop DTM scenario, printed as NDJSON",
+     kSimulateOptions,
+     "  --chip alpha|hc<N>      built-in benchmark chip (default alpha)\n"
+     "  --limit C               DTM temperature limit [degC] (default 85)\n"
+     "  --benchmark NAME        workload phase trace (default bench00)\n"
+     "  --steps N               backward-Euler steps (default 500)\n"
+     "  --dt S                  integration step [s] (default 1e-3)\n"
+     "  --frame-every N         emit a frame every N steps (default 10)\n"
+     "  --control-every N       controller decides every N steps (default 10)\n"
+     "  --current A             TEC supply ceiling [A] (default: the design's\n"
+     "                          optimum; 0 disables the TEC)\n"
+     "  --tec-on N              force the TEC on from step N (schedule floor)\n"
+     "  --tec-off N             schedule the TEC off from step N\n"
+     "  --no-dtm                open loop: schedule only, no controller\n"
+     "  --tiles                 include per-tile temperatures in each frame\n"
+     "  --cold-start            start from uniform ambient instead of the\n"
+     "                          passive steady state\n"
+     "\nprints one NDJSON frame per line, then a {\"summary\": ...} footer.\n"
+     "output is deterministic (byte-identical at any --threads).\n"
+     "exit code: 0 = limit held at the end, 1 = not held, 2 = usage error.\n",
+     cmd_simulate},
     {"serve", "run the persistent solver service (see docs/SERVICE.md)",
      kServeOptions,
      "  --socket PATH           listen on a unix-domain socket at PATH\n"
@@ -883,7 +990,7 @@ const CommandSpec kCommands[] = {
      "  --socket PATH           connect to a unix-domain socket\n"
      "  --connect HOST:PORT     connect over TCP instead\n"
      "  --method NAME           ping|stats|metrics|recent|health|solve|\n"
-     "                          design|runaway|sweep|shutdown\n"
+     "                          design|runaway|sweep|simulate|shutdown\n"
      "  --params JSON           request parameters as a JSON object\n"
      "  --id ID                 request id to echo (default 1)\n"
      "  --deadline-ms D         server-side deadline for this request\n"
@@ -892,7 +999,8 @@ const CommandSpec kCommands[] = {
      "  --trace-id ID           client-chosen trace id (echoed in the reply)\n"
      "  --raw                   print the raw reply line even for 'recent'\n"
      "\n'recent' prints a table of the service's last requests; all other\n"
-     "methods print the raw reply line.\n"
+     "methods print the raw reply line. streamed methods (simulate) print\n"
+     "each frame line as it arrives, then the final reply.\n"
      "exit code: 0 = ok reply, 1 = error reply, 2 = transport/usage error.\n",
      cmd_request},
     {"health", "numerical-health verdict of a running service", kHealthOptions,

@@ -10,6 +10,9 @@
 /// quantifies how much throttling the active cooling system avoids.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "common/tile.h"
 #include "floorplan/floorplan.h"
 #include "tec/device.h"
@@ -46,5 +49,81 @@ DtmResult simulate_dtm(const floorplan::Floorplan& plan,
                        const thermal::PackageGeometry& geometry,
                        const tec::TecDeviceParams& device, const TileMask& deployment,
                        double current, const DtmOptions& options = {});
+
+/// Policy of the time-domain controller (tfc::sim's closed loop). Extends the
+/// steady-state throttling proxy with a recovery path (boost) and a TEC
+/// supply-current schedule: when the peak runs hot the controller first
+/// escalates the TEC current through \p current_levels (active cooling is
+/// cheaper than lost performance — the paper's motivating synergy), then
+/// throttles; with headroom it first gives units their activity back, then
+/// steps the current down.
+struct DtmPolicyOptions {
+  /// Temperature limit the controller enforces [K].
+  double theta_limit = thermal::to_kelvin(85.0);
+  /// Hysteresis band [K]: recovery actions require peak < theta_limit − band.
+  double guard_band = 1.0;
+  /// Multiplicative throttle per action on the offending unit.
+  double scale_step = 0.05;
+  /// Multiplicative boost per recovery action.
+  double boost_step = 0.05;
+  /// Floor on any unit's scale (a unit cannot be gated off completely).
+  double min_scale = 0.2;
+  /// Ascending TEC supply levels [A] the controller may schedule; index 0 is
+  /// the starting level. Empty: the controller never touches the current.
+  std::vector<double> current_levels;
+  /// Prefer raising the TEC current over throttling when over the limit.
+  bool escalate_current_first = true;
+};
+
+enum class DtmActionKind : std::uint8_t {
+  kNone = 0,      ///< no headroom to recover, nothing over the limit
+  kThrottle,      ///< scaled down the unit owning the hottest tile
+  kBoost,         ///< restored activity to the most-throttled unit
+  kCurrentUp,     ///< stepped the TEC supply current up one level
+  kCurrentDown,   ///< stepped the TEC supply current down one level
+};
+
+/// Stable lowercase name ("none", "throttle", "boost", "current_up",
+/// "current_down") — the frame-schema vocabulary.
+const char* dtm_action_name(DtmActionKind kind);
+
+/// One control decision: the kind plus the resulting actuator state.
+struct DtmAction {
+  DtmActionKind kind = DtmActionKind::kNone;
+  /// Unit acted on (kThrottle/kBoost only).
+  std::size_t unit = 0;
+  /// That unit's scale after the action.
+  double scale = 1.0;
+  /// TEC supply current after the action [A].
+  double current_a = 0.0;
+};
+
+/// Stateful time-domain DTM controller: call decide() once per control
+/// interval with the current tile temperatures; read the actuator state
+/// (unit_scales / current) back between calls. Deterministic: decisions
+/// depend only on the temperature sequence.
+class DtmController {
+ public:
+  /// Throws std::invalid_argument on bad policy options (steps outside
+  /// (0, 1), negative guard band, non-ascending or negative current levels).
+  explicit DtmController(const floorplan::Floorplan& plan, DtmPolicyOptions options = {});
+
+  /// One control decision for the given silicon tile temperatures [K]
+  /// (row-major, plan grid). At most one actuator moves per call.
+  DtmAction decide(const linalg::Vector& tile_temperatures);
+
+  const DtmPolicyOptions& options() const { return options_; }
+  const std::vector<double>& unit_scales() const { return scales_; }
+  /// The TEC supply current the controller currently schedules [A].
+  double current() const;
+  /// Power-weighted retained activity: Σ scale_u·p_u / Σ p_u ∈ [0, 1].
+  double performance() const;
+
+ private:
+  const floorplan::Floorplan* plan_;
+  DtmPolicyOptions options_;
+  std::vector<double> scales_;
+  std::size_t level_ = 0;  ///< index into options_.current_levels
+};
 
 }  // namespace tfc::core

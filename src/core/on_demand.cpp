@@ -38,10 +38,12 @@ OnDemandResult simulate_on_demand(
   const double ambient = model.geometry().ambient;
   const double i_on = options.on_current;
 
-  // Two fixed-topology integrators: TECs off (G) and on (G − i_on·D).
+  // Two fixed-topology integrators: TECs off (G) and on (G − i_on·D). The
+  // pencil keeps one pattern, so both share one symbolic Cholesky analysis.
   const auto cap = net.capacitance_vector();
   thermal::TransientSolver off_stepper(system.system_matrix(0.0), cap, options.dt);
-  thermal::TransientSolver on_stepper(system.system_matrix(i_on), cap, options.dt);
+  thermal::TransientSolver on_stepper(system.system_matrix(i_on), cap, options.dt,
+                                      off_stepper.symbolic());
 
   // Precompute the per-tile silicon node lists and static RHS pieces.
   const std::size_t rows = model.geometry().tile_rows;
@@ -88,6 +90,7 @@ OnDemandResult simulate_on_demand(
   res.tec_on.assign(options.steps, false);
   bool on = false;
   std::size_t on_steps = 0;
+  linalg::Vector next(n);
 
   for (std::size_t s = 0; s < options.steps; ++s) {
     const double peak = model.peak_tile_temperature(theta);
@@ -97,7 +100,8 @@ OnDemandResult simulate_on_demand(
     if (on != was_on && s > 0) ++res.switch_count;
 
     const auto rhs = rhs_for(tile_powers_at(s), on);
-    theta = on ? on_stepper.step(theta, rhs) : off_stepper.step(theta, rhs);
+    (on ? on_stepper : off_stepper).step_into(theta, rhs, next);
+    std::swap(theta, next);
 
     res.peak_timeline[s] = model.peak_tile_temperature(theta);
     res.tec_on[s] = on;

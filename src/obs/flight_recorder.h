@@ -61,6 +61,8 @@ struct RequestRecord {
   /// Energy-balance closure from the audit certificate; < 0 when not
   /// audited.
   double energy_balance_rel = -1.0;
+  /// Streamed frames emitted before the final reply (0 for unary methods).
+  std::uint64_t frames = 0;
   /// Completion wall-clock time [µs since the Unix epoch].
   std::int64_t wall_us = 0;
 };

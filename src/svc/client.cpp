@@ -85,7 +85,7 @@ void Client::set_receive_timeout_ms(double timeout_ms) {
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
-std::string Client::call_raw(const std::string& line) {
+void Client::send_raw(const std::string& line) {
   std::string framed = line;
   framed += '\n';
   std::size_t off = 0;
@@ -97,7 +97,9 @@ std::string Client::call_raw(const std::string& line) {
     }
     off += std::size_t(n);
   }
+}
 
+std::string Client::read_line() {
   while (true) {
     if (const std::size_t nl = buffer_.find('\n'); nl != std::string::npos) {
       std::string reply = buffer_.substr(0, nl);
@@ -116,6 +118,11 @@ std::string Client::call_raw(const std::string& line) {
     }
     buffer_.append(chunk, std::size_t(n));
   }
+}
+
+std::string Client::call_raw(const std::string& line) {
+  send_raw(line);
+  return read_line();
 }
 
 io::JsonValue Client::call(const std::string& method, const io::JsonValue& params,

@@ -40,6 +40,14 @@ class Client {
   /// Send one raw line (no trailing newline) and return the next reply line.
   std::string call_raw(const std::string& line);
 
+  /// Send one raw line without waiting for a reply. Pair with read_line()
+  /// to consume multi-reply (streamed) responses frame by frame.
+  void send_raw(const std::string& line);
+
+  /// Block until the next reply line arrives and return it (without the
+  /// newline). Throws std::runtime_error on EOF, timeout, or socket error.
+  std::string read_line();
+
   /// Cap on waiting for a reply [ms]; 0 = wait forever (default).
   void set_receive_timeout_ms(double timeout_ms);
 

@@ -23,6 +23,7 @@
 #include "obs/obs.h"
 #include "power/power_profile.h"
 #include "power/workload.h"
+#include "sim/scenario.h"
 #include "tec/runaway.h"
 #include "thermal/package.h"
 
@@ -55,7 +56,7 @@ void close_if_open(int& fd) {
 constexpr const char* kMethodLabels[] = {"ping",   "stats",  "solve",
                                          "design", "runaway", "sweep",
                                          "metrics", "recent", "health",
-                                         "inject"};
+                                         "inject", "simulate"};
 
 const char* method_label(const std::string& method) {
   for (const char* known : kMethodLabels) {
@@ -99,6 +100,14 @@ void register_metrics() {
   m.counter("engine.cg.nonconverged");
   m.histogram("engine.audit.rel_residual");
   m.histogram("engine.audit.energy_balance_rel");
+  // Scenario-simulation families (tfc::sim; the streaming `simulate` method).
+  m.counter("sim.runs");
+  m.counter("sim.steps");
+  m.counter("sim.frames");
+  m.counter("sim.violations");
+  m.histogram("sim.step_ms");
+  m.counter("svc.stream.frames");
+  m.counter("svc.stream.deadline_aborts");
   for (const char* method : kMethodLabels) {
     m.histogram(latency_metric(method));
     m.histogram(queue_wait_metric(method));
@@ -174,6 +183,7 @@ io::JsonValue record_to_json(const obs::RequestRecord& rec) {
           rec.energy_balance_rel < 0.0
               ? JsonValue::make_null()
               : JsonValue::make_number(rec.energy_balance_rel));
+  out.set("frames", JsonValue::make_number(double(rec.frames)));
   out.set("wall_us", JsonValue::make_number(double(rec.wall_us)));
   return out;
 }
@@ -607,11 +617,28 @@ void Server::serve_request(Pending& item) {
   bool ok = true;
   ErrorCode err_code = ErrorCode::kInternal;
   std::string err_msg;
+  // Streaming side-channel: a handler may emit any number of non-final
+  // frame lines before its (final) reply. Each frame echoes the request id,
+  // carries a monotone per-request seq, and is refused once the deadline
+  // expires — the handler sees `false` and stops.
+  StreamContext stream;
+  stream.emit = [this, &item, &stream](const io::JsonValue& body) -> bool {
+    if (Clock::now() > item.deadline) return false;
+    io::JsonValue line = io::JsonValue::make_object();
+    line.set("id", item.request.id);
+    line.set("frame", io::JsonValue::make_number(double(stream.frames)));
+    line.set("final", io::JsonValue::make_bool(false));
+    line.set("sim", body);
+    item.conn->send_line(line.dump());
+    ++stream.frames;
+    obs::MetricsRegistry::global().counter("svc.stream.frames").increment();
+    return true;
+  };
   {
     obs::ScopedRequestContext scope(trace_id, &trace);
     TFC_SPAN("svc.request");
     try {
-      result = dispatch(item.request, info);
+      result = dispatch(item.request, info, stream);
     } catch (const ProtocolError& e) {
       ok = false;
       err_code = e.code();
@@ -664,6 +691,7 @@ void Server::serve_request(Pending& item) {
   rec.cg_iterations =
       std::uint64_t(trace.total_attr("cg_solve", "iterations") + 0.5);
   rec.span_count = trace.spans().size();
+  rec.frames = stream.frames;
   rec.wall_us = wall_now_us();
   // Record before replying so a client that got its answer and immediately
   // asks `recent` is guaranteed to see this request in the ring.
@@ -721,9 +749,11 @@ std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params,
     auto session = std::make_shared<Session>();
     session->key = k;
     session->geometry = thermal::PackageGeometry{};
-    power::WorkloadSynthesizer synth(plan);
+    session->plan = std::make_shared<const floorplan::Floorplan>(std::move(plan));
+    power::WorkloadSynthesizer synth(*session->plan);
     session->tile_powers =
-        power::worst_case_profile(plan, synth.synthesize_suite(8)).tile_powers();
+        power::worst_case_profile(*session->plan, synth.synthesize_suite(8))
+            .tile_powers();
 
     core::DesignRequest req;
     req.chip_name = k.chip;
@@ -755,7 +785,8 @@ std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params,
   return session;
 }
 
-io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
+io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info,
+                               StreamContext& stream) {
   using io::JsonValue;
   const JsonValue& params = request.params;
 
@@ -1024,11 +1055,83 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info) {
     return result;
   }
 
+  if (request.method == "simulate") {
+    auto session = session_for(params, info);
+
+    const double steps_d = params.number_or("steps", 200.0);
+    if (steps_d < 1.0 || steps_d > 100000.0 || steps_d != std::size_t(steps_d)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'steps' must be an integer in [1, 100000]");
+    }
+    const double dt = params.number_or("dt", 1e-3);
+    if (!(dt > 0.0) || dt > 10.0) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'dt' must be in (0, 10] seconds");
+    }
+    const double frame_every_d = params.number_or("frame_every", 10.0);
+    const double control_every_d = params.number_or("control_every", 10.0);
+    if (frame_every_d < 1.0 || frame_every_d != std::size_t(frame_every_d) ||
+        control_every_d < 1.0 || control_every_d != std::size_t(control_every_d)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'frame_every'/'control_every' must be positive integers");
+    }
+    const double current = params.number_or("current", session->design.current);
+    if (current < 0.0) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'current' must be nonnegative");
+    }
+
+    sim::ScenarioOptions opts;
+    opts.benchmark = params.string_or("benchmark", "bench00");
+    opts.steps = std::size_t(steps_d);
+    opts.dt = dt;
+    opts.frame_every = std::size_t(frame_every_d);
+    opts.control_every = std::size_t(control_every_d);
+    opts.dtm = params.bool_or("dtm", true);
+    opts.include_tiles = params.bool_or("tiles", false);
+    opts.policy.theta_limit = thermal::to_kelvin(session->key.theta_limit_celsius);
+    if (opts.dtm && current > 0.0 && session->design.tec_count > 0) {
+      // Closed loop: the controller may idle, half-drive, or fully drive the
+      // designed deployment against the θ-limit.
+      opts.policy.current_levels = {0.0, 0.5 * current, current};
+    }
+    // Optional forced TEC schedule (a floor under the controller; the whole
+    // supply when the controller is off).
+    const double on_step_d = params.number_or("tec_on_step", -1.0);
+    const double off_step_d = params.number_or("tec_off_step", -1.0);
+    if (on_step_d >= 0.0) {
+      opts.schedule.push_back({std::size_t(on_step_d), current});
+      if (off_step_d > on_step_d) {
+        opts.schedule.push_back({std::size_t(off_step_d), 0.0});
+      }
+    } else if (!opts.dtm && current > 0.0 && session->design.tec_count > 0) {
+      opts.schedule.push_back({0, current});
+    }
+
+    sim::ScenarioEngine engine(*session->plan, *session->context, opts);
+    const sim::ScenarioSummary summary = engine.run([&](const sim::Frame& frame) {
+      return stream.emit(sim::frame_to_json(frame, *session->plan));
+    });
+    if (summary.aborted) {
+      obs::MetricsRegistry::global().counter("svc.stream.deadline_aborts").increment();
+      throw ProtocolError(ErrorCode::kDeadlineExceeded,
+                          "deadline expired mid-stream after " +
+                              std::to_string(summary.frames) + " frames");
+    }
+
+    JsonValue result = JsonValue::make_object();
+    result.set("chip", JsonValue::make_string(session->key.chip));
+    result.set("benchmark", JsonValue::make_string(opts.benchmark));
+    result.set("dtm", JsonValue::make_bool(opts.dtm));
+    result.set("current_a", JsonValue::make_number(current));
+    result.set("tec_count", JsonValue::make_number(double(session->design.tec_count)));
+    result.set("summary", sim::summary_to_json(summary));
+    return result;
+  }
+
   throw ProtocolError(
       ErrorCode::kUnknownMethod,
       "unknown method '" + request.method +
           "' (use ping|stats|metrics|recent|health|solve|design|runaway|sweep|"
-          "shutdown)");
+          "simulate|shutdown)");
 }
 
 void Server::audit_solve(const Session& session, const tec::OperatingPoint& op,

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -146,13 +147,23 @@ class Server {
     double energy_balance_rel = -1.0;  ///< audit certificate, when audited
   };
 
+  /// Streaming side-channel of one in-flight request: emit() writes one
+  /// seq-numbered non-final frame line to the request's connection, echoing
+  /// its id, and returns false once the request's deadline has expired (the
+  /// handler should then stop streaming). Owned by serve_request.
+  struct StreamContext {
+    std::function<bool(const io::JsonValue& body)> emit;
+    std::uint64_t frames = 0;
+  };
+
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
   void http_loop();
   void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
   void serve_request(Pending& item);
-  io::JsonValue dispatch(const Request& request, DispatchInfo& info);
+  io::JsonValue dispatch(const Request& request, DispatchInfo& info,
+                         StreamContext& stream);
 
   std::shared_ptr<const Session> session_for(const io::JsonValue& params,
                                              DispatchInfo& info);

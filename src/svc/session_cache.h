@@ -31,6 +31,7 @@
 
 #include "core/cooling_system.h"
 #include "engine/solve_context.h"
+#include "floorplan/floorplan.h"
 #include "tec/electro_thermal.h"
 
 namespace tfc::svc {
@@ -52,6 +53,9 @@ struct SessionKey {
 struct Session {
   SessionKey key;
   thermal::PackageGeometry geometry;
+  /// The chip's floorplan (unit structure — the `simulate` method rasterizes
+  /// workload phases and resolves DTM actions against it).
+  std::shared_ptr<const floorplan::Floorplan> plan;
   linalg::Vector tile_powers;
   core::DesignResult design;
   /// Solve engine assembled for the designed deployment; carries the shared

@@ -93,6 +93,131 @@ TEST(Dtm, OptionValidation) {
                std::invalid_argument);
 }
 
+// --- DtmController (the time-domain policy behind tfc::sim) ----------------
+
+/// Tile temperature map with one hot tile inside the HOT unit (row 2, col 2).
+linalg::Vector tiles_with_hot_spot(double background_k, double hot_k) {
+  linalg::Vector t(36, background_k);
+  t[2 * 6 + 2] = hot_k;
+  return t;
+}
+
+TEST(DtmController, EscalatesCurrentBeforeThrottling) {
+  DtmPolicyOptions o;
+  o.theta_limit = thermal::to_kelvin(85.0);
+  o.current_levels = {0.0, 1.0, 2.0};
+  const auto chip = small_chip();
+  DtmController ctl(chip, o);
+  EXPECT_DOUBLE_EQ(ctl.current(), 0.0);
+
+  const auto hot = tiles_with_hot_spot(330.0, 400.0);
+  auto a1 = ctl.decide(hot);
+  EXPECT_EQ(a1.kind, DtmActionKind::kCurrentUp);
+  EXPECT_DOUBLE_EQ(a1.current_a, 1.0);
+  auto a2 = ctl.decide(hot);
+  EXPECT_EQ(a2.kind, DtmActionKind::kCurrentUp);
+  EXPECT_DOUBLE_EQ(ctl.current(), 2.0);
+
+  // Supply exhausted: the unit owning the hottest tile takes the hit.
+  auto a3 = ctl.decide(hot);
+  EXPECT_EQ(a3.kind, DtmActionKind::kThrottle);
+  EXPECT_EQ(a3.unit, 0u);  // "HOT"
+  EXPECT_DOUBLE_EQ(a3.scale, 1.0 - o.scale_step);
+  EXPECT_LT(ctl.performance(), 1.0);
+}
+
+TEST(DtmController, ThrottlesFirstWhenCurrentEscalationDisabled) {
+  DtmPolicyOptions o;
+  o.current_levels = {0.0, 1.0};
+  o.escalate_current_first = false;
+  const auto chip = small_chip();
+  DtmController ctl(chip, o);
+  auto a = ctl.decide(tiles_with_hot_spot(330.0, 400.0));
+  EXPECT_EQ(a.kind, DtmActionKind::kThrottle);
+  EXPECT_DOUBLE_EQ(ctl.current(), 0.0);
+}
+
+TEST(DtmController, RecoveryBoostsThenStepsCurrentDown) {
+  DtmPolicyOptions o;
+  o.current_levels = {0.0, 1.0};
+  const auto chip = small_chip();
+  DtmController ctl(chip, o);
+  const auto hot = tiles_with_hot_spot(330.0, 400.0);
+  ASSERT_EQ(ctl.decide(hot).kind, DtmActionKind::kCurrentUp);
+  ASSERT_EQ(ctl.decide(hot).kind, DtmActionKind::kThrottle);
+
+  // Cool, with hysteresis headroom: restore the throttled unit first, then
+  // wind the supply back down, then settle at kNone.
+  const linalg::Vector cool(36, 300.0);
+  auto b = ctl.decide(cool);
+  EXPECT_EQ(b.kind, DtmActionKind::kBoost);
+  EXPECT_EQ(b.unit, 0u);
+  EXPECT_DOUBLE_EQ(b.scale, 1.0);
+  auto down = ctl.decide(cool);
+  EXPECT_EQ(down.kind, DtmActionKind::kCurrentDown);
+  EXPECT_DOUBLE_EQ(ctl.current(), 0.0);
+  EXPECT_EQ(ctl.decide(cool).kind, DtmActionKind::kNone);
+}
+
+TEST(DtmController, GuardBandSuppressesRecovery) {
+  DtmPolicyOptions o;
+  o.theta_limit = 360.0;
+  o.guard_band = 5.0;
+  const auto chip = small_chip();
+  DtmController ctl(chip, o);
+  ASSERT_EQ(ctl.decide(tiles_with_hot_spot(330.0, 400.0)).kind,
+            DtmActionKind::kThrottle);
+  // Inside the band (neither over the limit nor under limit − band): hold.
+  EXPECT_EQ(ctl.decide(linalg::Vector(36, 357.0)).kind, DtmActionKind::kNone);
+  // Below the band: recover.
+  EXPECT_EQ(ctl.decide(linalg::Vector(36, 350.0)).kind, DtmActionKind::kBoost);
+}
+
+TEST(DtmController, ThrottleRespectsMinScale) {
+  DtmPolicyOptions o;
+  o.theta_limit = 300.0;
+  o.scale_step = 0.5;
+  o.min_scale = 0.4;
+  const auto chip = small_chip();
+  DtmController ctl(chip, o);
+  const auto hot = tiles_with_hot_spot(330.0, 400.0);
+  EXPECT_EQ(ctl.decide(hot).kind, DtmActionKind::kThrottle);  // HOT -> 0.5
+  auto floored = ctl.decide(hot);                             // HOT -> 0.4 (clamped)
+  EXPECT_EQ(floored.unit, 0u);
+  EXPECT_DOUBLE_EQ(floored.scale, 0.4);
+  // HOT is floored; the hottest unit with remaining headroom takes the hit.
+  auto a = ctl.decide(hot);
+  EXPECT_EQ(a.kind, DtmActionKind::kThrottle);
+  EXPECT_NE(a.unit, 0u);
+}
+
+TEST(DtmController, InvalidPolicyAndInputsThrow) {
+  DtmPolicyOptions bad;
+  bad.scale_step = 0.0;
+  EXPECT_THROW(DtmController(small_chip(), bad), std::invalid_argument);
+  bad = {};
+  bad.min_scale = 1.0;
+  EXPECT_THROW(DtmController(small_chip(), bad), std::invalid_argument);
+  bad = {};
+  bad.current_levels = {1.0, 0.5};  // not ascending
+  EXPECT_THROW(DtmController(small_chip(), bad), std::invalid_argument);
+  bad = {};
+  bad.guard_band = -1.0;
+  EXPECT_THROW(DtmController(small_chip(), bad), std::invalid_argument);
+
+  const auto chip = small_chip();
+  DtmController ctl(chip);
+  EXPECT_THROW(ctl.decide(linalg::Vector(7, 300.0)), std::invalid_argument);
+}
+
+TEST(DtmController, ActionNamesAreStable) {
+  EXPECT_STREQ(dtm_action_name(DtmActionKind::kNone), "none");
+  EXPECT_STREQ(dtm_action_name(DtmActionKind::kThrottle), "throttle");
+  EXPECT_STREQ(dtm_action_name(DtmActionKind::kBoost), "boost");
+  EXPECT_STREQ(dtm_action_name(DtmActionKind::kCurrentUp), "current_up");
+  EXPECT_STREQ(dtm_action_name(DtmActionKind::kCurrentDown), "current_down");
+}
+
 TEST(Dtm, PerformanceIsPowerWeighted) {
   DtmOptions o;
   o.theta_limit = thermal::to_kelvin(70.0);

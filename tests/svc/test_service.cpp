@@ -691,5 +691,159 @@ TEST(Service, AuditDisabledRecordsNothing) {
   EXPECT_TRUE(reply.at("result").at("scopes").as_array().empty());
 }
 
+// --- streaming `simulate` ---------------------------------------------------
+
+/// One streamed exchange: send a `simulate` request, collect every non-final
+/// frame line, and return the final reply. Frames are NDJSON objects carrying
+/// {"id", "frame", "final": false, "sim": {...}}.
+struct StreamedRun {
+  std::vector<io::JsonValue> frames;
+  io::JsonValue final;
+};
+
+StreamedRun run_simulate(Client& client, const io::JsonValue& params, double id = 7.0,
+                         double deadline_ms = 0.0) {
+  io::JsonValue request = io::JsonValue::make_object();
+  request.set("id", io::JsonValue::make_number(id));
+  request.set("method", io::JsonValue::make_string("simulate"));
+  request.set("params", params);
+  if (deadline_ms > 0.0) {
+    request.set("deadline_ms", io::JsonValue::make_number(deadline_ms));
+  }
+  client.send_raw(request.dump());
+
+  StreamedRun run;
+  while (true) {
+    io::JsonValue line = io::parse_json(client.read_line());
+    if (line.has("ok")) {
+      run.final = std::move(line);
+      return run;
+    }
+    run.frames.push_back(std::move(line));
+  }
+}
+
+io::JsonValue simulate_params(double steps, double frame_every) {
+  io::JsonValue params = io::JsonValue::make_object();
+  params.set("chip", io::JsonValue::make_string("alpha"));
+  params.set("steps", io::JsonValue::make_number(steps));
+  params.set("frame_every", io::JsonValue::make_number(frame_every));
+  return params;
+}
+
+TEST(Service, SimulateStreamsSeqNumberedFramesOverUnix) {
+  ServerFixture fx(quick_options("simulate"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  auto run = run_simulate(client, simulate_params(40, 10));
+
+  // Frames at steps 0, 10, 20, 30 and the final step 39 — all emitted before
+  // the final reply, each echoing the request id, seq-numbered from 0.
+  ASSERT_EQ(run.frames.size(), 5u);
+  for (std::size_t k = 0; k < run.frames.size(); ++k) {
+    const auto& f = run.frames[k];
+    EXPECT_DOUBLE_EQ(f.at("id").as_number(), 7.0);
+    EXPECT_FALSE(f.at("final").as_bool());
+    EXPECT_DOUBLE_EQ(f.at("frame").as_number(), double(k));
+    EXPECT_DOUBLE_EQ(f.at("sim").at("seq").as_number(), double(k));
+    EXPECT_GT(f.at("sim").at("peak_k").as_number(), 300.0);
+  }
+  EXPECT_DOUBLE_EQ(run.frames.back().at("sim").at("step").as_number(), 39.0);
+
+  // The final reply is the DTM summary.
+  ASSERT_TRUE(run.final.at("ok").as_bool()) << run.final.dump();
+  const auto& result = run.final.at("result");
+  EXPECT_EQ(result.at("chip").as_string(), "alpha");
+  EXPECT_DOUBLE_EQ(result.at("summary").at("frames").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(result.at("summary").at("steps").as_number(), 40.0);
+  EXPECT_FALSE(result.at("summary").at("aborted").as_bool());
+
+  // The connection survives the stream, and the flight record counts frames.
+  auto recent = client.call("recent");
+  ASSERT_TRUE(recent.at("ok").as_bool());
+  bool found = false;
+  for (const auto& r : recent.at("result").at("requests").as_array()) {
+    if (r.string_or("method", "") == "simulate") {
+      EXPECT_DOUBLE_EQ(r.at("frames").as_number(), 5.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Service, SimulateStreamsOverTcp) {
+  ServerOptions o;
+  o.listen = "127.0.0.1:0";
+  o.workers = 1;
+  ServerFixture fx(o);
+  auto client = Client::connect_tcp("127.0.0.1", fx.server().tcp_port());
+
+  auto run = run_simulate(client, simulate_params(20, 10), /*id=*/3.0);
+  ASSERT_EQ(run.frames.size(), 3u);  // steps 0, 10, 19
+  EXPECT_DOUBLE_EQ(run.frames[0].at("id").as_number(), 3.0);
+  ASSERT_TRUE(run.final.at("ok").as_bool()) << run.final.dump();
+  EXPECT_DOUBLE_EQ(run.final.at("result").at("summary").at("frames").as_number(), 3.0);
+}
+
+TEST(Service, SimulateFramesByteIdenticalAcrossWorkerCounts) {
+  auto render = [](std::size_t workers, const std::string& tag) {
+    ServerOptions o = quick_options(tag);
+    o.workers = workers;
+    ServerFixture fx(o);
+    auto client = Client::connect_unix(o.socket_path);
+    io::JsonValue params = simulate_params(30, 5);
+    params.set("tiles", io::JsonValue::make_bool(true));
+    auto run = run_simulate(client, params);
+    std::string text;
+    for (const auto& f : run.frames) {
+      text += f.at("sim").dump();
+      text += '\n';
+    }
+    text += run.final.at("result").dump();
+    return text;
+  };
+  EXPECT_EQ(render(1, "det1"), render(4, "det4"));
+}
+
+TEST(Service, SimulateDeadlineExpiresMidStream) {
+  ServerFixture fx(quick_options("simdeadline"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  // Warm the session cache so the deadline budget is spent streaming, not
+  // designing the deployment.
+  ASSERT_EQ(run_simulate(client, simulate_params(1, 1)).frames.size(), 1u);
+
+  // 100k steps streamed one frame per step cannot finish in 300 ms: the
+  // stream stops mid-run and the final line is a structured deadline error.
+  auto run = run_simulate(client, simulate_params(100000, 1), /*id=*/9.0,
+                          /*deadline_ms=*/300.0);
+  EXPECT_FALSE(run.final.at("ok").as_bool());
+  EXPECT_EQ(run.final.at("error").at("code").as_string(), "deadline_exceeded");
+  EXPECT_DOUBLE_EQ(run.final.at("id").as_number(), 9.0);
+  EXPECT_NE(run.final.at("error").at("message").as_string().find("mid-stream"),
+            std::string::npos);
+  // It streamed before it died, and every frame stayed seq-consistent.
+  EXPECT_GT(run.frames.size(), 0u);
+  for (std::size_t k = 0; k < run.frames.size(); ++k) {
+    EXPECT_DOUBLE_EQ(run.frames[k].at("frame").as_number(), double(k));
+  }
+}
+
+TEST(Service, SimulateValidatesParams) {
+  ServerFixture fx(quick_options("simbad"));
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  auto bad_steps = run_simulate(client, simulate_params(0, 10));
+  EXPECT_TRUE(bad_steps.frames.empty());
+  EXPECT_FALSE(bad_steps.final.at("ok").as_bool());
+  EXPECT_EQ(bad_steps.final.at("error").at("code").as_string(), "bad_request");
+
+  io::JsonValue bad_dt = simulate_params(10, 5);
+  bad_dt.set("dt", io::JsonValue::make_number(-1.0));
+  auto run = run_simulate(client, bad_dt);
+  EXPECT_FALSE(run.final.at("ok").as_bool());
+  EXPECT_EQ(run.final.at("error").at("code").as_string(), "bad_request");
+}
+
 }  // namespace
 }  // namespace tfc::svc

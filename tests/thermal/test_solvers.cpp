@@ -93,6 +93,86 @@ TEST(Transient, RunWithTimeVaryingPower) {
   EXPECT_NEAR(m.peak_tile_temperature(theta), m.geometry().ambient, 0.5);
 }
 
+TEST(Transient, StepIntoMatchesStepBitwise) {
+  PackageModel m = PackageModel::build(small_options());
+  m.set_tile_powers(test_powers());
+  const auto& net = m.network();
+  TransientSolver ts(net.conductance_matrix(), net.capacitance_vector(), 1e-3);
+  auto rhs = net.rhs(m.geometry().ambient);
+  linalg::Vector theta(net.node_count(), m.geometry().ambient);
+  linalg::Vector out(net.node_count());
+  for (int step = 0; step < 20; ++step) {
+    auto expected = ts.step(theta, rhs);
+    ts.step_into(theta, rhs, out);
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], expected[i]) << "step " << step << " node " << i;
+    }
+    theta = expected;
+  }
+}
+
+TEST(Transient, SetDtMatchesFreshSolver) {
+  PackageModel m = PackageModel::build(small_options());
+  m.set_tile_powers(test_powers());
+  const auto& net = m.network();
+  auto g = net.conductance_matrix();
+  auto c = net.capacitance_vector();
+  auto rhs = net.rhs(m.geometry().ambient);
+  linalg::Vector theta(net.node_count(), m.geometry().ambient + 5.0);
+
+  TransientSolver mutated(g, c, 1e-3);
+  mutated.set_dt(2.5e-2);
+  EXPECT_DOUBLE_EQ(mutated.dt(), 2.5e-2);
+  TransientSolver fresh(g, c, 2.5e-2);
+  auto a = mutated.step(theta, rhs);
+  auto b = fresh.step(theta, rhs);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  EXPECT_THROW(mutated.set_dt(0.0), std::invalid_argument);
+}
+
+TEST(Transient, RestampMatchesFreshSolver) {
+  // Re-stamping with a scaled conductance (same pattern) must reproduce a
+  // freshly-constructed solver exactly — the refactorize path reuses the
+  // original symbolic analysis.
+  PackageModel m = PackageModel::build(small_options());
+  m.set_tile_powers(test_powers());
+  const auto& net = m.network();
+  auto g = net.conductance_matrix();
+  auto c = net.capacitance_vector();
+  auto rhs = net.rhs(m.geometry().ambient);
+  linalg::Vector theta(net.node_count(), m.geometry().ambient + 3.0);
+
+  auto g_scaled = g.add_scaled(g, 0.3);  // 1.3·G, same pattern
+  TransientSolver mutated(g, c, 1e-3);
+  mutated.restamp(g_scaled);
+  TransientSolver fresh(g_scaled, c, 1e-3);
+  auto a = mutated.step(theta, rhs);
+  auto b = fresh.step(theta, rhs);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+
+  EXPECT_THROW(mutated.restamp(linalg::SparseMatrix::identity(3)),
+               std::invalid_argument);
+}
+
+TEST(Transient, SharedSymbolicGivesIdenticalResults) {
+  PackageModel m = PackageModel::build(small_options());
+  m.set_tile_powers(test_powers());
+  const auto& net = m.network();
+  auto g = net.conductance_matrix();
+  auto c = net.capacitance_vector();
+  auto rhs = net.rhs(m.geometry().ambient);
+  linalg::Vector theta(net.node_count(), m.geometry().ambient);
+
+  TransientSolver first(g, c, 1e-3);
+  ASSERT_NE(first.symbolic(), nullptr);
+  TransientSolver sibling(g, c, 1e-3, first.symbolic());
+  EXPECT_EQ(sibling.symbolic().get(), first.symbolic().get());
+  auto a = first.step(theta, rhs);
+  auto b = sibling.step(theta, rhs);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
 TEST(Transient, InvalidInputsThrow) {
   PackageModel m = PackageModel::build(small_options());
   auto g = m.network().conductance_matrix();

@@ -210,6 +210,32 @@ def check_runaway(baseline, current):
     return failures
 
 
+def check_sim(baseline, current):
+    """Gate the tfc::sim transient scenario integrator's per-step cost.
+
+    One absolute ceiling against ci/bench_baseline.json's sim_step block: the
+    mean backward-Euler step wall time on the designed Alpha deployment. A
+    step is a numeric-only sparse solve against one shared symbolic analysis
+    plus an in-place state swap, so a blown ceiling means the symbolic-cache
+    sharing or the allocation-free step_into path regressed.
+    """
+    base = baseline.get("sim_step")
+    if base is None:
+        return []
+    cur = current.get("sim_step")
+    if cur is None:
+        print("sim step: MISSING from current bench output")
+        return [fail("sim_step", None, None)]
+
+    step = float(cur["mean_step_ms"])
+    ceiling = float(base["max_step_ms"])
+    status = "ok" if step <= ceiling else "REGRESSED (ceiling %.2f ms)" % ceiling
+    print("transient sim step on Alpha: %.3f ms mean over %d steps "
+          "(ceiling %.2f ms)  %s"
+          % (step, int(cur.get("steps", 0)), ceiling, status))
+    return [] if step <= ceiling else [fail("sim_step:mean_step_ms", step, ceiling)]
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -274,6 +300,7 @@ def main():
     failures += check_backends(baseline, current)
     failures += check_audit(baseline, current)
     failures += check_runaway(baseline, current)
+    failures += check_sim(baseline, current)
 
     if bool(args.service_baseline) != bool(args.service_current):
         print("error: --service-baseline and --service-current go together",
