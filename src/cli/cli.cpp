@@ -40,7 +40,7 @@ struct ParsedArgs {
 
 const char* kFlagOptions[] = {"--map",  "--help", "--no-full-cover", "--certify",
                               "--trace", "--raw", "--fault-injection",
-                              "--no-dtm", "--tiles", "--cold-start"};
+                              "--no-dtm", "--tiles", "--cold-start", "--profile"};
 
 struct CommandSpec;
 const CommandSpec* find_command(const std::string& name);
@@ -433,6 +433,88 @@ int cmd_simulate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return summary.limit_held_at_end ? 0 : 1;
 }
 
+/// Run the canonical design workload under the continuous profiler and
+/// report where the time went. The workload deliberately mirrors a service
+/// session build (svc session_for): worst-case workload synthesis, design
+/// with run_full_cover=false plus the θ-limit fallback relax loop, a
+/// SolveContext, and λ_m — so the per-kernel *counts* here match a `design`
+/// request served under `serve --profile` exactly (wall times vary run to
+/// run; counts do not).
+int cmd_profile(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  const double limit = parse_double(p, "--limit", 85.0);
+  const std::string format = option_or(p, "--format", "table");
+  if (format != "table" && format != "json" && format != "collapsed") {
+    err << "error: --format must be table, json, or collapsed\n";
+    return 2;
+  }
+
+  auto& prof = obs::prof::Profiler::global();
+  prof.enable();
+  prof.snapshot(true);  // drop anything recorded before the workload
+
+  auto res = design_with_fallback(*chip, limit, /*full_cover=*/false,
+                                  /*certify=*/false);
+  const engine::SolveContext context(chip->geometry, res.deployment,
+                                     chip->tile_powers,
+                                     tec::TecDeviceParams::chowdhury_superlattice(),
+                                     engine::EngineOptions{});
+  std::optional<double> lambda_m;
+  if (!res.deployment.empty()) lambda_m = context.runaway_limit();
+
+  const obs::prof::ProfileSnapshot snap = prof.snapshot(false);
+  prof.disable();
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = obs::prof::to_json(snap);
+    rendered += '\n';
+  } else if (format == "collapsed") {
+    rendered = obs::prof::to_collapsed(snap);
+  } else {
+    std::ostringstream t;
+    t << "profile: " << chip->name << " design, " << res.tec_count << " TECs";
+    if (lambda_m) t << ", lambda_m " << *lambda_m << " A";
+    t << "\n";
+    const double wall_ms = double(snap.wall_ns) * 1e-6;
+    t << "wall " << std::fixed << std::setprecision(1) << wall_ms << " ms, "
+      << snap.total_count() << " frames, self coverage "
+      << std::setprecision(1)
+      << (snap.wall_ns > 0
+              ? 100.0 * double(snap.total_self_ns()) / double(snap.wall_ns)
+              : 0.0)
+      << "%, profiler overhead " << std::setprecision(2)
+      << 100.0 * snap.overhead_ratio << "%\n\n";
+    t << std::left << std::setw(28) << "kernel" << std::right << std::setw(9)
+      << "count" << std::setw(12) << "self_ms" << std::setw(12) << "total_ms"
+      << std::setw(8) << "self%" << "\n";
+    for (const auto& k : obs::prof::aggregate_by_name(snap)) {
+      t << std::left << std::setw(28) << k.name << std::right << std::setw(9)
+        << k.count << std::fixed << std::setprecision(2) << std::setw(12)
+        << double(k.self_ns) * 1e-6 << std::setw(12)
+        << double(k.total_ns) * 1e-6 << std::setprecision(1) << std::setw(7)
+        << (snap.wall_ns > 0 ? 100.0 * double(k.self_ns) / double(snap.wall_ns)
+                             : 0.0)
+        << "%\n";
+    }
+    rendered = t.str();
+  }
+
+  if (const std::string path = option_or(p, "--out", ""); !path.empty()) {
+    std::ofstream f(path);
+    if (!f) {
+      err << "error: cannot write '" << path << "'\n";
+      return 2;
+    }
+    f << rendered;
+    out << "wrote " << path << "\n";
+  } else {
+    out << rendered;
+  }
+  return res.success ? 0 : 1;
+}
+
 // --- service commands -------------------------------------------------------
 
 /// Stop-pipe fd for the signal handler (write() is async-signal-safe).
@@ -487,6 +569,7 @@ int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   opts.audit_every = parse_size(p, "--audit-every", 8);
   opts.cross_check_every = parse_size(p, "--cross-check-every", 4);
   opts.fault_injection = p.options.count("--fault-injection") != 0;
+  opts.profile = p.options.count("--profile") != 0;
   if (opts.queue_capacity == 0) {
     err << "error: --queue must be >= 1\n";
     return 2;
@@ -538,7 +621,8 @@ void print_recent_table(const io::JsonValue& reply, std::ostream& out) {
       << "lat_ms" << std::setw(9) << "fact_ms" << std::setw(10) << "solve_ms"
       << std::setw(7) << "facts" << std::setw(7) << "cg_it" << std::setw(7)
       << "audit" << std::setw(10) << "resid" << std::setw(10) << "balance"
-      << "\n";
+      << "  " << std::left << std::setw(22) << "top_kernel" << std::right
+      << std::setw(9) << "self_ms" << "\n";
   for (const io::JsonValue& r : requests) {
     const io::JsonValue* chip = r.get("chip");
     const io::JsonValue* cache = r.get("cache");
@@ -570,6 +654,11 @@ void print_recent_table(const io::JsonValue& reply, std::ostream& out) {
     };
     put_ratio(resid);
     put_ratio(balance);
+    const io::JsonValue* top = r.get("top_kernel");
+    out << "  " << std::left << std::setw(22)
+        << (top != nullptr && top->is_string() ? top->as_string() : "-")
+        << std::right << std::fixed << std::setprecision(2) << std::setw(9)
+        << r.number_or("top_self_ms", 0.0) << std::defaultfloat;
     out << "\n";
   }
 }
@@ -747,6 +836,7 @@ class ObsScope {
 
   ~ObsScope() {
     if (tracing_) obs::TraceCollector::global().disable();
+    if (profiling_) obs::prof::Profiler::global().disable();
     obs::Logger::global().set_level(saved_level_);
     obs::Logger::global().set_sinks(saved_sinks_);
   }
@@ -775,6 +865,13 @@ class ObsScope {
       tracing_ = true;
       obs::TraceCollector::global().clear();
       obs::TraceCollector::global().enable();
+    }
+    if (auto it = p.options.find("--profile-out"); it != p.options.end()) {
+      profile_path_ = it->second;
+      profiling_ = true;
+      auto& prof = obs::prof::Profiler::global();
+      prof.enable();
+      prof.snapshot(true);  // fresh window: profile only this invocation
     }
     if (auto it = p.options.find("--metrics-out"); it != p.options.end()) {
       metrics_path_ = it->second;
@@ -808,6 +905,21 @@ class ObsScope {
       obs::TraceCollector::global().clear();
       tracing_ = false;
     }
+    if (profiling_) {
+      const obs::prof::ProfileSnapshot snap =
+          obs::prof::Profiler::global().snapshot(true);
+      obs::prof::Profiler::global().disable();
+      profiling_ = false;
+      std::ofstream pf(profile_path_);
+      if (!pf) {
+        err << "error: cannot write '" << profile_path_ << "'\n";
+        ok = false;
+      } else {
+        pf << obs::prof::to_collapsed(snap);
+        out << "wrote " << profile_path_ << " (" << snap.total_count()
+            << " frames)\n";
+      }
+    }
     if (!metrics_path_.empty()) {
       std::ofstream mf(metrics_path_);
       if (!mf) {
@@ -825,7 +937,9 @@ class ObsScope {
   obs::Level saved_level_;
   std::vector<std::shared_ptr<obs::Sink>> saved_sinks_;
   bool tracing_ = false;
+  bool profiling_ = false;
   std::string trace_path_;
+  std::string profile_path_;
   std::string metrics_path_;
 };
 
@@ -844,8 +958,9 @@ struct CommandSpec {
   CommandHandler handler;
 };
 
-const char* kGlobalOptions[] = {"--threads",   "--log-level", "--log-json",
-                                "--trace-out", "--metrics-out", "--help", nullptr};
+const char* kGlobalOptions[] = {"--threads",   "--log-level",   "--log-json",
+                                "--trace-out", "--metrics-out", "--profile-out",
+                                "--help",      nullptr};
 
 const char* kChipOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
                               "--cols", "--die-mm", nullptr};
@@ -885,7 +1000,11 @@ const char* kServeOptions[] = {"--socket",      "--listen",   "--workers",
                                "--prom-addr",   "--slow-ms",  "--recent",
                                "--trace-file",  "--audit-every",
                                "--cross-check-every", "--fault-injection",
-                               nullptr};
+                               "--profile",     nullptr};
+
+const char* kProfileOptions[] = {"--chip",   "--flp",    "--ptrace", "--rows",
+                                 "--cols",   "--die-mm", "--limit",  "--format",
+                                 "--out",    nullptr};
 
 const char* kHealthOptions[] = {"--socket", "--connect", "--timeout-ms",
                                 "--raw", nullptr};
@@ -982,6 +1101,9 @@ const CommandSpec kCommands[] = {
      "  --cross-check-every N   CG cross-check of 1-in-N audited cache hits\n"
      "                          (default 4; 0 disables)\n"
      "  --fault-injection       enable the test-only 'inject' method\n"
+     "  --profile               enable the continuous profiler (adds the\n"
+     "                          'profile' method and tfc_prof_overhead_ratio\n"
+     "                          to /metrics)\n"
      "\nstops gracefully (drain, then exit 0) on SIGINT/SIGTERM or a\n"
      "'shutdown' request.\n",
      cmd_serve},
@@ -989,8 +1111,8 @@ const CommandSpec kCommands[] = {
      kRequestOptions,
      "  --socket PATH           connect to a unix-domain socket\n"
      "  --connect HOST:PORT     connect over TCP instead\n"
-     "  --method NAME           ping|stats|metrics|recent|health|solve|\n"
-     "                          design|runaway|sweep|simulate|shutdown\n"
+     "  --method NAME           ping|stats|metrics|recent|health|profile|\n"
+     "                          solve|design|runaway|sweep|simulate|shutdown\n"
      "  --params JSON           request parameters as a JSON object\n"
      "  --id ID                 request id to echo (default 1)\n"
      "  --deadline-ms D         server-side deadline for this request\n"
@@ -1012,6 +1134,18 @@ const CommandSpec kCommands[] = {
      "statistics, and any offending sessions.\n"
      "exit code: 0 = green, 1 = degraded/red, 2 = transport/usage error.\n",
      cmd_health},
+    {"profile", "run the design workload under the profiler and report it",
+     kProfileOptions,
+     "  --limit C               temperature limit [degC] (default 85)\n"
+     "  --format F              table|json|collapsed (default table)\n"
+     "  --out PATH              write the report to PATH instead of stdout\n"
+     "\nruns the same workload a service session build runs (design with the\n"
+     "theta-limit fallback loop, then lambda_m) under the continuous\n"
+     "profiler; 'table' prints per-kernel self times sorted descending,\n"
+     "'collapsed' is flamegraph.pl-compatible, 'json' is the same tree the\n"
+     "service 'profile' method returns.\n"
+     "\nchip selection:\n",
+     cmd_profile},
     {"version", "print build provenance (git, compiler, build type)", kNoOptions,
      "", cmd_version},
 };
@@ -1035,7 +1169,8 @@ std::string command_usage(const CommandSpec& spec) {
   }
   text +=
       "\nglobal options (any command): --threads N, --log-level L,\n"
-      "--log-json PATH, --trace-out PATH, --metrics-out PATH\n";
+      "--log-json PATH, --trace-out PATH, --metrics-out PATH,\n"
+      "--profile-out PATH\n";
   return text;
 }
 
@@ -1077,7 +1212,10 @@ std::string usage() {
       "  --log-json PATH         append structured JSONL log records to PATH\n"
       "  --trace-out PATH        write Chrome trace_event JSON (open in\n"
       "                          Perfetto / about://tracing)\n"
-      "  --metrics-out PATH      write the metrics-registry snapshot as JSON\n";
+      "  --metrics-out PATH      write the metrics-registry snapshot as JSON\n"
+      "  --profile-out PATH      run under the continuous profiler and write\n"
+      "                          a collapsed-stack profile (flamegraph.pl\n"
+      "                          input) to PATH\n";
   return text;
 }
 

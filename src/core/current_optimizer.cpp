@@ -33,6 +33,7 @@ namespace {
 /// only materialized when \p op_out is requested.
 double objective(const engine::SolveContext& context, double i, std::size_t& evals,
                  tec::OperatingPoint* op_out = nullptr) {
+  TFC_SPAN("opt_objective");
   ++evals;
   if (op_out != nullptr) {
     auto op = context.solve_probe(i);

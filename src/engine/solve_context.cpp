@@ -139,6 +139,7 @@ void SolveContext::invalidate_runaway_cache() {
 }
 
 std::optional<double> SolveContext::probe_peak(double i) const {
+  TFC_SPAN("engine_probe");
   const auto t0 = std::chrono::steady_clock::now();
   WorkspaceLease ws(*this);
   std::optional<double> peak;
@@ -236,6 +237,7 @@ void SolveContext::maybe_audit(const tec::OperatingPoint& op) const {
   const std::uint64_t seq = audit_seq_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t every = audit_opts.sample_every == 0 ? 1 : audit_opts.sample_every;
   if (seq % every != 0) return;
+  TFC_SPAN("engine_audit");
   record_audit_metrics(audit_point(system_, op, cached_runaway_limit(),
                                    /*degraded=*/false, cached_runaway_method_name()),
                        audit_opts.tolerances);

@@ -263,6 +263,7 @@ Vector SparseCholeskyFactor::solve(const Vector& b) const {
 }
 
 void SparseCholeskyFactor::solve_into(const Vector& b, Vector& x, Vector& scratch) const {
+  TFC_SPAN("sparse_solve");
   if (b.size() != n_) {
     throw std::invalid_argument("SparseCholeskyFactor::solve_into: dimension mismatch");
   }

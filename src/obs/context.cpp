@@ -1,5 +1,6 @@
 #include "obs/context.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <sstream>
@@ -81,6 +82,40 @@ double RequestTrace::total_attr(const char* name, const char* key) const {
     }
   }
   return acc;
+}
+
+RequestTrace::TopSelf RequestTrace::top_self() const {
+  // Self time per span = dur minus the dur of direct (closed) children,
+  // clamped at zero; aggregate by name, then take the max.
+  std::vector<std::int64_t> child_us(spans_.size(), 0);
+  for (const SpanNode& s : spans_) {
+    if (s.parent >= 0 && s.dur_us >= 0) child_us[std::size_t(s.parent)] += s.dur_us;
+  }
+  std::vector<std::pair<std::string_view, std::int64_t>> by_name;
+  for (std::size_t k = 0; k < spans_.size(); ++k) {
+    const SpanNode& s = spans_[k];
+    if (s.dur_us < 0) continue;
+    const std::int64_t self = std::max<std::int64_t>(0, s.dur_us - child_us[k]);
+    bool merged = false;
+    for (auto& entry : by_name) {
+      if (entry.first == s.name) {
+        entry.second += self;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) by_name.emplace_back(s.name, self);
+  }
+  TopSelf top;
+  std::int64_t best = -1;
+  for (const auto& [name, self] : by_name) {
+    if (self > best || (self == best && name < top.name)) {
+      best = self;
+      top.name = std::string(name);
+      top.self_ms = double(self) / 1000.0;
+    }
+  }
+  return top;
 }
 
 std::string RequestTrace::to_json(const std::string& trace_id) const {

@@ -74,6 +74,16 @@ class RequestTrace {
   /// \p name (e.g. total CG iterations of a request).
   double total_attr(const char* name, const char* key) const;
 
+  /// The span family with the largest aggregate SELF time (duration minus
+  /// the duration of direct children) — the request's dominant kernel.
+  /// Returns {"", 0} for an empty trace; ties break by name so the result
+  /// is deterministic.
+  struct TopSelf {
+    std::string name;
+    double self_ms = 0.0;
+  };
+  TopSelf top_self() const;
+
   /// The span tree as one JSON object:
   /// `{"trace_id":"...","span_count":N,"spans":[{"name":...,"start_us":...,
   ///   "dur_us":...,"attrs":{...},"children":[...]}, ...]}`.

@@ -63,6 +63,12 @@ struct RequestRecord {
   double energy_balance_rel = -1.0;
   /// Streamed frames emitted before the final reply (0 for unary methods).
   std::uint64_t frames = 0;
+  /// Span family with the largest aggregate self time inside the request
+  /// (the dominant kernel, from RequestTrace::top_self); "" when the trace
+  /// is empty.
+  std::string top_kernel;
+  /// Self time of that dominant kernel [ms].
+  double top_self_ms = 0.0;
   /// Completion wall-clock time [µs since the Unix epoch].
   std::int64_t wall_us = 0;
 };

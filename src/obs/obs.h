@@ -2,8 +2,9 @@
 /// \brief Umbrella header for the tfc observability layer: structured
 /// logging (log.h), the metrics registry (metrics.h), trace spans (trace.h),
 /// request-scoped context (context.h), Prometheus exposition (prometheus.h),
-/// and the request flight recorder (flight_recorder.h). See
-/// docs/OBSERVABILITY.md for architecture and usage.
+/// the continuous profiler (prof.h), and the request flight recorder
+/// (flight_recorder.h). See docs/OBSERVABILITY.md for architecture and
+/// usage.
 #pragma once
 
 #include "obs/context.h"
@@ -11,6 +12,7 @@
 #include "obs/health.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 

@@ -1,0 +1,446 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace tfc::obs::prof {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// One tree position of a span name on one thread. Stats are single-writer
+/// (the owning thread) relaxed atomics read by snapshots; the intrusive
+/// child links are written only under the owning ThreadProfile's mutex.
+struct Node {
+  const char* name;
+  std::int32_t parent;
+  std::int32_t first_child = -1;
+  std::int32_t next_sibling = -1;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> child_ns{0};
+  std::atomic<std::uint64_t> min_ns{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns{0};
+
+  Node(const char* n, std::int32_t p) : name(n), parent(p) {}
+};
+
+ProfileNode& find_or_add(std::vector<ProfileNode>& list, const char* name) {
+  for (auto& n : list) {
+    if (n.name == name) return n;
+  }
+  list.emplace_back();
+  list.back().name = name;
+  return list.back();
+}
+
+void merge_tree(std::vector<ProfileNode>& dst_list, ProfileNode&& src) {
+  ProfileNode& dst = find_or_add(dst_list, src.name.c_str());
+  dst.count += src.count;
+  dst.total_ns += src.total_ns;
+  dst.child_ns += src.child_ns;
+  dst.min_ns = std::min(dst.min_ns, src.min_ns);
+  dst.max_ns = std::max(dst.max_ns, src.max_ns);
+  for (auto& child : src.children) merge_tree(dst.children, std::move(child));
+}
+
+void sort_tree(std::vector<ProfileNode>& list) {
+  std::sort(list.begin(), list.end(),
+            [](const ProfileNode& a, const ProfileNode& b) { return a.name < b.name; });
+  for (auto& n : list) sort_tree(n.children);
+}
+
+}  // namespace
+
+/// The tree of one thread. Hot-path methods (child_of fast path, record) are
+/// called by the owning thread only; snapshots synchronize through mutex_.
+class ThreadProfile {
+ public:
+  std::int32_t current = -1;  ///< innermost open frame (owner thread only)
+
+  /// Find (lock-free) or create (under mutex_) the child of \p parent named
+  /// \p name. Pointer comparison first — TFC_SPAN passes string literals, so
+  /// repeat visits from the same call site match on the first test.
+  std::int32_t child_of(std::int32_t parent, const char* name) {
+    const std::int32_t head =
+        parent >= 0 ? nodes_[std::size_t(parent)].first_child : first_root_;
+    for (std::int32_t i = head; i >= 0; i = nodes_[std::size_t(i)].next_sibling) {
+      const Node& n = nodes_[std::size_t(i)];
+      if (n.name == name || std::strcmp(n.name, name) == 0) return i;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto idx = std::int32_t(nodes_.size());
+    nodes_.emplace_back(name, parent);
+    Node& n = nodes_.back();
+    if (parent >= 0) {
+      n.next_sibling = nodes_[std::size_t(parent)].first_child;
+      nodes_[std::size_t(parent)].first_child = idx;
+    } else {
+      n.next_sibling = first_root_;
+      first_root_ = idx;
+    }
+    return idx;
+  }
+
+  void record(std::int32_t node, std::int64_t signed_dur) {
+    const auto dur = std::uint64_t(signed_dur < 0 ? 0 : signed_dur);
+    Node& n = nodes_[std::size_t(node)];
+    n.count.fetch_add(1, kRelaxed);
+    n.total_ns.fetch_add(dur, kRelaxed);
+    std::uint64_t seen = n.min_ns.load(kRelaxed);
+    while (dur < seen && !n.min_ns.compare_exchange_weak(seen, dur, kRelaxed)) {}
+    seen = n.max_ns.load(kRelaxed);
+    while (dur > seen && !n.max_ns.compare_exchange_weak(seen, dur, kRelaxed)) {}
+    if (n.parent >= 0) nodes_[std::size_t(n.parent)].child_ns.fetch_add(dur, kRelaxed);
+    frames_.fetch_add(1, kRelaxed);
+  }
+
+  /// Merge this thread's tree into \p out by name path. With \p reset the
+  /// stats are exchanged to zero (exactly-one-window discipline); nodes stay
+  /// allocated so hot-path indices remain valid.
+  void harvest_into(bool reset, std::vector<ProfileNode>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    harvest_children(first_root_, reset, out);
+  }
+
+  std::uint64_t frames() const { return frames_.load(kRelaxed); }
+
+ private:
+  void harvest_children(std::int32_t head, bool reset, std::vector<ProfileNode>& out) {
+    for (std::int32_t i = head; i >= 0; i = nodes_[std::size_t(i)].next_sibling) {
+      Node& n = nodes_[std::size_t(i)];
+      const std::uint64_t count = reset ? n.count.exchange(0, kRelaxed) : n.count.load(kRelaxed);
+      const std::uint64_t total =
+          reset ? n.total_ns.exchange(0, kRelaxed) : n.total_ns.load(kRelaxed);
+      const std::uint64_t child =
+          reset ? n.child_ns.exchange(0, kRelaxed) : n.child_ns.load(kRelaxed);
+      std::uint64_t mn, mx;
+      if (reset) {
+        mn = n.min_ns.exchange(UINT64_MAX, kRelaxed);
+        mx = n.max_ns.exchange(0, kRelaxed);
+      } else {
+        mn = n.min_ns.load(kRelaxed);
+        mx = n.max_ns.load(kRelaxed);
+      }
+      std::vector<ProfileNode> kids;
+      harvest_children(n.first_child, reset, kids);
+      if (count == 0 && total == 0 && kids.empty()) continue;  // empty this window
+      ProfileNode& dst = find_or_add(out, n.name);
+      dst.count += count;
+      dst.total_ns += total;
+      dst.child_ns += child;
+      dst.min_ns = std::min(dst.min_ns, mn);
+      dst.max_ns = std::max(dst.max_ns, mx);
+      for (auto& k : kids) merge_tree(dst.children, std::move(k));
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::deque<Node> nodes_;  ///< deque: stable addresses, atomics never move
+  std::int32_t first_root_ = -1;
+  std::atomic<std::uint64_t> frames_{0};
+};
+
+namespace {
+
+/// Process-wide directory of live thread trees plus the merged trees of
+/// threads that already exited (a weeks-long serve must not lose them).
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry* instance = new Registry();  // leaked: outlive all threads
+    return *instance;
+  }
+
+  void attach(ThreadProfile* tp) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(tp);
+  }
+
+  void detach(ThreadProfile* tp) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tp->harvest_into(false, retired_);
+    retired_frames_ += tp->frames();
+    threads_.erase(std::remove(threads_.begin(), threads_.end(), tp), threads_.end());
+  }
+
+  std::vector<ProfileNode> collect(bool reset) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ProfileNode> out;
+    for (ThreadProfile* tp : threads_) tp->harvest_into(reset, out);
+    for (auto& root : retired_) {
+      if (reset) {
+        merge_tree(out, std::move(root));
+      } else {
+        merge_tree(out, ProfileNode(root));
+      }
+    }
+    if (reset) retired_.clear();
+    return out;
+  }
+
+  std::uint64_t frames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = retired_frames_;
+    for (const ThreadProfile* tp : threads_) total += tp->frames();
+    return total;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ThreadProfile*> threads_;
+  std::vector<ProfileNode> retired_;
+  std::uint64_t retired_frames_ = 0;
+};
+
+/// Registers on first profiled span, merges into the retired accumulator at
+/// thread exit.
+struct ThreadHandle {
+  ThreadProfile profile;
+  ThreadHandle() { Registry::global().attach(&profile); }
+  ~ThreadHandle() { Registry::global().detach(&profile); }
+};
+
+ThreadProfile& local_profile() {
+  thread_local ThreadHandle handle;
+  return handle.profile;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    out += "0";
+    return;
+  }
+  out.append(buf, ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, ec == std::errc() ? ptr : buf);
+}
+
+double to_ms(std::uint64_t ns) { return double(ns) * 1e-6; }
+
+void append_node_json(std::string& out, const ProfileNode& n) {
+  out += "{\"name\":\"";
+  out += n.name;  // span names are C identifiers with dots — no escaping needed
+  out += "\",\"count\":";
+  append_u64(out, n.count);
+  out += ",\"total_ms\":";
+  append_double(out, to_ms(n.total_ns));
+  out += ",\"self_ms\":";
+  append_double(out, to_ms(n.self_ns()));
+  out += ",\"min_ms\":";
+  append_double(out, n.count > 0 ? to_ms(n.min_ns) : 0.0);
+  out += ",\"max_ms\":";
+  append_double(out, to_ms(n.max_ns));
+  out += ",\"children\":[";
+  for (std::size_t k = 0; k < n.children.size(); ++k) {
+    if (k != 0) out += ',';
+    append_node_json(out, n.children[k]);
+  }
+  out += "]}";
+}
+
+std::string sanitize_frame(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ';' || c == ' ' || c == '\n' || c == '\t') c = '_';
+  }
+  return out;
+}
+
+void append_collapsed(std::string& out, const ProfileNode& n, const std::string& prefix) {
+  const std::string path =
+      prefix.empty() ? sanitize_frame(n.name) : prefix + ";" + sanitize_frame(n.name);
+  const std::uint64_t self_us = n.self_ns() / 1000;
+  if (self_us > 0) {
+    out += path;
+    out += ' ';
+    append_u64(out, self_us);
+    out += '\n';
+  }
+  for (const auto& child : n.children) append_collapsed(out, child, path);
+}
+
+void accumulate_names(const ProfileNode& n, std::vector<NameStat>& stats) {
+  NameStat* hit = nullptr;
+  for (auto& s : stats) {
+    if (s.name == n.name) {
+      hit = &s;
+      break;
+    }
+  }
+  if (hit == nullptr) {
+    stats.emplace_back();
+    hit = &stats.back();
+    hit->name = n.name;
+  }
+  hit->count += n.count;
+  hit->total_ns += n.total_ns;
+  hit->self_ns += n.self_ns();
+  for (const auto& child : n.children) accumulate_names(child, stats);
+}
+
+void accumulate_totals(const ProfileNode& n, std::uint64_t& count, std::uint64_t& self_ns) {
+  count += n.count;
+  self_ns += n.self_ns();
+  for (const auto& child : n.children) accumulate_totals(child, count, self_ns);
+}
+
+}  // namespace
+
+std::int64_t prof_now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+std::uint64_t ProfileSnapshot::total_count() const {
+  std::uint64_t count = 0, self = 0;
+  for (const auto& root : roots) accumulate_totals(root, count, self);
+  return count;
+}
+
+std::uint64_t ProfileSnapshot::total_self_ns() const {
+  std::uint64_t count = 0, self = 0;
+  for (const auto& root : roots) accumulate_totals(root, count, self);
+  return self;
+}
+
+std::vector<NameStat> aggregate_by_name(const ProfileSnapshot& snapshot) {
+  std::vector<NameStat> stats;
+  for (const auto& root : snapshot.roots) accumulate_names(root, stats);
+  std::sort(stats.begin(), stats.end(), [](const NameStat& a, const NameStat& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return a.name < b.name;
+  });
+  return stats;
+}
+
+std::string to_collapsed(const ProfileSnapshot& snapshot) {
+  std::string out;
+  for (const auto& root : snapshot.roots) append_collapsed(out, root, "");
+  return out;
+}
+
+std::string to_json(const ProfileSnapshot& snapshot) {
+  std::string out = "{\"enabled\":";
+  out += snapshot.enabled ? "true" : "false";
+  out += ",\"windowed\":";
+  out += snapshot.windowed ? "true" : "false";
+  out += ",\"wall_ms\":";
+  append_double(out, double(snapshot.wall_ns) * 1e-6);
+  out += ",\"overhead_ratio\":";
+  append_double(out, snapshot.overhead_ratio);
+  out += ",\"frame_cost_ns\":";
+  append_double(out, snapshot.frame_cost_ns);
+  out += ",\"total_count\":";
+  append_u64(out, snapshot.total_count());
+  out += ",\"total_self_ms\":";
+  append_double(out, to_ms(snapshot.total_self_ns()));
+  out += ",\"kernels\":[";
+  const auto kernels = aggregate_by_name(snapshot);
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    if (k != 0) out += ',';
+    out += "{\"name\":\"";
+    out += kernels[k].name;
+    out += "\",\"count\":";
+    append_u64(out, kernels[k].count);
+    out += ",\"total_ms\":";
+    append_double(out, to_ms(kernels[k].total_ns));
+    out += ",\"self_ms\":";
+    append_double(out, to_ms(kernels[k].self_ns));
+    out += "}";
+  }
+  out += "],\"roots\":[";
+  for (std::size_t k = 0; k < snapshot.roots.size(); ++k) {
+    if (k != 0) out += ',';
+    append_node_json(out, snapshot.roots[k]);
+  }
+  out += "]}";
+  return out;
+}
+
+Profiler& Profiler::global() {
+  static Profiler* instance = new Profiler();  // leaked: spans may outlive main
+  return *instance;
+}
+
+void Profiler::enable() {
+  if (enabled()) return;
+  if (frame_cost_ns_.load(kRelaxed) == 0.0) {
+    // Calibrate the full per-frame path (node lookup, two clock reads, the
+    // atomic updates) against a scratch tree that is never registered.
+    ThreadProfile scratch;
+    constexpr int kIters = 16384;
+    const std::int64_t t0 = prof_now_ns();
+    for (int i = 0; i < kIters; ++i) {
+      Frame f;
+      f.prev = -1;
+      f.node = scratch.child_of(-1, "prof.calibrate");
+      f.start_ns = prof_now_ns();
+      scratch.record(f.node, prof_now_ns() - f.start_ns);
+    }
+    const std::int64_t t1 = prof_now_ns();
+    frame_cost_ns_.store(double(t1 - t0) / double(kIters), kRelaxed);
+  }
+  const std::int64_t now = prof_now_ns();
+  enable_ns_.store(now, kRelaxed);
+  window_start_ns_.store(now, kRelaxed);
+  frames_at_enable_.store(total_frames(), kRelaxed);
+  enabled_.store(true, kRelaxed);
+}
+
+ProfileSnapshot Profiler::snapshot(bool reset) {
+  ProfileSnapshot s;
+  s.enabled = enabled();
+  s.windowed = reset;
+  s.frame_cost_ns = frame_cost_ns_.load(kRelaxed);
+  s.overhead_ratio = overhead_ratio();
+  const std::int64_t now = prof_now_ns();
+  const std::int64_t start = window_start_ns_.load(kRelaxed);
+  s.wall_ns = start > 0 ? now - start : 0;
+  if (reset) window_start_ns_.store(now, kRelaxed);
+  s.roots = Registry::global().collect(reset);
+  sort_tree(s.roots);
+  return s;
+}
+
+double Profiler::overhead_ratio() const {
+  if (!enabled()) return 0.0;
+  const std::int64_t elapsed = prof_now_ns() - enable_ns_.load(kRelaxed);
+  if (elapsed <= 0) return 0.0;
+  const std::uint64_t frames = total_frames() - frames_at_enable_.load(kRelaxed);
+  return double(frames) * frame_cost_ns_.load(kRelaxed) / double(elapsed);
+}
+
+std::uint64_t Profiler::total_frames() const { return Registry::global().frames(); }
+
+Frame enter(const char* name) {
+  ThreadProfile& tp = local_profile();
+  Frame f;
+  f.prev = tp.current;
+  f.node = tp.child_of(tp.current, name);
+  tp.current = f.node;
+  f.start_ns = prof_now_ns();
+  return f;
+}
+
+void leave(const Frame& frame) {
+  const std::int64_t dur = prof_now_ns() - frame.start_ns;
+  ThreadProfile& tp = local_profile();
+  tp.record(frame.node, dur);
+  tp.current = frame.prev;
+}
+
+}  // namespace tfc::obs::prof

@@ -1,0 +1,151 @@
+/// \file prof.h
+/// \brief Always-on hierarchical wall-time profiler fed by TFC_SPAN.
+///
+/// The trace layer answers "what happened in THIS request/run"; the profiler
+/// answers "where does process time go, cumulatively". Every `TFC_SPAN` that
+/// runs while the profiler is enabled records one *frame* into a per-thread
+/// profile tree keyed by the logical span path (the same stack the request
+/// trace nests by). The hot path is lock-free for the owning thread: node
+/// lookup walks an intrusive child list the owner itself built, and the
+/// per-frame statistics (count, total/child wall time, min/max) are relaxed
+/// single-writer atomics. A mutex is taken only when a thread sees a span
+/// name for the first time (node creation) and when a snapshot walks the
+/// tree — so steady-state profiling costs two clock reads plus a handful of
+/// relaxed atomic adds per span (~40–80 ns), and `overhead_ratio()` reports
+/// the measured cost against enabled wall time.
+///
+/// Snapshots follow the MetricsRegistry windowed discipline: with
+/// `reset=true` every statistic is harvested with `exchange(0)`, so each
+/// closed frame lands in exactly one window. Threads that exit while
+/// profiled merge their tree into a retired accumulator first, so a
+/// weeks-long serve never loses or leaks dead-thread data.
+///
+/// Self time is derived, not stored: `self = total - child`, clamped at
+/// zero on export. A frame still open across a window boundary settles its
+/// total in the window where it closes (children it already closed settled
+/// earlier), which can transiently skew a windowed self time — cumulative
+/// snapshots are exact once the tree is quiescent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfc::obs::prof {
+
+/// Nanoseconds since a fixed process-local epoch (steady clock). The
+/// profiler needs ns resolution: hot spans (et_solve ~1 ms, triangular
+/// solves far below) would alias to 0 at the trace layer's µs clock.
+std::int64_t prof_now_ns();
+
+/// One open profiled frame, held inline in obs::Span. `node < 0` means the
+/// profiler was disabled when the span opened and leave() is a no-op.
+struct Frame {
+  std::int32_t node = -1;
+  std::int32_t prev = -1;
+  std::int64_t start_ns = 0;
+};
+
+/// Aggregated statistics of one span path, merged across threads by name
+/// path. `min_ns` is UINT64_MAX (and max 0) when count == 0.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t child_ns = 0;
+  std::uint64_t min_ns = UINT64_MAX;
+  std::uint64_t max_ns = 0;
+  std::vector<ProfileNode> children;  ///< name-sorted (deterministic export)
+
+  /// Wall time attributable to this node alone, clamped at zero (an open
+  /// parent frame can settle after its children across a window reset).
+  std::uint64_t self_ns() const { return total_ns > child_ns ? total_ns - child_ns : 0; }
+};
+
+/// Flattened per-name aggregate (summed over every tree position a span
+/// name appears in). The unit of the CLI table, the svc `totals` block and
+/// the bench per-kernel breakdown.
+struct NameStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+/// Point-in-time copy of the whole profile tree.
+struct ProfileSnapshot {
+  bool enabled = false;
+  bool windowed = false;        ///< true when taken with reset
+  std::int64_t wall_ns = 0;     ///< enabled wall time covered by this window
+  double overhead_ratio = 0.0;  ///< measured profiler cost / enabled wall time
+  double frame_cost_ns = 0.0;   ///< calibrated per-frame cost (enable() time)
+  std::vector<ProfileNode> roots;  ///< name-sorted
+
+  std::uint64_t total_count() const;
+  std::uint64_t total_self_ns() const;
+};
+
+/// Per-name flattening of a snapshot, sorted by self time descending (ties
+/// by name so equal-time kernels order deterministically).
+std::vector<NameStat> aggregate_by_name(const ProfileSnapshot& snapshot);
+
+/// Collapsed-stack text (flamegraph.pl / speedscope compatible): one line
+/// per tree path, `root;child;leaf <self_us>`, integer µs, paths sorted.
+/// Nodes whose self time rounds to 0 µs are folded away unless they carry
+/// children (interior nodes always print their path prefix via children).
+std::string to_collapsed(const ProfileSnapshot& snapshot);
+
+/// JSON document: `{"enabled":...,"windowed":...,"wall_ms":...,
+/// "overhead_ratio":...,"total_count":N,"total_self_ms":...,
+/// "kernels":[{"name","count","total_ms","self_ms"},...],
+/// "roots":[{"name","count","total_ms","self_ms","min_ms","max_ms",
+/// "children":[...]},...]}`. Hand-built (obs sits below tfc::io);
+/// parseable by io::parse_json.
+std::string to_json(const ProfileSnapshot& snapshot);
+
+/// The process-wide profiler. All methods are thread-safe; enter/leave are
+/// called via obs::Span on the owning thread only.
+class Profiler {
+ public:
+  static Profiler& global();
+
+  /// Enable profiling. Calibrates the per-frame cost (a tight enter/leave
+  /// loop against a scratch tree) on first call, then opens a new window.
+  /// Idempotent while enabled.
+  void enable();
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Merge every live thread's tree (plus retired threads) by name path.
+  /// With \p reset, statistics are exchanged to zero so each frame lands in
+  /// exactly one window, and the window clock restarts.
+  ProfileSnapshot snapshot(bool reset);
+
+  /// Measured cost of profiling since enable(): frames recorded × calibrated
+  /// per-frame cost, over enabled wall time. 0 when disabled or idle.
+  double overhead_ratio() const;
+  double frame_cost_ns() const { return frame_cost_ns_.load(std::memory_order_relaxed); }
+
+  /// Total frames recorded since process start (live + retired threads).
+  std::uint64_t total_frames() const;
+
+ private:
+  Profiler() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> frame_cost_ns_{0.0};
+  std::atomic<std::int64_t> enable_ns_{0};
+  std::atomic<std::int64_t> window_start_ns_{0};
+  std::atomic<std::uint64_t> frames_at_enable_{0};
+};
+
+/// Open a frame for \p name under the calling thread's current frame.
+/// Callers must pair with leave() on the same thread (RAII via obs::Span).
+Frame enter(const char* name);
+void leave(const Frame& frame);
+
+/// One relaxed atomic load; the Span fast path when profiling is off.
+inline bool enabled() { return Profiler::global().enabled(); }
+
+}  // namespace tfc::obs::prof

@@ -133,9 +133,14 @@ std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
     auto& f = families[family];
     f.type = "summary";
     std::ostringstream lines;
+    // quantile="0"/"1" carry the EXACT running min/max (tracked on every
+    // record), not reservoir estimates — the reservoir can drop true
+    // extremes once capacity is exceeded.
+    append_sample(lines, family, with_label(labels, "quantile=\"0\""), s.min);
     append_sample(lines, family, with_label(labels, "quantile=\"0.5\""), s.p50);
     append_sample(lines, family, with_label(labels, "quantile=\"0.95\""), s.p95);
     append_sample(lines, family, with_label(labels, "quantile=\"0.99\""), s.p99);
+    append_sample(lines, family, with_label(labels, "quantile=\"1\""), s.max);
     append_sample(lines, family + "_sum", labels, s.sum);
     append_sample(lines, family + "_count", labels, double(s.count));
     f.body += lines.str();

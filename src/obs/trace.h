@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/context.h"
+#include "obs/prof.h"
 
 namespace tfc::obs {
 
@@ -67,7 +68,10 @@ class TraceCollector {
 
 /// RAII span. Use via TFC_SPAN; name must outlive the collector (string
 /// literals only). Records into the global collector when tracing is
-/// enabled, and into the calling thread's request trace when one is bound.
+/// enabled, into the calling thread's request trace when one is bound, and
+/// into the continuous profiler (prof.h) when that is enabled. The profiled
+/// frame opens last and closes first so its timing excludes the trace
+/// layer's own bookkeeping.
 class Span {
  public:
   explicit Span(const char* name)
@@ -80,8 +84,10 @@ class Span {
         request_index_ = request_trace_->open(name_, begin_us_);
       }
     }
+    if (prof::enabled()) prof_frame_ = prof::enter(name_);
   }
   ~Span() {
+    if (prof_frame_.node >= 0) prof::leave(prof_frame_);
     if (global_active_ || request_trace_ != nullptr) {
       const std::int64_t end = trace_now_us();
       if (request_trace_ != nullptr) request_trace_->close(request_index_, end);
@@ -99,6 +105,7 @@ class Span {
   RequestTrace* request_trace_;
   int request_index_ = -1;
   std::int64_t begin_us_ = 0;
+  prof::Frame prof_frame_;
 };
 
 }  // namespace tfc::obs

@@ -117,6 +117,7 @@ thermal::TransientSolver& ScenarioEngine::solver_for(double current) {
 
 void ScenarioEngine::build_rhs(std::size_t step, const std::vector<double>& scales,
                                double current) {
+  TFC_SPAN("sim.rasterize");
   const auto& model = system_.model();
   const std::size_t f2 = model.refine() * model.refine();
   const std::size_t tick = step % trace_.length();
@@ -176,9 +177,11 @@ ScenarioSummary ScenarioEngine::run(const FrameSink& sink) {
   std::size_t seq = 0;
 
   for (std::size_t s = 0; s < options_.steps; ++s) {
+    TFC_SPAN("sim.step");
     const auto t0 = std::chrono::steady_clock::now();
 
     if (options_.dtm && s % options_.control_every == 0) {
+      TFC_SPAN("sim.control");
       model.tile_temperatures_into(theta_, tiles_scratch_);
       const auto action = controller.decide(tiles_scratch_);
       switch (action.kind) {

@@ -56,13 +56,31 @@ void close_if_open(int& fd) {
 constexpr const char* kMethodLabels[] = {"ping",   "stats",  "solve",
                                          "design", "runaway", "sweep",
                                          "metrics", "recent", "health",
-                                         "inject", "simulate"};
+                                         "inject", "simulate", "profile"};
 
 const char* method_label(const std::string& method) {
   for (const char* known : kMethodLabels) {
     if (method == known) return known;
   }
   return "other";
+}
+
+/// Static-lifetime span name per method (TFC_SPAN keeps the pointer), so the
+/// profiler/trace tree groups request handling as svc.method.<name>.
+const char* method_span_name(const std::string& method) {
+  if (method == "ping") return "svc.method.ping";
+  if (method == "stats") return "svc.method.stats";
+  if (method == "solve") return "svc.method.solve";
+  if (method == "design") return "svc.method.design";
+  if (method == "runaway") return "svc.method.runaway";
+  if (method == "sweep") return "svc.method.sweep";
+  if (method == "metrics") return "svc.method.metrics";
+  if (method == "recent") return "svc.method.recent";
+  if (method == "health") return "svc.method.health";
+  if (method == "inject") return "svc.method.inject";
+  if (method == "simulate") return "svc.method.simulate";
+  if (method == "profile") return "svc.method.profile";
+  return "svc.method.other";
 }
 
 std::string latency_metric(const char* method) {
@@ -108,6 +126,8 @@ void register_metrics() {
   m.histogram("sim.step_ms");
   m.counter("svc.stream.frames");
   m.counter("svc.stream.deadline_aborts");
+  // Continuous-profiler cost surface (refreshed on every scrape).
+  m.gauge("tfc.prof.overhead_ratio");
   for (const char* method : kMethodLabels) {
     m.histogram(latency_metric(method));
     m.histogram(queue_wait_metric(method));
@@ -184,6 +204,10 @@ io::JsonValue record_to_json(const obs::RequestRecord& rec) {
               ? JsonValue::make_null()
               : JsonValue::make_number(rec.energy_balance_rel));
   out.set("frames", JsonValue::make_number(double(rec.frames)));
+  out.set("top_kernel", rec.top_kernel.empty()
+                            ? JsonValue::make_null()
+                            : JsonValue::make_string(rec.top_kernel));
+  out.set("top_self_ms", JsonValue::make_number(rec.top_self_ms));
   out.set("wall_us", JsonValue::make_number(double(rec.wall_us)));
   return out;
 }
@@ -253,6 +277,7 @@ Server::Server(ServerOptions options)
               options_.health_window == 0 ? 1 : options_.health_window),
       start_time_(Clock::now()) {
   register_metrics();
+  if (options_.profile) obs::prof::Profiler::global().enable();
   if (options_.workers == 0) options_.workers = 1;
   if (options_.socket_path.empty() && options_.listen.empty()) {
     throw std::runtime_error("svc: need a unix socket path or a --listen address");
@@ -415,6 +440,8 @@ std::string Server::prometheus_text() {
   auto& m = obs::MetricsRegistry::global();
   m.gauge("process.uptime_seconds").set(uptime_seconds());
   m.gauge("process.rss_bytes").set(double(obs::process_rss_bytes()));
+  m.gauge("tfc.prof.overhead_ratio")
+      .set(obs::prof::Profiler::global().overhead_ratio());
   return obs::to_prometheus_text(m.snapshot());
 }
 
@@ -692,6 +719,9 @@ void Server::serve_request(Pending& item) {
       std::uint64_t(trace.total_attr("cg_solve", "iterations") + 0.5);
   rec.span_count = trace.spans().size();
   rec.frames = stream.frames;
+  const auto top = trace.top_self();
+  rec.top_kernel = top.name;
+  rec.top_self_ms = top.self_ms;
   rec.wall_us = wall_now_us();
   // Record before replying so a client that got its answer and immediately
   // asks `recent` is guaranteed to see this request in the ring.
@@ -789,6 +819,7 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info,
                                StreamContext& stream) {
   using io::JsonValue;
   const JsonValue& params = request.params;
+  TFC_SPAN(method_span_name(request.method));
 
   if (request.method == "ping") {
     const double delay_ms = params.number_or("delay_ms", 0.0);
@@ -841,6 +872,42 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info,
     } else {
       throw ProtocolError(ErrorCode::kBadRequest,
                           "'format' must be \"json\" or \"prometheus\"");
+    }
+    return result;
+  }
+
+  if (request.method == "profile") {
+    const std::string format = params.string_or("format", "json");
+    if (format != "json" && format != "collapsed") {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "'format' must be \"json\" or \"collapsed\"");
+    }
+    // windowed=true harvests-and-resets (every frame lands in exactly one
+    // window, like /metrics snapshots); default is cumulative since enable.
+    const bool windowed = params.bool_or("windowed", false);
+    auto& prof = obs::prof::Profiler::global();
+    const obs::prof::ProfileSnapshot snap = prof.snapshot(windowed);
+    obs::MetricsRegistry::global()
+        .gauge("tfc.prof.overhead_ratio")
+        .set(prof.overhead_ratio());
+
+    JsonValue result = JsonValue::make_object();
+    result.set("format", JsonValue::make_string(format));
+    result.set("enabled", JsonValue::make_bool(snap.enabled));
+    result.set("windowed", JsonValue::make_bool(snap.windowed));
+    result.set("overhead_ratio", JsonValue::make_number(snap.overhead_ratio));
+    // Totals are per-name counts/self-times summed over the whole tree —
+    // the cross-checkable invariant (counts are deterministic for a given
+    // workload; wall times are not).
+    JsonValue totals = JsonValue::make_object();
+    totals.set("count", JsonValue::make_number(double(snap.total_count())));
+    totals.set("self_ms",
+               JsonValue::make_number(double(snap.total_self_ns()) * 1e-6));
+    result.set("totals", totals);
+    if (format == "json") {
+      result.set("profile", io::parse_json(obs::prof::to_json(snap)));
+    } else {
+      result.set("text", JsonValue::make_string(obs::prof::to_collapsed(snap)));
     }
     return result;
   }
@@ -1130,8 +1197,8 @@ io::JsonValue Server::dispatch(const Request& request, DispatchInfo& info,
   throw ProtocolError(
       ErrorCode::kUnknownMethod,
       "unknown method '" + request.method +
-          "' (use ping|stats|metrics|recent|health|solve|design|runaway|sweep|"
-          "simulate|shutdown)");
+          "' (use ping|stats|metrics|recent|health|profile|solve|design|"
+          "runaway|sweep|simulate|shutdown)");
 }
 
 void Server::audit_solve(const Session& session, const tec::OperatingPoint& op,

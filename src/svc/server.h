@@ -97,6 +97,12 @@ struct ServerOptions {
   /// Enable the test-only `inject` method (fault injection into a session's
   /// solved θ); off in production.
   bool fault_injection = false;
+  /// Enable the continuous profiler (obs/prof.h) at startup, so the
+  /// `profile` method serves live per-kernel attribution and /metrics
+  /// exports `tfc_prof_overhead_ratio`. Off by default: the profiler costs
+  /// ~two clock reads per span even though its measured overhead stays
+  /// well under the 5% CI ceiling.
+  bool profile = false;
 };
 
 /// One serving instance. Construction binds the listeners (throwing

@@ -7,10 +7,12 @@
 #include "obs/obs.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 
@@ -521,6 +523,192 @@ TEST(Cli, ObservabilityFlagsEndToEnd) {
 
   fs::remove(sock);
   fs::remove(trace);
+}
+
+/// Satellite of PR 9: every exported Chrome trace_event must be a complete
+/// "X" (duration) event, and because events are appended at span close, the
+/// per-thread end times must be monotone non-decreasing.
+TEST(Cli, ChromeTraceEventsAreSchemaValidAndEndMonotonePerTid) {
+  namespace fs = std::filesystem;
+  const auto trace = fs::temp_directory_path() /
+                     ("tfcool_cli_schema_" + std::to_string(::getpid()) + ".json");
+  fs::remove(trace);
+  auto r = run({"design", "--chip", "alpha", "--no-full-cover", "--trace-out",
+                trace.string()});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good());
+  std::stringstream buf;
+  buf << tf.rdbuf();
+  const auto doc = tfc::io::parse_json(buf.str());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_GT(events.size(), 10u);
+
+  std::map<long long, double> last_end_by_tid;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.string_or("ph", ""), "X");
+    EXPECT_FALSE(e.string_or("name", "").empty());
+    const double ts = e.number_or("ts", -1.0);
+    const double dur = e.number_or("dur", -1.0);
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(dur, 0.0);
+    ASSERT_NE(e.get("pid"), nullptr);
+    ASSERT_NE(e.get("tid"), nullptr);
+    const auto tid = (long long)e.number_or("tid", -1.0);
+    const double end = ts + dur;
+    auto it = last_end_by_tid.find(tid);
+    if (it != last_end_by_tid.end()) {
+      EXPECT_GE(end, it->second) << "tid " << tid << " event out of order";
+      it->second = end;
+    } else {
+      last_end_by_tid[tid] = end;
+    }
+  }
+  fs::remove(trace);
+}
+
+TEST(Cli, ProfileCommandPrintsKernelTable) {
+  auto r = run({"profile", "--chip", "alpha"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("profile: alpha design"), std::string::npos);
+  EXPECT_NE(r.out.find("lambda_m"), std::string::npos);
+  EXPECT_NE(r.out.find("kernel"), std::string::npos);
+  EXPECT_NE(r.out.find("self_ms"), std::string::npos);
+  EXPECT_NE(r.out.find("sparse_refactor"), std::string::npos);
+  EXPECT_NE(r.out.find("greedy_deploy"), std::string::npos);
+
+  auto bad = run({"profile", "--chip", "alpha", "--format", "xml"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("--format"), std::string::npos);
+}
+
+TEST(Cli, ProfileOutWritesCollapsedAndIsScopedToOneInvocation) {
+  namespace fs = std::filesystem;
+  const auto folded = fs::temp_directory_path() /
+                      ("tfcool_cli_prof_" + std::to_string(::getpid()) + ".folded");
+  fs::remove(folded);
+  auto r = run({"runaway", "--chip", "alpha", "--profile-out", folded.string()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote " + folded.string()), std::string::npos);
+
+  std::ifstream pf(folded);
+  ASSERT_TRUE(pf.good());
+  std::stringstream buf;
+  buf << pf.rdbuf();
+  EXPECT_NE(buf.str().find("runaway_limit"), std::string::npos);
+  // Collapsed grammar: `frame(;frame)* <count>` per line.
+  std::string line;
+  std::istringstream lines(buf.str());
+  while (std::getline(lines, line)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    for (char c : line.substr(space + 1)) EXPECT_TRUE(::isdigit(c)) << line;
+  }
+
+  // The profiler must not stay enabled for the next invocation.
+  EXPECT_FALSE(tfc::obs::prof::Profiler::global().enabled());
+  fs::remove(folded);
+}
+
+/// PR 9 acceptance: `tfcool profile` and the service `profile` method see
+/// the same workload — a session build for the same chip/limit — so their
+/// per-kernel frame counts must agree exactly (wall times vary; counts are
+/// deterministic).
+TEST(Cli, ServeProfileEndToEndMatchesCliProfileCounts) {
+  namespace fs = std::filesystem;
+  const auto sock = fs::temp_directory_path() /
+                    ("tfcool_cli_prof_e2e_" + std::to_string(::getpid()) + ".sock");
+  fs::remove(sock);
+
+  // Drain everything earlier tests recorded so the service's cumulative
+  // snapshot covers exactly this server's lifetime.
+  tfc::obs::prof::Profiler::global().disable();
+  (void)tfc::obs::prof::Profiler::global().snapshot(true);
+
+  CliRun serve_result;
+  std::thread server([&] {
+    serve_result = run({"serve", "--socket", sock.string(), "--workers", "1",
+                        "--profile"});
+  });
+  auto request = [&](std::vector<std::string> extra) {
+    std::vector<std::string> args = {"request", "--socket", sock.string()};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return run(args);
+  };
+  CliRun ping;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ping = request({"--method", "ping"});
+    if (ping.code == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(ping.code, 0) << ping.err;
+
+  auto design = request({"--method", "design", "--params", R"({"chip": "alpha"})"});
+  ASSERT_EQ(design.code, 0) << design.err;
+
+  // The collapsed form is servable text.
+  auto collapsed =
+      request({"--method", "profile", "--params", R"({"format": "collapsed"})"});
+  ASSERT_EQ(collapsed.code, 0) << collapsed.err;
+  EXPECT_NE(collapsed.out.find("svc.method.design"), std::string::npos);
+
+  auto prof = request({"--method", "profile", "--params", R"({"format": "json"})"});
+  ASSERT_EQ(prof.code, 0) << prof.err;
+  const auto reply = tfc::io::parse_json(prof.out);
+  const auto& result = reply.at("result");
+  EXPECT_TRUE(result.bool_or("enabled", false));
+  EXPECT_GE(result.number_or("overhead_ratio", -1.0), 0.0);
+  ASSERT_TRUE(result.at("totals").number_or("count", 0.0) > 0.0);
+  const auto& svc_kernels = result.at("profile").at("kernels").as_array();
+
+  // The flight recorder now attributes each request to its top kernel.
+  auto table = request({"--method", "recent"});
+  ASSERT_EQ(table.code, 0) << table.err;
+  EXPECT_NE(table.out.find("top_kernel"), std::string::npos);
+  EXPECT_NE(table.out.find("sparse_refactor"), std::string::npos);
+
+  // The metrics registry carries the live overhead gauge.
+  auto metrics = request({"--method", "metrics"});
+  ASSERT_EQ(metrics.code, 0) << metrics.err;
+  EXPECT_NE(metrics.out.find("tfc.prof.overhead_ratio"), std::string::npos);
+
+  auto bye = request({"--method", "shutdown"});
+  EXPECT_EQ(bye.code, 0);
+  server.join();
+  ASSERT_EQ(serve_result.code, 0) << serve_result.err;
+
+  // Same chip, same limit, same session-build workload through the CLI.
+  const auto json_path = fs::temp_directory_path() /
+                         ("tfcool_cli_prof_e2e_" + std::to_string(::getpid()) + ".json");
+  fs::remove(json_path);
+  auto cli = run({"profile", "--chip", "alpha", "--format", "json", "--out",
+                  json_path.string()});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  std::ifstream jf(json_path);
+  ASSERT_TRUE(jf.good());
+  std::stringstream jbuf;
+  jbuf << jf.rdbuf();
+  const auto cli_doc = tfc::io::parse_json(jbuf.str());
+  const auto& cli_kernels = cli_doc.at("kernels").as_array();
+
+  auto count_of = [](const std::vector<tfc::io::JsonValue>& kernels,
+                     const std::string& name) -> double {
+    for (const auto& k : kernels) {
+      if (k.string_or("name", "") == name) return k.number_or("count", -1.0);
+    }
+    return 0.0;
+  };
+  for (const char* kernel :
+       {"greedy_deploy", "greedy_pass", "optimize_current", "engine_probe",
+        "sparse_refactor", "et_solve", "runaway_limit"}) {
+    EXPECT_EQ(count_of(svc_kernels, kernel), count_of(cli_kernels, kernel))
+        << "kernel " << kernel << " count diverges between svc and CLI";
+    EXPECT_GT(count_of(cli_kernels, kernel), 0.0) << kernel;
+  }
+
+  fs::remove(json_path);
+  fs::remove(sock);
 }
 
 TEST(Cli, ImportedChipDesign) {

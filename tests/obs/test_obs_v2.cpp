@@ -57,6 +57,39 @@ TEST(RequestTrace, TotalsSumAcrossRepeatedSpans) {
   EXPECT_DOUBLE_EQ(trace.total_attr("sparse_refactor", "absent"), 0.0);
 }
 
+TEST(RequestTrace, TopSelfSubtractsDirectChildrenAndAggregates) {
+  RequestTrace trace;
+  // solve: dur 100 µs with a 60 µs child => 40 µs self. factor: 60 µs self.
+  const int solve = trace.open("solve", 0);
+  const int factor = trace.open("factor", 10);
+  trace.close(factor, 70);
+  trace.close(solve, 100);
+  const auto top = trace.top_self();
+  EXPECT_EQ(top.name, "factor");
+  EXPECT_DOUBLE_EQ(top.self_ms, 0.06);
+
+  // Repeated spans aggregate: two more 40 µs "solve" roots push it to 120 µs.
+  for (int k = 0; k < 2; ++k) {
+    const int again = trace.open("solve", 200 + k * 100);
+    trace.close(again, 240 + k * 100);
+  }
+  EXPECT_EQ(trace.top_self().name, "solve");
+  EXPECT_DOUBLE_EQ(trace.top_self().self_ms, 0.12);
+}
+
+TEST(RequestTrace, TopSelfTieBreaksByNameAndHandlesEmpty) {
+  RequestTrace empty;
+  EXPECT_EQ(empty.top_self().name, "");
+  EXPECT_DOUBLE_EQ(empty.top_self().self_ms, 0.0);
+
+  RequestTrace trace;
+  const int b = trace.open("bbb", 0);
+  trace.close(b, 50);
+  const int a = trace.open("aaa", 100);
+  trace.close(a, 150);
+  EXPECT_EQ(trace.top_self().name, "aaa");  // equal 50 µs selves: name asc
+}
+
 TEST(RequestTrace, ToJsonRendersTreeParseableShape) {
   RequestTrace trace;
   const int outer = trace.open("svc.request", 1000);
@@ -211,6 +244,36 @@ TEST(Prometheus, HistogramsEmitSummaryQuantilesSumCount) {
             std::string::npos);
   EXPECT_NE(text.find("svc_latency_ms_sum{method=\"solve\"} 100\n"), std::string::npos);
   EXPECT_NE(text.find("svc_latency_ms_count{method=\"solve\"} 4\n"), std::string::npos);
+}
+
+TEST(Prometheus, SummariesExposeExactMinMaxAsExtremeQuantiles) {
+  // A tiny reservoir overflows immediately, so the percentiles are sampled —
+  // but min/max are tracked exactly on every record and must surface as the
+  // quantile="0"/"1" samples.
+  Histogram h(4);
+  for (int v = 1; v <= 1000; ++v) h.record(double(v));
+  MetricsSnapshot snap;
+  snap.histograms.emplace_back("lat_ms", h.summary());
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("lat_ms{quantile=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms{quantile=\"1\"} 1000\n"), std::string::npos);
+  // Extremes bracket the interpolated percentiles in emission order.
+  EXPECT_LT(text.find("quantile=\"0\""), text.find("quantile=\"0.5\""));
+  EXPECT_LT(text.find("quantile=\"0.99\""), text.find("quantile=\"1\""));
+}
+
+TEST(Prometheus, LabeledSummariesKeepLabelsOnExtremeQuantiles) {
+  HistogramSummary s;
+  s.count = 2;
+  s.min = 1.5;
+  s.max = 9.5;
+  MetricsSnapshot snap;
+  snap.histograms.emplace_back(labeled_name("svc.latency_ms", {{"method", "solve"}}), s);
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("svc_latency_ms{method=\"solve\",quantile=\"0\"} 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_ms{method=\"solve\",quantile=\"1\"} 9.5\n"),
+            std::string::npos);
 }
 
 TEST(Prometheus, GaugesAndNonFiniteValues) {

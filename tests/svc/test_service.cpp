@@ -101,6 +101,45 @@ TEST(Service, UnknownMethodNamed) {
             std::string::npos);
 }
 
+TEST(Service, ProfileMethodValidatesFormatAndReportsState) {
+  auto opts = quick_options("profile");
+  opts.profile = true;
+  ServerFixture fx(opts);
+  auto client = Client::connect_unix(fx.server().options().socket_path);
+
+  io::JsonValue bad = io::JsonValue::make_object();
+  bad.set("format", io::JsonValue::make_string("xml"));
+  auto err = client.call("profile", bad);
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("code").as_string(), "bad_request");
+  EXPECT_NE(err.at("error").at("message").as_string().find("format"),
+            std::string::npos);
+
+  auto reply = client.call("profile");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  const auto& result = reply.at("result");
+  EXPECT_EQ(result.at("format").as_string(), "json");
+  EXPECT_TRUE(result.at("enabled").as_bool());
+  EXPECT_FALSE(result.at("windowed").as_bool());
+  EXPECT_GE(result.at("overhead_ratio").as_number(), 0.0);
+  // The handler's own svc.method.profile span is profiled, so the tree is
+  // never empty while the profiler is on.
+  EXPECT_GT(result.at("totals").at("count").as_number(), 0.0);
+  EXPECT_TRUE(result.at("profile").is_object());
+
+  io::JsonValue collapsed = io::JsonValue::make_object();
+  collapsed.set("format", io::JsonValue::make_string("collapsed"));
+  collapsed.set("windowed", io::JsonValue::make_bool(true));
+  auto text_reply = client.call("profile", collapsed);
+  ASSERT_TRUE(text_reply.at("ok").as_bool());
+  EXPECT_TRUE(text_reply.at("result").at("windowed").as_bool());
+  EXPECT_NE(text_reply.at("result").at("text").as_string().find("svc.method"),
+            std::string::npos);
+
+  obs::prof::Profiler::global().disable();
+  (void)obs::prof::Profiler::global().snapshot(true);
+}
+
 TEST(Service, SolveServedFromSessionCacheOnRepeat) {
   ServerFixture fx(quick_options("cache"));
   auto client = Client::connect_unix(fx.server().options().socket_path);

@@ -236,6 +236,42 @@ def check_sim(baseline, current):
     return [] if step <= ceiling else [fail("sim_step:mean_step_ms", step, ceiling)]
 
 
+def check_profile(baseline, current):
+    """Gate the continuous profiler's attribution and overhead.
+
+    Two checks against ci/bench_baseline.json's profile block: a floor on the
+    self-time coverage (the per-kernel self times of the single-threaded
+    Alpha design run must explain at least that fraction of the wall clock —
+    eroding coverage means a hot path lost its span), and a percentage cap on
+    the enabled-vs-disabled wall-time overhead (the profiler must stay cheap
+    enough to leave on in production).
+    """
+    base = baseline.get("profile")
+    if base is None:
+        return []
+    cur = current.get("profile")
+    if cur is None:
+        print("profiler attribution: MISSING from current bench output")
+        return [fail("profile", None, None)]
+
+    failures = []
+    coverage = float(cur["self_coverage"])
+    pct = float(cur["overhead_pct"])
+    floor = float(base["min_self_coverage"])
+    cap = float(base["max_overhead_pct"])
+    status = "ok"
+    if coverage < floor:
+        status = "REGRESSED (coverage floor %.0f%%)" % (100.0 * floor)
+        failures.append(fail("profile:self_coverage", coverage, floor, ">="))
+    if pct > cap:
+        status = "REGRESSED (overhead cap %.1f%%)" % cap
+        failures.append(fail("profile:overhead_pct", pct, cap))
+    print("profiler on Alpha design: %.0f%% of wall attributed to kernels "
+          "(floor %.0f%%), %+.2f%% overhead (cap %.1f%%)  %s"
+          % (100.0 * coverage, 100.0 * floor, pct, cap, status))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -301,6 +337,7 @@ def main():
     failures += check_audit(baseline, current)
     failures += check_runaway(baseline, current)
     failures += check_sim(baseline, current)
+    failures += check_profile(baseline, current)
 
     if bool(args.service_baseline) != bool(args.service_current):
         print("error: --service-baseline and --service-current go together",

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate collapsed-stack profile text (flamegraph.pl input format).
+
+Used by CI to gate the profiler's collapsed export (`tfcool profile
+--format collapsed`, the service `profile?format=collapsed` method, and
+`--profile-out` files). The grammar is one sample per line:
+
+    frame;frame;...;frame <count>
+
+where every frame is non-empty, contains no whitespace or semicolons (the
+exporter sanitizes those to '_'), and <count> is a non-negative integer
+(self time in microseconds for our exporter). Duplicate stacks are an
+error — the exporter aggregates, so a repeated stack means broken
+aggregation. Stdlib only.
+
+Usage:
+  check_collapsed.py --file profile.folded
+  check_collapsed.py --file profile.folded --min-lines 5 --require-frame et_solve
+  some_producer | check_collapsed.py
+"""
+
+import argparse
+import re
+import sys
+
+# One or more ';'-separated non-empty frames, a single space, an integer.
+LINE = re.compile(r"^([^; ]+)(;[^; ]+)* (\d+)$")
+
+
+def validate(text, min_lines, require_frames):
+    errors = []
+    seen_stacks = {}
+    frames = set()
+    total = 0
+    lines = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            errors.append(f"line {lineno}: empty line")
+            continue
+        lines += 1
+        m = LINE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: bad collapsed line: {line!r}")
+            continue
+        stack, count = line.rsplit(" ", 1)
+        if stack in seen_stacks:
+            errors.append(
+                f"line {lineno}: duplicate stack (first at line "
+                f"{seen_stacks[stack]}): {stack!r}"
+            )
+        else:
+            seen_stacks[stack] = lineno
+        frames.update(stack.split(";"))
+        total += int(count)
+    if lines < min_lines:
+        errors.append(f"expected at least {min_lines} sample lines, got {lines}")
+    if lines > 0 and total == 0:
+        errors.append("all sample counts are zero")
+    for frame in require_frames:
+        if frame not in frames:
+            errors.append(f"required frame missing: {frame!r}")
+    return errors, lines, total
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--file", help="read collapsed text from a file")
+    ap.add_argument("--min-lines", type=int, default=1, metavar="N",
+                    help="fail unless at least N sample lines (default 1)")
+    ap.add_argument("--require-frame", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless NAME appears as a frame (repeatable)")
+    args = ap.parse_args()
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors, lines, total = validate(text, args.min_lines, args.require_frame)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        return 1
+    print(f"ok: {lines} stacks, {total} us total self time")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,15 @@ With --get NAME the script also prints the sum of that metric's samples
 across all label sets (so `svc_requests_received_total` works whether or not
 the family is labeled), which lets a shell script assert a counter moved:
 
+With --assert-ge / --assert-le the script asserts a bound on that summed
+value and fails (exit 1) when the bound does not hold — CI uses this to gate
+invariants like `tfc_prof_overhead_ratio <= 0.05` without shell float
+arithmetic. An asserted metric that is absent also fails.
+
 Usage:
   check_prometheus.py --file scrape.txt
   check_prometheus.py --url http://127.0.0.1:9464/metrics --get svc_requests_received_total
+  check_prometheus.py --file scrape.txt --assert-le tfc_prof_overhead_ratio 0.05
   some_producer | check_prometheus.py
 """
 
@@ -154,6 +160,12 @@ def main():
                     help="print the sum of METRIC across label sets")
     ap.add_argument("--require", action="append", default=[], metavar="METRIC",
                     help="fail unless METRIC is present (repeatable)")
+    ap.add_argument("--assert-ge", action="append", default=[], nargs=2,
+                    metavar=("METRIC", "VALUE"),
+                    help="fail unless sum(METRIC) >= VALUE (repeatable)")
+    ap.add_argument("--assert-le", action="append", default=[], nargs=2,
+                    metavar=("METRIC", "VALUE"),
+                    help="fail unless sum(METRIC) <= VALUE (repeatable)")
     args = ap.parse_args()
 
     if args.url:
@@ -175,6 +187,21 @@ def main():
         if required not in values:
             print(f"required metric missing: {required}", file=sys.stderr)
             errors.append(required)
+    for metric, bound, op, holds in (
+        [(m, b, ">=", lambda v, t: v >= t) for m, b in args.assert_ge]
+        + [(m, b, "<=", lambda v, t: v <= t) for m, b in args.assert_le]
+    ):
+        threshold = float(bound)
+        if metric not in values:
+            print(f"asserted metric missing: {metric}", file=sys.stderr)
+            errors.append(metric)
+        elif not holds(values[metric], threshold):
+            print(
+                f"assertion failed: {metric} = {values[metric]} "
+                f"(want {op} {threshold})",
+                file=sys.stderr,
+            )
+            errors.append(metric)
     if errors:
         return 1
 
