@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench_common.h"
 #include "core/convexity.h"
 #include "core/greedy_deploy.h"
@@ -24,6 +26,7 @@
 #include "par/thread_pool.h"
 #include "sim/scenario.h"
 #include "tec/runaway.h"
+#include "thermal/stack_spec.h"
 
 namespace {
 
@@ -302,6 +305,49 @@ int main() {
                 double(k.self_ns) * 1e-6);
   }
 
+  // Declarative-package mesh scaling (tfc::thermal::StackSpec): a 100x100
+  // single-die spec — 10 000 tiles, ~70x the paper's 12x12 — must still
+  // assemble, factor, steady-solve, and bound lambda_m interactively. The
+  // gate (check_bench_regression.py) caps all three absolutely: a blown
+  // ceiling means the sparse assembly or the shift-invert Lanczos stopped
+  // scaling with mesh resolution.
+  double stack_build_ms = 1e300, stack_solve_ms = 0.0, stack_lambda_ms = 1e300;
+  std::size_t stack_tiles = 0;
+  {
+    thermal::PackageGeometry g;
+    g.tile_rows = 100;
+    g.tile_cols = 100;
+    auto spec = std::make_shared<const thermal::StackSpec>(
+        thermal::StackSpec::single_die(g));
+    stack_tiles = spec->tile_count();
+    TileMask block(spec->total_tile_rows(), spec->tile_cols());
+    for (std::size_t r = 48; r < 52; ++r) {
+      for (std::size_t c = 48; c < 52; ++c) block.set(r, c);
+    }
+    for (int r = 0; r < 3; ++r) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const engine::SolveContext ctx(spec, block, spec->tile_powers(),
+                                     tec::TecDeviceParams::chowdhury_superlattice());
+      stack_build_ms = std::min(stack_build_ms, ms_since(t1));
+    }
+    // Solves at this size are seconds, not ms (40k nodes, RCM-ordered
+    // Cholesky): two reps keep the bench job's wall time bounded.
+    const engine::SolveContext ctx(spec, block, spec->tile_powers(),
+                                   tec::TecDeviceParams::chowdhury_superlattice());
+    stack_solve_ms = backend_probe_ms(ctx, 2);
+    auto system = tec::ElectroThermalSystem::assemble_from_spec(
+        *spec, block, spec->tile_powers(),
+        tec::TecDeviceParams::chowdhury_superlattice());
+    {
+      const auto t1 = std::chrono::steady_clock::now();
+      (void)tec::runaway_limit(system, tec::RunawayOptions{});
+      stack_lambda_ms = ms_since(t1);
+    }
+  }
+  std::printf("\nstack scaling (100x100 single-die spec, %zu tiles): build+factor "
+              "%.1f ms | steady solve %.2f ms | lambda_m %.1f ms (sparse Lanczos)\n",
+              stack_tiles, stack_build_ms, stack_solve_ms, stack_lambda_ms);
+
   {
     std::ofstream out("BENCH_runtime.json");
     out << "{\"bench\":\"runtime\",\"hardware_threads\":" << hw << ",\"chips\":{";
@@ -334,6 +380,10 @@ int main() {
         << ",\"overhead_pct\":" << audit_overhead_pct
         << "},\"sim_step\":{\"mean_step_ms\":" << sim_step_ms
         << ",\"steps\":" << sim_steps
+        << "},\"stack_scale\":{\"tiles\":" << stack_tiles
+        << ",\"build_ms\":" << stack_build_ms
+        << ",\"solve_ms\":" << stack_solve_ms
+        << ",\"lambda_ms\":" << stack_lambda_ms
         << "},\"profile\":{\"wall_unprofiled_ms\":" << prof_off_ms
         << ",\"wall_profiled_ms\":" << prof_on_ms
         << ",\"overhead_pct\":" << prof_overhead_pct

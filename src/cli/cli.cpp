@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iomanip>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -18,6 +19,7 @@
 #include "floorplan/hotspot_import.h"
 #include "floorplan/random_chip.h"
 #include "io/design_json.h"
+#include "io/spec_json.h"
 #include "obs/build_info.h"
 #include "obs/obs.h"
 #include "par/thread_pool.h"
@@ -36,6 +38,9 @@ namespace {
 struct ParsedArgs {
   std::string command;
   std::map<std::string, std::string> options;  // --key value (or "" for flags)
+  /// Bare (non "--") arguments after the command, in order. Only commands
+  /// with CommandSpec::allow_positionals accept any (today: `spec`).
+  std::vector<std::string> positionals;
 };
 
 const char* kFlagOptions[] = {"--map",  "--help", "--no-full-cover", "--certify",
@@ -63,8 +68,8 @@ std::optional<ParsedArgs> parse(const std::vector<std::string>& args, std::ostre
   for (std::size_t k = 1; k < args.size(); ++k) {
     const std::string& a = args[k];
     if (a.rfind("--", 0) != 0) {
-      err << "error: unexpected argument '" << a << "'\n";
-      return std::nullopt;
+      p.positionals.push_back(a);
+      continue;
     }
     if (is_flag(a)) {
       p.options[a] = "";
@@ -130,21 +135,53 @@ std::optional<engine::EngineOptions> parse_engine_options(const ParsedArgs& p,
   return opts;
 }
 
-/// Resolve --chip / --flp+--ptrace into a name + tile power map.
+/// Resolve --chip / --flp+--ptrace / --spec into a name + tile power map.
 struct ChipInput {
   std::string name;
   linalg::Vector tile_powers;
   thermal::PackageGeometry geometry;
+  /// Declarative package (--spec); null on the --chip / --flp paths. When
+  /// set, `geometry` is only meaningful for paper-equivalent specs and the
+  /// solver entry points must take the spec overloads instead.
+  std::shared_ptr<const thermal::StackSpec> spec;
+  /// The chip's unit structure (built-in floorplan, rasterized .flp, or a
+  /// spec's combined virtual-grid floorplan) for commands that need it.
+  std::shared_ptr<const floorplan::Floorplan> plan;
 };
 
 std::optional<ChipInput> load_chip(const ParsedArgs& p, std::ostream& err) {
   ChipInput input;
   const auto chip_it = p.options.find("--chip");
   const auto flp_it = p.options.find("--flp");
+  const auto spec_it = p.options.find("--spec");
+
+  if (spec_it != p.options.end() &&
+      (chip_it != p.options.end() || flp_it != p.options.end())) {
+    err << "error: --spec excludes --chip and --flp (the spec file carries "
+           "its own stack, grid, and power maps)\n";
+    return std::nullopt;
+  }
 
   if (chip_it != p.options.end() && flp_it != p.options.end()) {
     err << "error: --chip and --flp are mutually exclusive\n";
     return std::nullopt;
+  }
+
+  if (spec_it != p.options.end()) {
+    std::shared_ptr<const thermal::StackSpec> spec;
+    try {
+      spec = std::make_shared<const thermal::StackSpec>(
+          io::load_stack_spec(spec_it->second));
+    } catch (const std::exception& e) {
+      err << "error: bad spec '" << spec_it->second << "': " << e.what() << "\n";
+      return std::nullopt;
+    }
+    input.name = spec->name;
+    input.tile_powers = spec->tile_powers();
+    input.plan = std::make_shared<const floorplan::Floorplan>(spec->combined_floorplan());
+    if (spec->paper_equivalent()) input.geometry = spec->to_geometry();
+    input.spec = std::move(spec);
+    return input;
   }
 
   if (flp_it != p.options.end()) {
@@ -175,6 +212,7 @@ std::optional<ChipInput> load_chip(const ParsedArgs& p, std::ostream& err) {
                                            input.geometry.tile_cols);
       floorplan::apply_unit_powers(plan, floorplan::read_ptrace_worst_case(ptrace));
       input.tile_powers = power::PowerProfile::from_floorplan(plan).tile_powers();
+      input.plan = std::make_shared<const floorplan::Floorplan>(std::move(plan));
     } catch (const std::exception& e) {
       err << "error: import failed: " << e.what() << "\n";
       return std::nullopt;
@@ -195,7 +233,20 @@ std::optional<ChipInput> load_chip(const ParsedArgs& p, std::ostream& err) {
   power::WorkloadSynthesizer synth(plan);
   input.tile_powers =
       power::worst_case_profile(plan, synth.synthesize_suite(8)).tile_powers();
+  input.plan = std::make_shared<const floorplan::Floorplan>(std::move(plan));
   return input;
+}
+
+/// Solve engine over the chip's designed deployment, taking the StackSpec
+/// assembly path when the chip came from --spec.
+engine::SolveContext make_context(const ChipInput& chip, const TileMask& deployment,
+                                  const engine::EngineOptions& opts) {
+  if (chip.spec != nullptr) {
+    return engine::SolveContext(chip.spec, deployment, chip.tile_powers,
+                                tec::TecDeviceParams::chowdhury_superlattice(), opts);
+  }
+  return engine::SolveContext(chip.geometry, deployment, chip.tile_powers,
+                              tec::TecDeviceParams::chowdhury_superlattice(), opts);
 }
 
 core::DesignResult design_with_fallback(const ChipInput& chip, double limit,
@@ -204,6 +255,7 @@ core::DesignResult design_with_fallback(const ChipInput& chip, double limit,
   core::DesignRequest req;
   req.chip_name = chip.name;
   req.geometry = chip.geometry;
+  req.spec = chip.spec;
   req.tile_powers = chip.tile_powers;
   req.theta_limit_celsius = limit;
   req.run_full_cover = full_cover;
@@ -277,9 +329,7 @@ int cmd_runaway(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "error: no TECs deployed; nothing to analyze\n";
     return 1;
   }
-  const engine::SolveContext context(chip->geometry, res.deployment, chip->tile_powers,
-                                     tec::TecDeviceParams::chowdhury_superlattice(),
-                                     *engine_opts);
+  const engine::SolveContext context = make_context(*chip, res.deployment, *engine_opts);
   const double lm = *context.runaway_limit();
   // Full precision: the CI cross-validation smoke diffs this line across
   // runaway methods at 1e-8 relative.
@@ -305,9 +355,7 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "error: no TECs deployed; nothing to sweep\n";
     return 1;
   }
-  const engine::SolveContext context(chip->geometry, res.deployment, chip->tile_powers,
-                                     tec::TecDeviceParams::chowdhury_superlattice(),
-                                     *engine_opts);
+  const engine::SolveContext context = make_context(*chip, res.deployment, *engine_opts);
   const double lm = *context.runaway_limit();
   const std::size_t points = parse_size(p, "--points", 25);
   const double hi = parse_double(p, "--max-fraction", 0.95) * lm;
@@ -367,28 +415,48 @@ int cmd_validate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return rep.max_abs_diff < 1.5 ? 0 : 1;
 }
 
+/// `tfcool spec validate|show FILE` — load a declarative package spec
+/// end-to-end (parse, import referenced floorplans, validate) and either
+/// report its identity + dimensions or print the canonical JSON document.
+int cmd_spec(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positionals.size() != 2 ||
+      (p.positionals[0] != "validate" && p.positionals[0] != "show")) {
+    err << "usage: tfcool spec <validate|show> FILE\n";
+    return 2;
+  }
+  const std::string& action = p.positionals[0];
+  const std::string& path = p.positionals[1];
+  thermal::StackSpec spec;
+  try {
+    spec = io::load_stack_spec(path);
+  } catch (const std::exception& e) {
+    err << "error: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  if (action == "show") {
+    out << io::spec_to_json(spec).dump() << "\n";
+    return 0;
+  }
+  out << "ok: " << spec.name << "@" << io::spec_content_hash(spec) << "\n"
+      << "chips: " << spec.chips.size() << ", dies: " << spec.dies().size()
+      << ", virtual grid: " << spec.total_tile_rows() << "x" << spec.tile_cols()
+      << "\n"
+      << "tec-capable sites: " << spec.tec_allowed_tiles().count()
+      << ", paper-equivalent: " << (spec.paper_equivalent() ? "yes" : "no") << "\n";
+  return 0;
+}
+
 /// Transient closed-loop scenario, run locally: design a deployment for the
 /// chip, integrate the scenario, and print NDJSON — one frame per line, then
 /// a {"summary": ...} footer. Deterministic for a fixed option set, so the
 /// output is byte-diffable across thread counts.
 int cmd_simulate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
-  const std::string chip = option_or(p, "--chip", "alpha");
-  floorplan::Floorplan plan = [&] {
-    if (chip == "alpha") return floorplan::alpha21364();
-    if (chip.rfind("hc", 0) == 0) {
-      return floorplan::hypothetical_chip(std::stoul(chip.substr(2)));
-    }
-    throw std::invalid_argument("unknown chip '" + chip + "' (use alpha or hc<N>)");
-  }();
-
-  ChipInput input;
-  input.name = chip;
-  power::WorkloadSynthesizer synth(plan);
-  input.tile_powers =
-      power::worst_case_profile(plan, synth.synthesize_suite(8)).tile_powers();
+  auto chip = load_chip(p, err);
+  if (!chip) return 2;
+  const floorplan::Floorplan& plan = *chip->plan;
 
   const double limit = parse_double(p, "--limit", 85.0);
-  auto res = design_with_fallback(input, limit, false, false);
+  auto res = design_with_fallback(*chip, limit, false, false);
 
   sim::ScenarioOptions opts;
   opts.benchmark = option_or(p, "--benchmark", "bench00");
@@ -420,9 +488,14 @@ int cmd_simulate(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     opts.schedule.push_back({0, current});
   }
 
-  sim::ScenarioEngine engine(plan, input.geometry,
-                             tec::TecDeviceParams::chowdhury_superlattice(),
-                             res.deployment, opts);
+  sim::ScenarioEngine engine =
+      chip->spec != nullptr
+          ? sim::ScenarioEngine(chip->spec,
+                                tec::TecDeviceParams::chowdhury_superlattice(),
+                                res.deployment, opts)
+          : sim::ScenarioEngine(plan, chip->geometry,
+                                tec::TecDeviceParams::chowdhury_superlattice(),
+                                res.deployment, opts);
   auto summary = engine.run([&](const sim::Frame& frame) {
     out << sim::frame_to_json(frame, plan).dump() << "\n";
     return true;
@@ -456,10 +529,8 @@ int cmd_profile(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
 
   auto res = design_with_fallback(*chip, limit, /*full_cover=*/false,
                                   /*certify=*/false);
-  const engine::SolveContext context(chip->geometry, res.deployment,
-                                     chip->tile_powers,
-                                     tec::TecDeviceParams::chowdhury_superlattice(),
-                                     engine::EngineOptions{});
+  const engine::SolveContext context =
+      make_context(*chip, res.deployment, engine::EngineOptions{});
   std::optional<double> lambda_m;
   if (!res.deployment.empty()) lambda_m = context.runaway_limit();
 
@@ -956,6 +1027,9 @@ struct CommandSpec {
   /// Per-command option help lines (shown by `tfcool <command> --help`).
   const char* option_help;
   CommandHandler handler;
+  /// Whether bare (non "--") arguments after the command name are accepted
+  /// (the handler reads them from ParsedArgs::positionals).
+  bool allow_positionals = false;
 };
 
 const char* kGlobalOptions[] = {"--threads",   "--log-level",   "--log-json",
@@ -968,11 +1042,19 @@ const char* kChipOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
 const char kChipOptionHelp[] =
     "  --chip alpha|hc<N>      built-in benchmark chip (default alpha)\n"
     "  --flp F --ptrace P      import HotSpot floorplan + power trace\n"
-    "  --rows R --cols C       tile grid for imports (default 12x12)\n"
-    "  --die-mm W              die side for imports [mm] (default 6)\n";
+    "  --rows R --cols C       tile grid for --flp imports only (default\n"
+    "                          12x12; a --spec package carries its own\n"
+    "                          per-chip grids and may use any resolution)\n"
+    "  --die-mm W              die side for --flp imports [mm] (default 6)\n";
+
+const char kSpecOptionHelp[] =
+    "  --spec FILE             declarative package spec (JSON, see\n"
+    "                          docs/PACKAGES.md): layer stacks, 3-D stacked\n"
+    "                          dies, multi-chip packages, arbitrary grids;\n"
+    "                          excludes --chip/--flp\n";
 
 const char* kDesignOptions[] = {"--chip", "--flp", "--ptrace", "--rows", "--cols",
-                                "--die-mm", "--limit", "--map", "--json",
+                                "--die-mm", "--spec", "--limit", "--map", "--json",
                                 "--certify", "--no-full-cover", "--backend",
                                 "--runaway-method", nullptr};
 
@@ -982,18 +1064,22 @@ const char* kLimitChipOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
                                    "--cols", "--die-mm", "--limit", "--backend",
                                    "--runaway-method", nullptr};
 
+const char* kRunawayOptions[] = {"--chip", "--flp", "--ptrace", "--rows",
+                                 "--cols", "--die-mm", "--spec", "--limit",
+                                 "--backend", "--runaway-method", nullptr};
+
 const char* kSweepOptions[] = {"--chip", "--flp",    "--ptrace",       "--rows",
-                               "--cols", "--die-mm", "--limit",        "--points",
-                               "--max-fraction", "--backend", "--runaway-method",
-                               nullptr};
+                               "--cols", "--die-mm", "--spec", "--limit",
+                               "--points", "--max-fraction", "--backend",
+                               "--runaway-method", nullptr};
 
 const char* kNoOptions[] = {nullptr};
 
-const char* kSimulateOptions[] = {"--chip",       "--limit",    "--benchmark",
-                                  "--steps",      "--dt",       "--frame-every",
-                                  "--control-every", "--current", "--tec-on",
-                                  "--tec-off",    "--no-dtm",   "--tiles",
-                                  "--cold-start", nullptr};
+const char* kSimulateOptions[] = {"--chip",       "--spec",     "--limit",
+                                  "--benchmark",  "--steps",    "--dt",
+                                  "--frame-every", "--control-every", "--current",
+                                  "--tec-on",     "--tec-off",  "--no-dtm",
+                                  "--tiles",      "--cold-start", nullptr};
 
 const char* kServeOptions[] = {"--socket",      "--listen",   "--workers",
                                "--queue",       "--cache",    "--deadline-ms",
@@ -1003,8 +1089,8 @@ const char* kServeOptions[] = {"--socket",      "--listen",   "--workers",
                                "--profile",     nullptr};
 
 const char* kProfileOptions[] = {"--chip",   "--flp",    "--ptrace", "--rows",
-                                 "--cols",   "--die-mm", "--limit",  "--format",
-                                 "--out",    nullptr};
+                                 "--cols",   "--die-mm", "--spec",   "--limit",
+                                 "--format", "--out",    nullptr};
 
 const char* kHealthOptions[] = {"--socket", "--connect", "--timeout-ms",
                                 "--raw", nullptr};
@@ -1033,7 +1119,7 @@ const CommandSpec kCommands[] = {
     {"table1", "reproduce the paper's Table I (all 11 benchmark chips)",
      kTable1Options, "  --limit C               temperature limit [degC] (default 85)\n",
      cmd_table1},
-    {"runaway", "report lambda_m and a supply-current sweep", kLimitChipOptions,
+    {"runaway", "report lambda_m and a supply-current sweep", kRunawayOptions,
      "  --limit C               design temperature limit [degC] (default 85)\n"
      "  --backend B             linear backend for point solves\n"
      "                          (cholesky|cg, default cholesky)\n"
@@ -1062,6 +1148,8 @@ const CommandSpec kCommands[] = {
     {"simulate", "transient closed-loop DTM scenario, printed as NDJSON",
      kSimulateOptions,
      "  --chip alpha|hc<N>      built-in benchmark chip (default alpha)\n"
+     "  --spec FILE             declarative package spec instead of --chip\n"
+     "                          (workload phases rasterize per die)\n"
      "  --limit C               DTM temperature limit [degC] (default 85)\n"
      "  --benchmark NAME        workload phase trace (default bench00)\n"
      "  --steps N               backward-Euler steps (default 500)\n"
@@ -1113,7 +1201,9 @@ const CommandSpec kCommands[] = {
      "  --connect HOST:PORT     connect over TCP instead\n"
      "  --method NAME           ping|stats|metrics|recent|health|profile|\n"
      "                          solve|design|runaway|sweep|simulate|shutdown\n"
-     "  --params JSON           request parameters as a JSON object\n"
+     "  --params JSON           request parameters as a JSON object; solver\n"
+     "                          methods accept {\"spec\": PATH} to address a\n"
+     "                          declarative package (path read server-side)\n"
      "  --id ID                 request id to echo (default 1)\n"
      "  --deadline-ms D         server-side deadline for this request\n"
      "  --timeout-ms T          client-side reply timeout (default 120000)\n"
@@ -1146,6 +1236,17 @@ const CommandSpec kCommands[] = {
      "service 'profile' method returns.\n"
      "\nchip selection:\n",
      cmd_profile},
+    {"spec", "validate or canonicalize a declarative package spec", kNoOptions,
+     "  (none beyond the global set)\n"
+     "\nsubcommands:\n"
+     "  validate FILE           load + validate end-to-end (parse, import\n"
+     "                          referenced floorplans, structural checks);\n"
+     "                          print name@content-hash and dimensions\n"
+     "  show FILE               print the canonical JSON document (fixed key\n"
+     "                          order, every field explicit — the form the\n"
+     "                          content hash is computed over)\n"
+     "\nexit code: 0 = valid, 1 = invalid or unreadable, 2 = usage error.\n",
+     cmd_spec, /*allow_positionals=*/true},
     {"version", "print build provenance (git, compiler, build type)", kNoOptions,
      "", cmd_version},
 };
@@ -1166,6 +1267,12 @@ std::string command_usage(const CommandSpec& spec) {
   text += spec.option_help;
   if (std::string(spec.option_help).find("chip selection") != std::string::npos) {
     text += kChipOptionHelp;
+    for (const char* const* opt = spec.options; *opt; ++opt) {
+      if (std::string("--spec") == *opt) {
+        text += kSpecOptionHelp;
+        break;
+      }
+    }
   }
   text +=
       "\nglobal options (any command): --threads N, --log-level L,\n"
@@ -1239,6 +1346,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   if (parsed->options.count("--help") != 0) {
     out << command_usage(*spec);
     return 0;
+  }
+  if (!parsed->positionals.empty() && !spec->allow_positionals) {
+    err << "error: unexpected argument '" << parsed->positionals[0] << "'\n"
+        << command_usage(*spec);
+    return 2;
   }
   for (const auto& [key, value] : parsed->options) {
     if (!option_allowed(*spec, key)) {

@@ -71,6 +71,15 @@ class TileMask {
     return *this;
   }
 
+  /// Set-intersection with another mask of identical shape.
+  TileMask& operator&=(const TileMask& other) {
+    require_same_shape(other);
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      bits_[i] = bits_[i] && other.bits_[i];
+    }
+    return *this;
+  }
+
   /// True iff every set tile of *this is also set in \p other (⊆).
   bool subset_of(const TileMask& other) const {
     require_same_shape(other);

@@ -37,6 +37,25 @@ BaselineResult full_cover(const thermal::PackageGeometry& geometry,
                              options, engine_options);
 }
 
+BaselineResult full_cover(std::shared_ptr<const thermal::StackSpec> spec,
+                          const linalg::Vector& tile_powers,
+                          const tec::TecDeviceParams& device,
+                          const CurrentOptimizerOptions& options,
+                          const engine::EngineOptions& engine_options) {
+  if (spec == nullptr) throw std::invalid_argument("full_cover: null spec");
+  TileMask deployment = spec->tec_allowed_tiles();
+  if (deployment.empty()) {
+    throw std::invalid_argument("full_cover: spec has no TEC-capable sites");
+  }
+  const engine::SolveContext context(spec, deployment, tile_powers, device,
+                                     engine_options);
+  BaselineResult res;
+  res.deployment = std::move(deployment);
+  res.optimum = optimize_current(context, options);
+  res.min_peak_temperature = res.optimum.peak_tile_temperature;
+  return res;
+}
+
 BaselineResult threshold_cover(const thermal::PackageGeometry& geometry,
                                const linalg::Vector& tile_powers,
                                const tec::TecDeviceParams& device, std::size_t k,

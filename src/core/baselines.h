@@ -8,9 +8,12 @@
 /// cover the k hottest tiles of the passive solution.
 #pragma once
 
+#include <memory>
+
 #include "core/current_optimizer.h"
 #include "tec/device.h"
 #include "thermal/package.h"
+#include "thermal/stack_spec.h"
 
 namespace tfc::core {
 
@@ -24,6 +27,16 @@ struct BaselineResult {
 
 /// TEC on every tile; current optimized (Table I "Full Cover").
 BaselineResult full_cover(const thermal::PackageGeometry& geometry,
+                          const linalg::Vector& tile_powers,
+                          const tec::TecDeviceParams& device,
+                          const CurrentOptimizerOptions& options = {},
+                          const engine::EngineOptions& engine_options = {});
+
+/// Spec-first full cover: a TEC on every TEC-capable interface site of the
+/// declarative package ("full" means every site that can physically carry a
+/// device, not every virtual tile). Paper-equivalent specs reproduce the
+/// geometry overload bit for bit.
+BaselineResult full_cover(std::shared_ptr<const thermal::StackSpec> spec,
                           const linalg::Vector& tile_powers,
                           const tec::TecDeviceParams& device,
                           const CurrentOptimizerOptions& options = {},

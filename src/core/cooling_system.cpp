@@ -21,8 +21,14 @@ DesignResult design_cooling_system(const DesignRequest& request) {
   GreedyDeployOptions greedy = request.greedy;
   greedy.theta_max = thermal::to_kelvin(request.theta_limit_celsius);
 
-  GreedyDeployResult g =
-      greedy_deploy(request.geometry, request.tile_powers, request.device, greedy);
+  const bool use_spec = request.spec != nullptr;
+  linalg::Vector powers = request.tile_powers;
+  if (use_spec && powers.size() == 0) powers = request.spec->tile_powers();
+
+  GreedyDeployResult g = use_spec
+                             ? greedy_deploy(request.spec, powers, request.device, greedy)
+                             : greedy_deploy(request.geometry, powers, request.device,
+                                             greedy);
   res.success = g.success;
   res.deployment = g.deployment;
   res.tec_count = g.deployment.count();
@@ -35,8 +41,11 @@ DesignResult design_cooling_system(const DesignRequest& request) {
 
   if (request.run_full_cover) {
     TFC_SPAN("full_cover");
-    BaselineResult fc = full_cover(request.geometry, request.tile_powers, request.device,
-                                   request.greedy.current, request.greedy.engine);
+    BaselineResult fc = use_spec
+                            ? full_cover(request.spec, powers, request.device,
+                                         request.greedy.current, request.greedy.engine)
+                            : full_cover(request.geometry, powers, request.device,
+                                         request.greedy.current, request.greedy.engine);
     res.full_cover_min_peak_celsius = thermal::to_celsius(fc.min_peak_temperature);
     res.full_cover_current = fc.optimum.current;
     res.full_cover_power = fc.optimum.tec_input_power;
@@ -45,8 +54,11 @@ DesignResult design_cooling_system(const DesignRequest& request) {
 
   if (request.run_convexity_certificate && res.tec_count > 0) {
     TFC_SPAN("convexity_certificate");
-    auto system = tec::ElectroThermalSystem::assemble(request.geometry, res.deployment,
-                                                      request.tile_powers, request.device);
+    auto system =
+        use_spec ? tec::ElectroThermalSystem::assemble_from_spec(
+                       *request.spec, res.deployment, powers, request.device)
+                 : tec::ElectroThermalSystem::assemble(request.geometry, res.deployment,
+                                                       powers, request.device);
     res.convexity = certify_convexity(system);
   }
 

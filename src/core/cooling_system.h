@@ -20,7 +20,14 @@ namespace tfc::core {
 struct DesignRequest {
   std::string chip_name = "chip";
   thermal::PackageGeometry geometry;
-  /// Worst-case power per tile [W], row-major.
+  /// Declarative package description. When set it takes precedence over
+  /// `geometry`: the design runs on the spec's virtual tile grid (all die
+  /// grids stacked vertically) and greedy/full-cover deployment is clipped
+  /// to the spec's TEC-capable interface sites. Paper-equivalent specs
+  /// reproduce the geometry path bit for bit.
+  std::shared_ptr<const thermal::StackSpec> spec;
+  /// Worst-case power per tile [W], row-major. With a spec, an empty vector
+  /// means "use the spec's own power maps" (layer power_w / floorplans).
   linalg::Vector tile_powers;
   tec::TecDeviceParams device = tec::TecDeviceParams::chowdhury_superlattice();
   /// Maximum allowable tile temperature [°C] (the paper uses 85 °C).

@@ -21,26 +21,17 @@ TileMask over_limit_tiles(const linalg::Vector& tile_temps, std::size_t rows,
   return t;
 }
 
-}  // namespace
-
-GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
-                                 const linalg::Vector& tile_powers,
-                                 const tec::TecDeviceParams& device,
-                                 const GreedyDeployOptions& options) {
-  device.validate();
-  if (options.coverage_margin < 0.0) {
-    throw std::invalid_argument("greedy_deploy: negative coverage_margin");
-  }
-  TFC_SPAN("greedy_deploy");
+/// The greedy loop on an assembled context. \p allowed is the set of sites
+/// that may carry a device (the full grid on the geometry path; the spec's
+/// TEC-capable interface sites on the spec path) and fixes the grid shape.
+GreedyDeployResult greedy_deploy_impl(engine::SolveContext& context,
+                                      const TileMask& allowed,
+                                      const GreedyDeployOptions& options) {
+  const std::size_t rows = allowed.rows();
+  const std::size_t cols = allowed.cols();
   auto& metrics = obs::MetricsRegistry::global();
   GreedyDeployResult result;
-  result.deployment = TileMask(geometry.tile_rows, geometry.tile_cols);
-
-  // One solve context spans the whole greedy loop: the deployment only ever
-  // grows, so each pass extends the stamped network in place (engine
-  // incremental re-stamp) instead of reassembling from geometry.
-  engine::SolveContext context(geometry, TileMask(), tile_powers, device,
-                               options.engine);
+  result.deployment = TileMask(rows, cols);
 
   // Line 3-4: solve G·θ = p (no TECs) and collect the over-limit set T.
   auto passive_op = context.solve_probe(0.0);
@@ -48,20 +39,29 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
   result.peak_without_tec = passive_op->peak_tile_temperature;
   result.peak_tile_temperature = passive_op->peak_tile_temperature;
 
-  TileMask over = over_limit_tiles(passive_op->tile_temperatures, geometry.tile_rows,
-                                   geometry.tile_cols, options.theta_max);
+  TileMask over =
+      over_limit_tiles(passive_op->tile_temperatures, rows, cols, options.theta_max);
   if (over.empty()) {
     // Already within limits: the empty deployment is proper.
     result.success = true;
     return result;
   }
   // Coverage set: with a margin, grow over tiles that are merely *near* the
-  // limit as well (margin = 0 reproduces Figure 5 exactly).
+  // limit as well (margin = 0 reproduces Figure 5 exactly). Only sites that
+  // can physically carry a device are candidates.
   TileMask cover = options.coverage_margin > 0.0
-                       ? over_limit_tiles(passive_op->tile_temperatures,
-                                          geometry.tile_rows, geometry.tile_cols,
+                       ? over_limit_tiles(passive_op->tile_temperatures, rows, cols,
                                           options.theta_max - options.coverage_margin)
                        : over;
+  cover &= allowed;
+  if (cover.empty()) {
+    // Every over-limit tile sits outside the TEC-capable sites: nothing to
+    // deploy, no proper deployment exists.
+    result.success = false;
+    TFC_LOG_INFO("greedy_done", {"success", false}, {"passes", 0},
+                 {"reason", "over-limit tiles outside TEC-capable sites"});
+    return result;
+  }
 
   // Lines 6-15: the greedy loop.
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
@@ -82,13 +82,13 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
     result.lambda_m = opt.lambda_m;
 
     // Lines 9-10: re-solve and recollect T.
-    over = over_limit_tiles(opt.operating_point.tile_temperatures, geometry.tile_rows,
-                            geometry.tile_cols, options.theta_max);
+    over = over_limit_tiles(opt.operating_point.tile_temperatures, rows, cols,
+                            options.theta_max);
     cover = options.coverage_margin > 0.0
-                ? over_limit_tiles(opt.operating_point.tile_temperatures,
-                                   geometry.tile_rows, geometry.tile_cols,
+                ? over_limit_tiles(opt.operating_point.tile_temperatures, rows, cols,
                                    options.theta_max - options.coverage_margin)
                 : over;
+    cover &= allowed;
 
     result.iterations.push_back({result.deployment.count(), over.count(), opt.current,
                                  opt.peak_tile_temperature});
@@ -103,7 +103,8 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
       return result;
     }
     // Lines 13-14 (with cover == over when margin is 0, i.e. the paper's
-    // exact test): no tile left to add ⇒ no proper deployment exists.
+    // exact test): no coverable tile left to add ⇒ no proper deployment
+    // exists (over-limit tiles outside `allowed` can never be covered).
     if (cover.subset_of(result.deployment)) {
       result.success = false;
       TFC_LOG_INFO("greedy_done", {"success", false}, {"passes", it + 1},
@@ -116,6 +117,42 @@ GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
   TFC_LOG_WARN("greedy_max_iterations", {"max_iterations", options.max_iterations},
                {"tecs", result.deployment.count()});
   return result;
+}
+
+void validate_greedy_inputs(const tec::TecDeviceParams& device,
+                            const GreedyDeployOptions& options) {
+  device.validate();
+  if (options.coverage_margin < 0.0) {
+    throw std::invalid_argument("greedy_deploy: negative coverage_margin");
+  }
+}
+
+}  // namespace
+
+GreedyDeployResult greedy_deploy(const thermal::PackageGeometry& geometry,
+                                 const linalg::Vector& tile_powers,
+                                 const tec::TecDeviceParams& device,
+                                 const GreedyDeployOptions& options) {
+  validate_greedy_inputs(device, options);
+  TFC_SPAN("greedy_deploy");
+  // One solve context spans the whole greedy loop: the deployment only ever
+  // grows, so each pass extends the stamped network in place (engine
+  // incremental re-stamp) instead of reassembling from geometry.
+  engine::SolveContext context(geometry, TileMask(), tile_powers, device,
+                               options.engine);
+  return greedy_deploy_impl(
+      context, TileMask::full(geometry.tile_rows, geometry.tile_cols), options);
+}
+
+GreedyDeployResult greedy_deploy(std::shared_ptr<const thermal::StackSpec> spec,
+                                 const linalg::Vector& tile_powers,
+                                 const tec::TecDeviceParams& device,
+                                 const GreedyDeployOptions& options) {
+  if (spec == nullptr) throw std::invalid_argument("greedy_deploy: null spec");
+  validate_greedy_inputs(device, options);
+  TFC_SPAN("greedy_deploy");
+  engine::SolveContext context(spec, TileMask(), tile_powers, device, options.engine);
+  return greedy_deploy_impl(context, spec->tec_allowed_tiles(), options);
 }
 
 }  // namespace tfc::core

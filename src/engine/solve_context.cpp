@@ -60,9 +60,28 @@ SolveContext::SolveContext(const thermal::PackageGeometry& geometry,
       system_(tec::ElectroThermalSystem::assemble(geometry, deployment, tile_powers,
                                                   device, stages)) {}
 
+SolveContext::SolveContext(std::shared_ptr<const thermal::StackSpec> spec,
+                           const TileMask& deployment, const linalg::Vector& tile_powers,
+                           const tec::TecDeviceParams& device, EngineOptions options,
+                           std::size_t stages)
+    : options_(options),
+      tile_powers_(tile_powers),
+      stages_(stages),
+      system_(tec::ElectroThermalSystem::assemble_from_spec(*spec, deployment,
+                                                            tile_powers, device, stages)) {
+  // The model's geometry carries the spec's virtual tile grid (all die grids
+  // stacked vertically), so the grid-shaped members below stay meaningful.
+  geometry_ = system_.model().geometry();
+  deployment_ = shaped(deployment, geometry_);
+  // Paper-equivalent specs canonicalized to the legacy build; the model's
+  // spec() is null there, which routes rebuild() to the geometry path.
+  spec_ = system_.model().spec();
+}
+
 SolveContext::SolveContext(tec::ElectroThermalSystem system, EngineOptions options)
     : options_(options),
       geometry_(system.model().geometry()),
+      spec_(system.model().spec()),
       stages_(system.model().options().tec_stages),
       deployment_(shaped(system.model().options().tec_tiles, system.model().geometry())),
       system_(std::move(system)) {
@@ -128,8 +147,11 @@ void SolveContext::set_deployment(const TileMask& deployment) {
 void SolveContext::rebuild(const TileMask& deployment) {
   TFC_SPAN("engine_restamp_full");
   obs::MetricsRegistry::global().counter("engine.restamp.full").increment();
-  system_ = tec::ElectroThermalSystem::assemble(geometry_, deployment, tile_powers_,
-                                                system_.device(), stages_);
+  system_ = spec_ != nullptr
+                ? tec::ElectroThermalSystem::assemble_from_spec(
+                      *spec_, deployment, tile_powers_, system_.device(), stages_)
+                : tec::ElectroThermalSystem::assemble(geometry_, deployment, tile_powers_,
+                                                      system_.device(), stages_);
   deployment_ = deployment;
 }
 

@@ -30,6 +30,7 @@
 #include "tec/electro_thermal.h"
 #include "tec/runaway.h"
 #include "thermal/package.h"
+#include "thermal/stack_spec.h"
 
 namespace tfc::engine {
 
@@ -46,6 +47,14 @@ class SolveContext {
                const linalg::Vector& tile_powers, const tec::TecDeviceParams& device,
                EngineOptions options = {}, std::size_t stages = 1);
 
+  /// Spec-first variant: assemble from a declarative StackSpec. The mask and
+  /// \p tile_powers address the spec's virtual tile grid. Paper-equivalent
+  /// specs canonicalize to the byte-identical geometry path (spec() stays
+  /// null); stacked/multi-chip specs keep the spec for full rebuilds.
+  SolveContext(std::shared_ptr<const thermal::StackSpec> spec, const TileMask& deployment,
+               const linalg::Vector& tile_powers, const tec::TecDeviceParams& device,
+               EngineOptions options = {}, std::size_t stages = 1);
+
   /// Adopt an already-assembled system (keeps its model, powers and the
   /// shared symbolic-analysis cache).
   explicit SolveContext(tec::ElectroThermalSystem system, EngineOptions options = {});
@@ -54,6 +63,10 @@ class SolveContext {
   const EngineOptions& options() const { return options_; }
   const TileMask& deployment() const { return deployment_; }
   std::size_t device_count() const { return system_.device_count(); }
+
+  /// The StackSpec this context rebuilds from; null on the geometry path
+  /// (including paper-equivalent specs, which canonicalize to geometry).
+  const std::shared_ptr<const thermal::StackSpec>& spec() const { return spec_; }
 
   /// Grow the deployment by \p tiles (tiles already deployed are ignored; a
   /// fully covered \p tiles is a no-op). The purely additive delta is
@@ -158,6 +171,7 @@ class SolveContext {
 
   EngineOptions options_;
   thermal::PackageGeometry geometry_;
+  std::shared_ptr<const thermal::StackSpec> spec_;
   linalg::Vector tile_powers_;
   std::size_t stages_ = 1;
   TileMask deployment_;

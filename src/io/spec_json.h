@@ -1,0 +1,42 @@
+/// \file spec_json.h
+/// \brief JSON serialization for thermal::StackSpec — the on-disk package
+/// description consumed by `tfcool --spec` and the service's inline "spec"
+/// parameter (schema documented in docs/PACKAGES.md).
+///
+/// All quantities are SI base units (meters, watts, kelvin, K/W) so that the
+/// 17-significant-digit JSON round-trip is bitwise exact — a spec written by
+/// spec_to_json and re-read by spec_from_json reproduces the identical model,
+/// which is what keeps the default package byte-identical across the
+/// spec-file and built-in paths. Floorplans are referenced by path (resolved
+/// relative to the spec file by load_stack_spec), not inlined.
+#pragma once
+
+#include <string>
+
+#include "io/json.h"
+#include "thermal/stack_spec.h"
+
+namespace tfc::io {
+
+/// Serialize a spec to its canonical JSON document: fixed key order, every
+/// field present, materials as preset names where they match one bitwise.
+JsonValue spec_to_json(const thermal::StackSpec& spec);
+
+/// Parse a spec document. Strict: unknown keys, wrong types, and unknown
+/// material names throw std::invalid_argument ("StackSpec JSON: ...").
+/// Does not touch the filesystem and does not call StackSpec::validate() —
+/// use load_stack_spec for the end-to-end path.
+thermal::StackSpec spec_from_json(const JsonValue& value);
+
+/// Read a spec file end-to-end: parse, import each die's referenced
+/// .flp/.ptrace (paths resolve relative to the spec file's directory), and
+/// validate. Throws std::runtime_error on I/O failure, JsonParseError on
+/// malformed JSON, std::invalid_argument on schema or validation errors.
+thermal::StackSpec load_stack_spec(const std::string& path);
+
+/// Stable content id: 16 hex digits of FNV-1a over the canonical document
+/// plus any attached floorplan's units — two specs that build different
+/// models hash differently, which is what the session cache keys on.
+std::string spec_content_hash(const thermal::StackSpec& spec);
+
+}  // namespace tfc::io

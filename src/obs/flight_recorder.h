@@ -28,6 +28,9 @@ struct RequestRecord {
   std::string method;
   /// Chip key for solver methods; "" for ping/stats/metrics/recent.
   std::string chip;
+  /// Declarative package identity ("name@hash") when the request addressed a
+  /// StackSpec session; "" for built-in chips and non-solver methods.
+  std::string spec;
   /// Session-cache outcome: -1 not applicable, 0 miss, 1 hit.
   int cache = -1;
   /// "ok" or the protocol error code name (e.g. "deadline_exceeded").

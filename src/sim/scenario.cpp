@@ -49,6 +49,36 @@ ScenarioEngine::ScenarioEngine(const floorplan::Floorplan& plan,
                                ScenarioOptions options)
     : ScenarioEngine(plan, context.system(), std::move(options)) {}
 
+namespace {
+
+/// Null-checked spec access for the delegating spec constructor (both
+/// argument expressions go through it, so a null spec throws before any
+/// dereference regardless of evaluation order).
+const thermal::StackSpec& require_spec(
+    const std::shared_ptr<const thermal::StackSpec>& spec) {
+  if (spec == nullptr) throw std::invalid_argument("ScenarioEngine: null spec");
+  return *spec;
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(std::shared_ptr<const thermal::StackSpec> spec,
+                               const tec::TecDeviceParams& device,
+                               const TileMask& deployment, ScenarioOptions options)
+    : ScenarioEngine(std::make_shared<const floorplan::Floorplan>(
+                         require_spec(spec).combined_floorplan()),
+                     tec::ElectroThermalSystem::assemble_from_spec(
+                         require_spec(spec), deployment, require_spec(spec).tile_powers(),
+                         device),
+                     std::move(options)) {}
+
+ScenarioEngine::ScenarioEngine(std::shared_ptr<const floorplan::Floorplan> plan,
+                               tec::ElectroThermalSystem system, ScenarioOptions options)
+    : ScenarioEngine(*plan, std::move(system), std::move(options)) {
+  owned_plan_ = std::move(plan);
+  plan_ = owned_plan_.get();
+}
+
 ScenarioEngine::ScenarioEngine(const floorplan::Floorplan& plan,
                                tec::ElectroThermalSystem system, ScenarioOptions options)
     : plan_(&plan), options_(std::move(options)), system_(std::move(system)) {

@@ -138,6 +138,15 @@ class ScenarioEngine {
                  const tec::TecDeviceParams& device, const TileMask& deployment,
                  ScenarioOptions options = {});
 
+  /// Declarative-package variant: simulate a StackSpec. The workload is
+  /// synthesized over the spec's combined virtual floorplan (every die's
+  /// floorplan or uniform power block, stacked row-wise and prefixed
+  /// "chip.layer."), so each die gets its own per-unit activity trace; the
+  /// deployment mask addresses the virtual tile grid.
+  ScenarioEngine(std::shared_ptr<const thermal::StackSpec> spec,
+                 const tec::TecDeviceParams& device, const TileMask& deployment,
+                 ScenarioOptions options = {});
+
   /// Reuse an engine::SolveContext's already-assembled system (shares its
   /// symbolic-analysis cache; the context is not retained).
   ScenarioEngine(const floorplan::Floorplan& plan, const engine::SolveContext& context,
@@ -155,6 +164,11 @@ class ScenarioEngine {
   ScenarioEngine(const floorplan::Floorplan& plan, tec::ElectroThermalSystem system,
                  ScenarioOptions options);
 
+  /// As above but the engine owns the floorplan (the spec path, where the
+  /// combined virtual floorplan is derived rather than caller-provided).
+  ScenarioEngine(std::shared_ptr<const floorplan::Floorplan> plan,
+                 tec::ElectroThermalSystem system, ScenarioOptions options);
+
   /// Scheduled current at \p step (last event at or before it; 0 if none).
   double scheduled_current(std::size_t step) const;
 
@@ -168,6 +182,9 @@ class ScenarioEngine {
   void build_rhs(std::size_t step, const std::vector<double>& scales, double current);
 
   const floorplan::Floorplan* plan_;
+  /// Set on the spec path only: keeps the derived combined floorplan alive
+  /// (plan_ points into it).
+  std::shared_ptr<const floorplan::Floorplan> owned_plan_;
   ScenarioOptions options_;
   tec::ElectroThermalSystem system_;
   power::ActivityTrace trace_;

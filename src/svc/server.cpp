@@ -19,6 +19,7 @@
 #include "floorplan/alpha21364.h"
 #include "floorplan/random_chip.h"
 #include "io/design_json.h"
+#include "io/spec_json.h"
 #include "obs/build_info.h"
 #include "obs/obs.h"
 #include "power/power_profile.h"
@@ -178,6 +179,8 @@ io::JsonValue record_to_json(const obs::RequestRecord& rec) {
   out.set("method", JsonValue::make_string(rec.method));
   out.set("chip", rec.chip.empty() ? JsonValue::make_null()
                                    : JsonValue::make_string(rec.chip));
+  out.set("spec", rec.spec.empty() ? JsonValue::make_null()
+                                   : JsonValue::make_string(rec.spec));
   out.set("cache", rec.cache < 0 ? JsonValue::make_null()
                                  : JsonValue::make_string(rec.cache ? "hit" : "miss"));
   out.set("status", JsonValue::make_string(rec.status));
@@ -699,6 +702,7 @@ void Server::serve_request(Pending& item) {
   metrics.histogram(latency_metric(method)).record(latency);
 
   rec.chip = info.chip;
+  rec.spec = info.spec;
   rec.cache = info.cache;
   rec.backend = info.backend;
   rec.audit = info.audit;
@@ -743,51 +747,92 @@ void Server::serve_request(Pending& item) {
   }
 }
 
+namespace {
+
+/// Package hash of the default single-die geometry — the built-in chips'
+/// SessionKey::package component, computed once.
+const std::string& default_package_hash() {
+  static const std::string hash = io::spec_content_hash(
+      thermal::StackSpec::single_die(thermal::PackageGeometry{}));
+  return hash;
+}
+
+}  // namespace
+
 std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params,
                                                    DispatchInfo& info) {
   SessionKey key;
-  key.chip = params.string_or("chip", "alpha");
   key.theta_limit_celsius = params.number_or("limit", 85.0);
   if (!(key.theta_limit_celsius > 0.0) || key.theta_limit_celsius > 500.0) {
     throw ProtocolError(ErrorCode::kBadRequest,
                         "'limit' must be in (0, 500] degC");
   }
-  {
+
+  // Declarative-package path: "spec" names a StackSpec JSON file. The key
+  // hashes the file's *content*, so two different packages never share a
+  // session (or its cached factorization) even if their names and grids
+  // coincide — and an edited file is a fresh key, never a stale hit.
+  std::shared_ptr<const thermal::StackSpec> spec;
+  const std::string spec_path = params.string_or("spec", "");
+  if (!spec_path.empty()) {
+    try {
+      spec = std::make_shared<const thermal::StackSpec>(io::load_stack_spec(spec_path));
+    } catch (const std::exception& e) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          std::string("bad 'spec': ") + e.what());
+    }
+    key.chip = spec->name.empty() ? "spec" : spec->name;
+    key.tile_rows = spec->total_tile_rows();
+    key.tile_cols = spec->tile_cols();
+    key.package = io::spec_content_hash(*spec);
+    info.spec = key.chip + "@" + key.package;
+  } else {
+    key.chip = params.string_or("chip", "alpha");
     const thermal::PackageGeometry defaults;
     key.tile_rows = defaults.tile_rows;
     key.tile_cols = defaults.tile_cols;
+    key.package = default_package_hash();
   }
   info.chip = key.chip;
 
   bool cache_hit = false;
-  auto session = cache_.get_or_build(key, [](const SessionKey& k) {
-    floorplan::Floorplan plan = [&] {
-      if (k.chip == "alpha") return floorplan::alpha21364();
-      if (k.chip.rfind("hc", 0) == 0) {
-        std::size_t n = 0;
-        try {
-          n = std::stoul(k.chip.substr(2));
-        } catch (const std::exception&) {
-          n = 0;
-        }
-        if (n >= 1 && n <= 99) return floorplan::hypothetical_chip(n);
-      }
-      throw ProtocolError(ErrorCode::kBadRequest,
-                          "unknown chip '" + k.chip + "' (use alpha or hc<N>)");
-    }();
-
+  auto session = cache_.get_or_build(key, [&spec, &info](const SessionKey& k) {
     auto session = std::make_shared<Session>();
     session->key = k;
-    session->geometry = thermal::PackageGeometry{};
-    session->plan = std::make_shared<const floorplan::Floorplan>(std::move(plan));
-    power::WorkloadSynthesizer synth(*session->plan);
-    session->tile_powers =
-        power::worst_case_profile(*session->plan, synth.synthesize_suite(8))
-            .tile_powers();
+    session->spec = spec;
+    session->spec_id = info.spec;
+
+    if (spec != nullptr) {
+      session->plan = std::make_shared<const floorplan::Floorplan>(
+          spec->combined_floorplan());
+      session->tile_powers = spec->tile_powers();
+    } else {
+      floorplan::Floorplan plan = [&] {
+        if (k.chip == "alpha") return floorplan::alpha21364();
+        if (k.chip.rfind("hc", 0) == 0) {
+          std::size_t n = 0;
+          try {
+            n = std::stoul(k.chip.substr(2));
+          } catch (const std::exception&) {
+            n = 0;
+          }
+          if (n >= 1 && n <= 99) return floorplan::hypothetical_chip(n);
+        }
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            "unknown chip '" + k.chip + "' (use alpha or hc<N>)");
+      }();
+      session->geometry = thermal::PackageGeometry{};
+      session->plan = std::make_shared<const floorplan::Floorplan>(std::move(plan));
+      power::WorkloadSynthesizer synth(*session->plan);
+      session->tile_powers =
+          power::worst_case_profile(*session->plan, synth.synthesize_suite(8))
+              .tile_powers();
+    }
 
     core::DesignRequest req;
     req.chip_name = k.chip;
     req.geometry = session->geometry;
+    req.spec = spec;
     req.tile_powers = session->tile_powers;
     req.theta_limit_celsius = k.theta_limit_celsius;
     req.run_full_cover = false;
@@ -800,17 +845,28 @@ std::shared_ptr<const Session> Server::session_for(const io::JsonValue& params,
       session->design = core::design_cooling_system(req);
     }
 
-    session->context = std::make_shared<const engine::SolveContext>(
-        session->geometry, session->design.deployment, session->tile_powers,
-        req.device, engine::EngineOptions{});
+    session->context =
+        spec != nullptr
+            ? std::make_shared<const engine::SolveContext>(
+                  spec, session->design.deployment, session->tile_powers, req.device,
+                  engine::EngineOptions{})
+            : std::make_shared<const engine::SolveContext>(
+                  session->geometry, session->design.deployment, session->tile_powers,
+                  req.device, engine::EngineOptions{});
+    if (spec != nullptr) {
+      // The synthetic geometry of the assembled model: the spec's virtual
+      // tile grid plus the ambient/convection scalars every consumer reads.
+      session->geometry = session->context->system().model().geometry();
+    }
     if (!session->design.deployment.empty()) {
       session->lambda_m = session->context->runaway_limit();
     }
     TFC_LOG_INFO("svc_session_built", {"key", k.to_string()},
-                 {"tecs", session->design.tec_count});
+                 {"spec", session->spec_id}, {"tecs", session->design.tec_count});
     return std::shared_ptr<const Session>(session);
   }, &cache_hit);
   info.cache = cache_hit ? 1 : 0;
+  info.spec = session->spec_id;
   info.backend = engine::backend_name(session->context->options().backend);
   return session;
 }

@@ -146,6 +146,7 @@ class Server {
   /// What dispatch learned about a request, for the flight record.
   struct DispatchInfo {
     std::string chip;     ///< "" for non-solver methods
+    std::string spec;     ///< "name@hash" for StackSpec sessions, else ""
     int cache = -1;       ///< session-cache outcome: -1 n/a, 0 miss, 1 hit
     std::string backend;  ///< engine backend name; "" for non-solver methods
     int audit = -1;       ///< health audit: -1 not audited, 0 failed, 1 passed

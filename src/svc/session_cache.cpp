@@ -29,7 +29,7 @@ std::string SessionKey::to_string() const {
   std::ostringstream out;
   out.precision(10);
   out << chip << "|limit=" << theta_limit_celsius << "|grid=" << tile_rows << "x"
-      << tile_cols;
+      << tile_cols << "|pkg=" << package;
   return out.str();
 }
 

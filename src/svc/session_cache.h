@@ -38,10 +38,15 @@ namespace tfc::svc {
 
 /// Everything that determines a session's deployment and matrices.
 struct SessionKey {
-  std::string chip;  ///< "alpha" or "hc<N>"
+  std::string chip;  ///< "alpha", "hc<N>", or a StackSpec's name
   double theta_limit_celsius = 85.0;
   std::size_t tile_rows = 12;
   std::size_t tile_cols = 12;
+  /// Content hash of the full package description (io::spec_content_hash of
+  /// the session's StackSpec; the default single-die package's hash on the
+  /// built-in chip path). Two sessions share a cache entry — and with it a
+  /// factorization — only when their packages are identical.
+  std::string package;
 
   /// Canonical string form — the cache's map key and the log label.
   std::string to_string() const;
@@ -53,6 +58,12 @@ struct SessionKey {
 struct Session {
   SessionKey key;
   thermal::PackageGeometry geometry;
+  /// Declarative package the session was designed on; null for the built-in
+  /// chips (default single-die geometry).
+  std::shared_ptr<const thermal::StackSpec> spec;
+  /// "name@hash" spec identity for logs and the flight recorder; "" for
+  /// built-in chips.
+  std::string spec_id;
   /// The chip's floorplan (unit structure — the `simulate` method rasterizes
   /// workload phases and resolves DTM actions against it).
   std::shared_ptr<const floorplan::Floorplan> plan;

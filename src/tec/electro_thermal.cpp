@@ -68,6 +68,18 @@ ElectroThermalSystem ElectroThermalSystem::assemble(
   return ElectroThermalSystem(std::move(model), device, /*allow_no_tec=*/no_tec);
 }
 
+ElectroThermalSystem ElectroThermalSystem::assemble_from_spec(
+    const thermal::StackSpec& spec, const TileMask& deployment,
+    const linalg::Vector& tile_powers, const TecDeviceParams& device,
+    std::size_t stages) {
+  TFC_SPAN("assemble_from_spec");
+  thermal::PackageModel model =
+      thermal::PackageModel::build_from_spec(spec, deployment, device.thermal_link(), stages);
+  model.set_tile_powers(tile_powers);
+  const bool no_tec = deployment.grid_size() == 0 || deployment.empty();
+  return ElectroThermalSystem(std::move(model), device, /*allow_no_tec=*/no_tec);
+}
+
 linalg::SparseMatrix ElectroThermalSystem::matrix_d() const {
   linalg::TripletList t(d_diag_.size(), d_diag_.size());
   for (std::size_t i = 0; i < d_diag_.size(); ++i) {

@@ -105,6 +105,16 @@ class ElectroThermalSystem {
                                        const TecDeviceParams& device,
                                        std::size_t stages = 1);
 
+  /// Spec-first variant of assemble: build the package model from a
+  /// declarative StackSpec (paper-equivalent specs take the byte-identical
+  /// legacy path; stacked/multi-chip specs the generic builder). The
+  /// deployment mask and \p tile_powers address the spec's virtual tile grid.
+  static ElectroThermalSystem assemble_from_spec(const thermal::StackSpec& spec,
+                                                 const TileMask& deployment,
+                                                 const linalg::Vector& tile_powers,
+                                                 const TecDeviceParams& device,
+                                                 std::size_t stages = 1);
+
   const thermal::PackageModel& model() const { return model_; }
   const TecDeviceParams& device() const { return device_; }
   std::size_t device_count() const { return model_.tec_tiles().size(); }

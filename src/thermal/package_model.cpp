@@ -36,10 +36,26 @@ std::size_t PackageModel::silicon_node(Tile t, std::size_t sub_r, std::size_t su
   const std::size_t f = options_.lateral_refine;
   if (sub_r >= f || sub_c >= f) throw std::out_of_range("PackageModel: subtile out of range");
   tile_index(t);  // bounds check
+  if (spec_ != nullptr) {
+    // Generic models inject/read on the mid slab of the tile's own die.
+    const DieCell dc = die_cell(t);
+    const StackSpec::DieRef& die = dies_[dc.die];
+    const auto& grid = lay_[die.chip][die.layer];
+    return grid[grid.size() / 2][dc.row * spec_->chips[die.chip].tile_cols + dc.col];
+  }
   const std::size_t cf = options_.geometry.tile_cols * f;
   const std::size_t rr = t.row * f + sub_r;
   const std::size_t cc = t.col * f + sub_c;
   return sil_[injection_slab()][rr * cf + cc];
+}
+
+PackageModel::DieCell PackageModel::die_cell(Tile t) const {
+  for (std::size_t k = dies_.size(); k-- > 0;) {
+    if (t.row >= dies_[k].row_offset) {
+      return {k, t.row - dies_[k].row_offset, t.col};
+    }
+  }
+  throw std::out_of_range("PackageModel: tile outside every die band");
 }
 
 std::vector<std::size_t> PackageModel::silicon_tile_nodes(Tile t) const {
@@ -525,8 +541,546 @@ PackageModel PackageModel::build(const PackageModelOptions& options) {
   return model;
 }
 
+PackageModel PackageModel::build_from_spec(const StackSpec& spec, const TileMask& deployment,
+                                           const TecThermalLink& link,
+                                           std::size_t tec_stages, bool force_generic) {
+  spec.validate();
+  if (spec.paper_equivalent() && !force_generic) {
+    PackageModelOptions opts;
+    opts.geometry = spec.to_geometry();
+    opts.tec_tiles = deployment;
+    opts.tec_link = link;
+    opts.tec_stages = tec_stages;
+    return build(opts);
+  }
+  return build_generic(std::make_shared<const StackSpec>(spec), deployment, link, tec_stages);
+}
+
+PackageModel PackageModel::build_generic(std::shared_ptr<const StackSpec> spec,
+                                         const TileMask& deployment,
+                                         const TecThermalLink& link,
+                                         std::size_t tec_stages) {
+  if (tec_stages == 0) {
+    throw std::invalid_argument("PackageModel: tec_stages must be >= 1");
+  }
+  PackageModel model;
+  model.spec_ = std::move(spec);
+  const StackSpec& sp = *model.spec_;
+  model.dies_ = sp.dies();
+
+  const std::size_t vrows = sp.total_tile_rows();
+  const std::size_t vcols = sp.tile_cols();
+  const bool any_tec = deployment.grid_size() != 0 && !deployment.empty();
+  if (any_tec) {
+    if (deployment.rows() != vrows || deployment.cols() != vcols) {
+      throw std::invalid_argument("PackageModel: deployment mask shape mismatch");
+    }
+    if (!deployment.subset_of(sp.tec_allowed_tiles())) {
+      throw std::invalid_argument("PackageModel: deployment outside TEC-capable sites");
+    }
+    link.validate();
+  }
+
+  // Synthetic geometry: downstream consumers of geometry() only read the
+  // virtual tile grid, ambient, convection resistance and the secondary-path
+  // flag; everything else keeps its default value and is never consulted.
+  model.options_.geometry.tile_rows = vrows;
+  model.options_.geometry.tile_cols = vcols;
+  model.options_.geometry.ambient = sp.ambient;
+  model.options_.geometry.convection_resistance = sp.convection_resistance;
+  model.options_.geometry.model_secondary_path = sp.model_secondary_path;
+  model.options_.geometry.c4_resistance = sp.c4_resistance;
+  model.options_.geometry.substrate_to_board_resistance = sp.substrate_to_board_resistance;
+  model.options_.geometry.board_convection_resistance = sp.board_convection_resistance;
+  model.options_.tec_tiles = any_tec ? deployment : TileMask(vrows, vcols);
+  model.options_.tec_link = link;
+  model.options_.tec_stages = tec_stages;
+
+  ConductanceNetwork& net = model.network_;
+  const std::size_t n_chips = sp.chips.size();
+
+  // First virtual row of the die below each interface layer.
+  std::vector<std::vector<std::size_t>> die_row(n_chips);
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    die_row[ci].assign(sp.chips[ci].layers.size(), 0);
+  }
+  for (const auto& d : model.dies_) die_row[d.chip][d.layer] = d.row_offset;
+
+  // ---- node creation ------------------------------------------------------
+  const auto add_chip_grid = [&](NodeKind kind, std::size_t slabs, double slab_t,
+                                 double vol_c, double cell_area, std::size_t rows,
+                                 std::size_t cols, auto&& skip) {
+    std::vector<std::vector<std::size_t>> ids(slabs,
+                                              std::vector<std::size_t>(rows * cols, kNoNode));
+    for (std::size_t sl = 0; sl < slabs; ++sl) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          if (skip(r, c)) continue;
+          NodeInfo info;
+          info.kind = kind;
+          info.row = r;
+          info.col = c;
+          info.slab = sl;
+          info.area = cell_area;
+          info.capacitance = vol_c * cell_area * slab_t;
+          ids[sl][r * cols + c] = net.add_node(info);
+        }
+      }
+    }
+    return ids;
+  };
+  const auto no_skip = [](std::size_t, std::size_t) { return false; };
+
+  model.lay_.resize(n_chips);
+  model.sprg_.resize(n_chips);
+  model.snkg_.resize(n_chips);
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    model.lay_[ci].resize(ch.layers.size());
+    for (std::size_t li = 0; li < ch.layers.size(); ++li) {
+      const LayerSpec& layer = ch.layers[li];
+      const bool iface = layer.kind == LayerSpec::Kind::kInterface;
+      const std::size_t band = iface ? die_row[ci][li - 1] : 0;
+      const auto skip = [&](std::size_t r, std::size_t c) {
+        return iface && any_tec && deployment.test(band + r, c);
+      };
+      model.lay_[ci][li] = add_chip_grid(
+          iface ? NodeKind::kTim : NodeKind::kSilicon, layer.slabs,
+          layer.thickness / double(layer.slabs), layer.material.volumetric_heat_capacity,
+          ch.cell_area(), ch.tile_rows, ch.tile_cols, skip);
+    }
+  }
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    model.sprg_[ci] = add_chip_grid(NodeKind::kSpreaderCenter, sp.spreader_slabs,
+                                    sp.spreader_thickness / double(sp.spreader_slabs),
+                                    sp.spreader_material.volumetric_heat_capacity,
+                                    ch.cell_area(), ch.tile_rows, ch.tile_cols, no_skip);
+  }
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    model.snkg_[ci] = add_chip_grid(NodeKind::kSinkCenter, 1, sp.sink_thickness,
+                                    sp.sink_material.volumetric_heat_capacity,
+                                    ch.cell_area(), ch.tile_rows, ch.tile_cols, no_skip)[0];
+  }
+
+  // TEC chains, virtual row-major (matches the legacy builder's tile order).
+  model.tec_cold_.assign(vrows * vcols, kNoNode);
+  model.tec_hot_.assign(vrows * vcols, kNoNode);
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> stage_chains;
+  if (any_tec) {
+    for (Tile t : deployment.tiles()) {
+      const DieCell dc = model.die_cell(t);
+      const StackSpec::DieRef& die = model.dies_[dc.die];
+      const ChipSpec& ch = sp.chips[die.chip];
+      const LayerSpec& iface = ch.layers[die.layer + 1];
+      NodeInfo cold;
+      cold.kind = NodeKind::kTecCold;
+      cold.row = t.row;
+      cold.col = t.col;
+      cold.area = ch.cell_area();
+      cold.capacitance = iface.material.volumetric_heat_capacity * ch.cell_area() *
+                         (0.5 * iface.thickness / double(tec_stages));
+      NodeInfo hot = cold;
+      hot.kind = NodeKind::kTecHot;
+
+      std::vector<std::pair<std::size_t, std::size_t>> chain;
+      chain.reserve(tec_stages);
+      for (std::size_t st = 0; st < tec_stages; ++st) {
+        NodeInfo c = cold;
+        NodeInfo h = hot;
+        c.slab = h.slab = st;
+        const std::size_t c_id = net.add_node(c);
+        const std::size_t h_id = net.add_node(h);
+        chain.emplace_back(c_id, h_id);
+        model.cold_nodes_.push_back(c_id);
+        model.hot_nodes_.push_back(h_id);
+      }
+      const std::size_t idx = t.row * vcols + t.col;
+      model.tec_cold_[idx] = chain.front().first;
+      model.tec_hot_[idx] = chain.back().second;
+      model.tec_tile_list_.push_back(t);
+      stage_chains.push_back(std::move(chain));
+    }
+  }
+
+  // Shared periphery macros around the bounding box of every chip footprint.
+  // Multi-chip packages couple through these shared spreader/sink macros — a
+  // compact-model approximation documented in docs/PACKAGES.md.
+  double bx0 = 0.0, bx1 = 0.0, by0 = 0.0, by1 = 0.0;
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    const double x0 = ch.x - 0.5 * ch.width;
+    const double x1 = ch.x + 0.5 * ch.width;
+    const double y0 = ch.y - 0.5 * ch.height;
+    const double y1 = ch.y + 0.5 * ch.height;
+    if (ci == 0) {
+      bx0 = x0; bx1 = x1; by0 = y0; by1 = y1;
+    } else {
+      bx0 = std::min(bx0, x0);
+      bx1 = std::max(bx1, x1);
+      by0 = std::min(by0, y0);
+      by1 = std::max(by1, y1);
+    }
+  }
+  const double bbox_w = bx1 - bx0;
+  const double bbox_h = by1 - by0;
+  const double ov_sp_x = 0.5 * (sp.spreader_side - bbox_w);
+  const double ov_sp_y = 0.5 * (sp.spreader_side - bbox_h);
+  const double ov_sk = 0.5 * (sp.sink_side - sp.spreader_side);
+  const bool has_sp_periph = ov_sp_x > kTinyLength && ov_sp_y > kTinyLength;
+  const bool has_sk_outer = ov_sk > kTinyLength;
+  const double edge_len_ns = bbox_w;
+  const double edge_len_we = bbox_h;
+
+  const double k_spr = sp.spreader_material.thermal_conductivity;
+  const double k_snk = sp.sink_material.thermal_conductivity;
+  const double c_spr = sp.spreader_material.volumetric_heat_capacity;
+  const double c_snk = sp.sink_material.volumetric_heat_capacity;
+  const double t_spr_slab = sp.spreader_thickness / double(sp.spreader_slabs);
+
+  const auto add_macro = [&](NodeKind kind, double area, double thickness, double vol_c) {
+    NodeInfo info;
+    info.kind = kind;
+    info.area = area;
+    info.capacitance = vol_c * area * thickness;
+    return net.add_node(info);
+  };
+
+  std::vector<std::size_t> sp_edge(4, kNoNode), sp_corner(4, kNoNode);
+  std::vector<std::size_t> sk_in_edge(4, kNoNode), sk_in_corner(4, kNoNode);
+  std::vector<std::size_t> sk_out_edge(4, kNoNode), sk_out_corner(4, kNoNode);
+  if (has_sp_periph) {
+    const double ea[4] = {edge_len_ns * ov_sp_y, edge_len_ns * ov_sp_y,
+                          edge_len_we * ov_sp_x, edge_len_we * ov_sp_x};
+    for (int e = 0; e < 4; ++e) {
+      sp_edge[e] = add_macro(NodeKind::kSpreaderEdge, ea[e], sp.spreader_thickness, c_spr);
+      sk_in_edge[e] = add_macro(NodeKind::kSinkInnerEdge, ea[e], sp.sink_thickness, c_snk);
+    }
+    const double ca = ov_sp_x * ov_sp_y;
+    for (int c = 0; c < 4; ++c) {
+      sp_corner[c] = add_macro(NodeKind::kSpreaderCorner, ca, sp.spreader_thickness, c_spr);
+      sk_in_corner[c] = add_macro(NodeKind::kSinkInnerCorner, ca, sp.sink_thickness, c_snk);
+    }
+  }
+  if (has_sk_outer) {
+    const double ea = sp.spreader_side * ov_sk;
+    const double ca = ov_sk * ov_sk;
+    for (int e = 0; e < 4; ++e) {
+      sk_out_edge[e] = add_macro(NodeKind::kSinkOuterEdge, ea, sp.sink_thickness, c_snk);
+    }
+    for (int c = 0; c < 4; ++c) {
+      sk_out_corner[c] = add_macro(NodeKind::kSinkOuterCorner, ca, sp.sink_thickness, c_snk);
+    }
+  }
+
+  // ---- lateral conductances within each grid slab --------------------------
+  const auto lateral_grid = [&](const std::vector<std::vector<std::size_t>>& ids,
+                                double slab_t, double k, double px, double py,
+                                std::size_t rows, std::size_t cols) {
+    const double gx = k * slab_t * py / px;
+    const double gy = k * slab_t * px / py;
+    for (const auto& slab : ids) {
+      for (std::size_t rr = 0; rr < rows; ++rr) {
+        for (std::size_t cc = 0; cc < cols; ++cc) {
+          const std::size_t a = slab[rr * cols + cc];
+          if (a == kNoNode) continue;
+          if (cc + 1 < cols) {
+            const std::size_t b = slab[rr * cols + cc + 1];
+            if (b != kNoNode) net.add_conductance(a, b, gx);
+          }
+          if (rr + 1 < rows) {
+            const std::size_t b = slab[(rr + 1) * cols + cc];
+            if (b != kNoNode) net.add_conductance(a, b, gy);
+          }
+        }
+      }
+    }
+  };
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    for (std::size_t li = 0; li < ch.layers.size(); ++li) {
+      const LayerSpec& layer = ch.layers[li];
+      lateral_grid(model.lay_[ci][li], layer.thickness / double(layer.slabs),
+                   layer.material.thermal_conductivity, ch.cell_pitch_x(),
+                   ch.cell_pitch_y(), ch.tile_rows, ch.tile_cols);
+    }
+  }
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    lateral_grid(model.sprg_[ci], t_spr_slab, k_spr, ch.cell_pitch_x(), ch.cell_pitch_y(),
+                 ch.tile_rows, ch.tile_cols);
+  }
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    lateral_grid({model.snkg_[ci]}, sp.sink_thickness, k_snk, ch.cell_pitch_x(),
+                 ch.cell_pitch_y(), ch.tile_rows, ch.tile_cols);
+  }
+
+  // ---- vertical conductances within each layer -----------------------------
+  const auto vertical_within = [&](const std::vector<std::vector<std::size_t>>& ids,
+                                   double slab_t, double k, double cell_area,
+                                   std::size_t cells) {
+    const double gv = k * cell_area / slab_t;
+    for (std::size_t sl = 0; sl + 1 < ids.size(); ++sl) {
+      for (std::size_t i = 0; i < cells; ++i) {
+        if (ids[sl][i] != kNoNode && ids[sl + 1][i] != kNoNode) {
+          net.add_conductance(ids[sl][i], ids[sl + 1][i], gv);
+        }
+      }
+    }
+  };
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    const std::size_t cells = ch.tile_rows * ch.tile_cols;
+    for (std::size_t li = 0; li < ch.layers.size(); ++li) {
+      const LayerSpec& layer = ch.layers[li];
+      vertical_within(model.lay_[ci][li], layer.thickness / double(layer.slabs),
+                      layer.material.thermal_conductivity, ch.cell_area(), cells);
+    }
+  }
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    vertical_within(model.sprg_[ci], t_spr_slab, k_spr, ch.cell_area(),
+                    ch.tile_rows * ch.tile_cols);
+  }
+
+  // ---- vertical conductances across layers ---------------------------------
+  // Per cell, bottom-up: consecutive stack layers couple through their
+  // adjacent half-slabs; the top interface bonds to the spreader; the
+  // spreader bonds to the sink. Cells whose interface gave way to a TEC skip
+  // the conduction edges here and couple through the TEC block below.
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    const std::size_t cells = ch.tile_rows * ch.tile_cols;
+    const double cell_area = ch.cell_area();
+    std::vector<double> r_half(ch.layers.size(), 0.0);
+    for (std::size_t li = 0; li < ch.layers.size(); ++li) {
+      const LayerSpec& layer = ch.layers[li];
+      r_half[li] = half_slab_resistance(layer.thickness / double(layer.slabs),
+                                        layer.material.thermal_conductivity, cell_area);
+    }
+    const double r_half_spr = half_slab_resistance(t_spr_slab, k_spr, cell_area);
+    const double r_half_snk = half_slab_resistance(sp.sink_thickness, k_snk, cell_area);
+    const std::size_t top = ch.layers.size() - 1;
+    for (std::size_t i = 0; i < cells; ++i) {
+      for (std::size_t li = 0; li + 1 < ch.layers.size(); ++li) {
+        const std::size_t a = model.lay_[ci][li].back()[i];
+        const std::size_t b = model.lay_[ci][li + 1].front()[i];
+        if (a != kNoNode && b != kNoNode) {
+          net.add_conductance(a, b, series(r_half[li], r_half[li + 1]));
+        }
+      }
+      const std::size_t t_node = model.lay_[ci][top].back()[i];
+      if (t_node != kNoNode) {
+        net.add_conductance(t_node, model.sprg_[ci].front()[i],
+                            series(r_half[top], r_half_spr));
+      }
+      net.add_conductance(model.sprg_[ci].back()[i], model.snkg_[ci][i],
+                          series(r_half_spr, r_half_snk));
+    }
+  }
+
+  // TEC substitution: die-top —g_c— cold —κ— hot —g_h— layer-above (the next
+  // die's bottom slab in a 3-D stack, or the spreader for the top interface).
+  model.tec_edge_begin_ = net.edges().size();
+  if (any_tec) {
+    const double g_interstage =
+        1.0 / (1.0 / link.g_hot_contact + 1.0 / link.g_cold_contact);
+    for (std::size_t k = 0; k < model.tec_tile_list_.size(); ++k) {
+      const Tile t = model.tec_tile_list_[k];
+      const auto& chain = stage_chains[k];
+      for (std::size_t st = 0; st < chain.size(); ++st) {
+        net.add_conductance(chain[st].first, chain[st].second, link.g_internal);
+        if (st + 1 < chain.size()) {
+          net.add_conductance(chain[st].second, chain[st + 1].first, g_interstage);
+        }
+      }
+      const std::size_t cold = chain.front().first;
+      const std::size_t hot = chain.back().second;
+      const DieCell dc = model.die_cell(t);
+      const StackSpec::DieRef& die = model.dies_[dc.die];
+      const ChipSpec& ch = sp.chips[die.chip];
+      const std::size_t cell = dc.row * ch.tile_cols + dc.col;
+      const double cell_area = ch.cell_area();
+      const LayerSpec& die_l = ch.layers[die.layer];
+      const double r_half_below =
+          half_slab_resistance(die_l.thickness / double(die_l.slabs),
+                               die_l.material.thermal_conductivity, cell_area);
+      const std::size_t below = model.lay_[die.chip][die.layer].back()[cell];
+      std::size_t above = kNoNode;
+      double r_half_above = 0.0;
+      if (die.layer + 2 < ch.layers.size()) {
+        const LayerSpec& above_l = ch.layers[die.layer + 2];
+        above = model.lay_[die.chip][die.layer + 2].front()[cell];
+        r_half_above = half_slab_resistance(above_l.thickness / double(above_l.slabs),
+                                            above_l.material.thermal_conductivity, cell_area);
+      } else {
+        above = model.sprg_[die.chip].front()[cell];
+        r_half_above = half_slab_resistance(t_spr_slab, k_spr, cell_area);
+      }
+      net.add_conductance(below, cold, series(r_half_below, 1.0 / link.g_cold_contact));
+      net.add_conductance(hot, above, series(1.0 / link.g_hot_contact, r_half_above));
+    }
+  }
+  model.tec_edge_end_ = net.edges().size();
+
+  // ---- spreader / sink periphery -------------------------------------------
+  const auto boundary_to_edges = [&](const std::vector<std::vector<std::size_t>>& ids,
+                                     double slab_t, double k, double px, double py,
+                                     std::size_t rows, std::size_t cols,
+                                     const std::vector<std::size_t>& edges, double ov_y_,
+                                     double ov_x_) {
+    if (edges[0] == kNoNode) return;
+    for (const auto& slab : ids) {
+      for (std::size_t cc = 0; cc < cols; ++cc) {
+        const double gn = series((0.5 * py) / (k * slab_t * px),
+                                 (0.5 * ov_y_) / (k * slab_t * px));
+        net.add_conductance(slab[cc], edges[0], gn);                       // N
+        net.add_conductance(slab[(rows - 1) * cols + cc], edges[1], gn);   // S
+      }
+      for (std::size_t rr = 0; rr < rows; ++rr) {
+        const double gw = series((0.5 * px) / (k * slab_t * py),
+                                 (0.5 * ov_x_) / (k * slab_t * py));
+        net.add_conductance(slab[rr * cols + 0], edges[2], gw);            // W
+        net.add_conductance(slab[rr * cols + (cols - 1)], edges[3], gw);   // E
+      }
+    }
+  };
+
+  const auto edge_corner_links = [&](const std::vector<std::size_t>& edges,
+                                     const std::vector<std::size_t>& corners, double k,
+                                     double t, double ov_x_, double ov_y_) {
+    if (edges[0] == kNoNode || corners[0] == kNoNode) return;
+    const double g_ns = series((0.5 * edge_len_ns) / (k * t * ov_sp_y),
+                               (0.5 * ov_x_) / (k * t * ov_y_));
+    const double g_we = series((0.5 * edge_len_we) / (k * t * ov_sp_x),
+                               (0.5 * ov_y_) / (k * t * ov_x_));
+    net.add_conductance(edges[0], corners[0], g_ns);
+    net.add_conductance(edges[0], corners[1], g_ns);
+    net.add_conductance(edges[1], corners[2], g_ns);
+    net.add_conductance(edges[1], corners[3], g_ns);
+    net.add_conductance(edges[2], corners[0], g_we);
+    net.add_conductance(edges[2], corners[2], g_we);
+    net.add_conductance(edges[3], corners[1], g_we);
+    net.add_conductance(edges[3], corners[3], g_we);
+  };
+
+  if (has_sp_periph) {
+    for (std::size_t ci = 0; ci < n_chips; ++ci) {
+      const ChipSpec& ch = sp.chips[ci];
+      boundary_to_edges(model.sprg_[ci], t_spr_slab, k_spr, ch.cell_pitch_x(),
+                        ch.cell_pitch_y(), ch.tile_rows, ch.tile_cols, sp_edge, ov_sp_y,
+                        ov_sp_x);
+    }
+    edge_corner_links(sp_edge, sp_corner, k_spr, sp.spreader_thickness, ov_sp_x, ov_sp_y);
+    for (std::size_t ci = 0; ci < n_chips; ++ci) {
+      const ChipSpec& ch = sp.chips[ci];
+      boundary_to_edges({model.snkg_[ci]}, sp.sink_thickness, k_snk, ch.cell_pitch_x(),
+                        ch.cell_pitch_y(), ch.tile_rows, ch.tile_cols, sk_in_edge, ov_sp_y,
+                        ov_sp_x);
+    }
+    edge_corner_links(sk_in_edge, sk_in_corner, k_snk, sp.sink_thickness, ov_sp_x, ov_sp_y);
+
+    const double ea[4] = {edge_len_ns * ov_sp_y, edge_len_ns * ov_sp_y,
+                          edge_len_we * ov_sp_x, edge_len_we * ov_sp_x};
+    for (int e = 0; e < 4; ++e) {
+      net.add_conductance(
+          sp_edge[e], sk_in_edge[e],
+          series(half_slab_resistance(sp.spreader_thickness, k_spr, ea[e]),
+                 half_slab_resistance(sp.sink_thickness, k_snk, ea[e])));
+    }
+    const double ca = ov_sp_x * ov_sp_y;
+    for (int c = 0; c < 4; ++c) {
+      net.add_conductance(sp_corner[c], sk_in_corner[c],
+                          series(half_slab_resistance(sp.spreader_thickness, k_spr, ca),
+                                 half_slab_resistance(sp.sink_thickness, k_snk, ca)));
+    }
+  }
+
+  if (has_sk_outer) {
+    const double k = k_snk;
+    const double t = sp.sink_thickness;
+    if (has_sp_periph) {
+      for (int e = 0; e < 4; ++e) {
+        const double ov_in = (e < 2) ? ov_sp_y : ov_sp_x;
+        const double g_io = series((0.5 * ov_in) / (k * t * sp.spreader_side),
+                                   (0.5 * ov_sk) / (k * t * sp.spreader_side));
+        net.add_conductance(sk_in_edge[e], sk_out_edge[e], g_io);
+      }
+      const double w_cc = 0.5 * (0.5 * (ov_sp_x + ov_sp_y) + ov_sk);
+      for (int c = 0; c < 4; ++c) {
+        const double g_cc = series((0.25 * (ov_sp_x + ov_sp_y)) / (k * t * w_cc),
+                                   (0.5 * ov_sk) / (k * t * w_cc));
+        net.add_conductance(sk_in_corner[c], sk_out_corner[c], g_cc);
+      }
+    } else {
+      for (std::size_t ci = 0; ci < n_chips; ++ci) {
+        const ChipSpec& ch = sp.chips[ci];
+        boundary_to_edges({model.snkg_[ci]}, t, k, ch.cell_pitch_x(), ch.cell_pitch_y(),
+                          ch.tile_rows, ch.tile_cols, sk_out_edge, ov_sk, ov_sk);
+      }
+    }
+    const double g_ec = series((0.5 * sp.spreader_side) / (k * t * ov_sk),
+                               (0.5 * ov_sk) / (k * t * ov_sk));
+    for (const auto& [e, c] : {std::pair<int, int>{0, 0}, {0, 1}, {1, 2}, {1, 3},
+                               {2, 0}, {2, 2}, {3, 1}, {3, 3}}) {
+      if (sk_out_corner[c] != kNoNode) {
+        net.add_conductance(sk_out_edge[e], sk_out_corner[c], g_ec);
+      }
+    }
+  }
+
+  // ---- convection to ambient ------------------------------------------------
+  const double sink_area = sp.sink_side * sp.sink_side;
+  const double g_total = 1.0 / sp.convection_resistance;
+  const auto convect = [&](std::size_t node) {
+    if (node == kNoNode) return;
+    const double a = net.node(node).area;
+    net.add_ambient_leg(node, g_total * a / sink_area);
+  };
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    for (std::size_t node : model.snkg_[ci]) convect(node);
+  }
+  for (int e = 0; e < 4; ++e) {
+    convect(sk_in_edge[e]);
+    convect(sk_out_edge[e]);
+  }
+  for (int c = 0; c < 4; ++c) {
+    convect(sk_in_corner[c]);
+    convect(sk_out_corner[c]);
+  }
+
+  // ---- secondary heat path (optional, one lumped pair per chip) -------------
+  if (sp.model_secondary_path) {
+    for (std::size_t ci = 0; ci < n_chips; ++ci) {
+      const ChipSpec& ch = sp.chips[ci];
+      NodeInfo sub;
+      sub.kind = NodeKind::kOther;
+      sub.area = ch.width * ch.height;
+      sub.capacitance = 1.6e6 * sub.area * 1e-3;  // ~1 mm organic substrate
+      const std::size_t substrate = net.add_node(sub);
+      NodeInfo board = sub;
+      board.capacitance *= 4.0;  // board slab under the package
+      const std::size_t board_node = net.add_node(board);
+
+      const auto& die_bot = model.lay_[ci][0].front();  // bottom die active face
+      const double g_c4_sub =
+          (1.0 / sp.c4_resistance) / double(ch.tile_rows * ch.tile_cols);
+      for (std::size_t node : die_bot) {
+        net.add_conductance(node, substrate, g_c4_sub);
+      }
+      net.add_conductance(substrate, board_node, 1.0 / sp.substrate_to_board_resistance);
+      net.add_ambient_leg(board_node, 1.0 / sp.board_convection_resistance);
+    }
+  }
+
+  return model;
+}
+
 PackageModel PackageModel::extend_tec(const TileMask& added_tiles,
                                       TecExtendDelta* delta_out) const {
+  if (spec_ != nullptr) return extend_tec_generic(added_tiles, delta_out);
   const auto& g = options_.geometry;
   if (added_tiles.rows() != g.tile_rows || added_tiles.cols() != g.tile_cols) {
     throw std::invalid_argument("PackageModel::extend_tec: mask shape mismatch");
@@ -773,8 +1327,397 @@ PackageModel PackageModel::extend_tec(const TileMask& added_tiles,
   return model;
 }
 
+PackageModel PackageModel::extend_tec_generic(const TileMask& added_tiles,
+                                              TecExtendDelta* delta_out) const {
+  const StackSpec& sp = *spec_;
+  const std::size_t vrows = options_.geometry.tile_rows;
+  const std::size_t vcols = options_.geometry.tile_cols;
+  if (added_tiles.rows() != vrows || added_tiles.cols() != vcols) {
+    throw std::invalid_argument("PackageModel::extend_tec: mask shape mismatch");
+  }
+  const std::vector<Tile> fresh_tiles = added_tiles.tiles();
+  if (fresh_tiles.empty()) {
+    if (delta_out != nullptr) {
+      delta_out->old_to_new.resize(network_.node_count());
+      for (std::size_t i = 0; i < delta_out->old_to_new.size(); ++i) {
+        delta_out->old_to_new[i] = i;
+      }
+      delta_out->dirty_rows.assign(network_.node_count(), 0);
+    }
+    return *this;
+  }
+  options_.tec_link.validate();
+  if (!added_tiles.subset_of(sp.tec_allowed_tiles())) {
+    throw std::invalid_argument(
+        "PackageModel::extend_tec: added tiles outside TEC-capable sites");
+  }
+  for (Tile t : fresh_tiles) {
+    if (has_tec(t)) {
+      throw std::invalid_argument("PackageModel::extend_tec: tile already carries a TEC");
+    }
+  }
+
+  const std::size_t stages = options_.tec_stages;
+  const std::size_t old_n = network_.node_count();
+  const std::size_t n_chips = sp.chips.size();
+
+  PackageModel model;
+  model.options_ = options_;
+  model.options_.tec_tiles |= added_tiles;
+  model.spec_ = spec_;
+  model.dies_ = dies_;
+
+  std::vector<std::vector<std::size_t>> die_row(n_chips);
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    die_row[ci].assign(sp.chips[ci].layers.size(), 0);
+  }
+  for (const auto& d : dies_) die_row[d.chip][d.layer] = d.row_offset;
+
+  // ---- old-node → new-node map, replaying build_generic's numbering --------
+  // Block order is per-chip layer grids | per-chip spreader | per-chip sink |
+  // TEC chains (virtual row-major) | the rest (periphery macros + secondary).
+  std::vector<std::size_t> map(old_n, kNoNode);
+  std::vector<char> dropped(old_n, 0);
+  std::size_t next = 0;
+
+  model.lay_.resize(n_chips);
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const ChipSpec& ch = sp.chips[ci];
+    model.lay_[ci].resize(lay_[ci].size());
+    for (std::size_t li = 0; li < lay_[ci].size(); ++li) {
+      const auto& grid = lay_[ci][li];
+      auto& out = model.lay_[ci][li];
+      out.assign(grid.size(),
+                 std::vector<std::size_t>(grid.empty() ? 0 : grid[0].size(), kNoNode));
+      const bool iface = ch.layers[li].kind == LayerSpec::Kind::kInterface;
+      const std::size_t band = iface ? die_row[ci][li - 1] : 0;
+      for (std::size_t sl = 0; sl < grid.size(); ++sl) {
+        for (std::size_t j = 0; j < grid[sl].size(); ++j) {
+          const std::size_t id = grid[sl][j];
+          if (id == kNoNode) continue;
+          if (iface && added_tiles.test(band + j / ch.tile_cols, j % ch.tile_cols)) {
+            dropped[id] = 1;  // this interface cell gives way to the new TEC
+            continue;
+          }
+          map[id] = next;
+          out[sl][j] = next;
+          ++next;
+        }
+      }
+    }
+  }
+  model.sprg_.resize(n_chips);
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    const auto& grid = sprg_[ci];
+    auto& out = model.sprg_[ci];
+    out.assign(grid.size(),
+               std::vector<std::size_t>(grid.empty() ? 0 : grid[0].size(), kNoNode));
+    for (std::size_t sl = 0; sl < grid.size(); ++sl) {
+      for (std::size_t j = 0; j < grid[sl].size(); ++j) {
+        map[grid[sl][j]] = next;
+        out[sl][j] = next++;
+      }
+    }
+  }
+  model.snkg_.resize(n_chips);
+  for (std::size_t ci = 0; ci < n_chips; ++ci) {
+    model.snkg_[ci].assign(snkg_[ci].size(), kNoNode);
+    for (std::size_t j = 0; j < snkg_[ci].size(); ++j) {
+      map[snkg_[ci][j]] = next;
+      model.snkg_[ci][j] = next++;
+    }
+  }
+
+  // TEC chains: union tiles in virtual row-major order; fresh pairs
+  // interleave exactly where build_generic would create them.
+  std::vector<NodeInfo> fresh_infos;
+  std::vector<char> is_fresh_tile;
+  model.tec_cold_.assign(vrows * vcols, kNoNode);
+  model.tec_hot_.assign(vrows * vcols, kNoNode);
+  for (Tile t : model.options_.tec_tiles.tiles()) {
+    const std::size_t idx = t.row * vcols + t.col;
+    const bool fresh = added_tiles.test(t);
+    is_fresh_tile.push_back(fresh ? 1 : 0);
+    const std::size_t old_k =
+        fresh ? kNoNode
+              : std::size_t(std::find(tec_tile_list_.begin(), tec_tile_list_.end(), t) -
+                            tec_tile_list_.begin());
+    std::size_t first_cold = kNoNode;
+    std::size_t last_hot = kNoNode;
+    for (std::size_t st = 0; st < stages; ++st) {
+      const std::size_t c_id = next++;
+      const std::size_t h_id = next++;
+      if (fresh) {
+        const DieCell dc = die_cell(t);
+        const StackSpec::DieRef& die = dies_[dc.die];
+        const ChipSpec& ch = sp.chips[die.chip];
+        const LayerSpec& iface = ch.layers[die.layer + 1];
+        NodeInfo cold;
+        cold.kind = NodeKind::kTecCold;
+        cold.row = t.row;
+        cold.col = t.col;
+        cold.slab = st;
+        cold.area = ch.cell_area();
+        cold.capacitance = iface.material.volumetric_heat_capacity * ch.cell_area() *
+                           (0.5 * iface.thickness / double(stages));
+        NodeInfo hot = cold;
+        hot.kind = NodeKind::kTecHot;
+        fresh_infos.push_back(cold);
+        fresh_infos.push_back(hot);
+      } else {
+        map[cold_nodes_[old_k * stages + st]] = c_id;
+        map[hot_nodes_[old_k * stages + st]] = h_id;
+      }
+      model.cold_nodes_.push_back(c_id);
+      model.hot_nodes_.push_back(h_id);
+      if (st == 0) first_cold = c_id;
+      last_hot = h_id;
+    }
+    model.tec_cold_[idx] = first_cold;
+    model.tec_hot_[idx] = last_hot;
+    model.tec_tile_list_.push_back(t);
+  }
+
+  // The rest (periphery macros, secondary path): created after every grid and
+  // TEC node in build_generic, so plain old order is the from-scratch order.
+  for (std::size_t id = 0; id < old_n; ++id) {
+    if (map[id] == kNoNode && !dropped[id]) map[id] = next++;
+  }
+  const std::size_t new_n = next;
+
+  // ---- nodes, ambient legs, powers ----------------------------------------
+  ConductanceNetwork& net = model.network_;
+  {
+    std::vector<NodeInfo> infos(new_n);
+    std::vector<double> ambient(new_n, 0.0);
+    std::vector<double> power(new_n, 0.0);
+    for (std::size_t id = 0; id < old_n; ++id) {
+      if (dropped[id]) continue;
+      const std::size_t nid = map[id];
+      infos[nid] = network_.node(id);
+      ambient[nid] = network_.ambient_conductance(id);
+      power[nid] = network_.power(id);
+    }
+    std::size_t fresh_cursor = 0;
+    for (std::size_t j = 0; j < model.tec_tile_list_.size(); ++j) {
+      if (!is_fresh_tile[j]) continue;
+      for (std::size_t st = 0; st < stages; ++st) {
+        infos[model.cold_nodes_[j * stages + st]] = fresh_infos[fresh_cursor++];
+        infos[model.hot_nodes_[j * stages + st]] = fresh_infos[fresh_cursor++];
+      }
+    }
+    for (std::size_t i = 0; i < new_n; ++i) {
+      net.add_node(infos[i]);
+      if (ambient[i] > 0.0) net.add_ambient_leg(i, ambient[i]);
+      if (power[i] != 0.0) net.set_power(i, power[i]);
+    }
+  }
+
+  // ---- edges ---------------------------------------------------------------
+  std::vector<char> dirty(new_n, 0);
+  const auto& old_edges = network_.edges();
+  const auto replay = [&](const ConductanceNetwork::Edge& e) {
+    if (dropped[e.a] || dropped[e.b]) {
+      if (!dropped[e.a]) dirty[map[e.a]] = 1;
+      if (!dropped[e.b]) dirty[map[e.b]] = 1;
+      return;
+    }
+    net.add_conductance(map[e.a], map[e.b], e.g);
+  };
+  const auto stamp_fresh = [&](std::size_t a, std::size_t b, double cond) {
+    dirty[a] = 1;
+    dirty[b] = 1;
+    net.add_conductance(a, b, cond);
+  };
+  for (std::size_t q = 0; q < tec_edge_begin_; ++q) replay(old_edges[q]);
+
+  model.tec_edge_begin_ = net.edges().size();
+  {
+    const TecThermalLink& link = options_.tec_link;
+    const double g_interstage =
+        1.0 / (1.0 / link.g_hot_contact + 1.0 / link.g_cold_contact);
+    // Per-tile group length in the old TEC block: one internal edge per
+    // stage, one inter-stage bond between consecutive stages, and the two
+    // contact edges (generic models stamp one cell per tile).
+    const std::size_t group_len = stages + (stages - 1) + 2;
+    const double t_spr_slab = sp.spreader_thickness / double(sp.spreader_slabs);
+    const double k_spr = sp.spreader_material.thermal_conductivity;
+
+    std::size_t old_group = 0;
+    for (std::size_t j = 0; j < model.tec_tile_list_.size(); ++j) {
+      const Tile t = model.tec_tile_list_[j];
+      if (!is_fresh_tile[j]) {
+        const std::size_t base = tec_edge_begin_ + old_group * group_len;
+        for (std::size_t q = base; q < base + group_len; ++q) replay(old_edges[q]);
+        ++old_group;
+        continue;
+      }
+      for (std::size_t st = 0; st < stages; ++st) {
+        stamp_fresh(model.cold_nodes_[j * stages + st],
+                    model.hot_nodes_[j * stages + st], link.g_internal);
+        if (st + 1 < stages) {
+          stamp_fresh(model.hot_nodes_[j * stages + st],
+                      model.cold_nodes_[j * stages + st + 1], g_interstage);
+        }
+      }
+      const std::size_t cold = model.tec_cold_[t.row * vcols + t.col];
+      const std::size_t hot = model.tec_hot_[t.row * vcols + t.col];
+      const DieCell dc = die_cell(t);
+      const StackSpec::DieRef& die = dies_[dc.die];
+      const ChipSpec& ch = sp.chips[die.chip];
+      const std::size_t cell = dc.row * ch.tile_cols + dc.col;
+      const double cell_area = ch.cell_area();
+      const LayerSpec& die_l = ch.layers[die.layer];
+      const double r_half_below =
+          half_slab_resistance(die_l.thickness / double(die_l.slabs),
+                               die_l.material.thermal_conductivity, cell_area);
+      const std::size_t below = model.lay_[die.chip][die.layer].back()[cell];
+      std::size_t above = kNoNode;
+      double r_half_above = 0.0;
+      if (die.layer + 2 < ch.layers.size()) {
+        const LayerSpec& above_l = ch.layers[die.layer + 2];
+        above = model.lay_[die.chip][die.layer + 2].front()[cell];
+        r_half_above = half_slab_resistance(above_l.thickness / double(above_l.slabs),
+                                            above_l.material.thermal_conductivity, cell_area);
+      } else {
+        above = model.sprg_[die.chip].front()[cell];
+        r_half_above = half_slab_resistance(t_spr_slab, k_spr, cell_area);
+      }
+      stamp_fresh(below, cold, series(r_half_below, 1.0 / link.g_cold_contact));
+      stamp_fresh(hot, above, series(1.0 / link.g_hot_contact, r_half_above));
+    }
+  }
+  model.tec_edge_end_ = net.edges().size();
+
+  for (std::size_t q = tec_edge_end_; q < old_edges.size(); ++q) replay(old_edges[q]);
+
+  if (delta_out != nullptr) {
+    delta_out->old_to_new = std::move(map);
+    delta_out->dirty_rows = std::move(dirty);
+  }
+  assert(model.matches_fresh_build());
+  return model;
+}
+
+TileMask PackageModel::tec_allowed_tiles() const {
+  if (spec_ != nullptr) return spec_->tec_allowed_tiles();
+  return TileMask::full(options_.geometry.tile_rows, options_.geometry.tile_cols);
+}
+
+namespace {
+
+std::string grid_suffix(std::size_t slab, std::size_t row, std::size_t col,
+                        bool with_slab) {
+  std::string out;
+  if (with_slab) out += "/s" + std::to_string(slab);
+  out += "/r" + std::to_string(row) + "c" + std::to_string(col);
+  return out;
+}
+
+std::string chip_label(const ChipSpec& ch, std::size_t ci) {
+  return ch.name.empty() ? "chip" + std::to_string(ci) : ch.name;
+}
+
+std::string layer_label(const LayerSpec& layer, std::size_t li) {
+  return layer.name.empty() ? "layer" + std::to_string(li) : layer.name;
+}
+
+}  // namespace
+
+std::string PackageModel::node_name(std::size_t node) const {
+  if (node >= network_.node_count()) {
+    throw std::out_of_range("PackageModel::node_name: node out of range");
+  }
+  const NodeInfo& info = network_.node(node);
+  const std::size_t stages = options_.tec_stages;
+
+  if (spec_ != nullptr) {
+    for (std::size_t ci = 0; ci < lay_.size(); ++ci) {
+      const ChipSpec& ch = spec_->chips[ci];
+      for (std::size_t li = 0; li < lay_[ci].size(); ++li) {
+        for (std::size_t sl = 0; sl < lay_[ci][li].size(); ++sl) {
+          const auto& cells = lay_[ci][li][sl];
+          for (std::size_t j = 0; j < cells.size(); ++j) {
+            if (cells[j] == node) {
+              return chip_label(ch, ci) + "." + layer_label(ch.layers[li], li) +
+                     grid_suffix(sl, j / ch.tile_cols, j % ch.tile_cols,
+                                 lay_[ci][li].size() > 1);
+            }
+          }
+        }
+      }
+      for (std::size_t sl = 0; sl < sprg_[ci].size(); ++sl) {
+        const auto& cells = sprg_[ci][sl];
+        for (std::size_t j = 0; j < cells.size(); ++j) {
+          if (cells[j] == node) {
+            return "spreader." + chip_label(ch, ci) +
+                   grid_suffix(sl, j / ch.tile_cols, j % ch.tile_cols,
+                               sprg_[ci].size() > 1);
+          }
+        }
+      }
+      for (std::size_t j = 0; j < snkg_[ci].size(); ++j) {
+        if (snkg_[ci][j] == node) {
+          return "sink." + chip_label(ch, ci) +
+                 grid_suffix(0, j / ch.tile_cols, j % ch.tile_cols, false);
+        }
+      }
+    }
+  } else {
+    switch (info.kind) {
+      case NodeKind::kSilicon:
+        return "die" + grid_suffix(info.slab, info.row, info.col, sil_.size() > 1);
+      case NodeKind::kTim:
+        return "tim" + grid_suffix(info.slab, info.row, info.col, tim_.size() > 1);
+      case NodeKind::kSpreaderCenter:
+        return "spreader" + grid_suffix(info.slab, info.row, info.col, spr_.size() > 1);
+      case NodeKind::kSinkCenter:
+        return "sink" + grid_suffix(0, info.row, info.col, false);
+      default:
+        break;
+    }
+  }
+
+  if (info.kind == NodeKind::kTecCold || info.kind == NodeKind::kTecHot) {
+    std::string out = "tec.r" + std::to_string(info.row) + "c" + std::to_string(info.col);
+    if (stages > 1) out += "/s" + std::to_string(info.slab);
+    out += info.kind == NodeKind::kTecCold ? "/cold" : "/hot";
+    return out;
+  }
+
+  // Macro nodes: the k-th node of this kind (creation order is N, S, W, E for
+  // edges and NW, NE, SW, SE for corners; substrate/board pairs per chip).
+  std::size_t ord = 0;
+  for (std::size_t i = 0; i < node; ++i) {
+    if (network_.node(i).kind == info.kind) ++ord;
+  }
+  static const char* kEdgeName[4] = {"N", "S", "W", "E"};
+  static const char* kCornerName[4] = {"NW", "NE", "SW", "SE"};
+  switch (info.kind) {
+    case NodeKind::kSpreaderEdge:
+      return std::string("spreader.edge") + kEdgeName[ord % 4];
+    case NodeKind::kSpreaderCorner:
+      return std::string("spreader.corner") + kCornerName[ord % 4];
+    case NodeKind::kSinkInnerEdge:
+      return std::string("sink.inner_edge") + kEdgeName[ord % 4];
+    case NodeKind::kSinkInnerCorner:
+      return std::string("sink.inner_corner") + kCornerName[ord % 4];
+    case NodeKind::kSinkOuterEdge:
+      return std::string("sink.outer_edge") + kEdgeName[ord % 4];
+    case NodeKind::kSinkOuterCorner:
+      return std::string("sink.outer_corner") + kCornerName[ord % 4];
+    case NodeKind::kOther:
+      return (ord % 2 == 0 ? "substrate" : "board") + std::to_string(ord / 2);
+    default:
+      return to_string(info.kind) + std::string("#") + std::to_string(node);
+  }
+}
+
 bool PackageModel::matches_fresh_build() const {
-  PackageModel fresh = build(options_);
+  PackageModel fresh =
+      spec_ != nullptr
+          ? build_generic(spec_, options_.tec_tiles, options_.tec_link, options_.tec_stages)
+          : build(options_);
   if (fresh.node_count() != node_count()) return false;
   const linalg::SparseMatrix a = network_.conductance_matrix();
   const linalg::SparseMatrix b = fresh.network_.conductance_matrix();

@@ -21,12 +21,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/tile.h"
 #include "linalg/vector.h"
 #include "thermal/network.h"
 #include "thermal/package.h"
+#include "thermal/stack_spec.h"
 
 namespace tfc::thermal {
 
@@ -84,6 +87,20 @@ class PackageModel {
   /// Assemble the network. Throws std::invalid_argument on bad options.
   static PackageModel build(const PackageModelOptions& options);
 
+  /// Assemble the network from a declarative StackSpec. \p deployment is a
+  /// virtual-grid TEC mask (empty or default ⇒ none) and must stay within
+  /// spec.tec_allowed_tiles(). paper_equivalent() specs route through the
+  /// legacy build() path (byte-identical to the geometry-based model);
+  /// everything else — stacked dies, multiple chips, multi-slab layers —
+  /// takes the generic layer-stack builder. \p force_generic makes even a
+  /// paper-equivalent spec take the generic builder (test hook: the golden
+  /// suite pins generic ≡ legacy bitwise on the default package).
+  /// Throws std::invalid_argument on an invalid spec or deployment.
+  static PackageModel build_from_spec(const StackSpec& spec, const TileMask& deployment,
+                                      const TecThermalLink& link,
+                                      std::size_t tec_stages = 1,
+                                      bool force_generic = false);
+
   /// Incremental re-stamp (the tfc::engine fast path): a copy of this model
   /// with TECs added on \p added_tiles, built by replaying this network's
   /// node and edge lists instead of re-deriving every conductance from
@@ -105,8 +122,19 @@ class PackageModel {
   /// matrix, ambient legs and node capacitances as this model (bitwise).
   bool matches_fresh_build() const;
 
+  /// Geometry view of the model. For spec-built generic models this is a
+  /// synthetic geometry carrying the virtual tile grid, ambient and
+  /// convection resistance (the only fields downstream consumers read).
   const PackageGeometry& geometry() const { return options_.geometry; }
   const PackageModelOptions& options() const { return options_; }
+  /// Non-null iff this model was built by the generic spec builder.
+  const std::shared_ptr<const StackSpec>& spec() const { return spec_; }
+  /// Mask of tiles eligible for TEC deployment: the full grid for legacy
+  /// models, spec.tec_allowed_tiles() for spec-built ones.
+  TileMask tec_allowed_tiles() const;
+  /// Stable human-readable node name ("chip0.die/s0/r3c4", "tec17.cold0",
+  /// "spreader.edgeN", ...) for audits, traces and docs.
+  std::string node_name(std::size_t node) const;
   ConductanceNetwork& network() { return network_; }
   const ConductanceNetwork& network() const { return network_; }
 
@@ -153,9 +181,22 @@ class PackageModel {
 
   static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
 
+  static PackageModel build_generic(std::shared_ptr<const StackSpec> spec,
+                                    const TileMask& deployment,
+                                    const TecThermalLink& link, std::size_t tec_stages);
+  PackageModel extend_tec_generic(const TileMask& added_tiles,
+                                  TecExtendDelta* delta_out) const;
+
   std::size_t tile_index(Tile t) const;
   std::size_t tec_cold_at(Tile t) const { return tec_cold_[tile_index(t)]; }
   std::size_t injection_slab() const { return options_.silicon_slabs / 2; }
+  /// Generic models: die band + local row/col of a virtual tile.
+  struct DieCell {
+    std::size_t die = 0;   ///< index into dies_
+    std::size_t row = 0;   ///< chip-local row
+    std::size_t col = 0;
+  };
+  DieCell die_cell(Tile t) const;
 
   PackageModelOptions options_;
   ConductanceNetwork network_;
@@ -175,6 +216,15 @@ class PackageModel {
   // the exact position a from-scratch build would stamp them.
   std::size_t tec_edge_begin_ = 0;
   std::size_t tec_edge_end_ = 0;
+
+  // Generic (spec-built) models only. Node-id grids per chip/layer/slab in
+  // chip-local row-major cell order; interface cells under deployed TECs are
+  // kNoNode. The legacy sil_/tim_/spr_/snk_ maps stay empty on these models.
+  std::shared_ptr<const StackSpec> spec_;
+  std::vector<StackSpec::DieRef> dies_;
+  std::vector<std::vector<std::vector<std::vector<std::size_t>>>> lay_;  // [chip][layer][slab][cell]
+  std::vector<std::vector<std::vector<std::size_t>>> sprg_;              // [chip][slab][cell]
+  std::vector<std::vector<std::size_t>> snkg_;                           // [chip][cell]
 };
 
 }  // namespace tfc::thermal

@@ -1,0 +1,261 @@
+/// StackSpec structural validation, virtual-grid semantics, and the golden
+/// generic-vs-legacy builder identity on the paper's default package.
+#include "thermal/stack_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "thermal/material.h"
+#include "thermal/package_model.h"
+
+namespace tfc::thermal {
+namespace {
+
+LayerSpec die_layer(const std::string& name, double thickness, double power_w) {
+  LayerSpec l;
+  l.kind = LayerSpec::Kind::kDie;
+  l.name = name;
+  l.material = silicon();
+  l.thickness = thickness;
+  l.power_w = power_w;
+  return l;
+}
+
+LayerSpec interface_layer(const std::string& name, bool tec_capable) {
+  LayerSpec l;
+  l.kind = LayerSpec::Kind::kInterface;
+  l.name = name;
+  l.material = thermal_interface();
+  l.thickness = 50e-6;
+  l.tec_capable = tec_capable;
+  return l;
+}
+
+ChipSpec chip_6mm(const std::string& name, double x) {
+  ChipSpec c;
+  c.name = name;
+  c.width = 6e-3;
+  c.height = 6e-3;
+  c.x = x;
+  c.tile_rows = 4;
+  c.tile_cols = 4;
+  c.layers = {die_layer("die", 0.3e-3, 10.0), interface_layer("tim", true)};
+  return c;
+}
+
+StackSpec small_spec() {
+  StackSpec s;
+  s.name = "small";
+  s.chips = {chip_6mm("chip0", 0.0)};
+  return s;
+}
+
+/// One chip, two stacked dies, top interface restricted to two sites.
+StackSpec stacked_spec() {
+  StackSpec s;
+  s.name = "stacked";
+  ChipSpec c = chip_6mm("cpu", 0.0);
+  LayerSpec top = interface_layer("tim_top", true);
+  top.tec_sites = {Tile{1, 1}, Tile{2, 2}};
+  c.layers = {die_layer("core", 0.3e-3, 12.0), interface_layer("bond", true),
+              die_layer("cache", 0.2e-3, 4.0), top};
+  s.chips = {c};
+  return s;
+}
+
+// --- validation edge cases ---------------------------------------------------
+
+TEST(StackSpecValidate, SmallSpecIsValid) { EXPECT_NO_THROW(small_spec().validate()); }
+
+TEST(StackSpecValidate, NoChipsThrows) {
+  StackSpec s;
+  s.chips.clear();
+  EXPECT_THROW(
+      try { s.validate(); } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("at least one chip"), std::string::npos);
+        throw;
+      },
+      std::invalid_argument);
+}
+
+TEST(StackSpecValidate, ZeroThicknessThrows) {
+  StackSpec s = small_spec();
+  s.chips[0].layers[0].thickness = 0.0;
+  EXPECT_THROW(
+      try { s.validate(); } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("thickness must be > 0"), std::string::npos);
+        throw;
+      },
+      std::invalid_argument);
+}
+
+TEST(StackSpecValidate, OverlappingFootprintsThrow) {
+  StackSpec s;
+  // Both chips centered: 6 mm footprints overlap on the shared spreader.
+  s.chips = {chip_6mm("a", 0.0), chip_6mm("b", 1e-3)};
+  EXPECT_THROW(
+      try { s.validate(); } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("footprints overlap"), std::string::npos);
+        throw;
+      },
+      std::invalid_argument);
+}
+
+TEST(StackSpecValidate, TecSiteOutOfRangeThrows) {
+  StackSpec s = small_spec();
+  s.chips[0].layers[1].tec_sites = {Tile{4, 0}};  // grid is 4x4, rows 0..3
+  EXPECT_THROW(
+      try { s.validate(); } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("TEC site"), std::string::npos);
+        throw;
+      },
+      std::invalid_argument);
+}
+
+TEST(StackSpecValidate, TecSitesOnNonCapableInterfaceThrow) {
+  StackSpec s = small_spec();
+  s.chips[0].layers[1].tec_capable = false;
+  s.chips[0].layers[1].tec_sites = {Tile{0, 0}};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(StackSpecValidate, BadLayerAlternationThrows) {
+  StackSpec s = small_spec();
+  s.chips[0].layers = {die_layer("die", 0.3e-3, 10.0)};  // no closing interface
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(StackSpecValidate, MismatchedTileColsThrow) {
+  StackSpec s;
+  ChipSpec b = chip_6mm("b", 8e-3);
+  b.tile_cols = 6;
+  b.width = 6e-3;
+  s.chips = {chip_6mm("a", -8e-3), b};
+  EXPECT_THROW(
+      try { s.validate(); } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("tile_cols"), std::string::npos);
+        throw;
+      },
+      std::invalid_argument);
+}
+
+TEST(StackSpecValidate, ChipOffSpreaderThrows) {
+  StackSpec s = small_spec();
+  s.chips[0].x = 0.02;  // 6 mm die centered 20 mm out on a 30 mm spreader
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+// --- paper equivalence -------------------------------------------------------
+
+TEST(StackSpecPaper, SingleDieRoundTripsGeometry) {
+  PackageGeometry g;
+  StackSpec s = StackSpec::single_die(g);
+  EXPECT_TRUE(s.paper_equivalent());
+  PackageGeometry back = s.to_geometry();
+  EXPECT_EQ(back.tile_rows, g.tile_rows);
+  EXPECT_EQ(back.tile_cols, g.tile_cols);
+  EXPECT_EQ(back.die_width, g.die_width);
+  EXPECT_EQ(back.die_thickness, g.die_thickness);
+  EXPECT_EQ(back.convection_resistance, g.convection_resistance);
+  EXPECT_EQ(back.ambient, g.ambient);
+}
+
+TEST(StackSpecPaper, StackedSpecIsNotPaperEquivalent) {
+  StackSpec s = stacked_spec();
+  EXPECT_FALSE(s.paper_equivalent());
+  EXPECT_THROW(s.to_geometry(), std::logic_error);
+}
+
+// --- virtual grid ------------------------------------------------------------
+
+TEST(StackSpecGrid, StackedDiesConcatenateRows) {
+  StackSpec s = stacked_spec();
+  EXPECT_EQ(s.dies().size(), 2u);
+  EXPECT_EQ(s.total_tile_rows(), 8u);
+  EXPECT_EQ(s.tile_cols(), 4u);
+  EXPECT_EQ(s.dies()[0].row_offset, 0u);
+  EXPECT_EQ(s.dies()[1].row_offset, 4u);
+}
+
+TEST(StackSpecGrid, TecAllowedTilesHonorSiteMasks) {
+  StackSpec s = stacked_spec();
+  TileMask allowed = s.tec_allowed_tiles();
+  // Bottom die: unrestricted capable interface = all 16 tiles; top die:
+  // explicit two sites at virtual rows 4+1 and 4+2.
+  EXPECT_EQ(allowed.count(), 18u);
+  EXPECT_TRUE(allowed.test(0, 0));
+  EXPECT_TRUE(allowed.test(5, 1));
+  EXPECT_TRUE(allowed.test(6, 2));
+  EXPECT_FALSE(allowed.test(4, 0));
+}
+
+TEST(StackSpecGrid, TilePowersSpreadUniformly) {
+  StackSpec s = stacked_spec();
+  linalg::Vector p = s.tile_powers();
+  ASSERT_EQ(p.size(), 32u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) total += p[i];
+  EXPECT_NEAR(total, 16.0, 1e-12);
+  EXPECT_NEAR(p[0], 12.0 / 16.0, 1e-12);   // core die band
+  EXPECT_NEAR(p[16], 4.0 / 16.0, 1e-12);   // cache die band
+}
+
+TEST(StackSpecGrid, CombinedFloorplanPrefixesUnits) {
+  StackSpec s = stacked_spec();
+  floorplan::Floorplan plan = s.combined_floorplan();
+  EXPECT_EQ(plan.tile_rows(), 8u);
+  EXPECT_EQ(plan.tile_cols(), 4u);
+  ASSERT_EQ(plan.units().size(), 2u);
+  EXPECT_NE(plan.units()[0].name.find("cpu."), std::string::npos);
+}
+
+// --- golden: generic builder ≡ legacy builder on the default package --------
+
+TEST(StackSpecGolden, GenericBuilderMatchesLegacyBitwise) {
+  PackageGeometry g;
+  StackSpec spec = StackSpec::single_die(g);
+
+  TileMask deployment(g.tile_rows, g.tile_cols);
+  deployment.set(3, 4);
+  deployment.set(7, 7);
+  deployment.set(0, 11);
+
+  TecThermalLink link{0.5, 0.25, 0.5};
+
+  PackageModelOptions legacy_opts;
+  legacy_opts.geometry = g;
+  legacy_opts.tec_tiles = deployment;
+  legacy_opts.tec_link = link;
+  PackageModel legacy = PackageModel::build(legacy_opts);
+
+  PackageModel generic = PackageModel::build_from_spec(spec, deployment, link, 1,
+                                                       /*force_generic=*/true);
+  ASSERT_NE(generic.spec(), nullptr);
+
+  ASSERT_EQ(generic.node_count(), legacy.node_count());
+  const linalg::SparseMatrix gl = legacy.network().conductance_matrix();
+  const linalg::SparseMatrix gg = generic.network().conductance_matrix();
+  ASSERT_EQ(gg.nnz(), gl.nnz());
+  EXPECT_EQ(gg.values(), gl.values());
+
+  for (std::size_t n = 0; n < legacy.node_count(); ++n) {
+    EXPECT_EQ(generic.network().ambient_conductance(n),
+              legacy.network().ambient_conductance(n))
+        << "node " << n;
+  }
+  const linalg::Vector cl = legacy.network().capacitance_vector();
+  const linalg::Vector cg = generic.network().capacitance_vector();
+  ASSERT_EQ(cg.size(), cl.size());
+  for (std::size_t n = 0; n < cl.size(); ++n) {
+    EXPECT_EQ(cg[n], cl[n]) << "node " << n;
+  }
+
+  // TEC node sets line up too (same numbering).
+  EXPECT_EQ(generic.cold_nodes(), legacy.cold_nodes());
+  EXPECT_EQ(generic.hot_nodes(), legacy.hot_nodes());
+}
+
+}  // namespace
+}  // namespace tfc::thermal

@@ -236,6 +236,40 @@ def check_sim(baseline, current):
     return [] if step <= ceiling else [fail("sim_step:mean_step_ms", step, ceiling)]
 
 
+def check_stack_scale(baseline, current):
+    """Gate declarative-package mesh scaling (100x100 single-die StackSpec).
+
+    Three absolute ceilings against ci/bench_baseline.json's stack_scale
+    block: assembly+factorization of the 10 000-tile SolveContext, one steady
+    solve on it, and the sparse shift-invert Lanczos lambda_m bound. A blown
+    ceiling means spec-driven assembly or the eigensolver stopped scaling
+    with mesh resolution.
+    """
+    base = baseline.get("stack_scale")
+    if base is None:
+        return []
+    cur = current.get("stack_scale")
+    if cur is None:
+        print("stack scaling: MISSING from current bench output")
+        return [fail("stack_scale", None, None)]
+
+    failures = []
+    status = "ok"
+    for key in ("build_ms", "solve_ms", "lambda_ms"):
+        ceiling = float(base["max_%s" % key])
+        ms = float(cur[key])
+        if ms > ceiling:
+            status = "REGRESSED"
+            failures.append(fail("stack_scale:%s" % key, ms, ceiling))
+    print("stack scaling (%d tiles): build %.1f ms (ceiling %.0f), solve %.2f ms "
+          "(ceiling %.0f), lambda_m %.1f ms (ceiling %.0f)  %s"
+          % (int(cur.get("tiles", 0)), float(cur["build_ms"]),
+             float(base["max_build_ms"]), float(cur["solve_ms"]),
+             float(base["max_solve_ms"]), float(cur["lambda_ms"]),
+             float(base["max_lambda_ms"]), status))
+    return failures
+
+
 def check_profile(baseline, current):
     """Gate the continuous profiler's attribution and overhead.
 
@@ -337,6 +371,7 @@ def main():
     failures += check_audit(baseline, current)
     failures += check_runaway(baseline, current)
     failures += check_sim(baseline, current)
+    failures += check_stack_scale(baseline, current)
     failures += check_profile(baseline, current)
 
     if bool(args.service_baseline) != bool(args.service_current):
